@@ -1,0 +1,33 @@
+//! Fig. 10: multi-threaded scalability of GCN aggregation on reddit.
+//!
+//! Criterion variant with a reduced feature length; the paper uses d = 512
+//! and 1–16 threads (`fgbench fig10`). Note: speedups are bounded by this
+//! host's physical cores.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_bench::cpu_kernels::{cpu_kernel_secs, CpuSystem};
+use fg_bench::runner::{load, KernelKind};
+use fg_graph::Dataset;
+
+const SCALE: usize = 384;
+
+fn bench_scalability(c: &mut Criterion) {
+    let g = load(Dataset::Reddit, SCALE);
+    let mut group = c.benchmark_group("fig10/gcn-agg-reddit-d128");
+    group.sample_size(10);
+    for threads in [1usize, 2, 4] {
+        for sys in [CpuSystem::FeatGraph, CpuSystem::Ligra, CpuSystem::Mkl] {
+            group.bench_with_input(
+                BenchmarkId::new(sys.name(), format!("t{threads}")),
+                &threads,
+                |b, &t| {
+                    b.iter(|| cpu_kernel_secs(sys, KernelKind::GcnAggregation, &g, 128, t, 1));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_scalability);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Fig. 11: ablation of graph partitioning × feature tiling for CPU GCN
+//! aggregation on reddit.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_bench::cpu_kernels::{featgraph_cpu_secs, FeatgraphCpuConfig};
+use fg_bench::runner::{load, KernelKind};
+use fg_graph::Dataset;
+
+const SCALE: usize = 192;
+
+fn bench_ablation(c: &mut Criterion) {
+    let g = load(Dataset::Reddit, SCALE);
+    let mut group = c.benchmark_group("fig11/gcn-agg-reddit-d256");
+    group.sample_size(10);
+    let configs: [(&str, Option<usize>, Option<usize>); 4] = [
+        ("baseline", Some(1), Some(1)),
+        ("tiling", Some(1), None),
+        ("partitioning", None, Some(1)),
+        ("both", None, None),
+    ];
+    for (name, parts, tiles) in configs {
+        group.bench_with_input(BenchmarkId::from_parameter(name), &(parts, tiles), |b, &(p, t)| {
+            let cfg = FeatgraphCpuConfig {
+                graph_partitions: p,
+                feature_tiles: t,
+                ..Default::default()
+            };
+            b.iter(|| featgraph_cpu_secs(KernelKind::GcnAggregation, &g, 256, 1, 1, cfg));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_ablation);
+criterion_main!(benches);

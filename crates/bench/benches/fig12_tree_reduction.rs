@@ -1,0 +1,45 @@
+//! Fig. 12: tree-reduction ablation for GPU dot-product attention on
+//! rand-100K.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_bench::gpu_kernels::{featgraph_gpu_ms, gpu_kernel_ms, FeatgraphGpuConfig, GpuSystem};
+use fg_bench::runner::{load, KernelKind};
+use fg_graph::Dataset;
+
+const SCALE: usize = 384;
+
+fn bench_tree_reduction(c: &mut Criterion) {
+    let g = load(Dataset::Rand100K, SCALE);
+    let mut group = c.benchmark_group("fig12/attention-rand100k-d256");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("gunrock"), |b| {
+        b.iter(|| gpu_kernel_ms(GpuSystem::Gunrock, KernelKind::DotAttention, &g, 256));
+    });
+    group.bench_function(BenchmarkId::from_parameter("fg-serial-dot"), |b| {
+        b.iter(|| {
+            featgraph_gpu_ms(
+                KernelKind::DotAttention,
+                &g,
+                256,
+                FeatgraphGpuConfig {
+                    tree_reduce: false,
+                    ..Default::default()
+                },
+            )
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("fg-tree-reduce"), |b| {
+        b.iter(|| {
+            featgraph_gpu_ms(
+                KernelKind::DotAttention,
+                &g,
+                256,
+                FeatgraphGpuConfig::default(),
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_tree_reduction);
+criterion_main!(benches);

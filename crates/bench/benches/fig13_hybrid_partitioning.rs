@@ -1,0 +1,56 @@
+//! Fig. 13: hybrid-partitioning ablation for GPU GCN aggregation on
+//! rand-100K.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use featgraph::gpu::spmm::HybridOptions;
+use fg_bench::gpu_kernels::{featgraph_gpu_ms, FeatgraphGpuConfig};
+use fg_bench::runner::{load, KernelKind};
+use fg_graph::Dataset;
+
+const SCALE: usize = 192;
+
+fn bench_hybrid(c: &mut Criterion) {
+    let g = load(Dataset::Rand100K, SCALE);
+    let n = g.num_vertices();
+    let rows_per_block = (n / 320).clamp(2, 64);
+    let mut degs: Vec<usize> = (0..n as u32).map(|v| g.out_degree(v)).collect();
+    degs.sort_unstable_by(|a, b| b.cmp(a));
+    let threshold = degs[n / 5].max(1);
+
+    let mut group = c.benchmark_group("fig13/gcn-agg-rand100k-d128");
+    group.sample_size(10);
+    group.bench_function(BenchmarkId::from_parameter("fg-plain"), |b| {
+        b.iter(|| {
+            featgraph_gpu_ms(
+                KernelKind::GcnAggregation,
+                &g,
+                128,
+                FeatgraphGpuConfig {
+                    rows_per_block,
+                    ..Default::default()
+                },
+            )
+        });
+    });
+    group.bench_function(BenchmarkId::from_parameter("fg-hybrid"), |b| {
+        b.iter(|| {
+            featgraph_gpu_ms(
+                KernelKind::GcnAggregation,
+                &g,
+                128,
+                FeatgraphGpuConfig {
+                    rows_per_block,
+                    hybrid: Some(HybridOptions {
+                        degree_threshold: threshold,
+                        shared_budget_bytes: 24 * 1024,
+                    }),
+                    ..Default::default()
+                },
+            )
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_hybrid);
+criterion_main!(benches);

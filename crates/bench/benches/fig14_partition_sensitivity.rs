@@ -1,0 +1,35 @@
+//! Fig. 14: sensitivity of CPU GCN aggregation to (graph partitions ×
+//! feature partitions), on reddit at d = 128.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_bench::cpu_kernels::{featgraph_cpu_secs, FeatgraphCpuConfig};
+use fg_bench::runner::{load, KernelKind};
+use fg_graph::Dataset;
+
+const SCALE: usize = 192;
+
+fn bench_grid(c: &mut Criterion) {
+    let g = load(Dataset::Reddit, SCALE);
+    let mut group = c.benchmark_group("fig14/gcn-agg-reddit-d128");
+    group.sample_size(10);
+    for parts in [1usize, 16] {
+        for tiles in [1usize, 4] {
+            group.bench_with_input(
+                BenchmarkId::from_parameter(format!("gp{parts}-fp{tiles}")),
+                &(parts, tiles),
+                |b, &(p, t)| {
+                    let cfg = FeatgraphCpuConfig {
+                        graph_partitions: Some(p),
+                        feature_tiles: Some(t),
+                        ..Default::default()
+                    };
+                    b.iter(|| featgraph_cpu_secs(KernelKind::GcnAggregation, &g, 128, 1, 1, cfg));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_grid);
+criterion_main!(benches);

@@ -1,0 +1,40 @@
+//! Fig. 15: sensitivity of GPU GCN aggregation to the number of CUDA
+//! blocks, on reddit at d = 128.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_bench::gpu_kernels::{featgraph_gpu_ms, FeatgraphGpuConfig};
+use fg_bench::runner::{load, KernelKind};
+use fg_graph::Dataset;
+
+const SCALE: usize = 384;
+
+fn bench_blocks(c: &mut Criterion) {
+    let g = load(Dataset::Reddit, SCALE);
+    let n = g.num_vertices();
+    let mut group = c.benchmark_group("fig15/gcn-agg-reddit-d128");
+    group.sample_size(10);
+    for blocks in [8usize, 80, 512] {
+        let rows_per_block = n.div_ceil(blocks.min(n)).max(1);
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("blocks{blocks}")),
+            &rows_per_block,
+            |b, &rpb| {
+                b.iter(|| {
+                    featgraph_gpu_ms(
+                        KernelKind::GcnAggregation,
+                        &g,
+                        128,
+                        FeatgraphGpuConfig {
+                            rows_per_block: rpb,
+                            ..Default::default()
+                        },
+                    )
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_blocks);
+criterion_main!(benches);

@@ -1,0 +1,45 @@
+//! Table III: single-threaded CPU kernel comparison (Ligra / MKL /
+//! FeatGraph) on scaled Table II datasets.
+//!
+//! Criterion variant: one dataset per group, reduced feature lengths. The
+//! full paper sweep is `fgbench table3`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_bench::cpu_kernels::{cpu_kernel_secs, CpuSystem};
+use fg_bench::runner::{load, KernelKind};
+use fg_graph::Dataset;
+
+const SCALE: usize = 384;
+const LENGTHS: [usize; 2] = [32, 128];
+
+fn bench_kernels(c: &mut Criterion) {
+    for kind in [
+        KernelKind::GcnAggregation,
+        KernelKind::MlpAggregation,
+        KernelKind::DotAttention,
+    ] {
+        let mut group = c.benchmark_group(format!("table3/{}", kind.name()));
+        group.sample_size(10);
+        for ds in [Dataset::Reddit] {
+            let g = load(ds, SCALE);
+            for sys in [CpuSystem::Ligra, CpuSystem::Mkl, CpuSystem::FeatGraph] {
+                if sys == CpuSystem::Mkl && kind != KernelKind::GcnAggregation {
+                    continue;
+                }
+                for d in LENGTHS {
+                    group.bench_with_input(
+                        BenchmarkId::new(sys.name(), format!("{}-d{d}", ds.name())),
+                        &d,
+                        |b, &d| {
+                            b.iter(|| cpu_kernel_secs(sys, kind, &g, d, 1, 1));
+                        },
+                    );
+                }
+            }
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_kernels);
+criterion_main!(benches);

@@ -1,0 +1,35 @@
+//! Table IV: GPU kernel comparison (Gunrock / cuSPARSE / FeatGraph) on the
+//! V100 simulator. The measured quantity here is the harness wall time of a
+//! simulated launch; the *simulated* milliseconds the paper compares are
+//! printed by `fgbench table4`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_bench::gpu_kernels::{gpu_kernel_ms, GpuSystem};
+use fg_bench::runner::{load, KernelKind};
+use fg_graph::Dataset;
+
+const SCALE: usize = 384;
+
+fn bench_gpu(c: &mut Criterion) {
+    let g = load(Dataset::Reddit, SCALE);
+    for kind in [
+        KernelKind::GcnAggregation,
+        KernelKind::MlpAggregation,
+        KernelKind::DotAttention,
+    ] {
+        let mut group = c.benchmark_group(format!("table4/{}", kind.name()));
+        group.sample_size(10);
+        for sys in [GpuSystem::Gunrock, GpuSystem::Cusparse, GpuSystem::FeatGraph] {
+            if sys == GpuSystem::Cusparse && kind != KernelKind::GcnAggregation {
+                continue;
+            }
+            group.bench_with_input(BenchmarkId::new(sys.name(), "d64"), &64usize, |b, &d| {
+                b.iter(|| gpu_kernel_ms(sys, kind, &g, d));
+            });
+        }
+        group.finish();
+    }
+}
+
+criterion_group!(benches, bench_gpu);
+criterion_main!(benches);

@@ -1,0 +1,32 @@
+//! Table V: sensitivity to graph sparsity, MKL vs FeatGraph, on uniform
+//! graphs at d = 128.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_bench::cpu_kernels::{cpu_kernel_secs, CpuSystem};
+use fg_bench::runner::KernelKind;
+use fg_graph::generators;
+
+fn bench_sparsity(c: &mut Criterion) {
+    let n = 1500usize;
+    let mut group = c.benchmark_group("table5/gcn-agg-uniform-d128");
+    group.sample_size(10);
+    for sparsity in [0.9995f64, 0.995, 0.95] {
+        let g = generators::uniform_with_sparsity(n, sparsity, 7);
+        for sys in [CpuSystem::Mkl, CpuSystem::FeatGraph] {
+            group.bench_with_input(
+                BenchmarkId::new(
+                    sys.name(),
+                    format!("sparsity{:.2}%", sparsity * 100.0),
+                ),
+                &sparsity,
+                |b, _| {
+                    b.iter(|| cpu_kernel_secs(sys, KernelKind::GcnAggregation, &g, 128, 1, 1));
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_sparsity);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Table VI: end-to-end epoch time, naive (materializing) vs FeatGraph
+//! backend, per model.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fg_gnn::data::SbmTask;
+use fg_gnn::models::build_model;
+use fg_gnn::nn::Optimizer;
+use fg_gnn::trainer::train;
+use fg_gnn::{FeatgraphBackend, GraphBackend, NaiveBackend};
+
+fn bench_end_to_end(c: &mut Criterion) {
+    let task = SbmTask::generate(800, 4, 25, 4, 7);
+    let hidden = 32;
+    let mut group = c.benchmark_group("table6/epoch");
+    group.sample_size(10);
+    for model_name in ["gcn", "graphsage", "gat"] {
+        let backends: Vec<(&str, Box<dyn GraphBackend>)> = vec![
+            ("naive", Box::new(NaiveBackend::cpu())),
+            ("featgraph", Box::new(FeatgraphBackend::cpu(1))),
+        ];
+        for (bname, backend) in backends {
+            group.bench_function(BenchmarkId::new(model_name, bname), |b| {
+                b.iter(|| {
+                    let mut model =
+                        build_model(model_name, task.in_dim(), hidden, task.num_classes, 1);
+                    train(
+                        model.as_mut(),
+                        &task,
+                        backend.as_ref(),
+                        None,
+                        Optimizer::adam(0.01),
+                        1,
+                    )
+                });
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_end_to_end);
+criterion_main!(benches);

@@ -1,0 +1,48 @@
+//! Paper-style table formatting.
+
+/// Format a seconds value like the paper's Table III (2 decimal places).
+pub fn fmt_secs(s: Option<f64>) -> String {
+    match s {
+        Some(v) => format!("{v:10.3}"),
+        None => format!("{:>10}", "-"),
+    }
+}
+
+/// Format a milliseconds value like Table IV (1 decimal place).
+pub fn fmt_ms(ms: Option<f64>) -> String {
+    match ms {
+        Some(v) => format!("{v:10.2}"),
+        None => format!("{:>10}", "-"),
+    }
+}
+
+/// Print a header row: label column plus one column per feature length.
+pub fn header(label: &str, lengths: &[usize]) {
+    print!("{label:<12}");
+    for d in lengths {
+        print!("{d:>10}");
+    }
+    println!();
+}
+
+/// A speedup string ("3.2x").
+pub fn speedup(base: f64, improved: f64) -> String {
+    if improved <= 0.0 {
+        return "-".to_string();
+    }
+    format!("{:.1}x", base / improved)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn formats() {
+        assert_eq!(fmt_secs(None).trim(), "-");
+        assert!(fmt_secs(Some(1.2345)).contains("1.234"));
+        assert!(fmt_ms(Some(12.345)).contains("12.35"));
+        assert_eq!(speedup(10.0, 2.0), "5.0x");
+        assert_eq!(speedup(10.0, 0.0), "-");
+    }
+}

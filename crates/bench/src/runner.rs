@@ -1,0 +1,118 @@
+//! Shared measurement plumbing.
+
+use std::time::Instant;
+
+use fg_graph::{Dataset, Graph};
+use fg_tensor::Dense2;
+
+/// The three evaluation kernels (§V-B).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelKind {
+    /// Vanilla SpMM: copy source features, sum-aggregate.
+    GcnAggregation,
+    /// Generalized SpMM: `max_{u→v} relu((x[u]+x[v])·W)`, `d1 = 8` fixed as
+    /// in the paper, feature length = `d2`.
+    MlpAggregation,
+    /// Vanilla SDDMM: per-edge dot product.
+    DotAttention,
+}
+
+impl KernelKind {
+    /// Paper name.
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelKind::GcnAggregation => "GCN aggregation",
+            KernelKind::MlpAggregation => "MLP aggregation",
+            KernelKind::DotAttention => "dot-product attention",
+        }
+    }
+
+    /// Parse a CLI flag.
+    pub fn parse(s: &str) -> Option<Self> {
+        match s {
+            "gcn" => Some(KernelKind::GcnAggregation),
+            "mlp" => Some(KernelKind::MlpAggregation),
+            "attention" | "dot" => Some(KernelKind::DotAttention),
+            _ => None,
+        }
+    }
+}
+
+/// The MLP aggregation's fixed input feature length (`d1` in Fig. 3b).
+pub const MLP_D1: usize = 8;
+
+/// Sweep configuration shared by the harness commands.
+#[derive(Debug, Clone)]
+pub struct BenchConfig {
+    /// Vertex-count divisor applied to the Table II datasets.
+    pub scale: usize,
+    /// Feature lengths to sweep.
+    pub lengths: Vec<usize>,
+    /// Timed repetitions per cell (after one warm-up).
+    pub runs: usize,
+}
+
+impl Default for BenchConfig {
+    fn default() -> Self {
+        Self {
+            scale: crate::DEFAULT_SCALE,
+            lengths: crate::DEFAULT_LENGTHS.to_vec(),
+            runs: 2,
+        }
+    }
+}
+
+/// Generate a dataset at the configured scale.
+pub fn load(dataset: Dataset, scale: usize) -> Graph {
+    dataset.generate(scale)
+}
+
+/// Deterministic feature matrix for kernel benchmarks.
+pub fn features(n: usize, d: usize) -> Dense2<f32> {
+    Dense2::from_fn(n, d, |v, i| ((v * 131 + i * 31) % 251) as f32 * 0.008 - 1.0)
+}
+
+/// Deterministic MLP weight matrix.
+pub fn weights(d1: usize, d2: usize) -> Dense2<f32> {
+    Dense2::from_fn(d1, d2, |r, c| ((r * 17 + c * 13) % 101) as f32 * 0.02 - 1.0)
+}
+
+/// Time `f` with one warm-up call and `runs` measured calls; returns mean
+/// seconds.
+pub fn time_secs(runs: usize, mut f: impl FnMut()) -> f64 {
+    f(); // warm-up
+    let t0 = Instant::now();
+    let runs = runs.max(1);
+    for _ in 0..runs {
+        f();
+    }
+    t0.elapsed().as_secs_f64() / runs as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_kind_parsing() {
+        assert_eq!(KernelKind::parse("gcn"), Some(KernelKind::GcnAggregation));
+        assert_eq!(KernelKind::parse("mlp"), Some(KernelKind::MlpAggregation));
+        assert_eq!(KernelKind::parse("dot"), Some(KernelKind::DotAttention));
+        assert_eq!(KernelKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn timing_returns_positive_mean() {
+        let t = time_secs(3, || {
+            std::hint::black_box((0..1000).sum::<usize>());
+        });
+        assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn load_respects_scale() {
+        let small = load(Dataset::OgbnProteins, 512);
+        let big = load(Dataset::OgbnProteins, 128);
+        assert!(big.num_vertices() > 2 * small.num_vertices());
+    }
+}

@@ -1,0 +1,655 @@
+//! CPU generalized SpMM template.
+
+use fg_graph::{Graph, PartitionedCsr};
+use fg_ir::interp::{eval_udf, EdgeCtx};
+use fg_ir::pattern::ElemOp;
+use fg_ir::{Fds, KernelPattern, Reducer, Udf};
+use fg_tensor::tile::{ColTile, ColTiles};
+use fg_tensor::Dense2;
+use rayon::prelude::*;
+
+use crate::error::KernelError;
+use crate::inputs::GraphTensors;
+use crate::util;
+use crate::RunStats;
+
+/// Template-level options for the CPU SpMM kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CpuSpmmOptions {
+    /// Number of 1D source-vertex partitions (1 disables partitioning).
+    pub graph_partitions: usize,
+    /// Worker threads (1 = single-threaded, as in Table III).
+    pub threads: usize,
+    /// LLC size assumed by [`CpuSpmmOptions::auto`].
+    pub llc_bytes: usize,
+}
+
+/// LLC of the paper's c5.9xlarge (25 MB); also a sane default elsewhere.
+pub const DEFAULT_LLC_BYTES: usize = 25 * 1024 * 1024;
+
+impl CpuSpmmOptions {
+    /// Heuristic defaults: partition count from the cache model
+    /// (`fg_graph::partition::partitions_for_cache`), all cores.
+    pub fn auto(graph: &Graph, udf: &Udf, fds: &Fds) -> Self {
+        let tile_cols = udf.src_len.max(udf.dst_len).max(1) / fds.feature_tiles.max(1);
+        let parts = fg_graph::partition::partitions_for_cache(
+            graph.num_vertices(),
+            tile_cols.max(1),
+            std::mem::size_of::<f32>(),
+            DEFAULT_LLC_BYTES,
+        );
+        Self {
+            graph_partitions: parts,
+            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            llc_bytes: DEFAULT_LLC_BYTES,
+        }
+    }
+
+    /// Single-threaded, explicit partition count (kernel benchmarks).
+    pub fn single_thread(graph_partitions: usize) -> Self {
+        Self {
+            graph_partitions: graph_partitions.max(1),
+            threads: 1,
+            llc_bytes: DEFAULT_LLC_BYTES,
+        }
+    }
+
+    /// Explicit thread and partition counts.
+    pub fn with_threads(graph_partitions: usize, threads: usize) -> Self {
+        Self {
+            graph_partitions: graph_partitions.max(1),
+            threads: threads.max(1),
+            llc_bytes: DEFAULT_LLC_BYTES,
+        }
+    }
+}
+
+/// A compiled CPU generalized-SpMM kernel.
+pub struct CpuSpmm {
+    udf: Udf,
+    agg: Reducer,
+    fds: Fds,
+    pattern: KernelPattern,
+    parts: PartitionedCsr,
+    degrees: Vec<u32>,
+    num_vertices: usize,
+    num_edges: usize,
+    pool: rayon::ThreadPool,
+}
+
+impl CpuSpmm {
+    /// Validate and build the execution plan (partitioned CSR, thread pool).
+    /// Plans are reused across runs, amortizing this cost over training
+    /// epochs exactly as the paper amortizes compilation (§IV-B).
+    pub fn compile(
+        graph: &Graph,
+        udf: &Udf,
+        agg: Reducer,
+        fds: &Fds,
+        opts: &CpuSpmmOptions,
+    ) -> Result<Self, KernelError> {
+        udf.validate()?;
+        if opts.graph_partitions == 0 {
+            return Err(KernelError::BadSchedule(
+                "graph_partitions must be >= 1".into(),
+            ));
+        }
+        let parts = PartitionedCsr::build(graph, opts.graph_partitions);
+        let degrees = (0..graph.num_vertices() as u32)
+            .map(|v| graph.in_degree(v) as u32)
+            .collect();
+        Ok(Self {
+            udf: udf.clone(),
+            agg,
+            fds: *fds,
+            pattern: KernelPattern::of(udf),
+            parts,
+            degrees,
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+            pool: util::pool(opts.threads),
+        })
+    }
+
+    /// The recognized kernel pattern (which fused fast path will run).
+    pub fn pattern(&self) -> KernelPattern {
+        self.pattern
+    }
+
+    /// Execute the kernel.
+    pub fn run(
+        &self,
+        inputs: &GraphTensors<'_, f32>,
+        out: &mut Dense2<f32>,
+    ) -> Result<RunStats, KernelError> {
+        inputs.validate(&self.udf, self.num_vertices, self.num_edges, out, self.num_vertices)?;
+        out.fill(self.agg.identity());
+
+        match self.pattern {
+            KernelPattern::CopySrc => self.run_elementwise(inputs, out, MsgKind::CopySrc),
+            KernelPattern::CopyEdge => self.run_elementwise(inputs, out, MsgKind::CopyEdge),
+            KernelPattern::SrcOpEdge(op) => {
+                self.run_elementwise(inputs, out, MsgKind::SrcOpEdge(op))
+            }
+            KernelPattern::SrcOpDst(op) => {
+                self.run_elementwise(inputs, out, MsgKind::SrcOpDst(op))
+            }
+            KernelPattern::SrcMulEdgeScalar => {
+                self.run_elementwise(inputs, out, MsgKind::SrcMulEdgeScalar)
+            }
+            KernelPattern::MlpSrcDst => self.run_mlp(inputs, out),
+            _ => self.run_generic(inputs, out),
+        }
+
+        // Finalize: mean division / zero-degree normalization.
+        let agg = self.agg;
+        let degrees = &self.degrees;
+        let cols = out.cols();
+        self.pool.install(|| {
+            out.as_mut_slice()
+                .par_chunks_mut(cols)
+                .enumerate()
+                .for_each(|(v, row)| {
+                    let deg = degrees[v] as usize;
+                    for o in row {
+                        *o = agg.finalize(*o, deg);
+                    }
+                });
+        });
+        Ok(RunStats::default())
+    }
+
+    /// Fused element-wise message kernels (copy/add/mul/sub of per-edge
+    /// operands) under graph partitioning + feature tiling.
+    fn run_elementwise(&self, inputs: &GraphTensors<'_, f32>, out: &mut Dense2<f32>, kind: MsgKind) {
+        let d = self.udf.out_len;
+        let x = inputs.vertex;
+        let xd = inputs.dst_tensor();
+        let xe = inputs.edge;
+        let agg = self.agg;
+        let band_rows = band_rows(self.num_vertices, self.pool.current_num_threads());
+
+        for tile in ColTiles::new(d, self.fds.feature_tiles) {
+            // Partitions are processed one at a time; every thread works on
+            // the same partition to keep its source rows hot in shared LLC.
+            for (_, seg, eids, _) in self.parts.iter() {
+                self.pool.install(|| {
+                    out.as_mut_slice()
+                        .par_chunks_mut(band_rows * d)
+                        .enumerate()
+                        .for_each(|(band, chunk)| {
+                            let dst0 = band * band_rows;
+                            for (local, orow) in chunk.chunks_mut(d).enumerate() {
+                                let dst = (dst0 + local) as u32;
+                                let srcs = seg.row(dst);
+                                if srcs.is_empty() {
+                                    continue;
+                                }
+                                let base = seg.row_start(dst);
+                                let ot = &mut orow[tile.range()];
+                                match kind {
+                                    MsgKind::CopySrc => {
+                                        for &src in srcs {
+                                            combine_rows(agg, ot, &x.row(src as usize)[tile.range()]);
+                                        }
+                                    }
+                                    MsgKind::CopyEdge => {
+                                        let xe = xe.expect("validated");
+                                        for i in 0..srcs.len() {
+                                            let eid = eids[base + i];
+                                            combine_rows(agg, ot, &xe.row(eid as usize)[tile.range()]);
+                                        }
+                                    }
+                                    MsgKind::SrcOpEdge(op) => {
+                                        let xe = xe.expect("validated");
+                                        for (i, &src) in srcs.iter().enumerate() {
+                                            let eid = eids[base + i];
+                                            combine_rows2(
+                                                agg,
+                                                op,
+                                                ot,
+                                                &x.row(src as usize)[tile.range()],
+                                                &xe.row(eid as usize)[tile.range()],
+                                            );
+                                        }
+                                    }
+                                    MsgKind::SrcMulEdgeScalar => {
+                                        let xe = xe.expect("validated");
+                                        for (i, &src) in srcs.iter().enumerate() {
+                                            let eid = eids[base + i];
+                                            let wscalar = xe.at(eid as usize, 0);
+                                            combine_scaled(
+                                                agg,
+                                                ot,
+                                                &x.row(src as usize)[tile.range()],
+                                                wscalar,
+                                            );
+                                        }
+                                    }
+                                    MsgKind::SrcOpDst(op) => {
+                                        let drow = &xd.row(dst as usize)[tile.range()];
+                                        for &src in srcs {
+                                            combine_rows2(
+                                                agg,
+                                                op,
+                                                ot,
+                                                &x.row(src as usize)[tile.range()],
+                                                drow,
+                                            );
+                                        }
+                                    }
+                                }
+                            }
+                        });
+                });
+            }
+        }
+    }
+
+    /// Fused MLP-aggregation kernel: `agg over edges of
+    /// relu((x[src] + x[dst]) × W)`, with both W axes tiled per the FDS
+    /// (Fig. 8).
+    fn run_mlp(&self, inputs: &GraphTensors<'_, f32>, out: &mut Dense2<f32>) {
+        let d1 = self.udf.red_len();
+        let d2 = self.udf.out_len;
+        let x = inputs.vertex;
+        let xd = inputs.dst_tensor();
+        let w = inputs.params[0];
+        let agg = self.agg;
+        let ktiles: Vec<ColTile> = ColTiles::new(d1, self.fds.reduce_tiles).collect();
+        let band_rows = band_rows(self.num_vertices, self.pool.current_num_threads());
+
+        for tile in ColTiles::new(d2, self.fds.feature_tiles) {
+            for (_, seg, _, _) in self.parts.iter() {
+                self.pool.install(|| {
+                    out.as_mut_slice()
+                        .par_chunks_mut(band_rows * d2)
+                        .enumerate()
+                        .for_each(|(band, chunk)| {
+                            let dst0 = band * band_rows;
+                            // Per-thread scratch, reused across the band.
+                            let mut tmp = vec![0.0f32; d1];
+                            let mut acc = vec![0.0f32; tile.len()];
+                            for (local, orow) in chunk.chunks_mut(d2).enumerate() {
+                                let dst = (dst0 + local) as u32;
+                                let srcs = seg.row(dst);
+                                if srcs.is_empty() {
+                                    continue;
+                                }
+                                let drow = xd.row(dst as usize);
+                                let ot = &mut orow[tile.range()];
+                                for &src in srcs {
+                                    let srow = x.row(src as usize);
+                                    for ((t, &a), &b) in
+                                        tmp.iter_mut().zip(srow).zip(drow)
+                                    {
+                                        *t = a + b;
+                                    }
+                                    acc.fill(0.0);
+                                    // k-tiled dense inner product into acc
+                                    for kt in &ktiles {
+                                        for k in kt.range() {
+                                            let tv = tmp[k];
+                                            let wrow = &w.row(k)[tile.range()];
+                                            for (a, &wv) in acc.iter_mut().zip(wrow) {
+                                                *a += tv * wv;
+                                            }
+                                        }
+                                    }
+                                    for (o, &a) in ot.iter_mut().zip(&acc) {
+                                        *o = agg.combine(*o, a.max(0.0));
+                                    }
+                                }
+                            }
+                        });
+                });
+            }
+        }
+    }
+
+    /// Interpreter fallback: correct for every expressible UDF. Runs
+    /// untiled (the interpreter evaluates whole output rows), but still
+    /// benefits from graph partitioning and parallel destination bands.
+    fn run_generic(&self, inputs: &GraphTensors<'_, f32>, out: &mut Dense2<f32>) {
+        let d = self.udf.out_len;
+        let x = inputs.vertex;
+        let xd = inputs.dst_tensor();
+        let xe = inputs.edge;
+        let params = inputs.params;
+        let udf = &self.udf;
+        let agg = self.agg;
+        let empty: [f32; 0] = [];
+        let band_rows = band_rows(self.num_vertices, self.pool.current_num_threads());
+
+        for (_, seg, eids, _) in self.parts.iter() {
+            self.pool.install(|| {
+                out.as_mut_slice()
+                    .par_chunks_mut(band_rows * d)
+                    .enumerate()
+                    .for_each(|(band, chunk)| {
+                        let dst0 = band * band_rows;
+                        for (local, orow) in chunk.chunks_mut(d).enumerate() {
+                            let dst = (dst0 + local) as u32;
+                            let srcs = seg.row(dst);
+                            let base = seg.row_start(dst);
+                            for (i, &src) in srcs.iter().enumerate() {
+                                let eid = eids[base + i];
+                                let ctx = EdgeCtx {
+                                    src: if udf.src_len > 0 { x.row(src as usize) } else { &empty },
+                                    dst: if udf.dst_len > 0 { xd.row(dst as usize) } else { &empty },
+                                    edge: match xe {
+                                        Some(e) if udf.edge_len > 0 => e.row(eid as usize),
+                                        _ => &empty,
+                                    },
+                                };
+                                eval_udf(udf, &ctx, params, orow, |slot, v| {
+                                    *slot = agg.combine(*slot, v)
+                                });
+                            }
+                        }
+                    });
+            });
+        }
+    }
+}
+
+/// Message kinds handled by the fused element-wise path.
+#[derive(Clone, Copy)]
+enum MsgKind {
+    CopySrc,
+    CopyEdge,
+    SrcOpEdge(ElemOp),
+    SrcOpDst(ElemOp),
+    SrcMulEdgeScalar,
+}
+
+#[inline(always)]
+fn combine_scaled(agg: Reducer, out: &mut [f32], src: &[f32], w: f32) {
+    match agg {
+        Reducer::Sum | Reducer::Mean => {
+            for (o, &v) in out.iter_mut().zip(src) {
+                *o += v * w;
+            }
+        }
+        Reducer::Max => {
+            for (o, &v) in out.iter_mut().zip(src) {
+                let m = v * w;
+                if m > *o {
+                    *o = m;
+                }
+            }
+        }
+        Reducer::Min => {
+            for (o, &v) in out.iter_mut().zip(src) {
+                let m = v * w;
+                if m < *o {
+                    *o = m;
+                }
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn combine_rows(agg: Reducer, out: &mut [f32], msg: &[f32]) {
+    match agg {
+        Reducer::Sum | Reducer::Mean => {
+            for (o, &m) in out.iter_mut().zip(msg) {
+                *o += m;
+            }
+        }
+        Reducer::Max => {
+            for (o, &m) in out.iter_mut().zip(msg) {
+                if m > *o {
+                    *o = m;
+                }
+            }
+        }
+        Reducer::Min => {
+            for (o, &m) in out.iter_mut().zip(msg) {
+                if m < *o {
+                    *o = m;
+                }
+            }
+        }
+    }
+}
+
+#[inline(always)]
+fn combine_rows2(agg: Reducer, op: ElemOp, out: &mut [f32], a: &[f32], b: &[f32]) {
+    macro_rules! go {
+        ($apply:expr) => {
+            match agg {
+                Reducer::Sum | Reducer::Mean => {
+                    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                        *o += $apply(x, y);
+                    }
+                }
+                Reducer::Max => {
+                    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                        let m = $apply(x, y);
+                        if m > *o {
+                            *o = m;
+                        }
+                    }
+                }
+                Reducer::Min => {
+                    for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                        let m = $apply(x, y);
+                        if m < *o {
+                            *o = m;
+                        }
+                    }
+                }
+            }
+        };
+    }
+    match op {
+        ElemOp::Add => go!(|x: f32, y: f32| x + y),
+        ElemOp::Mul => go!(|x: f32, y: f32| x * y),
+        ElemOp::Sub => go!(|x: f32, y: f32| x - y),
+    }
+}
+
+/// Rows per parallel band: a few bands per thread for load balance.
+fn band_rows(n: usize, threads: usize) -> usize {
+    n.div_ceil(threads.max(1) * 4).max(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::reference::spmm_reference;
+    use fg_graph::generators;
+
+    fn check_against_reference(
+        g: &Graph,
+        udf: &Udf,
+        agg: Reducer,
+        inputs: &GraphTensors<'_, f32>,
+        fds: &Fds,
+        opts: &CpuSpmmOptions,
+    ) {
+        let k = CpuSpmm::compile(g, udf, agg, fds, opts).unwrap();
+        let mut out = Dense2::zeros(g.num_vertices(), udf.out_len);
+        k.run(inputs, &mut out).unwrap();
+        let mut want = Dense2::zeros(g.num_vertices(), udf.out_len);
+        spmm_reference(g, udf, agg, inputs, &mut want).unwrap();
+        assert!(
+            out.approx_eq(&want, 1e-4),
+            "mismatch: max diff {} (pattern {:?}, fds {fds:?}, opts {opts:?})",
+            out.max_abs_diff(&want),
+            k.pattern()
+        );
+    }
+
+    fn features(n: usize, d: usize) -> Dense2<f32> {
+        Dense2::from_fn(n, d, |v, i| ((v * 31 + i * 7) % 23) as f32 * 0.25 - 2.0)
+    }
+
+    #[test]
+    fn copy_src_sum_all_schedules() {
+        let g = generators::uniform(200, 6, 5);
+        let x = features(200, 32);
+        let inputs = GraphTensors::vertex_only(&x);
+        let udf = Udf::copy_src(32);
+        for parts in [1, 4, 7] {
+            for tiles in [1, 2, 5] {
+                for threads in [1, 3] {
+                    check_against_reference(
+                        &g,
+                        &udf,
+                        Reducer::Sum,
+                        &inputs,
+                        &Fds::cpu_tiled(tiles),
+                        &CpuSpmmOptions::with_threads(parts, threads),
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn copy_src_max_and_mean() {
+        let g = generators::uniform(150, 5, 9);
+        let x = features(150, 16);
+        let inputs = GraphTensors::vertex_only(&x);
+        let udf = Udf::copy_src(16);
+        for agg in [Reducer::Max, Reducer::Mean, Reducer::Min] {
+            check_against_reference(
+                &g,
+                &udf,
+                agg,
+                &inputs,
+                &Fds::cpu_tiled(3),
+                &CpuSpmmOptions::with_threads(4, 2),
+            );
+        }
+    }
+
+    #[test]
+    fn zero_degree_vertices_finalize_to_zero() {
+        // vertex 0 has no in-edges
+        let g = Graph::from_edges(3, &[(0, 1), (1, 2)]);
+        let x = Dense2::from_fn(3, 4, |_, _| -3.0f32);
+        let udf = Udf::copy_src(4);
+        let k = CpuSpmm::compile(&g, &udf, Reducer::Max, &Fds::default(), &CpuSpmmOptions::single_thread(1)).unwrap();
+        let mut out = Dense2::zeros(3, 4);
+        k.run(&GraphTensors::vertex_only(&x), &mut out).unwrap();
+        assert_eq!(out.row(0), &[0.0; 4]);
+        assert_eq!(out.row(1), &[-3.0; 4]);
+    }
+
+    #[test]
+    fn src_op_dst_and_edge_kernels() {
+        let g = generators::uniform(120, 4, 2);
+        let x = features(120, 8);
+        let xe = features(g.num_edges(), 8);
+        let inputs = GraphTensors {
+            vertex: &x,
+            vertex_dst: None,
+            edge: Some(&xe),
+            params: &[],
+        };
+        for udf in [
+            Udf::src_add_dst(8),
+            Udf::src_mul_edge(8),
+            Udf::copy_edge(8),
+        ] {
+            check_against_reference(
+                &g,
+                &udf,
+                Reducer::Sum,
+                &inputs,
+                &Fds::cpu_tiled(2),
+                &CpuSpmmOptions::with_threads(3, 2),
+            );
+        }
+    }
+
+    #[test]
+    fn mlp_aggregation_matches_reference() {
+        let g = generators::uniform(80, 4, 7);
+        let x = features(80, 8);
+        let w = Dense2::from_fn(8, 12, |r, c| ((r * 5 + c * 3) % 11) as f32 * 0.1 - 0.5);
+        let params = [&w];
+        let inputs = GraphTensors::with_params(&x, &params);
+        let udf = Udf::mlp(8, 12);
+        for (ft, rt) in [(1, 1), (3, 2), (4, 4)] {
+            check_against_reference(
+                &g,
+                &udf,
+                Reducer::Max,
+                &inputs,
+                &Fds::cpu_tiled2(ft, rt),
+                &CpuSpmmOptions::with_threads(2, 2),
+            );
+        }
+    }
+
+    #[test]
+    fn generic_fallback_handles_novel_udf() {
+        use fg_ir::ScalarExpr;
+        let g = generators::uniform(60, 3, 4);
+        let x = features(60, 6);
+        let inputs = GraphTensors::vertex_only(&x);
+        // exp(src - dst) * 0.5 : not a recognized pattern
+        let udf = Udf {
+            out_len: 6,
+            src_len: 6,
+            dst_len: 6,
+            edge_len: 0,
+            reduce: None,
+            params: vec![],
+            body: ScalarExpr::Exp(Box::new(ScalarExpr::src_i().sub(ScalarExpr::dst_i())))
+                .mul(ScalarExpr::Const(0.5)),
+            post_relu: false,
+        };
+        let k = CpuSpmm::compile(&g, &udf, Reducer::Sum, &Fds::default(), &CpuSpmmOptions::single_thread(2)).unwrap();
+        assert_eq!(k.pattern(), KernelPattern::Generic);
+        check_against_reference(
+            &g,
+            &udf,
+            Reducer::Sum,
+            &inputs,
+            &Fds::default(),
+            &CpuSpmmOptions::with_threads(2, 2),
+        );
+    }
+
+    #[test]
+    fn rejects_bad_inputs_at_run_time() {
+        let g = generators::uniform(10, 2, 1);
+        let udf = Udf::copy_src(8);
+        let k = CpuSpmm::compile(&g, &udf, Reducer::Sum, &Fds::default(), &CpuSpmmOptions::single_thread(1)).unwrap();
+        let x = Dense2::zeros(10, 4); // too narrow
+        let mut out = Dense2::zeros(10, 8);
+        assert!(k.run(&GraphTensors::vertex_only(&x), &mut out).is_err());
+    }
+
+    #[test]
+    fn rejects_zero_partitions_at_compile_time() {
+        let g = generators::uniform(10, 2, 1);
+        let udf = Udf::copy_src(4);
+        let opts = CpuSpmmOptions {
+            graph_partitions: 0,
+            threads: 1,
+            llc_bytes: DEFAULT_LLC_BYTES,
+        };
+        assert!(matches!(
+            CpuSpmm::compile(&g, &udf, Reducer::Sum, &Fds::default(), &opts),
+            Err(KernelError::BadSchedule(_))
+        ));
+    }
+
+    #[test]
+    fn auto_options_pick_more_partitions_for_wider_features() {
+        let g = generators::uniform(50_000, 2, 3);
+        let narrow = CpuSpmmOptions::auto(&g, &Udf::copy_src(8), &Fds::default());
+        let wide = CpuSpmmOptions::auto(&g, &Udf::copy_src(2048), &Fds::default());
+        assert!(wide.graph_partitions > narrow.graph_partitions);
+        // tiling reduces the needed partition count
+        let tiled = CpuSpmmOptions::auto(&g, &Udf::copy_src(2048), &Fds::cpu_tiled(8));
+        assert!(tiled.graph_partitions < wide.graph_partitions);
+    }
+}

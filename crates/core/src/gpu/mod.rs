@@ -1,0 +1,15 @@
+//! GPU kernel templates, executed on the [`fg_gpusim`] V100 model.
+//!
+//! Template-level optimizations (§III-C2/3):
+//! * **SpMM** — vertex parallelization: each block processes a chunk of
+//!   destination rows; the FDS binds the feature dimension to `thread.x`
+//!   (Fig. 7a), giving divergence-free, coalesced execution. Optional
+//!   **hybrid partitioning** stages high-out-degree source rows in shared
+//!   memory (§III-C3, Fig. 13).
+//! * **SDDMM** — edge parallelization: each block processes a chunk of
+//!   edges; the FDS chooses between a cooperative **tree reduction** across
+//!   `thread.x` (Fig. 7b) and a register-heavy serial dot per thread
+//!   (the Fig. 12 ablation).
+
+pub mod sddmm;
+pub mod spmm;

@@ -1,0 +1,226 @@
+//! Kernel input bundles and shape validation.
+
+use fg_ir::Udf;
+use fg_tensor::{Dense2, Scalar};
+
+use crate::error::KernelError;
+
+/// The tensors a kernel reads: the vertex feature matrix `X_V`, an optional
+/// edge feature matrix `X_E` (row `eid` is the edge's feature), and the UDF's
+/// parameter matrices (e.g. MLP weights), in declaration order.
+#[derive(Clone, Copy)]
+pub struct GraphTensors<'a, S> {
+    /// Vertex features read by `Src(...)` leaves, `|V| × d_v`.
+    pub vertex: &'a Dense2<S>,
+    /// Vertex features read by `Dst(...)` leaves. `None` means destination
+    /// reads come from `vertex` too (the paper's single-`X_V` interface);
+    /// gradient kernels set it to a different tensor (e.g. `∂L/∂H`).
+    pub vertex_dst: Option<&'a Dense2<S>>,
+    /// Edge features, `|E| × d_e` (canonical edge order).
+    pub edge: Option<&'a Dense2<S>>,
+    /// Parameter matrices in UDF declaration order.
+    pub params: &'a [&'a Dense2<S>],
+}
+
+impl<'a, S: Scalar> GraphTensors<'a, S> {
+    /// Inputs with vertex features only (most kernels).
+    pub fn vertex_only(vertex: &'a Dense2<S>) -> Self {
+        Self {
+            vertex,
+            vertex_dst: None,
+            edge: None,
+            params: &[],
+        }
+    }
+
+    /// Inputs with vertex features and parameters.
+    pub fn with_params(vertex: &'a Dense2<S>, params: &'a [&'a Dense2<S>]) -> Self {
+        Self {
+            vertex,
+            vertex_dst: None,
+            edge: None,
+            params,
+        }
+    }
+
+    /// Inputs with vertex and edge features.
+    pub fn with_edge(vertex: &'a Dense2<S>, edge: &'a Dense2<S>) -> Self {
+        Self {
+            vertex,
+            vertex_dst: None,
+            edge: Some(edge),
+            params: &[],
+        }
+    }
+
+    /// Inputs with distinct source-side and destination-side vertex tensors
+    /// (gradient kernels: grad(SpMM) is an SDDMM over `x` and `∂L/∂H`).
+    pub fn src_dst(vertex: &'a Dense2<S>, vertex_dst: &'a Dense2<S>) -> Self {
+        Self {
+            vertex,
+            vertex_dst: Some(vertex_dst),
+            edge: None,
+            params: &[],
+        }
+    }
+
+    /// The tensor `Dst(...)` leaves read.
+    pub fn dst_tensor(&self) -> &'a Dense2<S> {
+        self.vertex_dst.unwrap_or(self.vertex)
+    }
+
+    /// Validate shapes against a UDF and graph sizes; `out_rows` is `|V|` for
+    /// SpMM and `|E|` for SDDMM.
+    pub fn validate(
+        &self,
+        udf: &Udf,
+        num_vertices: usize,
+        num_edges: usize,
+        out: &Dense2<S>,
+        out_rows: usize,
+    ) -> Result<(), KernelError> {
+        let needs_src = udf.src_len > 0 && udf.body.reads_src();
+        let needs_dst = udf.dst_len > 0 && udf.body.reads_dst();
+        if needs_src || (needs_dst && self.vertex_dst.is_none()) {
+            let want_cols = if needs_src { udf.src_len } else { udf.dst_len };
+            if self.vertex.rows() != num_vertices || self.vertex.cols() < want_cols {
+                return Err(KernelError::Shape {
+                    what: "vertex".into(),
+                    expected: (num_vertices, want_cols),
+                    got: self.vertex.shape(),
+                });
+            }
+        }
+        if needs_dst {
+            let xd = self.dst_tensor();
+            if xd.rows() != num_vertices || xd.cols() < udf.dst_len {
+                return Err(KernelError::Shape {
+                    what: "vertex_dst".into(),
+                    expected: (num_vertices, udf.dst_len),
+                    got: xd.shape(),
+                });
+            }
+        }
+        if udf.edge_len > 0 && udf.body.reads_edge() {
+            let Some(e) = self.edge else {
+                return Err(KernelError::MissingInput { what: "edge" });
+            };
+            if e.rows() != num_edges || e.cols() < udf.edge_len {
+                return Err(KernelError::Shape {
+                    what: "edge".into(),
+                    expected: (num_edges, udf.edge_len),
+                    got: e.shape(),
+                });
+            }
+        }
+        if self.params.len() != udf.params.len() {
+            return Err(KernelError::ParamCount {
+                expected: udf.params.len(),
+                got: self.params.len(),
+            });
+        }
+        for (k, (&p, shape)) in self.params.iter().zip(&udf.params).enumerate() {
+            if p.shape() != (shape.rows, shape.cols) {
+                return Err(KernelError::Shape {
+                    what: format!("param {k}"),
+                    expected: (shape.rows, shape.cols),
+                    got: p.shape(),
+                });
+            }
+        }
+        if out.shape() != (out_rows, udf.out_len) {
+            return Err(KernelError::Shape {
+                what: "out".into(),
+                expected: (out_rows, udf.out_len),
+                got: out.shape(),
+            });
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_ir::Udf;
+
+    #[test]
+    fn valid_inputs_pass() {
+        let x = Dense2::<f32>::zeros(10, 16);
+        let out = Dense2::<f32>::zeros(10, 16);
+        let udf = Udf::copy_src(16);
+        GraphTensors::vertex_only(&x)
+            .validate(&udf, 10, 40, &out, 10)
+            .unwrap();
+    }
+
+    #[test]
+    fn wrong_vertex_shape_rejected() {
+        let x = Dense2::<f32>::zeros(10, 8);
+        let out = Dense2::<f32>::zeros(10, 16);
+        let udf = Udf::copy_src(16);
+        let err = GraphTensors::vertex_only(&x)
+            .validate(&udf, 10, 40, &out, 10)
+            .unwrap_err();
+        assert!(matches!(err, KernelError::Shape { .. }));
+    }
+
+    #[test]
+    fn missing_edge_tensor_rejected() {
+        let x = Dense2::<f32>::zeros(10, 16);
+        let out = Dense2::<f32>::zeros(10, 16);
+        let udf = Udf::src_mul_edge(16);
+        let err = GraphTensors::vertex_only(&x)
+            .validate(&udf, 10, 40, &out, 10)
+            .unwrap_err();
+        assert_eq!(err, KernelError::MissingInput { what: "edge" });
+    }
+
+    #[test]
+    fn edge_tensor_row_count_must_match_edges() {
+        let x = Dense2::<f32>::zeros(10, 16);
+        let e = Dense2::<f32>::zeros(39, 16);
+        let out = Dense2::<f32>::zeros(10, 16);
+        let udf = Udf::src_mul_edge(16);
+        let err = GraphTensors::with_edge(&x, &e)
+            .validate(&udf, 10, 40, &out, 10)
+            .unwrap_err();
+        assert!(matches!(err, KernelError::Shape { .. }));
+    }
+
+    #[test]
+    fn param_count_and_shape_checked() {
+        let x = Dense2::<f32>::zeros(10, 8);
+        let out = Dense2::<f32>::zeros(10, 4);
+        let udf = Udf::mlp(8, 4);
+        // missing param
+        let err = GraphTensors::vertex_only(&x)
+            .validate(&udf, 10, 40, &out, 10)
+            .unwrap_err();
+        assert_eq!(err, KernelError::ParamCount { expected: 1, got: 0 });
+        // wrong shape param
+        let w = Dense2::<f32>::zeros(8, 5);
+        let params = [&w];
+        let err = GraphTensors::with_params(&x, &params)
+            .validate(&udf, 10, 40, &out, 10)
+            .unwrap_err();
+        assert!(matches!(err, KernelError::Shape { .. }));
+        // correct
+        let w = Dense2::<f32>::zeros(8, 4);
+        let params = [&w];
+        GraphTensors::with_params(&x, &params)
+            .validate(&udf, 10, 40, &out, 10)
+            .unwrap();
+    }
+
+    #[test]
+    fn out_shape_checked_for_sddmm_rows() {
+        let x = Dense2::<f32>::zeros(10, 16);
+        let out = Dense2::<f32>::zeros(10, 1); // should be |E| rows
+        let udf = Udf::dot(16);
+        let err = GraphTensors::vertex_only(&x)
+            .validate(&udf, 10, 40, &out, 40)
+            .unwrap_err();
+        assert!(matches!(err, KernelError::Shape { .. }));
+    }
+}

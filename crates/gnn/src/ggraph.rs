@@ -1,0 +1,132 @@
+//! Graph wrapper with the reverse orientation and edge-ID mappings that
+//! backpropagation through message passing needs.
+
+use fg_graph::{EId, Graph};
+use fg_tensor::Dense2;
+
+/// A graph prepared for GNN training: the forward graph, its reverse (every
+/// edge flipped), and the mapping between their canonical edge IDs.
+///
+/// Backward passes aggregate along reversed edges (e.g. `∂L/∂x[u] = Σ_{u→v}
+/// w_e · ∂L/∂h[v]`), which is exactly a forward aggregation on the reverse
+/// graph with edge features permuted into its canonical order.
+#[derive(Debug, Clone)]
+pub struct GnnGraph {
+    fwd: Graph,
+    rev: Graph,
+    /// `rev_eids[k]` = forward edge ID of the reverse graph's edge `k`.
+    rev_eids: Vec<EId>,
+    in_degrees: Vec<u32>,
+}
+
+impl GnnGraph {
+    /// Prepare a graph for training.
+    pub fn new(fwd: Graph) -> Self {
+        // The reverse graph's canonical (dst-major) order sorts by
+        // (rev dst, rev src) = (fwd src, fwd dst) — exactly the forward
+        // graph's out-CSR order, whose positions map to forward edge IDs
+        // via `out_eids`.
+        let rev_edges: Vec<(u32, u32)> = fwd.edge_list().iter().map(|&(s, d)| (d, s)).collect();
+        let rev = Graph::from_edges(fwd.num_vertices(), &rev_edges);
+        let rev_eids = fwd.out_eids().to_vec();
+        debug_assert_eq!(rev.num_edges(), fwd.num_edges());
+        let in_degrees = (0..fwd.num_vertices() as u32)
+            .map(|v| fwd.in_degree(v) as u32)
+            .collect();
+        Self {
+            fwd,
+            rev,
+            rev_eids,
+            in_degrees,
+        }
+    }
+
+    /// The forward graph.
+    pub fn fwd(&self) -> &Graph {
+        &self.fwd
+    }
+
+    /// The reverse graph.
+    pub fn rev(&self) -> &Graph {
+        &self.rev
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.fwd.num_vertices()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.fwd.num_edges()
+    }
+
+    /// Forward in-degrees (used by mean aggregation).
+    pub fn in_degrees(&self) -> &[u32] {
+        &self.in_degrees
+    }
+
+    /// Map of reverse canonical edge IDs to forward edge IDs.
+    pub fn rev_eids(&self) -> &[EId] {
+        &self.rev_eids
+    }
+
+    /// Permute a forward-edge-ordered tensor into reverse canonical order.
+    pub fn edge_rows_to_rev(&self, fwd_rows: &Dense2<f32>) -> Dense2<f32> {
+        assert_eq!(fwd_rows.rows(), self.num_edges(), "edge tensor rows");
+        let mut out = Dense2::zeros(fwd_rows.rows(), fwd_rows.cols());
+        for (k, &fid) in self.rev_eids.iter().enumerate() {
+            out.row_mut(k).copy_from_slice(fwd_rows.row(fid as usize));
+        }
+        out
+    }
+
+    /// Permute a reverse-edge-ordered tensor back into forward order.
+    pub fn edge_rows_to_fwd(&self, rev_rows: &Dense2<f32>) -> Dense2<f32> {
+        assert_eq!(rev_rows.rows(), self.num_edges(), "edge tensor rows");
+        let mut out = Dense2::zeros(rev_rows.rows(), rev_rows.cols());
+        for (k, &fid) in self.rev_eids.iter().enumerate() {
+            out.row_mut(fid as usize).copy_from_slice(rev_rows.row(k));
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::generators;
+
+    #[test]
+    fn reverse_graph_flips_edges() {
+        let g = GnnGraph::new(Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]));
+        assert!(g.rev().in_csr().contains(0, 1)); // fwd 0->1 becomes rev 1->0
+        assert_eq!(g.rev().num_edges(), 3);
+    }
+
+    #[test]
+    fn rev_eids_map_to_same_underlying_edge() {
+        let g = GnnGraph::new(generators::uniform(80, 4, 3));
+        let fwd_edges = g.fwd().edge_list();
+        for (k, (rsrc, rdst, _)) in g.rev().edges().enumerate() {
+            let fid = g.rev_eids()[k] as usize;
+            assert_eq!(fwd_edges[fid], (rdst, rsrc), "rev edge {k}");
+        }
+    }
+
+    #[test]
+    fn edge_permutations_round_trip() {
+        let g = GnnGraph::new(generators::uniform(50, 3, 9));
+        let m = g.num_edges();
+        let e = Dense2::from_fn(m, 2, |r, c| (r * 2 + c) as f32);
+        let rev = g.edge_rows_to_rev(&e);
+        let back = g.edge_rows_to_fwd(&rev);
+        assert!(back.approx_eq(&e, 0.0));
+    }
+
+    #[test]
+    fn degrees_match_graph() {
+        let g = GnnGraph::new(Graph::from_edges(3, &[(0, 2), (1, 2)]));
+        assert_eq!(g.in_degrees(), &[0, 0, 2]);
+    }
+}

@@ -1,0 +1,34 @@
+//! # fg-gnn — "minidgl"
+//!
+//! A miniature GNN framework in the architectural position of DGL: message
+//! passing API, reverse-mode autograd, NN modules, and — the point of the
+//! exercise — **interchangeable message-passing backends**:
+//!
+//! * [`backend::NaiveBackend`] — what DGL does *without* FeatGraph: per-edge
+//!   messages are **materialized** into an `|E| × d` tensor through dense
+//!   operations, then segment-reduced. Correct, simple, memory-hungry.
+//! * [`backend::FeatgraphBackend`] — fused generalized SpMM/SDDMM kernels
+//!   from the `featgraph` crate; no message materialization.
+//!
+//! The end-to-end experiment of the paper (§V-E, Table VI) is precisely the
+//! swap of these two backends under identical models, which this crate's
+//! [`trainer`] reproduces. Autograd exploits the paper's §II-A observation:
+//! the gradient of a generalized SpMM is a generalized SDDMM and vice versa
+//! — see the `Op::Spmm` backward in [`tape`].
+//!
+//! Models ([`models`]): 2-layer GCN, GraphSage, and GAT, matching §V-E's
+//! configurations (hidden sizes scaled by the harness).
+
+pub mod backend;
+pub mod checkpoint;
+pub mod data;
+pub mod ggraph;
+pub mod loss;
+pub mod models;
+pub mod nn;
+pub mod tape;
+pub mod trainer;
+
+pub use backend::{FeatgraphBackend, GraphBackend, NaiveBackend};
+pub use ggraph::GnnGraph;
+pub use tape::{Tape, Var};

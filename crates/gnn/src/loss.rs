@@ -1,0 +1,129 @@
+//! Softmax cross-entropy loss and accuracy, with row masks for the
+//! train/validation/test splits.
+
+use fg_tensor::Dense2;
+
+/// Masked softmax cross-entropy.
+///
+/// Returns `(mean_loss, grad_logits)` where the gradient is zero outside the
+/// mask and `(softmax - onehot) / |mask|` inside.
+pub fn softmax_cross_entropy(
+    logits: &Dense2<f32>,
+    labels: &[u32],
+    mask: &[bool],
+) -> (f64, Dense2<f32>) {
+    let (n, c) = logits.shape();
+    assert_eq!(labels.len(), n, "labels length");
+    assert_eq!(mask.len(), n, "mask length");
+    let count = mask.iter().filter(|&&b| b).count().max(1) as f64;
+    let mut grad = Dense2::zeros(n, c);
+    let mut loss = 0.0f64;
+    for r in 0..n {
+        if !mask[r] {
+            continue;
+        }
+        let row = logits.row(r);
+        let mx = row.iter().copied().fold(f32::MIN, f32::max);
+        let mut sum = 0.0f64;
+        for &v in row {
+            sum += ((v - mx) as f64).exp();
+        }
+        let label = labels[r] as usize;
+        assert!(label < c, "label out of range");
+        let logp = (row[label] - mx) as f64 - sum.ln();
+        loss -= logp;
+        let grow = grad.row_mut(r);
+        for (j, g) in grow.iter_mut().enumerate() {
+            let p = ((row[j] - mx) as f64).exp() / sum;
+            let y = if j == label { 1.0 } else { 0.0 };
+            *g = ((p - y) / count) as f32;
+        }
+    }
+    (loss / count, grad)
+}
+
+/// Fraction of masked rows whose argmax equals the label.
+pub fn accuracy(logits: &Dense2<f32>, labels: &[u32], mask: &[bool]) -> f64 {
+    let n = logits.rows();
+    let mut correct = 0usize;
+    let mut total = 0usize;
+    for r in 0..n {
+        if !mask[r] {
+            continue;
+        }
+        total += 1;
+        let row = logits.row(r);
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.total_cmp(b.1))
+            .map(|(i, _)| i)
+            .unwrap_or(0);
+        if pred == labels[r] as usize {
+            correct += 1;
+        }
+    }
+    if total == 0 {
+        0.0
+    } else {
+        correct as f64 / total as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn loss_is_low_when_confidently_correct() {
+        let logits = Dense2::from_vec(2, 2, vec![10.0, -10.0, -10.0, 10.0]).unwrap();
+        let labels = [0u32, 1];
+        let mask = [true, true];
+        let (loss, grad) = softmax_cross_entropy(&logits, &labels, &mask);
+        assert!(loss < 1e-6, "loss {loss}");
+        assert!(grad.as_slice().iter().all(|&g| g.abs() < 1e-6));
+    }
+
+    #[test]
+    fn gradient_matches_finite_difference() {
+        let logits = Dense2::from_vec(2, 3, vec![0.5, -0.2, 0.1, 1.0, 0.0, -1.0]).unwrap();
+        let labels = [2u32, 0];
+        let mask = [true, true];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels, &mask);
+        let eps = 1e-3f32;
+        for r in 0..2 {
+            for c in 0..3 {
+                let mut hi = logits.clone();
+                hi.set(r, c, hi.at(r, c) + eps);
+                let mut lo = logits.clone();
+                lo.set(r, c, lo.at(r, c) - eps);
+                let (lh, _) = softmax_cross_entropy(&hi, &labels, &mask);
+                let (ll, _) = softmax_cross_entropy(&lo, &labels, &mask);
+                let fd = ((lh - ll) / (2.0 * eps as f64)) as f32;
+                assert!(
+                    (fd - grad.at(r, c)).abs() < 1e-3,
+                    "({r},{c}): fd {fd} vs {}",
+                    grad.at(r, c)
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn mask_excludes_rows() {
+        let logits = Dense2::from_vec(2, 2, vec![0.0, 5.0, 5.0, 0.0]).unwrap();
+        let labels = [0u32, 0];
+        let (_, grad) = softmax_cross_entropy(&logits, &labels, &[false, true]);
+        assert!(grad.row(0).iter().all(|&g| g == 0.0));
+        assert!(grad.row(1).iter().any(|&g| g != 0.0));
+    }
+
+    #[test]
+    fn accuracy_counts_masked_rows_only() {
+        let logits = Dense2::from_vec(3, 2, vec![1.0, 0.0, 0.0, 1.0, 1.0, 0.0]).unwrap();
+        let labels = [0u32, 1, 1];
+        assert_eq!(accuracy(&logits, &labels, &[true, true, true]), 2.0 / 3.0);
+        assert_eq!(accuracy(&logits, &labels, &[true, true, false]), 1.0);
+        assert_eq!(accuracy(&logits, &labels, &[false, false, false]), 0.0);
+    }
+}

@@ -1,0 +1,319 @@
+//! The three evaluation models of §V-E: 2-layer GCN, GraphSage, and GAT.
+
+
+use crate::nn::{init_rng, Param};
+use crate::tape::{Tape, Var};
+
+/// A trainable GNN model.
+pub trait Model {
+    /// Model name ("GCN", "GraphSage", "GAT").
+    fn name(&self) -> &'static str;
+
+    /// Mutable access to every parameter, in a stable order.
+    fn params(&mut self) -> Vec<&mut Param>;
+
+    /// Build the forward computation. Returns the logits node and the tape
+    /// vars of the parameters in the same order as [`Model::params`].
+    fn forward(&self, tape: &mut Tape<'_>, x: Var) -> (Var, Vec<Var>);
+}
+
+/// 2-layer graph convolutional network (Kipf & Welling): sum aggregation,
+/// `softmax(Â ReLU(Â X W₁) W₂)` (bias terms included; normalization by
+/// degree is folded into the aggregation choice).
+pub struct Gcn {
+    w1: Param,
+    b1: Param,
+    w2: Param,
+    b2: Param,
+}
+
+impl Gcn {
+    /// Build with Glorot initialization.
+    pub fn new(in_dim: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        let mut rng = init_rng(seed);
+        Self {
+            w1: Param::glorot(in_dim, hidden, &mut rng),
+            b1: Param::zeros(1, hidden),
+            w2: Param::glorot(hidden, classes, &mut rng),
+            b2: Param::zeros(1, classes),
+        }
+    }
+}
+
+impl Model for Gcn {
+    fn name(&self) -> &'static str {
+        "GCN"
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2]
+    }
+
+    fn forward(&self, tape: &mut Tape<'_>, x: Var) -> (Var, Vec<Var>) {
+        let w1 = tape.leaf(self.w1.value.clone());
+        let b1 = tape.leaf(self.b1.value.clone());
+        let w2 = tape.leaf(self.w2.value.clone());
+        let b2 = tape.leaf(self.b2.value.clone());
+        // layer 1: aggregate then transform (generalized SpMM is the hot op)
+        let agg1 = tape.mean_spmm(x);
+        let lin1 = tape.matmul(agg1, w1);
+        let pre1 = tape.add_bias(lin1, b1);
+        let h1 = tape.relu(pre1);
+        // layer 2
+        let agg2 = tape.mean_spmm(h1);
+        let lin2 = tape.matmul(agg2, w2);
+        let logits = tape.add_bias(lin2, b2);
+        (logits, vec![w1, b1, w2, b2])
+    }
+}
+
+/// 2-layer GraphSage (Hamilton et al.): self + mean-of-neighbors transforms.
+pub struct GraphSage {
+    ws1: Param,
+    wn1: Param,
+    b1: Param,
+    ws2: Param,
+    wn2: Param,
+    b2: Param,
+}
+
+impl GraphSage {
+    /// Build with Glorot initialization.
+    pub fn new(in_dim: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        let mut rng = init_rng(seed);
+        Self {
+            ws1: Param::glorot(in_dim, hidden, &mut rng),
+            wn1: Param::glorot(in_dim, hidden, &mut rng),
+            b1: Param::zeros(1, hidden),
+            ws2: Param::glorot(hidden, classes, &mut rng),
+            wn2: Param::glorot(hidden, classes, &mut rng),
+            b2: Param::zeros(1, classes),
+        }
+    }
+}
+
+impl Model for GraphSage {
+    fn name(&self) -> &'static str {
+        "GraphSage"
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        vec![
+            &mut self.ws1,
+            &mut self.wn1,
+            &mut self.b1,
+            &mut self.ws2,
+            &mut self.wn2,
+            &mut self.b2,
+        ]
+    }
+
+    fn forward(&self, tape: &mut Tape<'_>, x: Var) -> (Var, Vec<Var>) {
+        let ws1 = tape.leaf(self.ws1.value.clone());
+        let wn1 = tape.leaf(self.wn1.value.clone());
+        let b1 = tape.leaf(self.b1.value.clone());
+        let ws2 = tape.leaf(self.ws2.value.clone());
+        let wn2 = tape.leaf(self.wn2.value.clone());
+        let b2 = tape.leaf(self.b2.value.clone());
+
+        let layer = |tape: &mut Tape<'_>, h: Var, ws: Var, wn: Var, b: Var| {
+            let selfpart = tape.matmul(h, ws);
+            let agg = tape.mean_spmm(h);
+            let neighpart = tape.matmul(agg, wn);
+            let sum = tape.add(selfpart, neighpart);
+            tape.add_bias(sum, b)
+        };
+        let pre1 = layer(tape, x, ws1, wn1, b1);
+        let h1 = tape.relu(pre1);
+        let logits = layer(tape, h1, ws2, wn2, b2);
+        (logits, vec![ws1, wn1, b1, ws2, wn2, b2])
+    }
+}
+
+/// 2-layer graph attention network (Veličković et al.) with `heads`
+/// attention heads per layer (averaged, as GAT's output layer does).
+/// Attention scores use the additive form `LeakyReLU(aₗ·h_u + aᵣ·h_v)` —
+/// one SDDMM per head — normalized with edge softmax, then aggregated with
+/// an attention-weighted generalized SpMM. GAT therefore exercises both
+/// kernel families, as the paper notes (§V-E).
+pub struct Gat {
+    heads: usize,
+    /// Per-head `(W, a_l, a_r)` for layer 1, then layer 2.
+    layer1: Vec<(Param, Param, Param)>,
+    layer2: Vec<(Param, Param, Param)>,
+}
+
+impl Gat {
+    /// Single-head GAT (the configuration used in the Table VI harness).
+    pub fn new(in_dim: usize, hidden: usize, classes: usize, seed: u64) -> Self {
+        Self::with_heads(in_dim, hidden, classes, 1, seed)
+    }
+
+    /// Multi-head GAT; head outputs are averaged per layer.
+    pub fn with_heads(
+        in_dim: usize,
+        hidden: usize,
+        classes: usize,
+        heads: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(heads >= 1, "at least one attention head");
+        let mut rng = init_rng(seed);
+        let mut mk = |ind: usize, outd: usize| {
+            (
+                Param::glorot(ind, outd, &mut rng),
+                Param::glorot(outd, 1, &mut rng),
+                Param::glorot(outd, 1, &mut rng),
+            )
+        };
+        Self {
+            heads,
+            layer1: (0..heads).map(|_| mk(in_dim, hidden)).collect(),
+            layer2: (0..heads).map(|_| mk(hidden, classes)).collect(),
+        }
+    }
+
+    /// Number of attention heads per layer.
+    pub fn num_heads(&self) -> usize {
+        self.heads
+    }
+}
+
+impl Model for Gat {
+    fn name(&self) -> &'static str {
+        "GAT"
+    }
+
+    fn params(&mut self) -> Vec<&mut Param> {
+        self.layer1
+            .iter_mut()
+            .chain(self.layer2.iter_mut())
+            .flat_map(|(w, al, ar)| [w, al, ar])
+            .collect()
+    }
+
+    fn forward(&self, tape: &mut Tape<'_>, x: Var) -> (Var, Vec<Var>) {
+        let mut pvars = Vec::with_capacity(6 * self.heads);
+        let layer = |tape: &mut Tape<'_>,
+                         h: Var,
+                         heads: &[(Param, Param, Param)],
+                         pvars: &mut Vec<Var>| {
+            let mut acc: Option<Var> = None;
+            for (w, al, ar) in heads {
+                let w = tape.leaf(w.value.clone());
+                let al = tape.leaf(al.value.clone());
+                let ar = tape.leaf(ar.value.clone());
+                pvars.extend([w, al, ar]);
+                let hw = tape.matmul(h, w);
+                let sl = tape.matmul(hw, al); // n×1 source scores
+                let sr = tape.matmul(hw, ar); // n×1 destination scores
+                let e = tape.sddmm_add(sl, sr); // SDDMM: per-edge score
+                let e = tape.leaky_relu(e, 0.2);
+                let alpha = tape.edge_softmax(e);
+                let out = tape.spmm(hw, Some(alpha)); // attention-weighted SpMM
+                acc = Some(match acc {
+                    None => out,
+                    Some(prev) => tape.add(prev, out),
+                });
+            }
+            let summed = acc.expect("at least one head");
+            if heads.len() > 1 {
+                tape.scale(summed, 1.0 / heads.len() as f32)
+            } else {
+                summed
+            }
+        };
+        let pre1 = layer(tape, x, &self.layer1, &mut pvars);
+        let h1 = tape.relu(pre1);
+        let logits = layer(tape, h1, &self.layer2, &mut pvars);
+        (logits, pvars)
+    }
+}
+
+/// Convenience constructor by name.
+pub fn build_model(name: &str, in_dim: usize, hidden: usize, classes: usize, seed: u64) -> Box<dyn Model> {
+    match name {
+        "gcn" | "GCN" => Box::new(Gcn::new(in_dim, hidden, classes, seed)),
+        "graphsage" | "GraphSage" | "sage" => {
+            Box::new(GraphSage::new(in_dim, hidden, classes, seed))
+        }
+        "gat" | "GAT" => Box::new(Gat::new(in_dim, hidden, classes, seed)),
+        other => panic!("unknown model {other}"),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::FeatgraphBackend;
+    use crate::ggraph::GnnGraph;
+    use fg_graph::generators;
+    use fg_tensor::Dense2;
+
+    #[test]
+    fn forward_shapes() {
+        let g = GnnGraph::new(generators::uniform(40, 4, 3));
+        let backend = FeatgraphBackend::cpu(1);
+        let x0 = Dense2::from_fn(40, 6, |v, i| ((v + i) % 5) as f32 * 0.1);
+        for name in ["gcn", "graphsage", "gat"] {
+            let model = build_model(name, 6, 8, 3, 7);
+            let mut tape = Tape::new(&g, &backend, None);
+            let x = tape.leaf(x0.clone());
+            let (logits, pvars) = model.forward(&mut tape, x);
+            assert_eq!(tape.value(logits).shape(), (40, 3), "{name}");
+            assert!(!pvars.is_empty());
+            assert!(
+                tape.value(logits).as_slice().iter().all(|v| v.is_finite()),
+                "{name} produced non-finite logits"
+            );
+        }
+    }
+
+    #[test]
+    fn multi_head_gat_trains_shapes_and_params() {
+        let g = GnnGraph::new(generators::uniform(30, 4, 5));
+        let backend = FeatgraphBackend::cpu(1);
+        let x0 = Dense2::from_fn(30, 6, |v, i| ((v + i) % 5) as f32 * 0.1);
+        let mut gat = Gat::with_heads(6, 8, 3, 4, 2);
+        assert_eq!(gat.num_heads(), 4);
+        assert_eq!(gat.params().len(), 4 * 3 * 2);
+        let mut tape = Tape::new(&g, &backend, None);
+        let x = tape.leaf(x0);
+        let (logits, pvars) = gat.forward(&mut tape, x);
+        assert_eq!(tape.value(logits).shape(), (30, 3));
+        assert_eq!(pvars.len(), gat.params().len());
+        assert!(tape.value(logits).as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn single_head_gat_equals_multi_head_with_one_head() {
+        let g = GnnGraph::new(generators::uniform(25, 3, 9));
+        let backend = FeatgraphBackend::cpu(1);
+        let x0 = Dense2::from_fn(25, 4, |v, i| ((v * 3 + i) % 7) as f32 * 0.1);
+        let a = Gat::new(4, 6, 2, 11);
+        let b = Gat::with_heads(4, 6, 2, 1, 11);
+        let run = |m: &Gat| {
+            let mut tape = Tape::new(&g, &backend, None);
+            let x = tape.leaf(x0.clone());
+            let (logits, _) = m.forward(&mut tape, x);
+            tape.value(logits).clone()
+        };
+        assert!(run(&a).approx_eq(&run(&b), 0.0));
+    }
+
+    #[test]
+    fn param_counts() {
+        let mut gcn = Gcn::new(4, 8, 3, 1);
+        assert_eq!(gcn.params().len(), 4);
+        let mut sage = GraphSage::new(4, 8, 3, 1);
+        assert_eq!(sage.params().len(), 6);
+        let mut gat = Gat::new(4, 8, 3, 1);
+        assert_eq!(gat.params().len(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        let _ = build_model("transformer", 4, 8, 3, 1);
+    }
+}

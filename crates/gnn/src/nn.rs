@@ -1,0 +1,163 @@
+//! Parameters, initialization, and optimizers.
+
+use fg_tensor::Dense2;
+use rand::Rng;
+use rand::SeedableRng;
+use rand_pcg::Pcg64Mcg;
+
+/// A trainable parameter: value plus optimizer state.
+#[derive(Debug, Clone)]
+pub struct Param {
+    /// Current value.
+    pub value: Dense2<f32>,
+    m: Dense2<f32>,
+    v: Dense2<f32>,
+}
+
+impl Param {
+    /// Wrap an initial value.
+    pub fn new(value: Dense2<f32>) -> Self {
+        let (r, c) = value.shape();
+        Self {
+            value,
+            m: Dense2::zeros(r, c),
+            v: Dense2::zeros(r, c),
+        }
+    }
+
+    /// Glorot/Xavier-uniform initialization.
+    pub fn glorot(rows: usize, cols: usize, rng: &mut Pcg64Mcg) -> Self {
+        let bound = (6.0 / (rows + cols) as f64).sqrt() as f32;
+        let value = Dense2::from_fn(rows, cols, |_, _| rng.gen_range(-bound..bound));
+        Self::new(value)
+    }
+
+    /// Zero-initialized (biases).
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self::new(Dense2::zeros(rows, cols))
+    }
+}
+
+/// Deterministic RNG for parameter initialization.
+pub fn init_rng(seed: u64) -> Pcg64Mcg {
+    Pcg64Mcg::seed_from_u64(seed)
+}
+
+/// Optimizer choice.
+#[derive(Debug, Clone, Copy)]
+pub enum Optimizer {
+    /// Plain SGD.
+    Sgd {
+        /// Learning rate.
+        lr: f32,
+    },
+    /// Adam with the usual defaults.
+    Adam {
+        /// Learning rate.
+        lr: f32,
+        /// First-moment decay.
+        beta1: f32,
+        /// Second-moment decay.
+        beta2: f32,
+        /// Numerical floor.
+        eps: f32,
+    },
+}
+
+impl Optimizer {
+    /// Adam with standard hyperparameters.
+    pub fn adam(lr: f32) -> Self {
+        Optimizer::Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+        }
+    }
+
+    /// Apply one update to a parameter given its gradient. `step` is the
+    /// 1-based global step (for Adam bias correction).
+    pub fn update(&self, p: &mut Param, grad: &Dense2<f32>, step: usize) {
+        assert_eq!(p.value.shape(), grad.shape(), "gradient shape");
+        match *self {
+            Optimizer::Sgd { lr } => {
+                for (v, &g) in p.value.as_mut_slice().iter_mut().zip(grad.as_slice()) {
+                    *v -= lr * g;
+                }
+            }
+            Optimizer::Adam {
+                lr,
+                beta1,
+                beta2,
+                eps,
+            } => {
+                let t = step.max(1) as f32;
+                let bc1 = 1.0 - beta1.powf(t);
+                let bc2 = 1.0 - beta2.powf(t);
+                for (((v, m), s), &g) in p
+                    .value
+                    .as_mut_slice()
+                    .iter_mut()
+                    .zip(p.m.as_mut_slice())
+                    .zip(p.v.as_mut_slice())
+                    .zip(grad.as_slice())
+                {
+                    *m = beta1 * *m + (1.0 - beta1) * g;
+                    *s = beta2 * *s + (1.0 - beta2) * g * g;
+                    let mh = *m / bc1;
+                    let vh = *s / bc2;
+                    *v -= lr * mh / (vh.sqrt() + eps);
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn glorot_bounds_and_determinism() {
+        let mut r1 = init_rng(1);
+        let mut r2 = init_rng(1);
+        let a = Param::glorot(20, 30, &mut r1);
+        let b = Param::glorot(20, 30, &mut r2);
+        assert!(a.value.approx_eq(&b.value, 0.0));
+        let bound = (6.0 / 50.0f64).sqrt() as f32;
+        assert!(a.value.as_slice().iter().all(|&x| x.abs() <= bound));
+        // not all zero
+        assert!(a.value.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn sgd_descends_a_quadratic() {
+        // minimize (x - 3)^2; grad = 2(x-3)
+        let mut p = Param::new(Dense2::from_vec(1, 1, vec![0.0]).unwrap());
+        let opt = Optimizer::Sgd { lr: 0.1 };
+        for step in 1..=100 {
+            let g = Dense2::from_vec(1, 1, vec![2.0 * (p.value.at(0, 0) - 3.0)]).unwrap();
+            opt.update(&mut p, &g, step);
+        }
+        assert!((p.value.at(0, 0) - 3.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn adam_descends_a_quadratic() {
+        let mut p = Param::new(Dense2::from_vec(1, 1, vec![0.0]).unwrap());
+        let opt = Optimizer::adam(0.1);
+        for step in 1..=300 {
+            let g = Dense2::from_vec(1, 1, vec![2.0 * (p.value.at(0, 0) - 3.0)]).unwrap();
+            opt.update(&mut p, &g, step);
+        }
+        assert!((p.value.at(0, 0) - 3.0).abs() < 1e-2);
+    }
+
+    #[test]
+    #[should_panic(expected = "gradient shape")]
+    fn update_rejects_mismatched_grad() {
+        let mut p = Param::zeros(2, 2);
+        let g = Dense2::zeros(2, 3);
+        Optimizer::Sgd { lr: 0.1 }.update(&mut p, &g, 1);
+    }
+}

@@ -1,0 +1,357 @@
+//! Launch execution and the timing model.
+//!
+//! ## Timing model
+//!
+//! For each block `b` the simulator computes an *intra-block cycle cost*:
+//!
+//! ```text
+//! compute_b = max(alu_ops_b / fp32_lanes_per_sm, issue_ops_b / issue_rate)
+//! shared_b  = shared_accesses_b / shared_lanes_per_sm
+//! atomic_b  = atomic_ops_b · atomic_cycles
+//!           + atomic_conflicts_b · atomic_conflict_cycles
+//! sync_b    = barriers_b · 20
+//! block_b   = (max(compute_b, shared_b) + atomic_b + sync_b) · L
+//! ```
+//!
+//! where `L ≥ 1` is a latency-exposure factor: with fewer resident warps
+//! than `latency_hiding_warps`, throughput costs cannot be overlapped, so
+//! `L = latency_hiding_warps / resident_warps` (clamped at 1 from below).
+//! Resident warps come from the occupancy calculation
+//! ([`DeviceConfig::occupancy_blocks`]), which is where shared-memory
+//! footprint and register pressure bite.
+//!
+//! Blocks are assigned to SMs round-robin; each SM executes its blocks
+//! back-to-back. The launch is additionally bounded by device-wide memory
+//! bandwidth, *derated by how much load the grid can keep in flight*: HBM
+//! only saturates when enough SMs are active and enough warps are resident
+//! to cover the memory latency (this is the mechanism behind the paper's
+//! Fig. 12 register-pressure effect and Fig. 15 block-count sensitivity):
+//!
+//! ```text
+//! util   = min(1, (active_sms / num_sms) · (resident_warps / latency_hiding_warps))
+//! mem    = global_transactions · transaction_bytes / (global_bytes_per_cycle · util)
+//! total  = max(max_sm_cycles, mem) + launch_overhead
+//! ```
+//!
+//! Every term is a throughput bound a real GPU obeys to first order, which
+//! is the fidelity level the paper's relative comparisons require.
+
+use crate::ctx::BlockCtx;
+use crate::device::DeviceConfig;
+use crate::kernel::GpuKernel;
+use crate::tally::CostTally;
+
+/// Cycles charged per block-wide barrier.
+const BARRIER_CYCLES: f64 = 20.0;
+
+/// Result of simulating one kernel launch.
+#[derive(Debug, Clone)]
+pub struct LaunchReport {
+    /// Kernel name.
+    pub kernel: &'static str,
+    /// Total event counts across all blocks.
+    pub tally: CostTally,
+    /// Simulated execution time in core cycles.
+    pub cycles: f64,
+    /// Simulated execution time in milliseconds.
+    pub time_ms: f64,
+    /// Cycle cost of the busiest SM (compute-side bound).
+    pub sm_cycles: f64,
+    /// Device-wide memory-bandwidth cycle bound.
+    pub mem_cycles: f64,
+    /// Blocks resident per SM under the occupancy limits.
+    pub occupancy_blocks: usize,
+    /// Latency-exposure multiplier applied to block costs.
+    pub latency_factor: f64,
+    /// Number of blocks launched.
+    pub grid_dim: usize,
+}
+
+impl LaunchReport {
+    /// True when the launch was bound by memory bandwidth rather than SM
+    /// throughput.
+    pub fn memory_bound(&self) -> bool {
+        self.mem_cycles > self.sm_cycles
+    }
+}
+
+impl std::fmt::Display for LaunchReport {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        writeln!(
+            f,
+            "{}: {:.3} ms over {} blocks ({} bound)",
+            self.kernel,
+            self.time_ms,
+            self.grid_dim,
+            if self.memory_bound() { "memory" } else { "compute" }
+        )?;
+        writeln!(
+            f,
+            "  sm {:.0} / mem {:.0} cycles, occupancy {} blocks/SM, latency x{:.2}",
+            self.sm_cycles, self.mem_cycles, self.occupancy_blocks, self.latency_factor
+        )?;
+        let t = &self.tally;
+        write!(
+            f,
+            "  {} tx ({} B useful), {} alu, {} shared, {} atomics ({} conflicted), {} barriers",
+            t.global_transactions,
+            t.global_bytes,
+            t.alu_ops,
+            t.shared_accesses,
+            t.atomic_ops,
+            t.atomic_conflicts,
+            t.barriers
+        )
+    }
+}
+
+/// Execute a kernel functionally and price it with the timing model.
+pub fn launch<K: GpuKernel + ?Sized>(device: &DeviceConfig, kernel: &mut K) -> LaunchReport {
+    let grid = kernel.grid_dim();
+    let block_dim = kernel.block_dim();
+    assert!(block_dim > 0, "block_dim must be positive");
+    assert!(
+        block_dim <= device.max_threads_per_sm,
+        "block_dim {} exceeds device limit {}",
+        block_dim,
+        device.max_threads_per_sm
+    );
+
+    let occ = device
+        .occupancy_blocks(
+            block_dim,
+            kernel.shared_mem_bytes(),
+            kernel.regs_per_thread(),
+        )
+        .max(1);
+    let resident_warps = (occ * block_dim).div_ceil(device.warp_size).max(1);
+    let latency_factor = (device.latency_hiding_warps as f64 / resident_warps as f64).max(1.0);
+
+    let mut total = CostTally::default();
+    let mut sm_cycles = vec![0.0f64; device.num_sms];
+    for b in 0..grid {
+        let mut ctx = BlockCtx::new(device);
+        kernel.run_block(b, &mut ctx);
+        let t = ctx.into_tally();
+
+        let compute = (t.alu_ops as f64 / device.fp32_lanes_per_sm as f64)
+            .max(t.issue_ops as f64 / device.issue_rate);
+        let shared = t.shared_accesses as f64 / device.shared_lanes_per_sm as f64;
+        let atomics = t.atomic_ops as f64 * device.atomic_cycles
+            + t.atomic_conflicts as f64 * device.atomic_conflict_cycles;
+        let sync = t.barriers as f64 * BARRIER_CYCLES;
+        let block_cost = (compute.max(shared) + atomics + sync) * latency_factor;
+
+        sm_cycles[b % device.num_sms] += block_cost;
+        total.add(&t);
+    }
+
+    let max_sm = sm_cycles.iter().copied().fold(0.0, f64::max);
+    let active_sms = grid.min(device.num_sms).max(1);
+    let bw_util = ((active_sms as f64 / device.num_sms as f64)
+        * (resident_warps as f64 / device.latency_hiding_warps as f64))
+        .min(1.0);
+    let mem_cycles = total.global_transactions as f64 * device.transaction_bytes as f64
+        / (device.global_bytes_per_cycle * bw_util);
+    let cycles = max_sm.max(mem_cycles) + device.launch_overhead_cycles;
+
+    LaunchReport {
+        kernel: kernel.name(),
+        tally: total,
+        cycles,
+        time_ms: device.cycles_to_ms(cycles),
+        sm_cycles: max_sm,
+        mem_cycles,
+        occupancy_blocks: occ,
+        latency_factor,
+        grid_dim: grid,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A synthetic kernel whose per-block cost profile is directly settable.
+    struct Synthetic {
+        grid: usize,
+        block_dim: usize,
+        shared_bytes: usize,
+        regs: usize,
+        alu_per_block: u64,
+        tx_per_block: u64,
+        atomics_per_block: (u64, u64),
+    }
+
+    impl GpuKernel for Synthetic {
+        fn name(&self) -> &'static str {
+            "synthetic"
+        }
+        fn grid_dim(&self) -> usize {
+            self.grid
+        }
+        fn block_dim(&self) -> usize {
+            self.block_dim
+        }
+        fn shared_mem_bytes(&self) -> usize {
+            self.shared_bytes
+        }
+        fn regs_per_thread(&self) -> usize {
+            self.regs
+        }
+        fn run_block(&mut self, _b: usize, ctx: &mut BlockCtx<'_>) {
+            ctx.alu(self.alu_per_block);
+            for _ in 0..self.tx_per_block {
+                ctx.global_contiguous(0, 32, 4);
+            }
+            ctx.atomic(self.atomics_per_block.0, self.atomics_per_block.1);
+        }
+    }
+
+    fn base() -> Synthetic {
+        Synthetic {
+            grid: 160,
+            block_dim: 256,
+            shared_bytes: 0,
+            regs: 32,
+            alu_per_block: 10_000,
+            tx_per_block: 10,
+            atomics_per_block: (0, 0),
+        }
+    }
+
+    #[test]
+    fn more_blocks_spread_over_sms_until_saturation() {
+        let d = DeviceConfig::v100();
+        // same total work split into more blocks -> lower max-SM time
+        let mut few = Synthetic {
+            grid: 8,
+            alu_per_block: 200_000,
+            ..base()
+        };
+        let mut many = Synthetic {
+            grid: 160,
+            alu_per_block: 10_000,
+            ..base()
+        };
+        let rf = launch(&d, &mut few);
+        let rm = launch(&d, &mut many);
+        assert!(
+            rf.sm_cycles > 2.0 * rm.sm_cycles,
+            "few={} many={}",
+            rf.sm_cycles,
+            rm.sm_cycles
+        );
+    }
+
+    #[test]
+    fn atomics_and_conflicts_cost_cycles() {
+        let d = DeviceConfig::v100();
+        let mut clean = base();
+        let mut contested = Synthetic {
+            atomics_per_block: (1000, 500),
+            ..base()
+        };
+        let rc = launch(&d, &mut clean);
+        let rx = launch(&d, &mut contested);
+        assert!(rx.cycles > rc.cycles);
+        assert_eq!(rx.tally.atomic_conflicts, 160 * 500);
+    }
+
+    #[test]
+    fn memory_bound_kernels_are_flagged() {
+        let d = DeviceConfig::v100();
+        let mut membound = Synthetic {
+            tx_per_block: 100_000,
+            alu_per_block: 1,
+            ..base()
+        };
+        let r = launch(&d, &mut membound);
+        assert!(r.memory_bound());
+        let mut compbound = Synthetic {
+            tx_per_block: 1,
+            alu_per_block: 50_000_000,
+            ..base()
+        };
+        let r = launch(&d, &mut compbound);
+        assert!(!r.memory_bound());
+    }
+
+    #[test]
+    fn register_pressure_reduces_occupancy_and_slows_kernels() {
+        let d = DeviceConfig::v100();
+        let mut light = base();
+        let mut heavy = Synthetic { regs: 255, ..base() };
+        let rl = launch(&d, &mut light);
+        let rh = launch(&d, &mut heavy);
+        assert!(rh.occupancy_blocks < rl.occupancy_blocks);
+        assert!(rh.latency_factor > rl.latency_factor);
+        assert!(rh.cycles > rl.cycles);
+    }
+
+    #[test]
+    fn shared_memory_footprint_reduces_occupancy() {
+        let d = DeviceConfig::v100();
+        let mut light = base();
+        let mut heavy = Synthetic {
+            shared_bytes: 48 * 1024,
+            ..base()
+        };
+        let rl = launch(&d, &mut light);
+        let rh = launch(&d, &mut heavy);
+        assert!(rh.occupancy_blocks < rl.occupancy_blocks);
+    }
+
+    #[test]
+    fn report_display_summarizes_the_launch() {
+        let d = DeviceConfig::v100();
+        let mut k = base();
+        let r = launch(&d, &mut k);
+        let s = r.to_string();
+        assert!(s.contains("synthetic"));
+        assert!(s.contains("blocks"));
+        assert!(s.contains("atomics"));
+    }
+
+    #[test]
+    fn a100_is_faster_than_v100_on_memory_bound_kernels() {
+        let mut k1 = Synthetic {
+            tx_per_block: 50_000,
+            alu_per_block: 1,
+            ..base()
+        };
+        let mut k2 = Synthetic {
+            tx_per_block: 50_000,
+            alu_per_block: 1,
+            ..base()
+        };
+        let rv = launch(&DeviceConfig::v100(), &mut k1);
+        let ra = launch(&DeviceConfig::a100(), &mut k2);
+        assert!(ra.time_ms < rv.time_ms, "a100 {} vs v100 {}", ra.time_ms, rv.time_ms);
+    }
+
+    #[test]
+    fn launch_overhead_is_a_floor() {
+        let d = DeviceConfig::v100();
+        let mut empty = Synthetic {
+            grid: 1,
+            alu_per_block: 0,
+            tx_per_block: 0,
+            ..base()
+        };
+        let r = launch(&d, &mut empty);
+        assert!(r.cycles >= d.launch_overhead_cycles);
+        assert!(r.time_ms > 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "block_dim")]
+    fn oversized_blocks_rejected() {
+        let d = DeviceConfig::v100();
+        let mut k = Synthetic {
+            block_dim: 4096,
+            ..base()
+        };
+        let _ = launch(&d, &mut k);
+    }
+}

@@ -1,0 +1,98 @@
+//! The kernel abstraction executed by the simulator.
+
+use crate::ctx::BlockCtx;
+
+/// A GPU kernel: a grid of blocks, each executed functionally on the host
+/// with cost accounting through [`BlockCtx`].
+///
+/// `run_block` takes `&mut self` because kernels own (or mutably borrow)
+/// their output buffers; the executor runs blocks sequentially and in grid
+/// order, so writes are deterministic. Kernels whose CUDA counterpart relies
+/// on atomics for cross-block reductions must still *account* those atomics
+/// via [`BlockCtx::atomic`] — functionally the sequential execution makes
+/// them plain read-modify-writes.
+pub trait GpuKernel {
+    /// Kernel name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Number of blocks in the launch grid.
+    fn grid_dim(&self) -> usize;
+
+    /// Threads per block.
+    fn block_dim(&self) -> usize;
+
+    /// Static shared memory per block in bytes (occupancy input).
+    fn shared_mem_bytes(&self) -> usize {
+        0
+    }
+
+    /// Registers per thread (occupancy input). 32 is a typical default;
+    /// kernels holding long per-thread accumulations (e.g. a serial dot in
+    /// registers) should report more — this is how Fig. 12's register
+    /// pressure effect enters the model.
+    fn regs_per_thread(&self) -> usize {
+        32
+    }
+
+    /// Execute one block.
+    fn run_block(&mut self, block: usize, ctx: &mut BlockCtx<'_>);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceConfig;
+
+    struct Saxpy<'a> {
+        x: &'a [f32],
+        y: &'a mut [f32],
+        a: f32,
+        block_dim: usize,
+    }
+
+    impl GpuKernel for Saxpy<'_> {
+        fn name(&self) -> &'static str {
+            "saxpy"
+        }
+        fn grid_dim(&self) -> usize {
+            self.x.len().div_ceil(self.block_dim)
+        }
+        fn block_dim(&self) -> usize {
+            self.block_dim
+        }
+        fn run_block(&mut self, block: usize, ctx: &mut BlockCtx<'_>) {
+            let lo = block * self.block_dim;
+            let hi = (lo + self.block_dim).min(self.x.len());
+            ctx.global_contiguous(lo, hi - lo, 4); // x
+            ctx.global_contiguous(lo, hi - lo, 4); // y in
+            for i in lo..hi {
+                self.y[i] += self.a * self.x[i];
+            }
+            ctx.alu(2 * (hi - lo) as u64);
+            ctx.global_contiguous(lo, hi - lo, 4); // y out
+        }
+    }
+
+    #[test]
+    fn kernel_trait_is_usable_and_functional() {
+        let d = DeviceConfig::v100();
+        let x: Vec<f32> = (0..100).map(|i| i as f32).collect();
+        let mut y = vec![1.0f32; 100];
+        let mut k = Saxpy {
+            x: &x,
+            y: &mut y,
+            a: 2.0,
+            block_dim: 32,
+        };
+        assert_eq!(k.grid_dim(), 4);
+        let mut total = crate::tally::CostTally::default();
+        for b in 0..k.grid_dim() {
+            let mut ctx = BlockCtx::new(&d);
+            k.run_block(b, &mut ctx);
+            total.add(ctx.tally());
+        }
+        assert_eq!(y[10], 21.0);
+        assert_eq!(total.alu_ops, 200);
+        assert!(total.global_transactions >= 3 * 4); // >= 1 tx per array per block
+    }
+}

@@ -1,0 +1,93 @@
+//! Cost accounting accumulated during functional kernel execution.
+
+/// Event counts for one block's execution (or, summed, a whole launch).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct CostTally {
+    /// FP32 arithmetic operations executed (per lane).
+    pub alu_ops: u64,
+    /// Warp instructions issued (an almost-empty warp still occupies an
+    /// issue slot — this is what prices single-thread-per-edge serialization).
+    pub issue_ops: u64,
+    /// Global-memory transactions (128-byte segments touched).
+    pub global_transactions: u64,
+    /// Useful global bytes moved (for bandwidth-utilization reporting).
+    pub global_bytes: u64,
+    /// Shared-memory lane accesses.
+    pub shared_accesses: u64,
+    /// Global atomic operations.
+    pub atomic_ops: u64,
+    /// Atomic operations that conflicted (serialized) with another lane.
+    pub atomic_conflicts: u64,
+    /// Block-wide barrier synchronizations.
+    pub barriers: u64,
+}
+
+impl CostTally {
+    /// Element-wise sum.
+    pub fn add(&mut self, other: &CostTally) {
+        self.alu_ops += other.alu_ops;
+        self.issue_ops += other.issue_ops;
+        self.global_transactions += other.global_transactions;
+        self.global_bytes += other.global_bytes;
+        self.shared_accesses += other.shared_accesses;
+        self.atomic_ops += other.atomic_ops;
+        self.atomic_conflicts += other.atomic_conflicts;
+        self.barriers += other.barriers;
+    }
+
+    /// Effective bandwidth utilization: useful bytes over bytes actually
+    /// transferred (`1.0` = perfectly coalesced). Returns `None` when no
+    /// global traffic occurred.
+    pub fn coalescing_efficiency(&self, transaction_bytes: usize) -> Option<f64> {
+        if self.global_transactions == 0 {
+            return None;
+        }
+        Some(self.global_bytes as f64 / (self.global_transactions as f64 * transaction_bytes as f64))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_accumulates_every_field() {
+        let mut a = CostTally {
+            alu_ops: 1,
+            issue_ops: 8,
+            global_transactions: 2,
+            global_bytes: 3,
+            shared_accesses: 4,
+            atomic_ops: 5,
+            atomic_conflicts: 6,
+            barriers: 7,
+        };
+        let b = a;
+        a.add(&b);
+        assert_eq!(a.alu_ops, 2);
+        assert_eq!(a.issue_ops, 16);
+        assert_eq!(a.global_transactions, 4);
+        assert_eq!(a.global_bytes, 6);
+        assert_eq!(a.shared_accesses, 8);
+        assert_eq!(a.atomic_ops, 10);
+        assert_eq!(a.atomic_conflicts, 12);
+        assert_eq!(a.barriers, 14);
+    }
+
+    #[test]
+    fn coalescing_efficiency_bounds() {
+        let t = CostTally {
+            global_transactions: 10,
+            global_bytes: 1280,
+            ..Default::default()
+        };
+        assert_eq!(t.coalescing_efficiency(128), Some(1.0));
+        let t = CostTally {
+            global_transactions: 32,
+            global_bytes: 128, // one useful float per 128-byte transaction
+            ..Default::default()
+        };
+        assert!(t.coalescing_efficiency(128).unwrap() < 0.05);
+        assert_eq!(CostTally::default().coalescing_efficiency(128), None);
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the GPU timing model: every cost dimension must be
+//! monotone — a kernel that does strictly more work (or holds strictly more
+//! resources) can never get faster. These are the invariants the paper's
+//! relative comparisons rest on.
+
+use fg_gpusim::{launch, BlockCtx, DeviceConfig, GpuKernel};
+use proptest::prelude::*;
+
+/// A synthetic kernel parameterized by a full cost profile.
+#[derive(Clone, Copy, Debug)]
+struct Profile {
+    grid: usize,
+    block_dim: usize,
+    shared_bytes: usize,
+    regs: usize,
+    alu: u64,
+    scattered_elems: usize,
+    contiguous_elems: usize,
+    atomics: u64,
+    conflicts: u64,
+}
+
+struct Kernel(Profile);
+
+impl GpuKernel for Kernel {
+    fn name(&self) -> &'static str {
+        "synthetic"
+    }
+    fn grid_dim(&self) -> usize {
+        self.0.grid
+    }
+    fn block_dim(&self) -> usize {
+        self.0.block_dim
+    }
+    fn shared_mem_bytes(&self) -> usize {
+        self.0.shared_bytes
+    }
+    fn regs_per_thread(&self) -> usize {
+        self.0.regs
+    }
+    fn run_block(&mut self, _b: usize, ctx: &mut BlockCtx<'_>) {
+        ctx.alu(self.0.alu);
+        ctx.global_scattered(self.0.scattered_elems, 4);
+        ctx.global_contiguous(0, self.0.contiguous_elems, 4);
+        ctx.atomic(self.0.atomics, self.0.conflicts.min(self.0.atomics));
+    }
+}
+
+fn time(p: Profile) -> f64 {
+    launch(&DeviceConfig::v100(), &mut Kernel(p)).cycles
+}
+
+fn profiles() -> impl Strategy<Value = Profile> {
+    (
+        1usize..300,
+        prop_oneof![Just(32usize), Just(64), Just(128), Just(256)],
+        0usize..32_768,
+        16usize..128,
+        0u64..100_000,
+        0usize..10_000,
+        0usize..10_000,
+        0u64..10_000,
+    )
+        .prop_map(
+            |(grid, block_dim, shared_bytes, regs, alu, scattered, contiguous, atomics)| Profile {
+                grid,
+                block_dim,
+                shared_bytes,
+                regs,
+                alu,
+                scattered_elems: scattered,
+                contiguous_elems: contiguous,
+                atomics,
+                conflicts: atomics / 2,
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn more_alu_is_never_faster(p in profiles(), extra in 1u64..1_000_000) {
+        let base = time(p);
+        let more = time(Profile { alu: p.alu + extra, ..p });
+        prop_assert!(more >= base - 1e-9);
+    }
+
+    #[test]
+    fn more_memory_traffic_is_never_faster(p in profiles(), extra in 1usize..1_000_000) {
+        let base = time(p);
+        let more = time(Profile { contiguous_elems: p.contiguous_elems + extra, ..p });
+        prop_assert!(more >= base - 1e-9);
+    }
+
+    #[test]
+    fn scattered_traffic_is_at_least_as_expensive_as_coalesced(p in profiles(), elems in 1usize..100_000) {
+        let coalesced = time(Profile { contiguous_elems: elems, scattered_elems: 0, ..p });
+        let scattered = time(Profile { contiguous_elems: 0, scattered_elems: elems, ..p });
+        prop_assert!(scattered >= coalesced - 1e-9);
+    }
+
+    #[test]
+    fn atomics_are_never_free(p in profiles(), extra in 1u64..100_000) {
+        let base = time(p);
+        let more = time(Profile { atomics: p.atomics + extra, conflicts: p.conflicts, ..p });
+        prop_assert!(more >= base - 1e-9);
+    }
+
+    #[test]
+    fn conflicts_cost_more_than_clean_atomics(p in profiles()) {
+        prop_assume!(p.atomics > 0);
+        let clean = time(Profile { conflicts: 0, ..p });
+        let contested = time(Profile { conflicts: p.atomics, ..p });
+        prop_assert!(contested >= clean - 1e-9);
+    }
+
+    #[test]
+    fn register_pressure_is_never_faster(p in profiles()) {
+        let light = time(Profile { regs: 32, ..p });
+        let heavy = time(Profile { regs: 255, ..p });
+        prop_assert!(heavy >= light - 1e-9);
+    }
+
+    #[test]
+    fn occupancy_report_respects_all_limits(p in profiles()) {
+        let d = DeviceConfig::v100();
+        let occ = d.occupancy_blocks(p.block_dim, p.shared_bytes, p.regs);
+        prop_assert!(occ >= 1 || p.shared_bytes > d.shared_mem_per_sm);
+        prop_assert!(occ <= d.max_blocks_per_sm);
+        prop_assert!(occ * p.block_dim <= d.max_threads_per_sm.max(p.block_dim));
+        if p.shared_bytes > 0 {
+            prop_assert!(occ * p.shared_bytes <= d.shared_mem_per_sm.max(p.shared_bytes));
+        }
+    }
+
+    #[test]
+    fn launch_time_includes_overhead(p in profiles()) {
+        let d = DeviceConfig::v100();
+        prop_assert!(time(p) >= d.launch_overhead_cycles);
+    }
+}

@@ -1,0 +1,112 @@
+//! Edge-list (coordinate) format and conversion to CSR.
+
+use crate::csr::Csr;
+use crate::VId;
+
+/// An edge list over `n` vertices. Construction sorts into destination-major
+/// order and removes duplicate `(src, dst)` pairs, establishing the canonical
+/// edge order used for edge IDs throughout the workspace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Coo {
+    num_vertices: usize,
+    /// Destination-major sorted, deduplicated `(src, dst)` pairs.
+    edges: Vec<(VId, VId)>,
+}
+
+impl Coo {
+    /// Build from raw edges, sorting and deduplicating.
+    ///
+    /// # Panics
+    /// Panics if any endpoint is `>= n`.
+    pub fn from_edges(n: usize, raw: &[(VId, VId)]) -> Self {
+        for &(s, d) in raw {
+            assert!(
+                (s as usize) < n && (d as usize) < n,
+                "edge ({s}, {d}) out of bounds for {n} vertices"
+            );
+        }
+        let mut edges: Vec<(VId, VId)> = raw.to_vec();
+        // Destination-major: sort by (dst, src).
+        edges.sort_unstable_by_key(|&(s, d)| (d, s));
+        edges.dedup();
+        Self {
+            num_vertices: n,
+            edges,
+        }
+    }
+
+    /// Number of vertices.
+    pub fn num_vertices(&self) -> usize {
+        self.num_vertices
+    }
+
+    /// Number of unique edges.
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Canonical (dst-major) edge slice.
+    pub fn edges(&self) -> &[(VId, VId)] {
+        &self.edges
+    }
+
+    /// Convert to destination-major CSR: row `v` lists in-neighbors of `v`.
+    pub fn to_csr_dst_major(&self) -> Csr {
+        let n = self.num_vertices;
+        let mut indptr = vec![0usize; n + 1];
+        for &(_, d) in &self.edges {
+            indptr[d as usize + 1] += 1;
+        }
+        for i in 0..n {
+            indptr[i + 1] += indptr[i];
+        }
+        // Already sorted by (dst, src), so a straight copy of srcs is in place.
+        let indices: Vec<VId> = self.edges.iter().map(|&(s, _)| s).collect();
+        Csr::new(n, n, indptr, indices)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sorts_dst_major_and_dedups() {
+        let coo = Coo::from_edges(3, &[(2, 0), (0, 1), (2, 0), (1, 0)]);
+        assert_eq!(coo.edges(), &[(1, 0), (2, 0), (0, 1)]);
+        assert_eq!(coo.num_edges(), 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn rejects_out_of_range_vertex() {
+        let _ = Coo::from_edges(2, &[(0, 5)]);
+    }
+
+    #[test]
+    fn csr_conversion_matches_edges() {
+        let coo = Coo::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)]);
+        let csr = coo.to_csr_dst_major();
+        assert_eq!(csr.row(0), &[3]);
+        assert_eq!(csr.row(1), &[0]);
+        assert_eq!(csr.row(3), &[1, 2]);
+        assert_eq!(csr.nnz(), 5);
+    }
+
+    #[test]
+    fn self_loops_are_kept() {
+        let coo = Coo::from_edges(2, &[(0, 0), (1, 1), (0, 1)]);
+        assert_eq!(coo.num_edges(), 3);
+        let csr = coo.to_csr_dst_major();
+        assert!(csr.contains(0, 0));
+        assert!(csr.contains(1, 1));
+    }
+
+    #[test]
+    fn empty_edge_list() {
+        let coo = Coo::from_edges(5, &[]);
+        let csr = coo.to_csr_dst_major();
+        assert_eq!(csr.num_rows(), 5);
+        assert_eq!(csr.nnz(), 0);
+    }
+}

@@ -1,0 +1,330 @@
+//! Graph I/O: whitespace edge lists and MatrixMarket pattern files.
+//!
+//! Downstream users bring their own graphs; these loaders cover the two
+//! formats GNN datasets most commonly ship in. Both are strict about
+//! structure (good error messages beat silent truncation) but tolerant of
+//! comments and blank lines.
+
+use std::fmt;
+use std::fs;
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::path::Path;
+
+use crate::{Graph, VId};
+
+/// Errors from graph parsing.
+#[derive(Debug)]
+pub enum IoError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A malformed line, with its 1-based number and content.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+    /// A vertex ID at or beyond the declared vertex count.
+    VertexOutOfRange {
+        /// 1-based line number.
+        line: usize,
+        /// Offending ID.
+        id: u64,
+        /// Declared vertex count.
+        n: usize,
+    },
+}
+
+impl fmt::Display for IoError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IoError::Io(e) => write!(f, "i/o error: {e}"),
+            IoError::Parse { line, message } => write!(f, "line {line}: {message}"),
+            IoError::VertexOutOfRange { line, id, n } => {
+                write!(f, "line {line}: vertex {id} out of range for {n} vertices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for IoError {}
+
+impl From<io::Error> for IoError {
+    fn from(e: io::Error) -> Self {
+        IoError::Io(e)
+    }
+}
+
+/// Read a whitespace-separated edge list: one `src dst` pair per line,
+/// `#`-prefixed comments and blank lines ignored, vertex IDs 0-based.
+/// `n` is the vertex count (IDs must be `< n`).
+pub fn read_edge_list<R: Read>(reader: R, n: usize) -> Result<Graph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut edges: Vec<(VId, VId)> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let lineno = idx + 1;
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut it = trimmed.split_whitespace();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(IoError::Parse {
+                line: lineno,
+                message: format!("expected `src dst`, got {trimmed:?}"),
+            });
+        };
+        let parse = |tok: &str| -> Result<u64, IoError> {
+            tok.parse().map_err(|_| IoError::Parse {
+                line: lineno,
+                message: format!("not an integer: {tok:?}"),
+            })
+        };
+        let (s, d) = (parse(a)?, parse(b)?);
+        for id in [s, d] {
+            if id >= n as u64 {
+                return Err(IoError::VertexOutOfRange { line: lineno, id, n });
+            }
+        }
+        edges.push((s as VId, d as VId));
+    }
+    Ok(Graph::from_edges(n, &edges))
+}
+
+/// Write the canonical edge list, one `src dst` per line with a `#` header.
+pub fn write_edge_list<W: Write>(graph: &Graph, mut writer: W) -> io::Result<()> {
+    writeln!(
+        writer,
+        "# {} vertices, {} edges",
+        graph.num_vertices(),
+        graph.num_edges()
+    )?;
+    for (s, d, _) in graph.edges() {
+        writeln!(writer, "{s} {d}")?;
+    }
+    Ok(())
+}
+
+/// Read a MatrixMarket `coordinate pattern` file as a directed graph
+/// (row → column; 1-based indices, as the format specifies). The matrix
+/// must be square; `general` and `symmetric` symmetry are supported
+/// (symmetric entries are mirrored).
+pub fn read_matrix_market<R: Read>(reader: R) -> Result<Graph, IoError> {
+    let reader = BufReader::new(reader);
+    let mut lines = reader.lines().enumerate();
+
+    // header
+    let (_, header) = lines.next().ok_or(IoError::Parse {
+        line: 1,
+        message: "empty file".into(),
+    })?;
+    let header = header?;
+    let lower = header.to_ascii_lowercase();
+    if !lower.starts_with("%%matrixmarket matrix coordinate") {
+        return Err(IoError::Parse {
+            line: 1,
+            message: format!("not a MatrixMarket coordinate header: {header:?}"),
+        });
+    }
+    let symmetric = lower.contains("symmetric");
+
+    // size line (skipping comments)
+    let mut size: Option<(usize, usize, usize)> = None;
+    let mut size_line = 0usize;
+    for (idx, line) in lines.by_ref() {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let nums: Vec<&str> = t.split_whitespace().collect();
+        if nums.len() != 3 {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                message: format!("expected `rows cols nnz`, got {t:?}"),
+            });
+        }
+        let parse = |tok: &str| -> Result<usize, IoError> {
+            tok.parse().map_err(|_| IoError::Parse {
+                line: idx + 1,
+                message: format!("not an integer: {tok:?}"),
+            })
+        };
+        size = Some((parse(nums[0])?, parse(nums[1])?, parse(nums[2])?));
+        size_line = idx + 1;
+        break;
+    }
+    let Some((rows, cols, nnz)) = size else {
+        return Err(IoError::Parse {
+            line: 1,
+            message: "missing size line".into(),
+        });
+    };
+    if rows != cols {
+        return Err(IoError::Parse {
+            line: size_line,
+            message: format!("adjacency must be square, got {rows}x{cols}"),
+        });
+    }
+
+    let mut edges: Vec<(VId, VId)> = Vec::with_capacity(nnz * if symmetric { 2 } else { 1 });
+    let mut seen = 0usize;
+    for (idx, line) in lines {
+        let line = line?;
+        let t = line.trim();
+        if t.is_empty() || t.starts_with('%') {
+            continue;
+        }
+        let mut it = t.split_whitespace();
+        let (Some(a), Some(b)) = (it.next(), it.next()) else {
+            return Err(IoError::Parse {
+                line: idx + 1,
+                message: format!("expected `row col`, got {t:?}"),
+            });
+        };
+        let parse = |tok: &str| -> Result<u64, IoError> {
+            tok.parse().map_err(|_| IoError::Parse {
+                line: idx + 1,
+                message: format!("not an integer: {tok:?}"),
+            })
+        };
+        let (r, c) = (parse(a)?, parse(b)?);
+        if r == 0 || c == 0 || r > rows as u64 || c > cols as u64 {
+            return Err(IoError::VertexOutOfRange {
+                line: idx + 1,
+                id: r.max(c),
+                n: rows,
+            });
+        }
+        // 1-based -> 0-based; row -> col as src -> dst
+        edges.push(((r - 1) as VId, (c - 1) as VId));
+        if symmetric && r != c {
+            edges.push(((c - 1) as VId, (r - 1) as VId));
+        }
+        seen += 1;
+    }
+    if seen != nnz {
+        return Err(IoError::Parse {
+            line: size_line,
+            message: format!("size line declares {nnz} entries, found {seen}"),
+        });
+    }
+    Ok(Graph::from_edges(rows, &edges))
+}
+
+/// Load an edge-list file from disk.
+pub fn load_edge_list(path: &Path, n: usize) -> Result<Graph, IoError> {
+    read_edge_list(fs::File::open(path)?, n)
+}
+
+/// Save an edge-list file to disk.
+pub fn save_edge_list(graph: &Graph, path: &Path) -> io::Result<()> {
+    write_edge_list(graph, fs::File::create(path)?)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn edge_list_round_trip() {
+        let g = generators::uniform(120, 5, 9);
+        let mut buf = Vec::new();
+        write_edge_list(&g, &mut buf).unwrap();
+        let g2 = read_edge_list(buf.as_slice(), 120).unwrap();
+        assert_eq!(g.edge_list(), g2.edge_list());
+    }
+
+    #[test]
+    fn edge_list_skips_comments_and_blanks() {
+        let text = "# header\n\n0 1\n # another\n1 2\n";
+        let g = read_edge_list(text.as_bytes(), 3).unwrap();
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn edge_list_errors_carry_line_numbers() {
+        let text = "0 1\nnot numbers\n";
+        match read_edge_list(text.as_bytes(), 4) {
+            Err(IoError::Parse { line: 2, .. }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let text = "0 1\n2 9\n";
+        match read_edge_list(text.as_bytes(), 4) {
+            Err(IoError::VertexOutOfRange { line: 2, id: 9, n: 4 }) => {}
+            other => panic!("unexpected {other:?}"),
+        }
+        let text = "0\n";
+        assert!(matches!(
+            read_edge_list(text.as_bytes(), 4),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+    }
+
+    #[test]
+    fn matrix_market_general() {
+        let text = "%%MatrixMarket matrix coordinate pattern general\n\
+                    % comment\n\
+                    3 3 3\n\
+                    1 2\n\
+                    2 3\n\
+                    3 1\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.edge_list(), vec![(2, 0), (0, 1), (1, 2)]);
+    }
+
+    #[test]
+    fn matrix_market_symmetric_mirrors_edges() {
+        let text = "%%MatrixMarket matrix coordinate pattern symmetric\n\
+                    3 3 2\n\
+                    2 1\n\
+                    3 3\n";
+        let g = read_matrix_market(text.as_bytes()).unwrap();
+        // (1,0) mirrored to (0,1); diagonal (2,2) not duplicated
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.in_csr().contains(0, 1));
+        assert!(g.in_csr().contains(1, 0));
+        assert!(g.in_csr().contains(2, 2));
+    }
+
+    #[test]
+    fn matrix_market_rejects_bad_input() {
+        assert!(matches!(
+            read_matrix_market("hello\n".as_bytes()),
+            Err(IoError::Parse { line: 1, .. })
+        ));
+        let nonsquare = "%%MatrixMarket matrix coordinate pattern general\n2 3 1\n1 1\n";
+        assert!(read_matrix_market(nonsquare.as_bytes()).is_err());
+        let wrong_count = "%%MatrixMarket matrix coordinate pattern general\n2 2 2\n1 1\n";
+        assert!(read_matrix_market(wrong_count.as_bytes()).is_err());
+        let oob = "%%MatrixMarket matrix coordinate pattern general\n2 2 1\n3 1\n";
+        assert!(matches!(
+            read_matrix_market(oob.as_bytes()),
+            Err(IoError::VertexOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let g = generators::uniform(40, 3, 2);
+        let path = std::env::temp_dir().join("fg_graph_io_test.el");
+        save_edge_list(&g, &path).unwrap();
+        let g2 = load_edge_list(&path, 40).unwrap();
+        assert_eq!(g.edge_list(), g2.edge_list());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn error_display_is_informative() {
+        let e = IoError::Parse {
+            line: 7,
+            message: "bad".into(),
+        };
+        assert!(e.to_string().contains("line 7"));
+        let e = IoError::VertexOutOfRange { line: 2, id: 10, n: 5 };
+        assert!(e.to_string().contains("10") && e.to_string().contains('5'));
+    }
+}

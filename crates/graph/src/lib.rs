@@ -1,0 +1,211 @@
+//! # fg-graph
+//!
+//! Graph substrate for the FeatGraph reproduction.
+//!
+//! The paper's kernels consume a sparse adjacency matrix; everything those
+//! kernels need from the graph side lives here:
+//!
+//! * [`coo::Coo`] / [`csr::Csr`] — edge-list and compressed-row formats with
+//!   checked construction and conversions. By convention a [`Graph`] stores
+//!   the adjacency in *destination-major* CSR (row `v` lists the sources
+//!   `u ∈ N_in(v)`), which is the orientation generalized SpMM aggregates
+//!   over, plus the transposed (source-major) view for push-style traversal.
+//! * [`generators`] — deterministic synthetic graphs: uniform, power-law
+//!   (Chung–Lu style), stochastic block model, the paper's `rand-100K`
+//!   two-tier-degree graph, and scaled stand-ins for `ogbn-proteins` and
+//!   `reddit` (Table II).
+//! * [`partition`] — 1D source-vertex partitioning (§III-C1, Fig. 6) used by
+//!   the CPU SpMM template for cache optimization.
+//! * [`hilbert`] — Hilbert-curve edge ordering (§III-C1) used by the CPU
+//!   SDDMM template for locality over both source and destination features.
+//! * [`reorder`] — degree-based vertex split for GPU hybrid partitioning
+//!   (§III-C3).
+//! * [`stats`] — degree/sparsity statistics (drives Table II and the cost
+//!   models).
+//! * [`io`] — edge-list and MatrixMarket loaders for user-supplied graphs.
+
+pub mod coo;
+pub mod csr;
+pub mod datasets;
+pub mod io;
+pub mod generators;
+pub mod hilbert;
+pub mod partition;
+pub mod reorder;
+pub mod stats;
+
+pub use coo::Coo;
+pub use csr::Csr;
+pub use datasets::{Dataset, DatasetSpec};
+pub use partition::PartitionedCsr;
+
+/// Vertex identifier. `u32` keeps the index arrays compact — the paper's
+/// largest graph (reddit, 233 K vertices / 114.8 M edges) fits comfortably.
+pub type VId = u32;
+
+/// Edge identifier (position in the canonical destination-major CSR order).
+pub type EId = u32;
+
+/// A directed graph with both adjacency orientations materialized.
+///
+/// * `in_csr`: destination-major — row `v` holds in-neighbors of `v`. This is
+///   the adjacency-matrix orientation of Eq. (3); edge IDs are defined as
+///   positions in this CSR.
+/// * `out_csr`: source-major — row `u` holds out-neighbors of `u`, and the
+///   parallel `out_eids` array maps each position to its canonical edge ID.
+#[derive(Debug, Clone)]
+pub struct Graph {
+    in_csr: Csr,
+    out_csr: Csr,
+    out_eids: Vec<EId>,
+}
+
+impl Graph {
+    /// Build from an edge list. Edges are deduplicated and sorted into the
+    /// canonical order; self-loops are allowed.
+    pub fn from_coo(coo: Coo) -> Self {
+        let in_csr = coo.to_csr_dst_major();
+        let (out_csr, out_eids) = in_csr.transpose_with_positions();
+        Self {
+            in_csr,
+            out_csr,
+            out_eids,
+        }
+    }
+
+    /// Build directly from edges `(src, dst)` over `n` vertices.
+    pub fn from_edges(n: usize, edges: &[(VId, VId)]) -> Self {
+        Self::from_coo(Coo::from_edges(n, edges))
+    }
+
+    /// Number of vertices.
+    #[inline(always)]
+    pub fn num_vertices(&self) -> usize {
+        self.in_csr.num_rows()
+    }
+
+    /// Number of (directed) edges.
+    #[inline(always)]
+    pub fn num_edges(&self) -> usize {
+        self.in_csr.nnz()
+    }
+
+    /// Destination-major CSR (aggregation orientation).
+    #[inline(always)]
+    pub fn in_csr(&self) -> &Csr {
+        &self.in_csr
+    }
+
+    /// Source-major CSR (push orientation).
+    #[inline(always)]
+    pub fn out_csr(&self) -> &Csr {
+        &self.out_csr
+    }
+
+    /// For each position in [`Graph::out_csr`], the canonical edge ID.
+    #[inline(always)]
+    pub fn out_eids(&self) -> &[EId] {
+        &self.out_eids
+    }
+
+    /// In-degree of vertex `v`.
+    #[inline(always)]
+    pub fn in_degree(&self, v: VId) -> usize {
+        self.in_csr.row(v).len()
+    }
+
+    /// Out-degree of vertex `u`.
+    #[inline(always)]
+    pub fn out_degree(&self, u: VId) -> usize {
+        self.out_csr.row(u).len()
+    }
+
+    /// Iterate all edges in canonical (dst-major) order as `(src, dst, eid)`.
+    pub fn edges(&self) -> impl Iterator<Item = (VId, VId, EId)> + '_ {
+        self.in_csr.iter_rows().flat_map(move |(dst, srcs, base)| {
+            srcs.iter()
+                .enumerate()
+                .map(move |(i, &src)| (src, dst, (base + i) as EId))
+        })
+    }
+
+    /// The edge list in canonical order (allocates).
+    pub fn edge_list(&self) -> Vec<(VId, VId)> {
+        self.edges().map(|(s, d, _)| (s, d)).collect()
+    }
+
+    /// Average degree `|E| / |V|`.
+    pub fn avg_degree(&self) -> f64 {
+        if self.num_vertices() == 0 {
+            0.0
+        } else {
+            self.num_edges() as f64 / self.num_vertices() as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn diamond() -> Graph {
+        // 0 -> 1, 0 -> 2, 1 -> 3, 2 -> 3, 3 -> 0
+        Graph::from_edges(4, &[(0, 1), (0, 2), (1, 3), (2, 3), (3, 0)])
+    }
+
+    #[test]
+    fn basic_counts() {
+        let g = diamond();
+        assert_eq!(g.num_vertices(), 4);
+        assert_eq!(g.num_edges(), 5);
+        assert!((g.avg_degree() - 1.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrees() {
+        let g = diamond();
+        assert_eq!(g.in_degree(3), 2);
+        assert_eq!(g.in_degree(0), 1);
+        assert_eq!(g.out_degree(0), 2);
+        assert_eq!(g.out_degree(3), 1);
+    }
+
+    #[test]
+    fn edge_iteration_is_dst_major_sorted() {
+        let g = diamond();
+        let edges: Vec<_> = g.edges().map(|(s, d, _)| (s, d)).collect();
+        assert_eq!(edges, vec![(3, 0), (0, 1), (0, 2), (1, 3), (2, 3)]);
+        let eids: Vec<_> = g.edges().map(|(_, _, e)| e).collect();
+        assert_eq!(eids, vec![0, 1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn out_eids_map_back_to_canonical_positions() {
+        let g = diamond();
+        // For every out-csr position, the canonical edge (by eid) must be the
+        // same (src, dst) pair.
+        let canonical = g.edge_list();
+        for src in 0..g.num_vertices() as VId {
+            let row = g.out_csr.row(src);
+            let base = g.out_csr.row_start(src);
+            for (i, &dst) in row.iter().enumerate() {
+                let eid = g.out_eids[base + i] as usize;
+                assert_eq!(canonical[eid], (src, dst));
+            }
+        }
+    }
+
+    #[test]
+    fn duplicate_edges_are_deduplicated() {
+        let g = Graph::from_edges(2, &[(0, 1), (0, 1), (1, 0)]);
+        assert_eq!(g.num_edges(), 2);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = Graph::from_edges(3, &[]);
+        assert_eq!(g.num_vertices(), 3);
+        assert_eq!(g.num_edges(), 0);
+        assert_eq!(g.edges().count(), 0);
+    }
+}

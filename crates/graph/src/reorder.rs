@@ -1,0 +1,169 @@
+//! Degree-based vertex reordering for hybrid partitioning (§III-C3).
+//!
+//! The GPU SpMM template stages frequently-read source rows in shared memory.
+//! "Frequently read" = high out-degree: a source vertex with out-degree `k`
+//! has its feature row gathered `k` times per SpMM. [`HybridSplit`] reorders
+//! vertices so the high-degree sources occupy a contiguous low-ID prefix,
+//! which the GPU kernel then partitions and stages; the low-degree suffix is
+//! streamed from global memory.
+
+use crate::{Graph, VId};
+
+/// A vertex relabeling that places high-out-degree vertices first.
+#[derive(Debug, Clone)]
+pub struct HybridSplit {
+    /// `perm[old_id] = new_id`.
+    pub perm: Vec<VId>,
+    /// `inverse[new_id] = old_id`.
+    pub inverse: Vec<VId>,
+    /// Vertices with out-degree `>= threshold` (they occupy new IDs
+    /// `0..num_high`).
+    pub num_high: usize,
+    /// The degree threshold used.
+    pub threshold: usize,
+}
+
+impl HybridSplit {
+    /// Split by an explicit out-degree threshold.
+    pub fn by_threshold(graph: &Graph, threshold: usize) -> Self {
+        let n = graph.num_vertices();
+        let mut order: Vec<VId> = (0..n as VId).collect();
+        // Stable partition: high-degree first, preserving relative ID order
+        // inside each class (keeps the relabeling cache-friendly).
+        order.sort_by_key(|&v| usize::from(graph.out_degree(v) < threshold));
+        let num_high = order
+            .iter()
+            .take_while(|&&v| graph.out_degree(v) >= threshold)
+            .count();
+        let mut perm = vec![0 as VId; n];
+        for (new_id, &old_id) in order.iter().enumerate() {
+            perm[old_id as usize] = new_id as VId;
+        }
+        Self {
+            perm,
+            inverse: order,
+            num_high,
+            threshold,
+        }
+    }
+
+    /// Split keeping the top `fraction` of vertices (by out-degree) in the
+    /// high class.
+    pub fn by_fraction(graph: &Graph, fraction: f64) -> Self {
+        assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+        let n = graph.num_vertices();
+        if n == 0 {
+            return Self {
+                perm: vec![],
+                inverse: vec![],
+                num_high: 0,
+                threshold: usize::MAX,
+            };
+        }
+        let mut degs: Vec<usize> = (0..n as VId).map(|v| graph.out_degree(v)).collect();
+        degs.sort_unstable_by(|a, b| b.cmp(a));
+        let k = ((n as f64 * fraction).round() as usize).min(n);
+        let threshold = if k == 0 {
+            degs[0] + 1
+        } else {
+            degs[k - 1].max(1)
+        };
+        Self::by_threshold(graph, threshold)
+    }
+
+    /// Number of vertices.
+    pub fn len(&self) -> usize {
+        self.perm.len()
+    }
+
+    /// True for an empty graph.
+    pub fn is_empty(&self) -> bool {
+        self.perm.is_empty()
+    }
+
+    /// Fraction of all edge reads that hit the high-degree class — the
+    /// quantity hybrid partitioning exploits (high fraction ⇒ shared-memory
+    /// staging pays off).
+    pub fn high_read_fraction(&self, graph: &Graph) -> f64 {
+        let m = graph.num_edges();
+        if m == 0 {
+            return 0.0;
+        }
+        let high_reads: usize = self
+            .inverse
+            .iter()
+            .take(self.num_high)
+            .map(|&v| graph.out_degree(v))
+            .sum();
+        high_reads as f64 / m as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    #[test]
+    fn permutation_is_valid() {
+        let g = generators::two_tier(10, 50, 90, 5, 1);
+        let split = HybridSplit::by_threshold(&g, 20);
+        let n = g.num_vertices();
+        let mut seen = vec![false; n];
+        for &p in &split.perm {
+            assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        assert!(seen.iter().all(|&b| b));
+        for old in 0..n {
+            assert_eq!(split.inverse[split.perm[old] as usize] as usize, old);
+        }
+    }
+
+    #[test]
+    fn high_class_is_prefix_and_correct() {
+        let g = generators::two_tier(10, 50, 90, 5, 2);
+        let split = HybridSplit::by_threshold(&g, 20);
+        // all 10 high-tier vertices (plus any lucky low ones) are in front
+        assert!(split.num_high >= 8, "num_high = {}", split.num_high);
+        for new_id in 0..split.num_high {
+            let old = split.inverse[new_id];
+            assert!(g.out_degree(old) >= 20);
+        }
+        for new_id in split.num_high..split.len() {
+            let old = split.inverse[new_id];
+            assert!(g.out_degree(old) < 20);
+        }
+    }
+
+    #[test]
+    fn by_fraction_selects_requested_share() {
+        let g = generators::two_tier(20, 100, 180, 10, 3);
+        let split = HybridSplit::by_fraction(&g, 0.1);
+        let frac = split.num_high as f64 / split.len() as f64;
+        assert!((0.05..=0.25).contains(&frac), "frac = {frac}");
+    }
+
+    #[test]
+    fn high_read_fraction_dominates_on_two_tier() {
+        let g = generators::two_tier(20, 200, 180, 10, 4);
+        let split = HybridSplit::by_fraction(&g, 0.1);
+        // the 10% high-degree vertices produce ~69% of all reads here
+        let f = split.high_read_fraction(&g);
+        assert!(f > 0.5, "high read fraction = {f}");
+    }
+
+    #[test]
+    fn threshold_zero_puts_everything_high() {
+        let g = generators::uniform(50, 4, 5);
+        let split = HybridSplit::by_threshold(&g, 0);
+        assert_eq!(split.num_high, 50);
+    }
+
+    #[test]
+    fn empty_graph_fraction_split() {
+        let g = crate::Graph::from_edges(3, &[]);
+        let split = HybridSplit::by_fraction(&g, 0.5);
+        assert_eq!(split.high_read_fraction(&g), 0.0);
+    }
+}

@@ -1,0 +1,111 @@
+//! Property-based tests for the graph substrate: format round-trips,
+//! partitioning/ordering invariants, reorder permutation validity.
+
+use fg_graph::hilbert::{self, EdgeOrder};
+use fg_graph::reorder::HybridSplit;
+use fg_graph::{Coo, Graph, PartitionedCsr};
+use proptest::prelude::*;
+
+fn edge_lists() -> impl Strategy<Value = (usize, Vec<(u32, u32)>)> {
+    (2usize..50).prop_flat_map(|n| {
+        proptest::collection::vec((0..n as u32, 0..n as u32), 0..200)
+            .prop_map(move |edges| (n, edges))
+    })
+}
+
+proptest! {
+    #[test]
+    fn coo_csr_round_trip((n, edges) in edge_lists()) {
+        let coo = Coo::from_edges(n, &edges);
+        let g = Graph::from_coo(coo.clone());
+        // the graph's canonical edge list equals the deduplicated input
+        let mut want: Vec<(u32, u32)> = edges.clone();
+        want.sort_unstable_by_key(|&(s, d)| (d, s));
+        want.dedup();
+        prop_assert_eq!(g.edge_list(), want);
+        prop_assert_eq!(g.num_edges(), coo.num_edges());
+    }
+
+    #[test]
+    fn transpose_degree_conservation((n, edges) in edge_lists()) {
+        let g = Graph::from_edges(n, &edges);
+        let in_total: usize = (0..n as u32).map(|v| g.in_degree(v)).sum();
+        let out_total: usize = (0..n as u32).map(|v| g.out_degree(v)).sum();
+        prop_assert_eq!(in_total, g.num_edges());
+        prop_assert_eq!(out_total, g.num_edges());
+        // double transpose is identity
+        let tt = g.in_csr().transpose().transpose();
+        prop_assert_eq!(&tt, g.in_csr());
+    }
+
+    #[test]
+    fn partitioning_preserves_the_edge_multiset((n, edges) in edge_lists(), parts in 1usize..12) {
+        let g = Graph::from_edges(n, &edges);
+        let pc = PartitionedCsr::build(&g, parts);
+        prop_assert_eq!(pc.nnz(), g.num_edges());
+        // every edge id appears exactly once across segments
+        let mut seen = vec![false; g.num_edges()];
+        for (_, _, eids, _) in pc.iter() {
+            for &e in eids {
+                prop_assert!(!seen[e as usize], "edge {e} duplicated");
+                seen[e as usize] = true;
+            }
+        }
+        prop_assert!(seen.iter().all(|&b| b));
+    }
+
+    #[test]
+    fn hilbert_order_is_a_permutation((n, edges) in edge_lists()) {
+        let g = Graph::from_edges(n, &edges);
+        let order = EdgeOrder::hilbert(&g);
+        let mut eids: Vec<u32> = order.visits.iter().map(|&(_, _, e)| e).collect();
+        eids.sort_unstable();
+        let expect: Vec<u32> = (0..g.num_edges() as u32).collect();
+        prop_assert_eq!(eids, expect);
+    }
+
+    #[test]
+    fn hilbert_curve_round_trips(order in 1u32..12, d in 0u64..4096) {
+        let side = 1u64 << order;
+        let d = d % (side * side);
+        let (x, y) = hilbert::d_to_xy(order, d);
+        prop_assert!(x < side && y < side);
+        prop_assert_eq!(hilbert::xy_to_d(order, x, y), d);
+    }
+
+    #[test]
+    fn hybrid_split_is_a_valid_permutation((n, edges) in edge_lists(), threshold in 0usize..20) {
+        let g = Graph::from_edges(n, &edges);
+        let split = HybridSplit::by_threshold(&g, threshold);
+        let mut seen = vec![false; n];
+        for &p in &split.perm {
+            prop_assert!(!seen[p as usize]);
+            seen[p as usize] = true;
+        }
+        // high prefix is exactly the >= threshold set
+        for new_id in 0..n {
+            let old = split.inverse[new_id];
+            let is_high = g.out_degree(old) >= threshold;
+            prop_assert_eq!(is_high, new_id < split.num_high, "new_id {}", new_id);
+        }
+        // read fraction is a fraction
+        let f = split.high_read_fraction(&g);
+        prop_assert!((0.0..=1.0 + 1e-12).contains(&f));
+    }
+
+    #[test]
+    fn out_eids_are_consistent((n, edges) in edge_lists()) {
+        let g = Graph::from_edges(n, &edges);
+        let canonical = g.edge_list();
+        let mut covered = vec![false; g.num_edges()];
+        for src in 0..n as u32 {
+            let base = g.out_csr().row_start(src);
+            for (i, &dst) in g.out_csr().row(src).iter().enumerate() {
+                let eid = g.out_eids()[base + i] as usize;
+                prop_assert_eq!(canonical[eid], (src, dst));
+                covered[eid] = true;
+            }
+        }
+        prop_assert!(covered.iter().all(|&b| b));
+    }
+}

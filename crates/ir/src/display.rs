@@ -1,0 +1,121 @@
+//! Pretty-printing of UDFs as TVM-style pseudo-script.
+//!
+//! TVM prints its IR as a Python-like script for inspection; this module
+//! does the same for UDFs, so `println!("{udf}")` shows exactly the
+//! computation a template will fuse — useful in logs, error reports, and
+//! the documentation examples.
+
+use std::fmt;
+
+use crate::expr::{IdxExpr, ScalarExpr};
+use crate::udf::Udf;
+
+impl fmt::Display for IdxExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            IdxExpr::Out => write!(f, "i"),
+            IdxExpr::Red => write!(f, "k"),
+            IdxExpr::Const(c) => write!(f, "{c}"),
+            IdxExpr::HeadMajor { stride } => write!(f, "i*{stride}+k"),
+        }
+    }
+}
+
+impl fmt::Display for ScalarExpr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ScalarExpr::Src(ix) => write!(f, "X[src, {ix}]"),
+            ScalarExpr::Dst(ix) => write!(f, "X[dst, {ix}]"),
+            ScalarExpr::Edge(ix) => write!(f, "E[eid, {ix}]"),
+            ScalarExpr::Param { p, row, col } => write!(f, "W{p}[{row}, {col}]"),
+            ScalarExpr::Const(c) => write!(f, "{c}"),
+            ScalarExpr::Add(a, b) => write!(f, "({a} + {b})"),
+            ScalarExpr::Sub(a, b) => write!(f, "({a} - {b})"),
+            ScalarExpr::Mul(a, b) => write!(f, "({a} * {b})"),
+            ScalarExpr::Div(a, b) => write!(f, "({a} / {b})"),
+            ScalarExpr::Max(a, b) => write!(f, "max({a}, {b})"),
+            ScalarExpr::Min(a, b) => write!(f, "min({a}, {b})"),
+            ScalarExpr::Neg(a) => write!(f, "(-{a})"),
+            ScalarExpr::Exp(a) => write!(f, "exp({a})"),
+            ScalarExpr::Relu(a) => write!(f, "relu({a})"),
+            ScalarExpr::LeakyRelu(a, s) => write!(f, "leaky_relu({a}, {s})"),
+        }
+    }
+}
+
+impl fmt::Display for Udf {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "def udf(src, dst, eid):  # src_len={}, dst_len={}, edge_len={}",
+            self.src_len, self.dst_len, self.edge_len
+        )?;
+        let body = self.body.to_string();
+        match self.reduce {
+            None => {
+                if self.post_relu {
+                    writeln!(f, "    out = compute(({},), lambda i: relu({body}))", self.out_len)?;
+                } else {
+                    writeln!(f, "    out = compute(({},), lambda i: {body})", self.out_len)?;
+                }
+            }
+            Some(r) => {
+                writeln!(f, "    k = reduce_axis((0, {}))", r.len)?;
+                let inner = format!("{}(over=k, of={body})", r.op.name());
+                if self.post_relu {
+                    writeln!(f, "    out = compute(({},), lambda i: relu({inner}))", self.out_len)?;
+                } else {
+                    writeln!(f, "    out = compute(({},), lambda i: {inner})", self.out_len)?;
+                }
+            }
+        }
+        write!(f, "    return out")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn copy_src_script() {
+        let s = Udf::copy_src(64).to_string();
+        assert!(s.contains("lambda i: X[src, i]"), "{s}");
+        assert!(s.contains("src_len=64"));
+    }
+
+    #[test]
+    fn dot_script_shows_reduction() {
+        let s = Udf::dot(128).to_string();
+        assert!(s.contains("reduce_axis((0, 128))"), "{s}");
+        assert!(s.contains("sum(over=k, of=(X[src, k] * X[dst, k]))"), "{s}");
+    }
+
+    #[test]
+    fn mlp_script_shows_post_relu_and_weight() {
+        let s = Udf::mlp(8, 32).to_string();
+        assert!(s.contains("relu(sum(over=k"), "{s}");
+        assert!(s.contains("W0[k, i]"), "{s}");
+    }
+
+    #[test]
+    fn multi_head_script_shows_head_major_index() {
+        let s = Udf::multi_head_dot(4, 16).to_string();
+        assert!(s.contains("X[src, i*16+k]"), "{s}");
+    }
+
+    #[test]
+    fn every_operator_prints() {
+        use ScalarExpr as E;
+        let e = E::Min(
+            Box::new(E::Exp(Box::new(E::Const(1.0)))),
+            Box::new(E::LeakyRelu(
+                Box::new(E::Neg(Box::new(E::src_i().div(E::dst_i())))),
+                0.25,
+            )),
+        );
+        let s = e.to_string();
+        assert!(s.contains("min(") && s.contains("exp(") && s.contains("leaky_relu("));
+        assert!(s.contains('/') && s.contains('-'));
+    }
+}

@@ -1,0 +1,213 @@
+//! Kernel pattern recognition ("lowering").
+//!
+//! TVM would JIT a fused kernel for any UDF; our substitute recognizes the
+//! hot GNN patterns and dispatches to monomorphized Rust kernels compiled by
+//! rustc/LLVM, keeping the generic interpreter as a correctness fallback.
+//! Recognition is purely structural over the UDF body, so a user who builds
+//! the same expression by hand gets the same fast path as the named
+//! constructors in [`crate::udf::Udf`].
+
+use crate::expr::{IdxExpr, ScalarExpr};
+use crate::reducer::Reducer;
+use crate::udf::Udf;
+
+/// The kernel patterns with specialized implementations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum KernelPattern {
+    /// `out[i] = src[i]` — vanilla SpMM message (GCN aggregation).
+    CopySrc,
+    /// `out[i] = edge[i]`.
+    CopyEdge,
+    /// `out[i] = src[i] ⊙ edge[i]` with `⊙` ∈ {+, *}.
+    SrcOpEdge(ElemOp),
+    /// `out[i] = src[i] ⊙ dst[i]`.
+    SrcOpDst(ElemOp),
+    /// `out[i] = src[i] · edge[0]` — per-edge *scalar* weight times the
+    /// source feature vector (attention-weighted aggregation in GAT).
+    SrcMulEdgeScalar,
+    /// `out[0] = Σ_k src[k] · dst[k]` — vanilla SDDMM (dot-product attention).
+    Dot,
+    /// `out[h] = Σ_k src[h·d+k] · dst[h·d+k]` — multi-head dot (Fig. 4b).
+    MultiHeadDot {
+        /// Per-head feature length.
+        d: usize,
+    },
+    /// `out[i] = relu(Σ_k (src[k] + dst[k]) · W[k][i])` — MLP aggregation
+    /// (Fig. 3b).
+    MlpSrcDst,
+    /// No specialization: run the interpreter.
+    Generic,
+}
+
+/// Element-wise binary ops recognized inside patterns.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ElemOp {
+    /// Addition.
+    Add,
+    /// Multiplication.
+    Mul,
+    /// Subtraction.
+    Sub,
+}
+
+impl KernelPattern {
+    /// Recognize the pattern of a UDF.
+    pub fn of(udf: &Udf) -> KernelPattern {
+        use IdxExpr::{Out, Red};
+        use ScalarExpr as E;
+        match (&udf.reduce, &udf.body, udf.post_relu) {
+            // -- no reduction axis --
+            (None, E::Src(Out), false) => KernelPattern::CopySrc,
+            (None, E::Edge(Out), false) => KernelPattern::CopyEdge,
+            (None, E::Add(a, b), false) => match (a.as_ref(), b.as_ref()) {
+                (E::Src(Out), E::Edge(Out)) => KernelPattern::SrcOpEdge(ElemOp::Add),
+                (E::Src(Out), E::Dst(Out)) => KernelPattern::SrcOpDst(ElemOp::Add),
+                _ => KernelPattern::Generic,
+            },
+            (None, E::Mul(a, b), false) => match (a.as_ref(), b.as_ref()) {
+                (E::Src(Out), E::Edge(Out)) => KernelPattern::SrcOpEdge(ElemOp::Mul),
+                (E::Src(Out), E::Dst(Out)) => KernelPattern::SrcOpDst(ElemOp::Mul),
+                (E::Src(Out), E::Edge(IdxExpr::Const(0))) => KernelPattern::SrcMulEdgeScalar,
+                _ => KernelPattern::Generic,
+            },
+            (None, E::Sub(a, b), false) => match (a.as_ref(), b.as_ref()) {
+                (E::Src(Out), E::Edge(Out)) => KernelPattern::SrcOpEdge(ElemOp::Sub),
+                (E::Src(Out), E::Dst(Out)) => KernelPattern::SrcOpDst(ElemOp::Sub),
+                _ => KernelPattern::Generic,
+            },
+            // -- sum reduction --
+            (Some(r), E::Mul(a, b), post) if r.op == Reducer::Sum => {
+                match (a.as_ref(), b.as_ref(), post) {
+                    (E::Src(Red), E::Dst(Red), false) if udf.out_len == 1 => KernelPattern::Dot,
+                    (
+                        E::Src(IdxExpr::HeadMajor { stride: s1 }),
+                        E::Dst(IdxExpr::HeadMajor { stride: s2 }),
+                        false,
+                    ) if s1 == s2 && *s1 == r.len => KernelPattern::MultiHeadDot { d: *s1 },
+                    (E::Add(x, y), E::Param { p: 0, row: Red, col: Out }, true) => {
+                        match (x.as_ref(), y.as_ref()) {
+                            (E::Src(Red), E::Dst(Red)) => KernelPattern::MlpSrcDst,
+                            _ => KernelPattern::Generic,
+                        }
+                    }
+                    _ => KernelPattern::Generic,
+                }
+            }
+            _ => KernelPattern::Generic,
+        }
+    }
+
+    /// Human-readable name (used in logs and bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            KernelPattern::CopySrc => "copy-src",
+            KernelPattern::CopyEdge => "copy-edge",
+            KernelPattern::SrcOpEdge(_) => "src-op-edge",
+            KernelPattern::SrcOpDst(_) => "src-op-dst",
+            KernelPattern::SrcMulEdgeScalar => "src-mul-edge-scalar",
+            KernelPattern::Dot => "dot",
+            KernelPattern::MultiHeadDot { .. } => "multi-head-dot",
+            KernelPattern::MlpSrcDst => "mlp",
+            KernelPattern::Generic => "generic",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_constructors_lower_to_their_patterns() {
+        assert_eq!(KernelPattern::of(&Udf::copy_src(64)), KernelPattern::CopySrc);
+        assert_eq!(KernelPattern::of(&Udf::copy_edge(64)), KernelPattern::CopyEdge);
+        assert_eq!(
+            KernelPattern::of(&Udf::src_mul_edge(64)),
+            KernelPattern::SrcOpEdge(ElemOp::Mul)
+        );
+        assert_eq!(
+            KernelPattern::of(&Udf::src_add_dst(64)),
+            KernelPattern::SrcOpDst(ElemOp::Add)
+        );
+        assert_eq!(KernelPattern::of(&Udf::dot(128)), KernelPattern::Dot);
+        assert_eq!(
+            KernelPattern::of(&Udf::src_mul_edge_scalar(64)),
+            KernelPattern::SrcMulEdgeScalar
+        );
+        assert_eq!(
+            KernelPattern::of(&Udf::multi_head_dot(8, 32)),
+            KernelPattern::MultiHeadDot { d: 32 }
+        );
+        assert_eq!(KernelPattern::of(&Udf::mlp(8, 256)), KernelPattern::MlpSrcDst);
+    }
+
+    #[test]
+    fn hand_built_expression_gets_same_fast_path() {
+        // A user writing the dot product manually should hit the Dot kernel.
+        let udf = Udf {
+            out_len: 1,
+            src_len: 16,
+            dst_len: 16,
+            edge_len: 0,
+            reduce: Some(crate::udf::ReduceSpec {
+                len: 16,
+                op: Reducer::Sum,
+            }),
+            params: vec![],
+            body: ScalarExpr::src_k().mul(ScalarExpr::dst_k()),
+            post_relu: false,
+        };
+        assert_eq!(KernelPattern::of(&udf), KernelPattern::Dot);
+    }
+
+    #[test]
+    fn novel_udfs_fall_back_to_generic() {
+        // exp(src - dst): no specialized kernel
+        let udf = Udf {
+            out_len: 8,
+            src_len: 8,
+            dst_len: 8,
+            edge_len: 0,
+            reduce: None,
+            params: vec![],
+            body: ScalarExpr::Exp(Box::new(ScalarExpr::src_i().sub(ScalarExpr::dst_i()))),
+            post_relu: false,
+        };
+        assert_eq!(KernelPattern::of(&udf), KernelPattern::Generic);
+    }
+
+    #[test]
+    fn max_reduced_dot_is_not_the_dot_pattern() {
+        let mut udf = Udf::dot(16);
+        if let Some(r) = udf.reduce.as_mut() {
+            r.op = Reducer::Max;
+        }
+        assert_eq!(KernelPattern::of(&udf), KernelPattern::Generic);
+    }
+
+    #[test]
+    fn multi_head_requires_matching_strides() {
+        let hm8 = IdxExpr::HeadMajor { stride: 8 };
+        let hm4 = IdxExpr::HeadMajor { stride: 4 };
+        let udf = Udf {
+            out_len: 2,
+            src_len: 16,
+            dst_len: 16,
+            edge_len: 0,
+            reduce: Some(crate::udf::ReduceSpec {
+                len: 8,
+                op: Reducer::Sum,
+            }),
+            params: vec![],
+            body: ScalarExpr::Src(hm8).mul(ScalarExpr::Dst(hm4)),
+            post_relu: false,
+        };
+        assert_eq!(KernelPattern::of(&udf), KernelPattern::Generic);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(KernelPattern::CopySrc.name(), "copy-src");
+        assert_eq!(KernelPattern::Generic.name(), "generic");
+    }
+}

@@ -1,0 +1,152 @@
+//! MKL-style CPU CSR SpMM.
+//!
+//! The implementation plays the role of `mkl_sparse_s_mm`: it is *good* —
+//! row-parallel over destinations with a vectorizable axpy inner loop — but
+//! it is a fixed-function library call: one kernel (copy-sum), no awareness
+//! of cache-level graph partitioning or feature tiling. At large feature
+//! lengths the working set of gathered source rows overflows LLC and it
+//! falls behind FeatGraph's partitioned kernel, which is Table III's story.
+
+use fg_graph::Graph;
+use fg_tensor::Dense2;
+use rayon::prelude::*;
+
+/// Computed `out = A × x` where `A` is the graph's (binary) adjacency in
+/// destination-major CSR — the one sparse kernel the library exports.
+///
+/// # Panics
+/// Panics on shape mismatch (vendor libraries abort on bad descriptors).
+pub fn csrmm(graph: &Graph, x: &Dense2<f32>, out: &mut Dense2<f32>, threads: usize) {
+    assert_eq!(
+        x.shape(),
+        (graph.num_vertices(), x.cols()),
+        "x must be |V| x d"
+    );
+    assert_eq!(out.shape(), x.shape(), "out must match x");
+    let d = x.cols();
+    let csr = graph.in_csr();
+
+    let pool = rayon::ThreadPoolBuilder::new()
+        .num_threads(threads.max(1))
+        .build()
+        .expect("thread pool");
+    pool.install(|| {
+        out.as_mut_slice()
+            .par_chunks_mut(d)
+            .enumerate()
+            .for_each(|(dst, orow)| {
+                orow.fill(0.0);
+                for &src in csr.row(dst as u32) {
+                    let srow = x.row(src as usize);
+                    for (o, &v) in orow.iter_mut().zip(srow) {
+                        *o += v;
+                    }
+                }
+            });
+    });
+}
+
+/// Single-threaded variant (Table III's setting).
+pub fn csrmm_single_thread(graph: &Graph, x: &Dense2<f32>, out: &mut Dense2<f32>) {
+    csrmm(graph, x, out, 1)
+}
+
+/// CSR sparse–dense matrix-vector product (`SpMV`), the other classic
+/// vendor kernel; used by the PageRank-style comparisons.
+pub fn csrmv(graph: &Graph, x: &[f32], out: &mut [f32]) {
+    let n = graph.num_vertices();
+    assert_eq!(x.len(), n, "x must have |V| entries");
+    assert_eq!(out.len(), n, "out must have |V| entries");
+    let csr = graph.in_csr();
+    for (dst, o) in out.iter_mut().enumerate() {
+        let mut acc = 0.0f32;
+        for &src in csr.row(dst as u32) {
+            acc += x[src as usize];
+        }
+        *o = acc;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fg_graph::generators;
+
+    fn features(n: usize, d: usize) -> Dense2<f32> {
+        Dense2::from_fn(n, d, |v, i| ((v * 3 + i) % 7) as f32 - 3.0)
+    }
+
+    #[test]
+    fn csrmm_matches_manual_sum() {
+        let g = generators::uniform(120, 5, 2);
+        let x = features(120, 16);
+        let mut out = Dense2::zeros(120, 16);
+        csrmm(&g, &x, &mut out, 2);
+        let mut want = Dense2::zeros(120, 16);
+        for (src, dst, _) in g.edges() {
+            for k in 0..16 {
+                let v = want.at(dst as usize, k) + x.at(src as usize, k);
+                want.set(dst as usize, k, v);
+            }
+        }
+        assert!(out.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn single_and_multi_thread_agree() {
+        let g = generators::uniform(90, 4, 8);
+        let x = features(90, 8);
+        let mut a = Dense2::zeros(90, 8);
+        let mut b = Dense2::zeros(90, 8);
+        csrmm_single_thread(&g, &x, &mut a);
+        csrmm(&g, &x, &mut b, 4);
+        assert!(a.approx_eq(&b, 0.0));
+    }
+
+    #[test]
+    fn csrmv_matches_csrmm_on_one_column() {
+        let g = generators::uniform(60, 3, 5);
+        let x = features(60, 1);
+        let mut mm = Dense2::zeros(60, 1);
+        csrmm_single_thread(&g, &x, &mut mm);
+        let xv: Vec<f32> = (0..60).map(|v| x.at(v, 0)).collect();
+        let mut mv = vec![0.0f32; 60];
+        csrmv(&g, &xv, &mut mv);
+        for v in 0..60 {
+            assert!((mm.at(v, 0) - mv[v]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn empty_graph_zeroes_the_output() {
+        let g = fg_graph::Graph::from_edges(5, &[]);
+        let x = features(5, 4);
+        let mut out = Dense2::full(5, 4, 9.0);
+        csrmm_single_thread(&g, &x, &mut out);
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn single_column_features_work() {
+        let g = generators::uniform(30, 3, 4);
+        let x = features(30, 1);
+        let mut out = Dense2::zeros(30, 1);
+        csrmm_single_thread(&g, &x, &mut out);
+        let mut want = vec![0.0f32; 30];
+        for (s, d, _) in g.edges() {
+            want[d as usize] += x.at(s as usize, 0);
+        }
+        for v in 0..30 {
+            assert!((out.at(v, 0) - want[v]).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out must match x")]
+    fn shape_mismatch_aborts() {
+        let g = generators::uniform(10, 2, 1);
+        let x = features(10, 4);
+        let mut out = Dense2::zeros(10, 8);
+        csrmm(&g, &x, &mut out, 1);
+    }
+}

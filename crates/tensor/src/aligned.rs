@@ -1,0 +1,202 @@
+//! Cache-line-aligned heap storage.
+//!
+//! Feature matrices are traversed with vectorized inner loops; 64-byte
+//! alignment guarantees rows of common lengths (multiples of 16 `f32`s) start
+//! on a cache-line boundary, avoiding split loads and simplifying the cache
+//! cost reasoning done by the partitioning heuristics.
+
+use std::alloc::{alloc_zeroed, dealloc, handle_alloc_error, Layout};
+use std::marker::PhantomData;
+use std::ops::{Deref, DerefMut};
+use std::ptr::NonNull;
+
+/// Alignment (bytes) used for all tensor storage: one x86 cache line.
+pub const CACHE_LINE: usize = 64;
+
+/// A fixed-capacity, 64-byte-aligned, zero-initialized buffer of `T`.
+///
+/// Unlike `Vec<T>`, the length is fixed at construction — feature tensors
+/// never grow — which keeps the invariants trivial: `len` elements, all
+/// initialized, aligned to [`CACHE_LINE`].
+pub struct AlignedVec<T> {
+    ptr: NonNull<T>,
+    len: usize,
+    _marker: PhantomData<T>,
+}
+
+// Safety: AlignedVec owns its allocation exclusively; `T: Send/Sync` carries over.
+unsafe impl<T: Send> Send for AlignedVec<T> {}
+unsafe impl<T: Sync> Sync for AlignedVec<T> {}
+
+impl<T: Copy + Default> AlignedVec<T> {
+    /// Allocate `len` zero-initialized elements.
+    ///
+    /// For the floating-point types used throughout this workspace, the
+    /// all-zero bit pattern is a valid `0.0`, so zero-init is also
+    /// value-initialization.
+    pub fn zeroed(len: usize) -> Self {
+        if len == 0 {
+            return Self {
+                ptr: NonNull::dangling(),
+                len: 0,
+                _marker: PhantomData,
+            };
+        }
+        let layout = Self::layout(len);
+        // Safety: layout has non-zero size (len > 0, T is not a ZST for our uses).
+        let raw = unsafe { alloc_zeroed(layout) };
+        let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
+            handle_alloc_error(layout)
+        };
+        Self {
+            ptr,
+            len,
+            _marker: PhantomData,
+        }
+    }
+
+    /// Allocate and fill from a slice.
+    pub fn from_slice(src: &[T]) -> Self {
+        let mut v = Self::zeroed(src.len());
+        v.as_mut_slice().copy_from_slice(src);
+        v
+    }
+
+    fn layout(len: usize) -> Layout {
+        let size = std::mem::size_of::<T>()
+            .checked_mul(len)
+            .expect("allocation size overflow");
+        let align = CACHE_LINE.max(std::mem::align_of::<T>());
+        Layout::from_size_align(size, align).expect("invalid layout")
+    }
+
+    /// Number of elements.
+    #[inline(always)]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True if the buffer holds no elements.
+    #[inline(always)]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Immutable view of the whole buffer.
+    #[inline(always)]
+    pub fn as_slice(&self) -> &[T] {
+        // Safety: ptr valid for len initialized elements (zeroed or copied).
+        unsafe { std::slice::from_raw_parts(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Mutable view of the whole buffer.
+    #[inline(always)]
+    pub fn as_mut_slice(&mut self) -> &mut [T] {
+        // Safety: exclusive access via &mut self.
+        unsafe { std::slice::from_raw_parts_mut(self.ptr.as_ptr(), self.len) }
+    }
+
+    /// Reset every element to `T::default()`.
+    pub fn fill_default(&mut self) {
+        self.as_mut_slice().fill(T::default());
+    }
+}
+
+impl<T> Drop for AlignedVec<T> {
+    fn drop(&mut self) {
+        if self.len == 0 {
+            return;
+        }
+        let layout = Layout::from_size_align(
+            std::mem::size_of::<T>() * self.len,
+            CACHE_LINE.max(std::mem::align_of::<T>()),
+        )
+        .expect("invalid layout");
+        // Safety: allocated with the identical layout in `zeroed`.
+        unsafe { dealloc(self.ptr.as_ptr().cast(), layout) }
+    }
+}
+
+impl<T: Copy + Default> Clone for AlignedVec<T> {
+    fn clone(&self) -> Self {
+        Self::from_slice(self.as_slice())
+    }
+}
+
+impl<T: Copy + Default> Deref for AlignedVec<T> {
+    type Target = [T];
+    #[inline(always)]
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default> DerefMut for AlignedVec<T> {
+    #[inline(always)]
+    fn deref_mut(&mut self) -> &mut [T] {
+        self.as_mut_slice()
+    }
+}
+
+impl<T: Copy + Default + std::fmt::Debug> std::fmt::Debug for AlignedVec<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_list().entries(self.as_slice().iter()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeroed_is_all_zero_and_aligned() {
+        let v: AlignedVec<f32> = AlignedVec::zeroed(1000);
+        assert_eq!(v.len(), 1000);
+        assert!(v.iter().all(|&x| x == 0.0));
+        assert_eq!(v.as_slice().as_ptr() as usize % CACHE_LINE, 0);
+    }
+
+    #[test]
+    fn empty_buffer_is_usable() {
+        let v: AlignedVec<f64> = AlignedVec::zeroed(0);
+        assert!(v.is_empty());
+        assert_eq!(v.as_slice(), &[] as &[f64]);
+    }
+
+    #[test]
+    fn from_slice_round_trips() {
+        let data = [1.0f32, -2.5, 3.75, 0.0];
+        let v = AlignedVec::from_slice(&data);
+        assert_eq!(v.as_slice(), &data);
+    }
+
+    #[test]
+    fn clone_is_deep() {
+        let mut a = AlignedVec::from_slice(&[1.0f32, 2.0]);
+        let b = a.clone();
+        a.as_mut_slice()[0] = 99.0;
+        assert_eq!(b.as_slice(), &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn fill_default_resets() {
+        let mut v = AlignedVec::from_slice(&[5.0f64; 17]);
+        v.fill_default();
+        assert!(v.iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn mutation_through_deref_mut() {
+        let mut v: AlignedVec<f32> = AlignedVec::zeroed(4);
+        v[2] = 7.0;
+        assert_eq!(v.as_slice(), &[0.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn large_alignment_holds_for_odd_lengths() {
+        for len in [1usize, 3, 17, 63, 65, 255] {
+            let v: AlignedVec<f32> = AlignedVec::zeroed(len);
+            assert_eq!(v.as_slice().as_ptr() as usize % CACHE_LINE, 0, "len={len}");
+        }
+    }
+}

@@ -1,0 +1,86 @@
+//! Error types for tensor shape/layout violations.
+
+use std::fmt;
+
+/// A shape or layout mismatch detected when constructing or combining tensors.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The flat buffer length does not factor into the requested dimensions.
+    LengthMismatch {
+        /// Length of the provided buffer.
+        got: usize,
+        /// Length implied by the requested shape.
+        expected: usize,
+    },
+    /// Two operands disagree on a dimension.
+    DimMismatch {
+        /// Human-readable operation name, e.g. `"matmul"`.
+        op: &'static str,
+        /// Left-hand shape as reported.
+        lhs: Vec<usize>,
+        /// Right-hand shape as reported.
+        rhs: Vec<usize>,
+    },
+    /// An index is out of bounds for the tensor.
+    OutOfBounds {
+        /// Offending index.
+        index: usize,
+        /// Exclusive bound.
+        bound: usize,
+        /// Which axis was indexed.
+        axis: &'static str,
+    },
+    /// A dimension of zero was supplied where a positive one is required.
+    ZeroDim {
+        /// Which axis was zero.
+        axis: &'static str,
+    },
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::LengthMismatch { got, expected } => {
+                write!(f, "buffer length {got} does not match shape volume {expected}")
+            }
+            ShapeError::DimMismatch { op, lhs, rhs } => {
+                write!(f, "{op}: incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            ShapeError::OutOfBounds { index, bound, axis } => {
+                write!(f, "index {index} out of bounds for axis {axis} of extent {bound}")
+            }
+            ShapeError::ZeroDim { axis } => write!(f, "axis {axis} must be non-zero"),
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {}
+
+/// Convenience alias for fallible tensor operations.
+pub type TensorResult<T> = Result<T, ShapeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ShapeError::LengthMismatch { got: 7, expected: 12 };
+        assert!(e.to_string().contains('7'));
+        assert!(e.to_string().contains("12"));
+
+        let e = ShapeError::DimMismatch {
+            op: "matmul",
+            lhs: vec![2, 3],
+            rhs: vec![4, 5],
+        };
+        let s = e.to_string();
+        assert!(s.contains("matmul") && s.contains("[2, 3]") && s.contains("[4, 5]"));
+
+        let e = ShapeError::OutOfBounds { index: 9, bound: 3, axis: "row" };
+        assert!(e.to_string().contains("row"));
+
+        let e = ShapeError::ZeroDim { axis: "cols" };
+        assert!(e.to_string().contains("cols"));
+    }
+}

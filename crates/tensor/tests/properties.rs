@@ -1,0 +1,127 @@
+//! Property-based tests for the tensor substrate.
+
+use fg_tensor::ops;
+use fg_tensor::tile::{split_ranges, ColTiles};
+use fg_tensor::Dense2;
+use proptest::prelude::*;
+
+fn matrices(max_dim: usize) -> impl Strategy<Value = Dense2<f64>> {
+    (1..max_dim, 1..max_dim).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-100.0f64..100.0, r * c)
+            .prop_map(move |v| Dense2::from_vec(r, c, v).unwrap())
+    })
+}
+
+proptest! {
+    #[test]
+    fn tiles_partition_the_axis(cols in 0usize..500, parts in 1usize..40) {
+        let tiles: Vec<_> = ColTiles::new(cols, parts).collect();
+        // coverage
+        let total: usize = tiles.iter().map(|t| t.len()).sum();
+        prop_assert_eq!(total, cols);
+        // contiguity + balance (widths differ by at most 1)
+        let mut cursor = 0;
+        let mut widths = vec![];
+        for t in &tiles {
+            prop_assert_eq!(t.start, cursor);
+            cursor = t.end;
+            widths.push(t.len());
+        }
+        if cols > 0 {
+            let mn = *widths.iter().min().unwrap();
+            let mx = *widths.iter().max().unwrap();
+            prop_assert!(mx - mn <= 1);
+        }
+    }
+
+    #[test]
+    fn split_ranges_cover(n in 0usize..300, parts in 1usize..20) {
+        let rs = split_ranges(n, parts);
+        let total: usize = rs.iter().map(|r| r.len()).sum();
+        prop_assert_eq!(total, n);
+        let mut cursor = 0;
+        for r in &rs {
+            prop_assert_eq!(r.start, cursor);
+            cursor = r.end;
+        }
+    }
+
+    #[test]
+    fn transpose_is_an_involution(a in matrices(12)) {
+        let tt = ops::transpose(&ops::transpose(&a));
+        prop_assert!(a.approx_eq(&tt, 0.0));
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(
+        m in 1usize..6, k in 1usize..6, n in 1usize..6, seed in 0u64..500,
+    ) {
+        let f = |salt: u64, r: usize, c: usize| {
+            Dense2::from_fn(r, c, |i, j| ((i * 31 + j * 17 + (seed + salt) as usize) % 13) as f64 - 6.0)
+        };
+        let a = f(0, m, k);
+        let b = f(1, k, n);
+        let c = f(2, k, n);
+        let lhs = ops::matmul(&a, &ops::add(&b, &c).unwrap()).unwrap();
+        let rhs = ops::add(
+            &ops::matmul(&a, &b).unwrap(),
+            &ops::matmul(&a, &c).unwrap(),
+        ).unwrap();
+        prop_assert!(lhs.approx_eq(&rhs, 1e-9), "diff {}", lhs.max_abs_diff(&rhs));
+    }
+
+    #[test]
+    fn matmul_transpose_identities(a in matrices(8), seed in 0u64..100) {
+        // (A x B)^T == B^T x A^T
+        let k = a.cols();
+        let n = 1 + (seed as usize % 5);
+        let b = Dense2::from_fn(k, n, |i, j| ((i + 2 * j + seed as usize) % 9) as f64 - 4.0);
+        let ab_t = ops::transpose(&ops::matmul(&a, &b).unwrap());
+        let bt_at = ops::matmul(&ops::transpose(&b), &ops::transpose(&a)).unwrap();
+        prop_assert!(ab_t.approx_eq(&bt_at, 1e-9));
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(a in matrices(10)) {
+        let s = ops::softmax_rows(&a);
+        for r in 0..s.rows() {
+            let sum: f64 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-9, "row {r} sums to {sum}");
+            prop_assert!(s.row(r).iter().all(|&x| (0.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn relu_is_idempotent_and_non_negative(a in matrices(10)) {
+        let r1 = ops::relu(&a);
+        let r2 = ops::relu(&r1);
+        prop_assert!(r1.approx_eq(&r2, 0.0));
+        prop_assert!(r1.as_slice().iter().all(|&x| x >= 0.0));
+    }
+
+    #[test]
+    fn rows_mut2_preserves_other_rows(rows in 2usize..8, cols in 1usize..6, a in 0usize..8, b in 0usize..8) {
+        let a = a % rows;
+        let b = b % rows;
+        prop_assume!(a != b);
+        let mut m = Dense2::from_fn(rows, cols, |r, c| (r * cols + c) as f64);
+        let orig = m.clone();
+        {
+            let (ra, rb) = m.rows_mut2(a, b);
+            for v in ra.iter_mut() { *v += 100.0; }
+            for v in rb.iter_mut() { *v -= 100.0; }
+        }
+        for r in 0..rows {
+            for c in 0..cols {
+                let expect = if r == a {
+                    orig.at(r, c) + 100.0
+                } else if r == b {
+                    orig.at(r, c) - 100.0
+                } else {
+                    orig.at(r, c)
+                };
+                prop_assert_eq!(m.at(r, c), expect);
+            }
+        }
+    }
+}

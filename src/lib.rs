@@ -1,0 +1,25 @@
+//! # featgraph-suite
+//!
+//! Facade over the FeatGraph reproduction workspace. Re-exports every crate
+//! so the root `examples/` and `tests/` can exercise the full system through
+//! one dependency:
+//!
+//! * [`featgraph`] — the paper's contribution: generalized SpMM/SDDMM
+//!   templates with decoupled template/FDS optimization.
+//! * [`fg_graph`] / [`fg_tensor`] / [`fg_ir`] — graph, tensor, and
+//!   tensor-expression substrates.
+//! * [`fg_gpusim`] — the functional V100 cost-model simulator.
+//! * [`fg_ligra`] / [`fg_gunrock`] / [`fg_sparselib`] — the baseline
+//!   systems the paper compares against.
+//! * [`fg_gnn`] — "minidgl": autograd + models + interchangeable
+//!   message-passing backends for the end-to-end experiments.
+
+pub use featgraph;
+pub use fg_gnn;
+pub use fg_gpusim;
+pub use fg_graph;
+pub use fg_gunrock;
+pub use fg_ir;
+pub use fg_ligra;
+pub use fg_sparselib;
+pub use fg_tensor;
