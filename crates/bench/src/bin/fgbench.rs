@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! fgbench <command> [--scale N] [--lengths 32,64,...] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all]
+//!                   [--trace out.json] [--metrics]
 //!
 //! commands:
 //!   table1     capability matrix probed from the live systems (Table I)
@@ -21,6 +22,12 @@
 //!   a100       V100 vs A100 device model comparison (newer-hardware future work)
 //!   tune       adaptive tuner vs exhaustive grid search (SS VII future work)
 //!   all        everything above
+//!
+//! observability (requires the default `telemetry` feature):
+//!   --trace <path>   write a Chrome trace_event JSON of every kernel/
+//!                    autotuner/trainer span (view at ui.perfetto.dev)
+//!   --metrics        print aggregated span timings, counters, and gauges
+//!                    after the command finishes
 //! ```
 
 use fg_bench::cpu_kernels::{cpu_kernel_secs, featgraph_cpu_secs, CpuSystem, FeatgraphCpuConfig};
@@ -44,6 +51,8 @@ struct Args {
     cfg: BenchConfig,
     threads: usize,
     kernel: String,
+    trace: Option<String>,
+    metrics: bool,
 }
 
 fn parse_args() -> Args {
@@ -52,6 +61,8 @@ fn parse_args() -> Args {
     let mut cfg = BenchConfig::default();
     let mut threads = 1usize;
     let mut kernel = "all".to_string();
+    let mut trace = None;
+    let mut metrics = false;
     while let Some(a) = args.next() {
         let mut val = || args.next().expect("flag value");
         match a.as_str() {
@@ -65,6 +76,8 @@ fn parse_args() -> Args {
             "--runs" => cfg.runs = val().parse().expect("runs"),
             "--threads" => threads = val().parse().expect("threads"),
             "--kernel" => kernel = val(),
+            "--trace" => trace = Some(val()),
+            "--metrics" => metrics = true,
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -76,11 +89,106 @@ fn parse_args() -> Args {
         cfg,
         threads,
         kernel,
+        trace,
+        metrics,
     }
 }
 
+#[cfg(feature = "telemetry")]
+struct Telemetry {
+    metrics: Option<std::sync::Arc<fg_telemetry::MemorySink>>,
+    trace: Option<std::sync::Arc<fg_telemetry::ChromeTraceSink>>,
+}
+
+/// Enable telemetry and install the sinks requested by `--trace`/`--metrics`.
+#[cfg(feature = "telemetry")]
+fn telemetry_setup(args: &Args) -> Telemetry {
+    use std::sync::Arc;
+    let mut metrics = None;
+    let mut trace = None;
+    if args.trace.is_some() || args.metrics {
+        fg_telemetry::set_enabled(true);
+    }
+    if let Some(path) = &args.trace {
+        let sink = Arc::new(fg_telemetry::ChromeTraceSink::new(path.clone()));
+        fg_telemetry::add_sink(sink.clone());
+        trace = Some(sink);
+    }
+    if args.metrics {
+        let sink = Arc::new(fg_telemetry::MemorySink::new());
+        fg_telemetry::add_sink(sink.clone());
+        metrics = Some(sink);
+    }
+    Telemetry { metrics, trace }
+}
+
+#[cfg(feature = "telemetry")]
+fn telemetry_finish(args: &Args, telem: Telemetry) {
+    if args.trace.is_none() && !args.metrics {
+        return;
+    }
+    fg_telemetry::flush();
+    if let Some(path) = &args.trace {
+        match telem.trace.as_ref().and_then(|s| s.write_error()) {
+            Some(err) => eprintln!("\nerror: failed to write trace to {path}: {err}"),
+            None => eprintln!(
+                "\ntrace written to {path} (open at ui.perfetto.dev or chrome://tracing)"
+            ),
+        }
+    }
+    if let Some(sink) = telem.metrics {
+        let stats = sink.span_stats();
+        if !stats.is_empty() {
+            println!("\n=== telemetry: span timings ===");
+            println!(
+                "{:<28}{:>10}{:>14}{:>14}{:>14}",
+                "span", "count", "total ms", "mean us", "max us"
+            );
+            for s in stats {
+                println!(
+                    "{:<28}{:>10}{:>14.3}{:>14.3}{:>14.3}",
+                    s.name,
+                    s.count,
+                    s.total_ns as f64 / 1e6,
+                    s.total_ns as f64 / 1e3 / s.count.max(1) as f64,
+                    s.max_ns as f64 / 1e3
+                );
+            }
+        }
+        let counters = fg_telemetry::counters_snapshot();
+        if !counters.is_empty() {
+            println!("\n=== telemetry: counters ===");
+            for (name, value) in counters {
+                println!("{name:<28}{value:>16}");
+            }
+        }
+        let gauges = fg_telemetry::gauges_snapshot();
+        if !gauges.is_empty() {
+            println!("\n=== telemetry: gauges (last value) ===");
+            for (name, value) in gauges {
+                println!("{name:<28}{value:>16.6}");
+            }
+        }
+    }
+}
+
+#[cfg(not(feature = "telemetry"))]
+struct Telemetry;
+
+#[cfg(not(feature = "telemetry"))]
+fn telemetry_setup(args: &Args) -> Telemetry {
+    if args.trace.is_some() || args.metrics {
+        eprintln!("fgbench was built without the `telemetry` feature; --trace/--metrics are ignored");
+    }
+    Telemetry
+}
+
+#[cfg(not(feature = "telemetry"))]
+fn telemetry_finish(_args: &Args, _telem: Telemetry) {}
+
 fn main() {
     let args = parse_args();
+    let telem = telemetry_setup(&args);
     match args.command.as_str() {
         "table1" => table1(),
         "table2" => table2(&args),
@@ -117,10 +225,11 @@ fn main() {
             a100(&args);
         }
         _ => {
-            eprintln!("usage: fgbench <table2|table3|fig10|table4|fig11|fig12|fig13|fig14|fig15|table5|table6|accuracy|all> [--scale N] [--lengths l1,l2] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all]");
+            eprintln!("usage: fgbench <table2|table3|fig10|table4|fig11|fig12|fig13|fig14|fig15|table5|table6|accuracy|all> [--scale N] [--lengths l1,l2] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all] [--trace out.json] [--metrics]");
             std::process::exit(2);
         }
     }
+    telemetry_finish(&args, telem);
 }
 
 fn kernels_for(sel: &str) -> Vec<KernelKind> {
@@ -143,7 +252,7 @@ fn table1() {
         KernelKind::MlpAggregation,
         KernelKind::DotAttention,
     ];
-    println!("{:<12} {:<10} {:<28} {}", "system", "platform", "kernels covered", "flexibility");
+    println!("{:<12} {:<10} {:<28} flexibility", "system", "platform", "kernels covered");
     let cover = |covered: usize| if covered == kernels.len() { "high" } else { "low" };
     for (name, platform, covered) in [
         (

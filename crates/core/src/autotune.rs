@@ -10,6 +10,7 @@ use std::time::Instant;
 
 use fg_graph::Graph;
 use fg_ir::{Fds, Reducer, Udf};
+use fg_telemetry::{counter_add, gauge_set, span, Counter, Gauge};
 use fg_tensor::Dense2;
 
 use crate::cpu::spmm::{CpuSpmm, CpuSpmmOptions};
@@ -57,10 +58,18 @@ pub fn tune_spmm_cpu(
     threads: usize,
     repeats: usize,
 ) -> Result<CpuTuneResult, KernelError> {
+    let _tune_span = span!(
+        "autotune/spmm_cpu",
+        "grid={}x{}",
+        partition_choices.len(),
+        tile_choices.len()
+    );
     let mut grid = Vec::new();
     let mut out = Dense2::zeros(graph.num_vertices(), udf.out_len);
     for &gp in partition_choices {
         for &ft in tile_choices {
+            let _trial_span = span!("autotune/trial", "partitions={gp} tiles={ft}");
+            counter_add(Counter::AutotuneTrials, 1);
             let fds = Fds::cpu_tiled(ft);
             let opts = CpuSpmmOptions::with_threads(gp, threads);
             let kernel = CpuSpmm::compile(graph, udf, agg, &fds, &opts)?;
@@ -84,6 +93,7 @@ pub fn tune_spmm_cpu(
         .min_by(|a, b| a.1.seconds.total_cmp(&b.1.seconds))
         .map(|(i, _)| i)
         .expect("non-empty grid");
+    gauge_set(Gauge::AutotuneBestSeconds, grid[best].seconds);
     Ok(CpuTuneResult { grid, best })
 }
 
@@ -95,6 +105,10 @@ pub struct AdaptiveTuneResult {
     /// Every configuration evaluated, in visit order.
     pub trace: Vec<CpuGridPoint>,
 }
+
+/// Measurement callback threaded through the adaptive tuner's line search:
+/// `(graph_partitions, feature_tiles, trace) -> seconds`.
+type MeasureFn<'a> = dyn FnMut(usize, usize, &mut Vec<CpuGridPoint>) -> Result<f64, KernelError> + 'a;
 
 /// Adaptive coordinate-descent tuner for the CPU SpMM schedule — the
 /// "more intelligent tuner" the paper leaves as future work (§VII).
@@ -115,6 +129,10 @@ pub fn tune_spmm_cpu_adaptive(
     threads: usize,
     repeats: usize,
 ) -> Result<AdaptiveTuneResult, KernelError> {
+    let _tune_span = span!(
+        "autotune/spmm_cpu_adaptive",
+        "max_partitions={max_partitions} max_tiles={max_tiles}"
+    );
     let mut out = Dense2::zeros(graph.num_vertices(), udf.out_len);
     let mut trace: Vec<CpuGridPoint> = Vec::new();
 
@@ -136,6 +154,8 @@ pub fn tune_spmm_cpu_adaptive(
         {
             return Ok(hit.seconds);
         }
+        let _trial_span = span!("autotune/trial", "partitions={gp} tiles={ft}");
+        counter_add(Counter::AutotuneTrials, 1);
         let fds = Fds::cpu_tiled(ft);
         let opts = CpuSpmmOptions::with_threads(gp, threads);
         let kernel = CpuSpmm::compile(graph, udf, agg, &fds, &opts)?;
@@ -159,7 +179,7 @@ pub fn tune_spmm_cpu_adaptive(
                        fixed_other: usize,
                        is_partition_axis: bool,
                        trace: &mut Vec<CpuGridPoint>,
-                       measure: &mut dyn FnMut(usize, usize, &mut Vec<CpuGridPoint>) -> Result<f64, KernelError>|
+                       measure: &mut MeasureFn<'_>|
      -> Result<usize, KernelError> {
         let mut best = axis[0];
         let mut best_t = f64::INFINITY;
@@ -195,6 +215,7 @@ pub fn tune_spmm_cpu_adaptive(
         .iter()
         .min_by(|a, b| a.seconds.total_cmp(&b.seconds))
         .expect("non-empty trace");
+    gauge_set(Gauge::AutotuneBestSeconds, best.seconds);
     Ok(AdaptiveTuneResult { best, trace })
 }
 
@@ -216,9 +237,12 @@ pub fn tune_spmm_gpu_blocks(
     inputs: &GraphTensors<'_, f32>,
     block_choices: &[usize],
 ) -> Result<Vec<GpuGridPoint>, KernelError> {
+    let _tune_span = span!("autotune/spmm_gpu_blocks", "choices={}", block_choices.len());
     let mut out = Dense2::zeros(graph.num_vertices(), udf.out_len);
     let mut points = Vec::with_capacity(block_choices.len());
     for &blocks in block_choices {
+        let _trial_span = span!("autotune/trial", "blocks={blocks}");
+        counter_add(Counter::AutotuneTrials, 1);
         let opts = GpuSpmmOptions::with_num_blocks(graph, blocks);
         let kernel = GpuSpmm::compile(graph, udf, agg, fds, &opts)?;
         let stats = kernel.run(inputs, &mut out)?;

@@ -6,6 +6,7 @@ use fg_ir::interp::{eval_udf, EdgeCtx};
 use fg_ir::{Fds, KernelPattern, Udf};
 use fg_tensor::tile::{ColTile, ColTiles};
 use fg_tensor::Dense2;
+use fg_telemetry::{counter_add, span, Counter};
 use rayon::prelude::*;
 
 use crate::error::KernelError;
@@ -98,6 +99,13 @@ impl CpuSddmm {
         out: &mut Dense2<f32>,
     ) -> Result<RunStats, KernelError> {
         inputs.validate(&self.udf, self.num_vertices, self.num_edges, out, self.num_edges)?;
+        let _run_span = span!(
+            "sddmm/run",
+            "pattern={:?} edges={} tiles={}",
+            self.pattern,
+            self.num_edges,
+            self.fds.feature_tiles.max(1)
+        );
         match self.pattern {
             KernelPattern::Dot => self.run_dot(inputs, out),
             KernelPattern::MultiHeadDot { d } => self.run_multi_head(inputs, out, d),
@@ -118,8 +126,14 @@ impl CpuSddmm {
         let ktiles: Vec<ColTile> = ColTiles::new(d, self.fds.feature_tiles).collect();
 
         out.fill_zero();
+        counter_add(Counter::FeatureTiles, ktiles.len() as u64);
         let writer = SharedRows::new(out.as_mut_slice(), 1);
-        for kt in &ktiles {
+        for (ti, kt) in ktiles.iter().enumerate() {
+            let _span = span!("sddmm/ktile", "tile={ti} width={}", kt.len());
+            counter_add(Counter::EdgesProcessed, visits.len() as u64);
+            // Per edge and k-tile pass: read a src and a dst slice, combine
+            // into the edge's scalar output.
+            counter_add(Counter::BytesMoved, (visits.len() * (2 * kt.len() + 1) * 4) as u64);
             self.pool.install(|| {
                 visits.par_chunks(chunk).for_each(|edges| {
                     for &(src, dst, eid) in edges {
@@ -145,6 +159,9 @@ impl CpuSddmm {
         let visits = &self.order.visits;
         let chunk = visits.len().div_ceil(self.pool.current_num_threads().max(1) * 4).max(1);
 
+        let _span = span!("sddmm/multi_head", "heads={h} d={d}");
+        counter_add(Counter::EdgesProcessed, visits.len() as u64);
+        counter_add(Counter::BytesMoved, (visits.len() * (2 * h * d + h) * 4) as u64);
         let writer = SharedRows::new(out.as_mut_slice(), h);
         self.pool.install(|| {
             visits.par_chunks(chunk).for_each(|edges| {
@@ -175,6 +192,12 @@ impl CpuSddmm {
         let empty: [f32; 0] = [];
 
         let cols = udf.out_len;
+        let _span = span!("sddmm/generic", "edges={}", visits.len());
+        counter_add(Counter::EdgesProcessed, visits.len() as u64);
+        counter_add(
+            Counter::BytesMoved,
+            (visits.len() * (udf.src_len + udf.dst_len + udf.edge_len + cols) * 4) as u64,
+        );
         let writer = SharedRows::new(out.as_mut_slice(), cols);
         self.pool.install(|| {
             visits.par_chunks(chunk).for_each(|edges| {

@@ -6,6 +6,7 @@ use fg_ir::pattern::ElemOp;
 use fg_ir::{Fds, KernelPattern, Reducer, Udf};
 use fg_tensor::tile::{ColTile, ColTiles};
 use fg_tensor::Dense2;
+use fg_telemetry::{counter_add, span, Counter};
 use rayon::prelude::*;
 
 use crate::error::KernelError;
@@ -123,6 +124,16 @@ impl CpuSpmm {
         out: &mut Dense2<f32>,
     ) -> Result<RunStats, KernelError> {
         inputs.validate(&self.udf, self.num_vertices, self.num_edges, out, self.num_vertices)?;
+        let _run_span = span!(
+            "spmm/run",
+            "pattern={:?} d={} parts={} tiles={}",
+            self.pattern,
+            self.udf.out_len,
+            self.parts.num_partitions(),
+            self.fds.feature_tiles.max(1)
+        );
+        counter_add(Counter::Partitions, self.parts.num_partitions() as u64);
+        counter_add(Counter::FeatureTiles, self.fds.feature_tiles.max(1) as u64);
         out.fill(self.agg.identity());
 
         match self.pattern {
@@ -169,10 +180,15 @@ impl CpuSpmm {
         let agg = self.agg;
         let band_rows = band_rows(self.num_vertices, self.pool.current_num_threads());
 
-        for tile in ColTiles::new(d, self.fds.feature_tiles) {
+        for (ti, tile) in ColTiles::new(d, self.fds.feature_tiles).enumerate() {
             // Partitions are processed one at a time; every thread works on
             // the same partition to keep its source rows hot in shared LLC.
-            for (_, seg, eids, _) in self.parts.iter() {
+            for (pi, seg, eids, _) in self.parts.iter() {
+                let _span = span!("spmm/partition", "tile={ti} part={pi} edges={}", eids.len());
+                counter_add(Counter::EdgesProcessed, eids.len() as u64);
+                // Estimate: one source-row read + one output combine per
+                // edge, tile-width f32 elements each.
+                counter_add(Counter::BytesMoved, (eids.len() * tile.len() * 2 * 4) as u64);
                 self.pool.install(|| {
                     out.as_mut_slice()
                         .par_chunks_mut(band_rows * d)
@@ -259,8 +275,16 @@ impl CpuSpmm {
         let ktiles: Vec<ColTile> = ColTiles::new(d1, self.fds.reduce_tiles).collect();
         let band_rows = band_rows(self.num_vertices, self.pool.current_num_threads());
 
-        for tile in ColTiles::new(d2, self.fds.feature_tiles) {
-            for (_, seg, _, _) in self.parts.iter() {
+        for (ti, tile) in ColTiles::new(d2, self.fds.feature_tiles).enumerate() {
+            for (pi, seg, eids, _) in self.parts.iter() {
+                let _span = span!("spmm/partition", "tile={ti} part={pi} edges={}", eids.len());
+                counter_add(Counter::EdgesProcessed, eids.len() as u64);
+                // Estimate per edge: read src+dst rows (d1 each), stream the
+                // weight tile, and combine into the output tile.
+                counter_add(
+                    Counter::BytesMoved,
+                    (eids.len() * (2 * d1 + d1 * tile.len() + tile.len()) * 4) as u64,
+                );
                 self.pool.install(|| {
                     out.as_mut_slice()
                         .par_chunks_mut(band_rows * d2)
@@ -321,7 +345,10 @@ impl CpuSpmm {
         let empty: [f32; 0] = [];
         let band_rows = band_rows(self.num_vertices, self.pool.current_num_threads());
 
-        for (_, seg, eids, _) in self.parts.iter() {
+        for (pi, seg, eids, _) in self.parts.iter() {
+            let _span = span!("spmm/partition", "part={pi} edges={}", eids.len());
+            counter_add(Counter::EdgesProcessed, eids.len() as u64);
+            counter_add(Counter::BytesMoved, (eids.len() * d * 2 * 4) as u64);
             self.pool.install(|| {
                 out.as_mut_slice()
                     .par_chunks_mut(band_rows * d)

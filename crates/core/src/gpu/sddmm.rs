@@ -4,6 +4,7 @@ use fg_gpusim::{launch, BlockCtx, DeviceConfig, GpuKernel};
 use fg_graph::{Graph, VId};
 use fg_ir::interp::{eval_udf, EdgeCtx};
 use fg_ir::{Fds, KernelPattern, Udf};
+use fg_telemetry::{counter_add, span, Counter};
 use fg_tensor::Dense2;
 
 use crate::error::KernelError;
@@ -83,6 +84,23 @@ impl GpuSddmm {
         out: &mut Dense2<f32>,
     ) -> Result<RunStats, KernelError> {
         inputs.validate(&self.udf, self.num_vertices, self.edges.len(), out, self.edges.len())?;
+        let _run_span = span!(
+            "gpu/sddmm/run",
+            "pattern={:?} d={} grid={} tree={}",
+            self.pattern,
+            self.udf.red_len(),
+            self.grid_dim(),
+            self.fds.gpu.tree_reduce
+        );
+        counter_add(Counter::EdgesProcessed, self.edges.len() as u64);
+        if self.fds.gpu.tree_reduce {
+            // depth of the log₂ combine tree over the reduce axis (Fig. 7b)
+            let d = self.udf.red_len().max(1);
+            counter_add(
+                Counter::TreeReductionDepth,
+                u64::from(usize::BITS - (d - 1).leading_zeros()),
+            );
+        }
         let report = match self.pattern {
             KernelPattern::Dot | KernelPattern::MultiHeadDot { .. } => {
                 let mut kernel = DotKernel {

@@ -5,6 +5,7 @@ use fg_graph::{Csr, Graph, VId};
 use fg_ir::interp::{eval_udf, EdgeCtx};
 use fg_ir::pattern::ElemOp;
 use fg_ir::{Fds, GpuBind, KernelPattern, Reducer, Udf};
+use fg_telemetry::{counter_add, span, Counter};
 use fg_tensor::Dense2;
 
 use crate::error::KernelError;
@@ -138,6 +139,16 @@ impl GpuSpmm {
     ) -> Result<RunStats, KernelError> {
         inputs.validate(&self.udf, self.num_vertices, self.num_edges, out, self.num_vertices)?;
         debug_assert!(self.eid_is_position);
+
+        let _run_span = span!(
+            "gpu/spmm/run",
+            "pattern={:?} d={} grid={} tpb={}",
+            self.pattern,
+            self.udf.out_len,
+            self.grid_dim(),
+            self.fds.gpu.threads_per_block
+        );
+        counter_add(Counter::EdgesProcessed, self.num_edges as u64);
 
         let report = match self.pattern {
             KernelPattern::CopySrc

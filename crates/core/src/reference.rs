@@ -90,7 +90,7 @@ pub fn dense_spmm_ground_truth<S: Scalar>(graph: &Graph, x: &Dense2<S>) -> Dense
     for (src, dst, _) in graph.edges() {
         let (orow, xrow) = (dst as usize, src as usize);
         for c in 0..d {
-            let v = out.at(orow as usize, c) + x.at(xrow, c);
+            let v = out.at(orow, c) + x.at(xrow, c);
             out.set(orow, c, v);
         }
     }

@@ -1,0 +1,132 @@
+//! Degenerate-input regression tests: empty graphs, isolated vertices, and
+//! zero feature dimensions must produce `Err` or a well-defined empty
+//! result — never a panic.
+
+use featgraph::{
+    sddmm, spmm, GraphTensors, KernelError, Reducer, Target, Udf,
+};
+use fg_graph::Graph;
+use fg_ir::Fds;
+use fg_tensor::Dense2;
+
+fn empty_graph() -> Graph {
+    Graph::from_edges(0, &[])
+}
+
+fn edgeless_graph(n: usize) -> Graph {
+    Graph::from_edges(n, &[])
+}
+
+#[test]
+fn zero_feature_dim_is_a_clean_error() {
+    let g = edgeless_graph(4);
+    let udf = Udf::copy_src(0);
+    for target in [Target::Cpu, Target::Gpu] {
+        let Err(err) = spmm(&g, &udf, Reducer::Sum, target, &Fds::default()) else {
+            panic!("zero-dim spmm compiled");
+        };
+        assert!(matches!(err, KernelError::Udf(_)), "{err}");
+        let Err(err) = sddmm(&g, &udf, target, &Fds::default()) else {
+            panic!("zero-dim sddmm compiled");
+        };
+        assert!(matches!(err, KernelError::Udf(_)), "{err}");
+    }
+}
+
+#[test]
+fn spmm_on_zero_vertex_graph() {
+    let g = empty_graph();
+    let x = Dense2::<f32>::zeros(0, 8);
+    let udf = Udf::copy_src(8);
+    for target in [Target::Cpu, Target::Gpu] {
+        let k = spmm(&g, &udf, Reducer::Sum, target, &Fds::default()).unwrap();
+        let mut out = Dense2::<f32>::zeros(0, 8);
+        k.run(&GraphTensors::vertex_only(&x), &mut out).unwrap();
+    }
+}
+
+#[test]
+fn spmm_on_edgeless_graph_yields_identity_rows() {
+    // 5 isolated vertices: sum-aggregation output is all zeros, no panic
+    // from the partitioner or the thread pool.
+    let g = edgeless_graph(5);
+    let x = Dense2::<f32>::from_fn(5, 4, |v, i| (v + i) as f32);
+    let udf = Udf::copy_src(4);
+    for target in [Target::Cpu, Target::Gpu] {
+        let k = spmm(&g, &udf, Reducer::Sum, target, &Fds::default()).unwrap();
+        let mut out = Dense2::<f32>::from_fn(5, 4, |_, _| 7.0);
+        k.run(&GraphTensors::vertex_only(&x), &mut out).unwrap();
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+}
+
+#[test]
+fn sddmm_on_zero_vertex_graph() {
+    let g = empty_graph();
+    let x = Dense2::<f32>::zeros(0, 8);
+    let udf = Udf::dot(8);
+    for target in [Target::Cpu, Target::Gpu] {
+        let k = sddmm(&g, &udf, target, &Fds::default()).unwrap();
+        let mut out = Dense2::<f32>::zeros(0, 1);
+        k.run(&GraphTensors::vertex_only(&x), &mut out).unwrap();
+    }
+}
+
+#[test]
+fn sddmm_on_edgeless_graph() {
+    let g = edgeless_graph(6);
+    let x = Dense2::<f32>::from_fn(6, 8, |v, i| (v * i) as f32 * 0.1);
+    let udf = Udf::dot(8);
+    for target in [Target::Cpu, Target::Gpu] {
+        let k = sddmm(&g, &udf, target, &Fds::default()).unwrap();
+        let mut out = Dense2::<f32>::zeros(0, 1);
+        k.run(&GraphTensors::vertex_only(&x), &mut out).unwrap();
+    }
+}
+
+#[test]
+fn mlp_spmm_on_empty_graph() {
+    // the MLP fast path indexes params and shared tiles; make sure the
+    // empty iteration spaces hold up
+    let g = empty_graph();
+    let x = Dense2::<f32>::zeros(0, 8);
+    let w = Dense2::<f32>::zeros(8, 4);
+    let params = [&w];
+    let inputs = GraphTensors::with_params(&x, &params);
+    let udf = Udf::mlp(8, 4);
+    for target in [Target::Cpu, Target::Gpu] {
+        let k = spmm(&g, &udf, Reducer::Sum, target, &Fds::default()).unwrap();
+        let mut out = Dense2::<f32>::zeros(0, 4);
+        k.run(&inputs, &mut out).unwrap();
+    }
+}
+
+#[test]
+fn oversized_schedule_parameters_clamp() {
+    // more feature tiles than feature columns, more partitions than
+    // vertices: the schedule should clamp, not panic or mis-aggregate
+    let g = Graph::from_edges(3, &[(0, 1), (1, 2), (2, 0)]);
+    let x = Dense2::<f32>::from_fn(3, 2, |v, i| (v * 2 + i) as f32);
+    let udf = Udf::copy_src(2);
+    use featgraph::cpu::spmm::{CpuSpmm, CpuSpmmOptions};
+    let fds = Fds::cpu_tiled(16); // 16 tiles over 2 columns
+    let opts = CpuSpmmOptions::with_threads(64, 1); // 64 partitions over 3 vertices
+    let k = CpuSpmm::compile(&g, &udf, Reducer::Sum, &fds, &opts).unwrap();
+    let mut out = Dense2::<f32>::zeros(3, 2);
+    k.run(&GraphTensors::vertex_only(&x), &mut out).unwrap();
+    // ring graph: each vertex receives exactly its predecessor's feature
+    assert_eq!(out.row(1), x.row(0));
+}
+
+#[test]
+fn autotune_on_edgeless_graph() {
+    use featgraph::autotune::{tune_spmm_cpu, tune_spmm_cpu_adaptive};
+    let g = edgeless_graph(3);
+    let x = Dense2::<f32>::zeros(3, 4);
+    let inputs = GraphTensors::vertex_only(&x);
+    let udf = Udf::copy_src(4);
+    let r = tune_spmm_cpu(&g, &udf, Reducer::Sum, &inputs, &[1, 2], &[1, 2], 1, 1).unwrap();
+    assert_eq!(r.grid.len(), 4);
+    let r = tune_spmm_cpu_adaptive(&g, &udf, Reducer::Sum, &inputs, 2, 2, 1, 1).unwrap();
+    assert_eq!(r.best.graph_partitions, 1);
+}

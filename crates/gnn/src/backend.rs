@@ -295,6 +295,7 @@ impl FeatgraphBackend {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn run_spmm(
         &self,
         g: &GnnGraph,

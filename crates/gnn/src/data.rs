@@ -41,8 +41,8 @@ impl SbmTask {
         let signal = 0.6f32;
         let sigma = 1.5f32;
         let mut features = Dense2::zeros(n, in_dim);
-        for v in 0..n {
-            let label = labels[v] as usize;
+        for (v, &lab) in labels.iter().enumerate() {
+            let label = lab as usize;
             let row = features.row_mut(v);
             for (c, slot) in row.iter_mut().enumerate() {
                 let base = if c == label { signal } else { 0.0 };

@@ -1,6 +1,8 @@
 //! The three evaluation models of §V-E: 2-layer GCN, GraphSage, and GAT.
 
 
+use fg_telemetry::span;
+
 use crate::nn::{init_rng, Param};
 use crate::tape::{Tape, Var};
 
@@ -55,14 +57,20 @@ impl Model for Gcn {
         let w2 = tape.leaf(self.w2.value.clone());
         let b2 = tape.leaf(self.b2.value.clone());
         // layer 1: aggregate then transform (generalized SpMM is the hot op)
-        let agg1 = tape.mean_spmm(x);
-        let lin1 = tape.matmul(agg1, w1);
-        let pre1 = tape.add_bias(lin1, b1);
-        let h1 = tape.relu(pre1);
+        let h1 = {
+            let _span = span!("model/layer", "model=GCN layer=1");
+            let agg1 = tape.mean_spmm(x);
+            let lin1 = tape.matmul(agg1, w1);
+            let pre1 = tape.add_bias(lin1, b1);
+            tape.relu(pre1)
+        };
         // layer 2
-        let agg2 = tape.mean_spmm(h1);
-        let lin2 = tape.matmul(agg2, w2);
-        let logits = tape.add_bias(lin2, b2);
+        let logits = {
+            let _span = span!("model/layer", "model=GCN layer=2");
+            let agg2 = tape.mean_spmm(h1);
+            let lin2 = tape.matmul(agg2, w2);
+            tape.add_bias(lin2, b2)
+        };
         (logits, vec![w1, b1, w2, b2])
     }
 }
@@ -116,16 +124,17 @@ impl Model for GraphSage {
         let wn2 = tape.leaf(self.wn2.value.clone());
         let b2 = tape.leaf(self.b2.value.clone());
 
-        let layer = |tape: &mut Tape<'_>, h: Var, ws: Var, wn: Var, b: Var| {
+        let layer = |tape: &mut Tape<'_>, idx: u32, h: Var, ws: Var, wn: Var, b: Var| {
+            let _span = span!("model/layer", "model=GraphSage layer={idx}");
             let selfpart = tape.matmul(h, ws);
             let agg = tape.mean_spmm(h);
             let neighpart = tape.matmul(agg, wn);
             let sum = tape.add(selfpart, neighpart);
             tape.add_bias(sum, b)
         };
-        let pre1 = layer(tape, x, ws1, wn1, b1);
+        let pre1 = layer(tape, 1, x, ws1, wn1, b1);
         let h1 = tape.relu(pre1);
-        let logits = layer(tape, h1, ws2, wn2, b2);
+        let logits = layer(tape, 2, h1, ws2, wn2, b2);
         (logits, vec![ws1, wn1, b1, ws2, wn2, b2])
     }
 }
@@ -195,9 +204,11 @@ impl Model for Gat {
     fn forward(&self, tape: &mut Tape<'_>, x: Var) -> (Var, Vec<Var>) {
         let mut pvars = Vec::with_capacity(6 * self.heads);
         let layer = |tape: &mut Tape<'_>,
+                         idx: u32,
                          h: Var,
                          heads: &[(Param, Param, Param)],
                          pvars: &mut Vec<Var>| {
+            let _span = span!("model/layer", "model=GAT layer={idx} heads={}", heads.len());
             let mut acc: Option<Var> = None;
             for (w, al, ar) in heads {
                 let w = tape.leaf(w.value.clone());
@@ -223,9 +234,9 @@ impl Model for Gat {
                 summed
             }
         };
-        let pre1 = layer(tape, x, &self.layer1, &mut pvars);
+        let pre1 = layer(tape, 1, x, &self.layer1, &mut pvars);
         let h1 = tape.relu(pre1);
-        let logits = layer(tape, h1, &self.layer2, &mut pvars);
+        let logits = layer(tape, 2, h1, &self.layer2, &mut pvars);
         (logits, pvars)
     }
 }

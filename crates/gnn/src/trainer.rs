@@ -2,6 +2,7 @@
 
 use std::time::Instant;
 
+use fg_telemetry::{gauge_set, span, Gauge};
 use fg_tensor::Dense2;
 
 use crate::backend::{GpuCostModel, GraphBackend};
@@ -56,19 +57,28 @@ pub fn train(
         let _ = m.take();
     }
     for epoch in 1..=epochs {
+        let _epoch_span = span!("train/epoch", "epoch={epoch}/{epochs}");
         let t0 = Instant::now();
         let mut tape = Tape::new(&task.graph, backend, dense_gpu);
         let x = tape.leaf(task.features.clone());
-        let (logits_var, pvars) = model.forward(&mut tape, x);
+        let (logits_var, pvars) = {
+            let _fwd_span = span!("train/forward", "epoch={epoch}");
+            model.forward(&mut tape, x)
+        };
         let (loss, grad) =
             softmax_cross_entropy(tape.value(logits_var), &task.labels, &task.train_mask);
         let train_acc = accuracy(tape.value(logits_var), &task.labels, &task.train_mask);
         let val_acc = accuracy(tape.value(logits_var), &task.labels, &task.val_mask);
-        tape.backward(logits_var, grad);
+        {
+            let _bwd_span = span!("train/backward", "epoch={epoch}");
+            tape.backward(logits_var, grad);
+        }
         let grads: Vec<Dense2<f32>> = pvars.iter().map(|&v| tape.grad(v)).collect();
         for (param, g) in model.params().into_iter().zip(&grads) {
             opt.update(param, g, epoch);
         }
+        gauge_set(Gauge::Loss, loss);
+        gauge_set(Gauge::ValAccuracy, val_acc);
         let seconds = t0.elapsed().as_secs_f64();
         let gpu_ms =
             backend.take_gpu_ms() + dense_gpu.map_or(0.0, GpuCostModel::take);
@@ -106,6 +116,7 @@ pub fn inference(
     if let Some(m) = dense_gpu {
         let _ = m.take();
     }
+    let _span = span!("train/inference");
     let t0 = Instant::now();
     let mut tape = Tape::new(&task.graph, backend, dense_gpu);
     let x = tape.leaf(task.features.clone());

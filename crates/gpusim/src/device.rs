@@ -115,17 +115,15 @@ impl DeviceConfig {
         regs_per_thread: usize,
     ) -> usize {
         let by_threads = self.max_threads_per_sm / threads_per_block.max(1);
-        let by_shared = if shared_bytes_per_block == 0 {
-            self.max_blocks_per_sm
-        } else {
-            self.shared_mem_per_sm / shared_bytes_per_block
-        };
+        let by_shared = self
+            .shared_mem_per_sm
+            .checked_div(shared_bytes_per_block)
+            .unwrap_or(self.max_blocks_per_sm);
         let regs_per_block = regs_per_thread * threads_per_block;
-        let by_regs = if regs_per_block == 0 {
-            self.max_blocks_per_sm
-        } else {
-            self.regs_per_sm / regs_per_block
-        };
+        let by_regs = self
+            .regs_per_sm
+            .checked_div(regs_per_block)
+            .unwrap_or(self.max_blocks_per_sm);
         by_threads.min(by_shared).min(by_regs).min(self.max_blocks_per_sm)
     }
 }

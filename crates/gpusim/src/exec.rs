@@ -105,8 +105,38 @@ impl std::fmt::Display for LaunchReport {
     }
 }
 
+/// Bridge the launch's cost tally into the fg-telemetry counter registry,
+/// so GPU memory/compute totals show up next to CPU-side span counters.
+fn record_launch(device: &DeviceConfig, tally: &CostTally) {
+    use fg_telemetry::{counter_add, gauge_set, Counter, Gauge};
+    if !fg_telemetry::enabled() {
+        return;
+    }
+    counter_add(Counter::GpuAluOps, tally.alu_ops);
+    counter_add(Counter::GpuIssueOps, tally.issue_ops);
+    counter_add(Counter::GpuGlobalTransactions, tally.global_transactions);
+    counter_add(Counter::GpuGlobalBytes, tally.global_bytes);
+    counter_add(Counter::GpuSharedAccesses, tally.shared_accesses);
+    counter_add(Counter::GpuAtomicOps, tally.atomic_ops);
+    counter_add(Counter::GpuAtomicConflicts, tally.atomic_conflicts);
+    counter_add(Counter::GpuBarriers, tally.barriers);
+    counter_add(Counter::BytesMoved, tally.global_bytes);
+    if tally.global_transactions > 0 {
+        // useful bytes over bytes actually transacted: 1.0 = fully coalesced
+        let eff = tally.global_bytes as f64
+            / (tally.global_transactions as f64 * device.transaction_bytes as f64);
+        gauge_set(Gauge::GpuCoalescingEfficiency, eff.min(1.0));
+    }
+}
+
 /// Execute a kernel functionally and price it with the timing model.
 pub fn launch<K: GpuKernel + ?Sized>(device: &DeviceConfig, kernel: &mut K) -> LaunchReport {
+    let _launch_span = fg_telemetry::span!(
+        "gpu/launch",
+        "kernel={} grid={}",
+        kernel.name(),
+        kernel.grid_dim()
+    );
     let grid = kernel.grid_dim();
     let block_dim = kernel.block_dim();
     assert!(block_dim > 0, "block_dim must be positive");
@@ -154,6 +184,8 @@ pub fn launch<K: GpuKernel + ?Sized>(device: &DeviceConfig, kernel: &mut K) -> L
     let mem_cycles = total.global_transactions as f64 * device.transaction_bytes as f64
         / (device.global_bytes_per_cycle * bw_util);
     let cycles = max_sm.max(mem_cycles) + device.launch_overhead_cycles;
+
+    record_launch(device, &total);
 
     LaunchReport {
         kernel: kernel.name(),

@@ -123,8 +123,8 @@ pub fn sbm(
     let labels: Vec<u32> = (0..n).map(|v| (v / block_size) as u32).collect();
     let mut edges = Vec::with_capacity(n * avg_in_degree);
     let any = Uniform::new(0, n as VId);
-    for dst in 0..n {
-        let b = labels[dst] as usize;
+    for (dst, &label) in labels.iter().enumerate() {
+        let b = label as usize;
         let lo = b * block_size;
         let hi = ((b + 1) * block_size).min(n);
         let own = Uniform::new(lo as VId, hi as VId);

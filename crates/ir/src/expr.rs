@@ -121,21 +121,29 @@ impl ScalarExpr {
     }
 
     /// `self + rhs`.
+    // not the std ops trait: UDF builders take self by value and stay chainable
+    #[allow(clippy::should_implement_trait)]
     pub fn add(self, rhs: ScalarExpr) -> Self {
         ScalarExpr::Add(Box::new(self), Box::new(rhs))
     }
 
     /// `self - rhs`.
+    // not the std ops trait: UDF builders take self by value and stay chainable
+    #[allow(clippy::should_implement_trait)]
     pub fn sub(self, rhs: ScalarExpr) -> Self {
         ScalarExpr::Sub(Box::new(self), Box::new(rhs))
     }
 
     /// `self * rhs`.
+    // not the std ops trait: UDF builders take self by value and stay chainable
+    #[allow(clippy::should_implement_trait)]
     pub fn mul(self, rhs: ScalarExpr) -> Self {
         ScalarExpr::Mul(Box::new(self), Box::new(rhs))
     }
 
     /// `self / rhs`.
+    // not the std ops trait: UDF builders take self by value and stay chainable
+    #[allow(clippy::should_implement_trait)]
     pub fn div(self, rhs: ScalarExpr) -> Self {
         ScalarExpr::Div(Box::new(self), Box::new(rhs))
     }

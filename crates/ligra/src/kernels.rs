@@ -208,7 +208,7 @@ mod tests {
         let mut out = Dense2::zeros(50, 6);
         mlp_aggregation(&g, &x, &w, &mut out, &EdgeMapOptions::default());
         for v in 0..50u32 {
-            let mut want = vec![f32::MIN; 6];
+            let mut want = [f32::MIN; 6];
             let srcs = g.in_csr().row(v);
             for &src in srcs {
                 for (i, wv) in want.iter_mut().enumerate() {

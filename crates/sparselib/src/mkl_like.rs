@@ -112,8 +112,8 @@ mod tests {
         let xv: Vec<f32> = (0..60).map(|v| x.at(v, 0)).collect();
         let mut mv = vec![0.0f32; 60];
         csrmv(&g, &xv, &mut mv);
-        for v in 0..60 {
-            assert!((mm.at(v, 0) - mv[v]).abs() < 1e-5);
+        for (v, &got) in mv.iter().enumerate() {
+            assert!((mm.at(v, 0) - got).abs() < 1e-5);
         }
     }
 
@@ -132,12 +132,12 @@ mod tests {
         let x = features(30, 1);
         let mut out = Dense2::zeros(30, 1);
         csrmm_single_thread(&g, &x, &mut out);
-        let mut want = vec![0.0f32; 30];
+        let mut want = [0.0f32; 30];
         for (s, d, _) in g.edges() {
             want[d as usize] += x.at(s as usize, 0);
         }
-        for v in 0..30 {
-            assert!((out.at(v, 0) - want[v]).abs() < 1e-5);
+        for (v, &w) in want.iter().enumerate() {
+            assert!((out.at(v, 0) - w).abs() < 1e-5);
         }
     }
 

@@ -1,0 +1,546 @@
+//! # fg-telemetry — instrumentation for the FeatGraph stack
+//!
+//! Hierarchical wall-clock spans, a typed counter/gauge registry, and
+//! pluggable sinks (in-memory aggregation, JSON lines, Chrome
+//! `trace_event`). Kernels, the autotuner, and the trainer call the same
+//! three primitives everywhere:
+//!
+//! ```
+//! use fg_telemetry::{span, counter_add, Counter};
+//!
+//! fg_telemetry::set_enabled(true);
+//! {
+//!     let _s = span!("spmm/partition", "part={}", 3);
+//!     counter_add(Counter::EdgesProcessed, 1024);
+//! }
+//! fg_telemetry::flush();
+//! ```
+//!
+//! ## Cost model of the disabled path
+//!
+//! Instrumentation can be off at two levels, and hot loops pay nothing in
+//! either case:
+//!
+//! 1. **Compiled out** — building with `default-features = false` (the
+//!    downstream crates expose this as their `telemetry` feature) removes
+//!    the `enabled` feature. Every `span!` expands to a unit struct
+//!    construction, `counter_add`/`gauge_set` become empty `#[inline]`
+//!    functions, and the sink machinery is not compiled at all. The
+//!    optimizer erases every call site; the binary carries no telemetry
+//!    code.
+//! 2. **Runtime-disabled** (the default at startup) — with the feature
+//!    compiled in but [`enabled()`] false, `span!` performs one relaxed
+//!    atomic load and returns an inert guard; **no clock is read, no
+//!    format string is evaluated, no lock is taken**. `counter_add` is the
+//!    same single relaxed load. This keeps `cargo bench` numbers honest
+//!    while letting `fgbench --trace` flip instrumentation on without a
+//!    rebuild.
+//!
+//! Span args (`span!("name", "fmt {}", x)`) are formatted only after the
+//! enabled check passes, so argument construction is also free when off.
+//!
+//! ## Sinks
+//!
+//! Sinks receive completed [`SpanRecord`]s and gauge updates, and a final
+//! [`flush()`]:
+//!
+//! - [`MemorySink`] aggregates per-span-name count/total/min/max for
+//!   in-process assertions and the `fgbench --metrics` summary table.
+//! - [`JsonLinesSink`] streams one JSON object per record, for ad-hoc
+//!   scripting.
+//! - [`ChromeTraceSink`] buffers everything and writes a Chrome
+//!   `trace_event` JSON file on flush — open it at `chrome://tracing` or
+//!   <https://ui.perfetto.dev>. Spans become complete `"X"` events (one
+//!   lane per OS thread); the counter registry is emitted as `"C"` events.
+
+#[cfg(feature = "enabled")]
+use std::sync::atomic::{AtomicBool, Ordering};
+
+// ---------------------------------------------------------------------------
+// Typed counter / gauge registry (the enum layer is shared by both builds so
+// call sites never need cfg gates).
+// ---------------------------------------------------------------------------
+
+/// Monotonic `u64` counters, one slot per variant, summed across threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Counter {
+    /// Estimated bytes read + written by kernel inner loops.
+    BytesMoved,
+    /// Edge visits, counting each feature-tile pass over an edge once.
+    EdgesProcessed,
+    /// Graph partitions processed (per kernel run).
+    Partitions,
+    /// Feature-dimension tiles processed (per kernel run).
+    FeatureTiles,
+    /// Tree-reduction depth summed over GPU SDDMM launches.
+    TreeReductionDepth,
+    /// Autotuner configurations measured.
+    AutotuneTrials,
+    /// GPU simulator: ALU operations (bridged from `CostTally`).
+    GpuAluOps,
+    /// GPU simulator: issued instructions.
+    GpuIssueOps,
+    /// GPU simulator: global-memory transactions.
+    GpuGlobalTransactions,
+    /// GPU simulator: global-memory bytes.
+    GpuGlobalBytes,
+    /// GPU simulator: shared-memory accesses.
+    GpuSharedAccesses,
+    /// GPU simulator: atomic operations.
+    GpuAtomicOps,
+    /// GPU simulator: serialized atomic conflicts.
+    GpuAtomicConflicts,
+    /// GPU simulator: block-wide barriers.
+    GpuBarriers,
+}
+
+impl Counter {
+    pub const ALL: [Counter; 14] = [
+        Counter::BytesMoved,
+        Counter::EdgesProcessed,
+        Counter::Partitions,
+        Counter::FeatureTiles,
+        Counter::TreeReductionDepth,
+        Counter::AutotuneTrials,
+        Counter::GpuAluOps,
+        Counter::GpuIssueOps,
+        Counter::GpuGlobalTransactions,
+        Counter::GpuGlobalBytes,
+        Counter::GpuSharedAccesses,
+        Counter::GpuAtomicOps,
+        Counter::GpuAtomicConflicts,
+        Counter::GpuBarriers,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Counter::BytesMoved => "bytes_moved",
+            Counter::EdgesProcessed => "edges_processed",
+            Counter::Partitions => "partitions",
+            Counter::FeatureTiles => "feature_tiles",
+            Counter::TreeReductionDepth => "tree_reduction_depth",
+            Counter::AutotuneTrials => "autotune_trials",
+            Counter::GpuAluOps => "gpu_alu_ops",
+            Counter::GpuIssueOps => "gpu_issue_ops",
+            Counter::GpuGlobalTransactions => "gpu_global_transactions",
+            Counter::GpuGlobalBytes => "gpu_global_bytes",
+            Counter::GpuSharedAccesses => "gpu_shared_accesses",
+            Counter::GpuAtomicOps => "gpu_atomic_ops",
+            Counter::GpuAtomicConflicts => "gpu_atomic_conflicts",
+            Counter::GpuBarriers => "gpu_barriers",
+        }
+    }
+}
+
+/// Last-write-wins `f64` gauges; each update is also forwarded to sinks so
+/// exporters can plot the value over time.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Gauge {
+    /// Training loss, set once per epoch by the trainer.
+    Loss,
+    /// Validation accuracy, set once per epoch by the trainer.
+    ValAccuracy,
+    /// Best seconds seen so far by the CPU autotuner.
+    AutotuneBestSeconds,
+    /// Global-memory coalescing efficiency of the last GPU launch.
+    GpuCoalescingEfficiency,
+}
+
+impl Gauge {
+    pub const ALL: [Gauge; 4] = [
+        Gauge::Loss,
+        Gauge::ValAccuracy,
+        Gauge::AutotuneBestSeconds,
+        Gauge::GpuCoalescingEfficiency,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Gauge::Loss => "loss",
+            Gauge::ValAccuracy => "val_accuracy",
+            Gauge::AutotuneBestSeconds => "autotune_best_seconds",
+            Gauge::GpuCoalescingEfficiency => "gpu_coalescing_efficiency",
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Runtime enable flag (both builds; the disabled build hardwires `false`).
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "enabled")]
+static ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// Turn instrumentation on or off at runtime. Off by default.
+#[inline]
+pub fn set_enabled(on: bool) {
+    #[cfg(feature = "enabled")]
+    ENABLED.store(on, Ordering::Relaxed);
+    #[cfg(not(feature = "enabled"))]
+    let _ = on;
+}
+
+/// Whether instrumentation is currently recording. Always `false` (and
+/// constant-foldable) when the `enabled` feature is compiled out.
+#[inline]
+pub fn enabled() -> bool {
+    #[cfg(feature = "enabled")]
+    {
+        ENABLED.load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        false
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Live implementation.
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "enabled")]
+mod live {
+    use super::{enabled, Counter, Gauge};
+    use std::cell::Cell;
+    use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+    use std::sync::{Arc, Mutex, OnceLock};
+    use std::time::Instant;
+
+    // -- registry ----------------------------------------------------------
+
+    pub(super) static COUNTERS: [AtomicU64; Counter::ALL.len()] =
+        [const { AtomicU64::new(0) }; Counter::ALL.len()];
+
+    // Gauges store f64 bits; the companion flag records whether the gauge
+    // was ever set so snapshots can skip untouched ones.
+    pub(super) static GAUGES: [AtomicU64; Gauge::ALL.len()] =
+        [const { AtomicU64::new(0) }; Gauge::ALL.len()];
+    pub(super) static GAUGES_SET: [AtomicU64; Gauge::ALL.len()] =
+        [const { AtomicU64::new(0) }; Gauge::ALL.len()];
+
+    // -- clock & thread ids ------------------------------------------------
+
+    static EPOCH: OnceLock<Instant> = OnceLock::new();
+
+    pub(super) fn now_ns() -> u64 {
+        EPOCH.get_or_init(Instant::now).elapsed().as_nanos() as u64
+    }
+
+    static NEXT_TID: AtomicU64 = AtomicU64::new(1);
+
+    thread_local! {
+        static TID: Cell<u64> = const { Cell::new(0) };
+        static DEPTH: Cell<u32> = const { Cell::new(0) };
+    }
+
+    pub(super) fn thread_id() -> u64 {
+        TID.with(|t| {
+            let v = t.get();
+            if v != 0 {
+                v
+            } else {
+                let v = NEXT_TID.fetch_add(1, Ordering::Relaxed);
+                t.set(v);
+                v
+            }
+        })
+    }
+
+    // -- sinks -------------------------------------------------------------
+
+    /// One completed span, delivered to sinks when its guard drops.
+    #[derive(Clone, Debug)]
+    pub struct SpanRecord {
+        /// Static span name, slash-separated by convention (`"spmm/run"`).
+        pub name: &'static str,
+        /// Optional formatted arguments.
+        pub args: Option<String>,
+        /// Sequential id of the OS thread the span ran on (1-based).
+        pub tid: u64,
+        /// Start time in nanoseconds since the process telemetry epoch.
+        pub start_ns: u64,
+        /// Wall-clock duration in nanoseconds.
+        pub dur_ns: u64,
+        /// Nesting depth on its thread at entry (0 = top level).
+        pub depth: u32,
+    }
+
+    /// Receiver for telemetry events. Implementations must be `Send + Sync`;
+    /// callbacks may arrive from any instrumented thread.
+    pub trait Sink: Send + Sync {
+        fn on_span(&self, record: &SpanRecord);
+        /// A gauge was updated (timestamped for over-time plotting).
+        fn on_gauge(&self, gauge: Gauge, value: f64, ts_ns: u64) {
+            let _ = (gauge, value, ts_ns);
+        }
+        /// Final flush: write buffered output now.
+        fn on_flush(&self) {}
+    }
+
+    static SINKS: Mutex<Vec<Arc<dyn Sink>>> = Mutex::new(Vec::new());
+    // Fast-path guard so span drops skip the mutex when nobody listens.
+    pub(super) static SINK_COUNT: AtomicUsize = AtomicUsize::new(0);
+
+    pub(super) fn dispatch_span(record: &SpanRecord) {
+        if SINK_COUNT.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        for sink in SINKS.lock().unwrap().iter() {
+            sink.on_span(record);
+        }
+    }
+
+    pub(super) fn dispatch_gauge(gauge: Gauge, value: f64, ts_ns: u64) {
+        if SINK_COUNT.load(Ordering::Relaxed) == 0 {
+            return;
+        }
+        for sink in SINKS.lock().unwrap().iter() {
+            sink.on_gauge(gauge, value, ts_ns);
+        }
+    }
+
+    /// Register a sink. Keep your own `Arc` clone to query it later.
+    pub fn add_sink(sink: Arc<dyn Sink>) {
+        let mut sinks = SINKS.lock().unwrap();
+        sinks.push(sink);
+        SINK_COUNT.store(sinks.len(), Ordering::Relaxed);
+    }
+
+    /// Drop all registered sinks (flushing none).
+    pub fn clear_sinks() {
+        let mut sinks = SINKS.lock().unwrap();
+        sinks.clear();
+        SINK_COUNT.store(0, Ordering::Relaxed);
+    }
+
+    /// Ask every sink to write out buffered data.
+    pub fn flush() {
+        for sink in SINKS.lock().unwrap().iter() {
+            sink.on_flush();
+        }
+    }
+
+    // -- spans -------------------------------------------------------------
+
+    /// RAII guard created by [`span!`](crate::span); records a span from
+    /// construction to drop. Inert (a `None`) when telemetry is disabled.
+    pub struct SpanGuard(Option<ActiveSpan>);
+
+    struct ActiveSpan {
+        name: &'static str,
+        args: Option<String>,
+        start_ns: u64,
+        depth: u32,
+    }
+
+    impl SpanGuard {
+        #[doc(hidden)]
+        pub fn begin(name: &'static str, args: Option<String>) -> Self {
+            if !enabled() {
+                return SpanGuard(None);
+            }
+            let depth = DEPTH.with(|d| {
+                let v = d.get();
+                d.set(v + 1);
+                v
+            });
+            SpanGuard(Some(ActiveSpan {
+                name,
+                args,
+                start_ns: now_ns(),
+                depth,
+            }))
+        }
+    }
+
+    impl Drop for SpanGuard {
+        fn drop(&mut self) {
+            let Some(span) = self.0.take() else { return };
+            let end_ns = now_ns();
+            DEPTH.with(|d| d.set(d.get().saturating_sub(1)));
+            dispatch_span(&SpanRecord {
+                name: span.name,
+                args: span.args,
+                tid: thread_id(),
+                start_ns: span.start_ns,
+                dur_ns: end_ns.saturating_sub(span.start_ns),
+                depth: span.depth,
+            });
+        }
+    }
+}
+
+#[cfg(feature = "enabled")]
+pub use live::{add_sink, clear_sinks, flush, Sink, SpanGuard, SpanRecord};
+
+/// Add `delta` to a counter. One relaxed atomic load when disabled.
+#[inline]
+pub fn counter_add(counter: Counter, delta: u64) {
+    #[cfg(feature = "enabled")]
+    if enabled() {
+        live::COUNTERS[counter as usize].fetch_add(delta, Ordering::Relaxed);
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = (counter, delta);
+}
+
+/// Set a gauge (last write wins) and notify sinks with a timestamp.
+#[inline]
+pub fn gauge_set(gauge: Gauge, value: f64) {
+    #[cfg(feature = "enabled")]
+    if enabled() {
+        live::GAUGES[gauge as usize].store(value.to_bits(), Ordering::Relaxed);
+        live::GAUGES_SET[gauge as usize].store(1, Ordering::Relaxed);
+        live::dispatch_gauge(gauge, value, live::now_ns());
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = (gauge, value);
+}
+
+/// Current value of a counter.
+#[inline]
+pub fn counter_value(counter: Counter) -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        live::COUNTERS[counter as usize].load(Ordering::Relaxed)
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = counter;
+        0
+    }
+}
+
+/// Snapshot of all counters with a non-zero value.
+pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
+    Counter::ALL
+        .iter()
+        .map(|&c| (c.name(), counter_value(c)))
+        .filter(|&(_, v)| v != 0)
+        .collect()
+}
+
+/// Snapshot of all gauges that have been set at least once.
+pub fn gauges_snapshot() -> Vec<(&'static str, f64)> {
+    #[cfg(feature = "enabled")]
+    {
+        Gauge::ALL
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| live::GAUGES_SET[i].load(Ordering::Relaxed) != 0)
+            .map(|(i, &g)| (g.name(), f64::from_bits(live::GAUGES[i].load(Ordering::Relaxed))))
+            .collect()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        Vec::new()
+    }
+}
+
+/// Zero every counter and mark every gauge unset (sinks are untouched).
+pub fn reset_metrics() {
+    #[cfg(feature = "enabled")]
+    {
+        for slot in &live::COUNTERS {
+            slot.store(0, Ordering::Relaxed);
+        }
+        for (value, set) in live::GAUGES.iter().zip(&live::GAUGES_SET) {
+            value.store(0, Ordering::Relaxed);
+            set.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Disabled stubs: same call-site surface, no behavior, no state.
+// ---------------------------------------------------------------------------
+
+#[cfg(not(feature = "enabled"))]
+mod stub {
+    /// Inert guard; the live version records a span from construction to
+    /// drop. This build compiled telemetry out.
+    pub struct SpanGuard;
+
+    impl SpanGuard {
+        #[doc(hidden)]
+        #[inline(always)]
+        pub fn begin(_name: &'static str, _args: Option<String>) -> Self {
+            SpanGuard
+        }
+    }
+
+    /// No-op in this build; the live version flushes registered sinks.
+    #[inline(always)]
+    pub fn flush() {}
+}
+
+#[cfg(not(feature = "enabled"))]
+pub use stub::{flush, SpanGuard};
+
+/// Open a timed span that ends when the returned guard drops.
+///
+/// `span!("name")` or `span!("name", "fmt {}", args...)`. The format
+/// arguments are evaluated only when telemetry is enabled at runtime.
+#[macro_export]
+macro_rules! span {
+    ($name:expr) => {
+        $crate::SpanGuard::begin($name, ::core::option::Option::None)
+    };
+    ($name:expr, $($fmt:tt)+) => {
+        $crate::SpanGuard::begin(
+            $name,
+            if $crate::enabled() {
+                ::core::option::Option::Some(::std::format!($($fmt)+))
+            } else {
+                ::core::option::Option::None
+            },
+        )
+    };
+}
+
+// ---------------------------------------------------------------------------
+// Sinks (live builds only).
+// ---------------------------------------------------------------------------
+
+#[cfg(feature = "enabled")]
+mod sinks;
+
+#[cfg(feature = "enabled")]
+pub use sinks::{ChromeTraceSink, JsonLinesSink, MemorySink, SpanStats};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Serialize tests that toggle the global flag.
+    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    #[test]
+    fn disabled_spans_and_counters_do_nothing() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(false);
+        reset_metrics();
+        {
+            let _s = span!("noop", "never formatted {}", 1);
+            counter_add(Counter::EdgesProcessed, 7);
+            gauge_set(Gauge::Loss, 1.0);
+        }
+        assert_eq!(counter_value(Counter::EdgesProcessed), 0);
+        assert!(gauges_snapshot().is_empty());
+    }
+
+    #[test]
+    fn counters_accumulate_and_snapshot_when_enabled() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset_metrics();
+        counter_add(Counter::Partitions, 4);
+        counter_add(Counter::Partitions, 2);
+        gauge_set(Gauge::Loss, 0.25);
+        assert_eq!(counter_value(Counter::Partitions), 6);
+        assert_eq!(counters_snapshot(), vec![("partitions", 6)]);
+        assert_eq!(gauges_snapshot(), vec![("loss", 0.25)]);
+        set_enabled(false);
+        reset_metrics();
+    }
+}

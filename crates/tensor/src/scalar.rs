@@ -170,6 +170,6 @@ mod tests {
     fn finiteness() {
         assert!(1.0f32.is_finite_s());
         assert!(!(f32::MAX_FINITE * 2.0).is_finite_s());
-        assert!(!(0.0f64 / 0.0).is_finite_s());
+        assert!(!f64::NAN.is_finite_s());
     }
 }

@@ -1,0 +1,67 @@
+//! Offline stand-in for the `rand_pcg` crate: [`Pcg64Mcg`] only.
+//!
+//! Same construction as the real crate — a 128-bit multiplicative
+//! congruential generator with XSL-RR output — so statistical quality
+//! matches; the seeding path differs only in that `seed_from_u64` comes
+//! from the shimmed `rand::SeedableRng` default.
+
+use rand::{RngCore, SeedableRng};
+
+const MUL: u128 = 0x2360_ed05_1fc6_5da4_4385_df64_9fcc_f645;
+
+/// PCG XSL-RR 128/64 (MCG variant).
+#[derive(Clone, Debug)]
+pub struct Pcg64Mcg {
+    state: u128,
+}
+
+impl RngCore for Pcg64Mcg {
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_mul(MUL);
+        let rot = (self.state >> 122) as u32;
+        let xsl = ((self.state >> 64) as u64) ^ (self.state as u64);
+        xsl.rotate_right(rot)
+    }
+}
+
+impl SeedableRng for Pcg64Mcg {
+    type Seed = [u8; 16];
+
+    fn from_seed(seed: [u8; 16]) -> Self {
+        // An MCG state must be odd.
+        Self {
+            state: u128::from_le_bytes(seed) | 1,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn deterministic_for_a_fixed_seed() {
+        let mut a = Pcg64Mcg::seed_from_u64(99);
+        let mut b = Pcg64Mcg::seed_from_u64(99);
+        for _ in 0..32 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = Pcg64Mcg::seed_from_u64(1);
+        let mut b = Pcg64Mcg::seed_from_u64(2);
+        let same = (0..16).filter(|_| a.next_u64() == b.next_u64()).count();
+        assert!(same < 4);
+    }
+
+    #[test]
+    fn floats_are_roughly_uniform() {
+        let mut r = Pcg64Mcg::seed_from_u64(7);
+        let n = 10_000;
+        let mean: f64 = (0..n).map(|_| r.gen::<f64>()).sum::<f64>() / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} far from 0.5");
+    }
+}

@@ -150,6 +150,13 @@ fn block_count_sensitivity_has_the_fig15_shape() {
 
 /// Table III: Ligra's blackbox per-edge execution loses to the fused kernels
 /// on the CPU too (paper: 1.4×–6×). Wall-clock based: generous margin.
+/// The fused kernels' advantage (fewer passes, more work per inner loop) only
+/// materializes with optimizations on — in unoptimized builds the extra
+/// abstraction makes the ratio meaningless, so skip outside `--release`.
+#[cfg_attr(
+    debug_assertions,
+    ignore = "wall-clock perf ratio; only meaningful in optimized builds"
+)]
 #[test]
 fn ligra_is_slower_than_featgraph_on_cpu_kernels() {
     let g = generators::uniform(2000, 60, 3);
