@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! fgbench <command> [--scale N] [--lengths 32,64,...] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all]
-//!                   [--trace out.json] [--metrics]
+//!                   [--trace out.json] [--metrics] [--json report.json] [--bench-json]
+//! fgbench compare <baseline.json> <current.json> [--fail-on-regress PCT] [--warn-only]
 //!
 //! commands:
 //!   table1     capability matrix probed from the live systems (Table I)
@@ -22,18 +23,35 @@
 //!   a100       V100 vs A100 device model comparison (newer-hardware future work)
 //!   tune       adaptive tuner vs exhaustive grid search (SS VII future work)
 //!   all        everything above
+//!   compare    diff two --json reports; exit 1 on regression (see below)
 //!
 //! observability (requires the default `telemetry` feature):
 //!   --trace <path>   write a Chrome trace_event JSON of every kernel/
 //!                    autotuner/trainer span (view at ui.perfetto.dev)
-//!   --metrics        print aggregated span timings, counters, and gauges
-//!                    after the command finishes
+//!   --metrics        print aggregated span timings, counters, gauges,
+//!                    work-distribution histograms, and a per-kernel GPU
+//!                    roofline attribution after the command finishes
+//!
+//! performance reports (EXPERIMENTS.md documents the schema):
+//!   --json <path>    write a machine-readable report: per-run timing
+//!                    samples with min/median/mean/stddev, graph shapes,
+//!                    telemetry snapshot, and roofline rows
+//!   --bench-json     also write the report to ./BENCH_<command>_<scale>.json
+//!   compare          diff two reports by entry median; a regression must
+//!                    exceed both --fail-on-regress (default 5%) and a 2-sigma
+//!                    noise band from the recorded per-run spread. Exits
+//!                    nonzero on regression unless --warn-only is given.
 //! ```
 
-use fg_bench::cpu_kernels::{cpu_kernel_secs, featgraph_cpu_secs, CpuSystem, FeatgraphCpuConfig};
+use std::path::Path;
+
+use fg_bench::cpu_kernels::{
+    cpu_kernel_samples, cpu_kernel_secs, featgraph_cpu_samples, CpuSystem, FeatgraphCpuConfig,
+};
 use fg_bench::gpu_kernels::{featgraph_gpu_ms, gpu_kernel_ms, FeatgraphGpuConfig, GpuSystem};
+use fg_bench::perf::{self, Report};
 use fg_bench::report::{fmt_ms, fmt_secs, header, speedup};
-use fg_bench::runner::{load, BenchConfig, KernelKind};
+use fg_bench::runner::{load, BenchConfig, KernelKind, Samples};
 use fg_gnn::backend::GpuCostModel;
 use fg_gnn::data::SbmTask;
 use fg_gnn::models::build_model;
@@ -53,6 +71,11 @@ struct Args {
     kernel: String,
     trace: Option<String>,
     metrics: bool,
+    json: Option<String>,
+    bench_json: bool,
+    fail_on_regress: f64,
+    warn_only: bool,
+    positional: Vec<String>,
 }
 
 fn parse_args() -> Args {
@@ -63,6 +86,11 @@ fn parse_args() -> Args {
     let mut kernel = "all".to_string();
     let mut trace = None;
     let mut metrics = false;
+    let mut json = None;
+    let mut bench_json = false;
+    let mut fail_on_regress = 5.0;
+    let mut warn_only = false;
+    let mut positional = Vec::new();
     while let Some(a) = args.next() {
         let mut val = || args.next().expect("flag value");
         match a.as_str() {
@@ -78,6 +106,11 @@ fn parse_args() -> Args {
             "--kernel" => kernel = val(),
             "--trace" => trace = Some(val()),
             "--metrics" => metrics = true,
+            "--json" => json = Some(val()),
+            "--bench-json" => bench_json = true,
+            "--fail-on-regress" => fail_on_regress = val().parse().expect("percent"),
+            "--warn-only" => warn_only = true,
+            other if !other.starts_with("--") => positional.push(other.to_string()),
             other => {
                 eprintln!("unknown flag {other}");
                 std::process::exit(2);
@@ -91,6 +124,11 @@ fn parse_args() -> Args {
         kernel,
         trace,
         metrics,
+        json,
+        bench_json,
+        fail_on_regress,
+        warn_only,
+        positional,
     }
 }
 
@@ -101,12 +139,13 @@ struct Telemetry {
 }
 
 /// Enable telemetry and install the sinks requested by `--trace`/`--metrics`.
+/// A `--json` report also needs live counters, so it enables them too.
 #[cfg(feature = "telemetry")]
 fn telemetry_setup(args: &Args) -> Telemetry {
     use std::sync::Arc;
     let mut metrics = None;
     let mut trace = None;
-    if args.trace.is_some() || args.metrics {
+    if args.trace.is_some() || args.metrics || args.json.is_some() || args.bench_json {
         fg_telemetry::set_enabled(true);
     }
     if let Some(path) = &args.trace {
@@ -155,20 +194,7 @@ fn telemetry_finish(args: &Args, telem: Telemetry) {
                 );
             }
         }
-        let counters = fg_telemetry::counters_snapshot();
-        if !counters.is_empty() {
-            println!("\n=== telemetry: counters ===");
-            for (name, value) in counters {
-                println!("{name:<28}{value:>16}");
-            }
-        }
-        let gauges = fg_telemetry::gauges_snapshot();
-        if !gauges.is_empty() {
-            println!("\n=== telemetry: gauges (last value) ===");
-            for (name, value) in gauges {
-                println!("{name:<28}{value:>16.6}");
-            }
-        }
+        print_metrics_tables();
     }
 }
 
@@ -180,56 +206,215 @@ fn telemetry_setup(args: &Args) -> Telemetry {
     if args.trace.is_some() || args.metrics {
         eprintln!("fgbench was built without the `telemetry` feature; --trace/--metrics are ignored");
     }
+    if args.json.is_some() || args.bench_json {
+        eprintln!("fgbench was built without the `telemetry` feature; --json reports will lack counters");
+    }
     Telemetry
 }
 
 #[cfg(not(feature = "telemetry"))]
 fn telemetry_finish(_args: &Args, _telem: Telemetry) {}
 
+/// Print the counter/gauge/histogram/roofline snapshot (everything `--json`
+/// captures, in human-readable form). Sections with no data are skipped.
+fn print_metrics_tables() {
+    let counters = fg_telemetry::counters_snapshot();
+    if !counters.is_empty() {
+        println!("\n=== telemetry: counters ===");
+        for (name, value) in counters {
+            println!("{name:<28}{value:>16}");
+        }
+    }
+    let gauges = fg_telemetry::gauges_snapshot();
+    if !gauges.is_empty() {
+        println!("\n=== telemetry: gauges (last value) ===");
+        for (name, value) in gauges {
+            println!("{name:<28}{value:>16.6}");
+        }
+    }
+    let hists = fg_telemetry::histograms_snapshot();
+    if !hists.is_empty() {
+        println!("\n=== telemetry: work-distribution histograms ===");
+        println!(
+            "{:<24}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>11}",
+            "histogram", "count", "min", "p50", "p90", "p99", "max", "imbalance"
+        );
+        for (name, h) in hists {
+            println!(
+                "{:<24}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10}{:>10.2}x",
+                name,
+                h.count,
+                h.min,
+                h.quantile(0.50),
+                h.quantile(0.90),
+                h.quantile(0.99),
+                h.max,
+                h.imbalance()
+            );
+        }
+    }
+    let rollups = fg_gpusim::kernel_rollups();
+    if !rollups.is_empty() {
+        println!("\n=== gpusim: roofline attribution (per kernel) ===");
+        println!(
+            "{:<26}{:>9}{:>12}{:>10}{:>12}{:>12}{:>8}  bound",
+            "kernel", "launches", "time ms", "AI f/B", "GFLOP/s", "ceiling", "%peak"
+        );
+        for r in rollups {
+            let ai = r.arithmetic_intensity();
+            let ai_str = if ai.is_finite() { format!("{ai:>10.2}") } else { format!("{:>10}", "inf") };
+            println!(
+                "{:<26}{:>9}{:>12.3}{}{:>12.1}{:>12.1}{:>7.1}%  {}",
+                r.kernel,
+                r.launches,
+                r.time_ms,
+                ai_str,
+                r.attained_gflops(),
+                r.roofline_gflops(),
+                r.attained_fraction() * 100.0,
+                if r.memory_bound() { "memory" } else { "compute" }
+            );
+        }
+    }
+}
+
+/// `fgbench compare <baseline.json> <current.json>` — never returns.
+fn run_compare(args: &Args) -> ! {
+    let [base_path, cur_path] = &args.positional[..] else {
+        eprintln!("usage: fgbench compare <baseline.json> <current.json> [--fail-on-regress PCT] [--warn-only]");
+        std::process::exit(2);
+    };
+    let read = |path: &str| -> Report {
+        let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+            eprintln!("error: cannot read {path}: {e}");
+            std::process::exit(2);
+        });
+        Report::from_json(&text).unwrap_or_else(|e| {
+            eprintln!("error: {path} is not a valid report: {e}");
+            std::process::exit(2);
+        })
+    };
+    let base = read(base_path);
+    let cur = read(cur_path);
+    if base.machine != cur.machine {
+        eprintln!(
+            "warning: comparing across machines ({}/{}/{}t vs {}/{}/{}t)",
+            base.machine.os, base.machine.arch, base.machine.host_threads,
+            cur.machine.os, cur.machine.arch, cur.machine.host_threads
+        );
+    }
+    if base.scale != cur.scale {
+        eprintln!("warning: scale differs (1/{} vs 1/{})", base.scale, cur.scale);
+    }
+    let cmp = perf::compare(&base, &cur, args.fail_on_regress);
+    print!("{}", cmp.format_table());
+    if cmp.has_regressions() {
+        if args.warn_only {
+            eprintln!("warn-only: {} regression(s) ignored", cmp.regressions());
+            std::process::exit(0);
+        }
+        std::process::exit(1);
+    }
+    std::process::exit(0);
+}
+
+/// Snapshot telemetry into the report and write it wherever `--json` /
+/// `--bench-json` asked. `fgbench all` snapshots per subcommand instead.
+fn finish_report(args: &Args, rep: &mut Report, snapshot: bool) {
+    if args.json.is_none() && !args.bench_json {
+        return;
+    }
+    if snapshot {
+        rep.snapshot_telemetry();
+    }
+    let write_to = |path: &Path| match rep.write(path) {
+        Ok(()) => eprintln!("\nreport written to {}", path.display()),
+        Err(e) => eprintln!("\nerror: failed to write report to {}: {e}", path.display()),
+    };
+    if let Some(path) = &args.json {
+        write_to(Path::new(path));
+    }
+    if args.bench_json {
+        let name = format!("BENCH_{}_{}.json", rep.command, rep.scale);
+        write_to(Path::new(&name));
+    }
+}
+
 fn main() {
     let args = parse_args();
+    if args.command == "compare" {
+        run_compare(&args);
+    }
     let telem = telemetry_setup(&args);
+    let mut rep = Report::new(&args.command, args.cfg.scale);
     match args.command.as_str() {
         "table1" => table1(),
         "table2" => table2(&args),
-        "table3" => table3(&args),
-        "fig10" => fig10(&args),
-        "table4" => table4(&args),
-        "fig11" => fig11(&args),
-        "fig12" => fig12(&args),
-        "fig13" => fig13(&args),
-        "fig14" => fig14(&args),
-        "fig15" => fig15(&args),
-        "table5" => table5(&args),
-        "table6" => table6(&args),
+        "table3" => table3(&args, &mut rep),
+        "fig10" => fig10(&args, &mut rep),
+        "table4" => table4(&args, &mut rep),
+        "fig11" => fig11(&args, &mut rep),
+        "fig12" => fig12(&args, &mut rep),
+        "fig13" => fig13(&args, &mut rep),
+        "fig14" => fig14(&args, &mut rep),
+        "fig15" => fig15(&args, &mut rep),
+        "table5" => table5(&args, &mut rep),
+        "table6" => table6(&args, &mut rep),
         "accuracy" => accuracy(&args),
-        "traversal" => traversal(&args),
-        "a100" => a100(&args),
+        "traversal" => traversal(&args, &mut rep),
+        "a100" => a100(&args, &mut rep),
         "tune" => tune(&args),
-        "all" => {
-            table1();
-            table2(&args);
-            table3(&args);
-            fig10(&args);
-            table4(&args);
-            fig11(&args);
-            fig12(&args);
-            fig13(&args);
-            fig14(&args);
-            fig15(&args);
-            table5(&args);
-            table6(&args);
-            accuracy(&args);
-            traversal(&args);
-            tune(&args);
-            a100(&args);
-        }
+        "all" => run_all(&args, &mut rep),
         _ => {
-            eprintln!("usage: fgbench <table2|table3|fig10|table4|fig11|fig12|fig13|fig14|fig15|table5|table6|accuracy|all> [--scale N] [--lengths l1,l2] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all] [--trace out.json] [--metrics]");
+            eprintln!("usage: fgbench <table2|table3|fig10|table4|fig11|fig12|fig13|fig14|fig15|table5|table6|accuracy|all|compare> [--scale N] [--lengths l1,l2] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all] [--trace out.json] [--metrics] [--json report.json] [--bench-json]");
             std::process::exit(2);
         }
     }
+    finish_report(&args, &mut rep, args.command != "all");
     telemetry_finish(&args, telem);
+}
+
+/// Run every subcommand, each with a fresh metric window: after a subcommand
+/// finishes, its report is snapshotted (and written as
+/// `BENCH_<sub>_<scale>.json` under `--bench-json`), `--metrics` tables are
+/// printed, and counters/gauges/histograms/rollups are reset so the next
+/// subcommand starts clean. Span timings (and the `--trace` file) stay
+/// cumulative. The merged report accumulates every entry.
+fn run_all(args: &Args, master: &mut Report) {
+    let mut sub = |name: &str, f: &mut dyn FnMut(&mut Report)| {
+        let mut rep = Report::new(name, args.cfg.scale);
+        f(&mut rep);
+        rep.snapshot_telemetry();
+        if args.metrics {
+            println!("\n--- metrics after {name} (reset before next command) ---");
+            print_metrics_tables();
+        }
+        if args.bench_json {
+            let path = format!("BENCH_{}_{}.json", name, args.cfg.scale);
+            if let Err(e) = rep.write(Path::new(&path)) {
+                eprintln!("error: failed to write report to {path}: {e}");
+            }
+        }
+        master.merge(&rep);
+        fg_telemetry::reset_metrics();
+        fg_gpusim::reset_kernel_rollups();
+    };
+    sub("table1", &mut |_| table1());
+    sub("table2", &mut |_| table2(args));
+    sub("table3", &mut |r| table3(args, r));
+    sub("fig10", &mut |r| fig10(args, r));
+    sub("table4", &mut |r| table4(args, r));
+    sub("fig11", &mut |r| fig11(args, r));
+    sub("fig12", &mut |r| fig12(args, r));
+    sub("fig13", &mut |r| fig13(args, r));
+    sub("fig14", &mut |r| fig14(args, r));
+    sub("fig15", &mut |r| fig15(args, r));
+    sub("table5", &mut |r| table5(args, r));
+    sub("table6", &mut |r| table6(args, r));
+    sub("accuracy", &mut |_| accuracy(args));
+    sub("traversal", &mut |r| traversal(args, r));
+    sub("tune", &mut |_| tune(args));
+    sub("a100", &mut |r| a100(args, r));
 }
 
 fn kernels_for(sel: &str) -> Vec<KernelKind> {
@@ -318,7 +503,7 @@ fn table2(args: &Args) {
     }
 }
 
-fn table3(args: &Args) {
+fn table3(args: &Args, rep: &mut Report) {
     println!(
         "\n=== Table III: single-threaded CPU kernels (seconds, scale 1/{}) ===",
         args.cfg.scale
@@ -327,6 +512,7 @@ fn table3(args: &Args) {
         println!("\n--- {} ---", kind.name());
         for ds in Dataset::ALL {
             let g = load(ds, args.cfg.scale);
+            rep.push_graph(ds.name(), &g);
             println!("{}:", ds.name());
             header("  system", &args.cfg.lengths);
             for sys in [CpuSystem::Ligra, CpuSystem::Mkl, CpuSystem::FeatGraph] {
@@ -335,8 +521,17 @@ fn table3(args: &Args) {
                 }
                 print!("  {:<10}", sys.name());
                 for &d in &args.cfg.lengths {
-                    let t = cpu_kernel_secs(sys, kind, &g, d, 1, args.cfg.runs);
-                    print!("{}", fmt_secs(t));
+                    let s = cpu_kernel_samples(sys, kind, &g, d, 1, args.cfg.runs);
+                    print!("{}", fmt_secs(s.as_ref().map(Samples::mean)));
+                    if let Some(s) = s {
+                        let id = format!(
+                            "table3/{}/{}/{}/d{d}",
+                            kind.slug(),
+                            ds.name(),
+                            sys.name()
+                        );
+                        rep.push(id, "s", &s);
+                    }
                 }
                 println!();
             }
@@ -344,7 +539,7 @@ fn table3(args: &Args) {
     }
 }
 
-fn fig10(args: &Args) {
+fn fig10(args: &Args, rep: &mut Report) {
     println!(
         "\n=== Fig. 10: scalability, GCN aggregation on reddit d=512 (scale 1/{}) ===",
         args.cfg.scale
@@ -352,21 +547,24 @@ fn fig10(args: &Args) {
     let host = std::thread::available_parallelism().map_or(1, |n| n.get());
     println!("(host has {host} cores; speedups saturate at the physical core count)");
     let g = load(Dataset::Reddit, args.cfg.scale);
+    rep.push_graph(Dataset::Reddit.name(), &g);
     let d = 512;
     for sys in [CpuSystem::FeatGraph, CpuSystem::Ligra, CpuSystem::Mkl] {
         let base = cpu_kernel_secs(sys, KernelKind::GcnAggregation, &g, d, 1, args.cfg.runs)
             .expect("gcn supported everywhere");
         print!("{:<10}", sys.name());
         for threads in [1usize, 2, 4, 8, 16] {
-            let t = cpu_kernel_secs(sys, KernelKind::GcnAggregation, &g, d, threads, args.cfg.runs)
-                .unwrap();
-            print!("  t{threads}={:>5}", speedup(base, t));
+            let s =
+                cpu_kernel_samples(sys, KernelKind::GcnAggregation, &g, d, threads, args.cfg.runs)
+                    .unwrap();
+            print!("  t{threads}={:>5}", speedup(base, s.mean()));
+            rep.push(format!("fig10/gcn/reddit/{}/t{threads}", sys.name()), "s", &s);
         }
         println!();
     }
 }
 
-fn table4(args: &Args) {
+fn table4(args: &Args, rep: &mut Report) {
     println!(
         "\n=== Table IV: GPU kernels on the V100 simulator (ms, scale 1/{}) ===",
         args.cfg.scale
@@ -375,6 +573,7 @@ fn table4(args: &Args) {
         println!("\n--- {} ---", kind.name());
         for ds in Dataset::ALL {
             let g = load(ds, args.cfg.scale);
+            rep.push_graph(ds.name(), &g);
             println!("{}:", ds.name());
             header("  system", &args.cfg.lengths);
             for sys in [GpuSystem::Gunrock, GpuSystem::Cusparse, GpuSystem::FeatGraph] {
@@ -383,7 +582,17 @@ fn table4(args: &Args) {
                 }
                 print!("  {:<10}", sys.name());
                 for &d in &args.cfg.lengths {
-                    print!("{}", fmt_ms(gpu_kernel_ms(sys, kind, &g, d)));
+                    let ms = gpu_kernel_ms(sys, kind, &g, d);
+                    print!("{}", fmt_ms(ms));
+                    if let Some(ms) = ms {
+                        let id = format!(
+                            "table4/{}/{}/{}/d{d}",
+                            kind.slug(),
+                            ds.name(),
+                            sys.name()
+                        );
+                        rep.push_single(id, "ms", ms);
+                    }
                 }
                 println!();
             }
@@ -391,12 +600,13 @@ fn table4(args: &Args) {
     }
 }
 
-fn fig11(args: &Args) {
+fn fig11(args: &Args, rep: &mut Report) {
     println!(
         "\n=== Fig. 11: graph partitioning x feature tiling ablation (GCN agg, reddit, scale 1/{}) ===",
         args.cfg.scale
     );
     let g = load(Dataset::Reddit, args.cfg.scale);
+    rep.push_graph(Dataset::Reddit.name(), &g);
     header("config", &args.cfg.lengths);
     let configs: [(&str, Option<usize>, Option<usize>); 4] = [
         ("baseline", Some(1), Some(1)),
@@ -404,8 +614,8 @@ fn fig11(args: &Args) {
         ("partition", None, Some(1)),
         ("both", None, None),
     ];
-    let mut rows: Vec<Vec<f64>> = Vec::new();
-    for &(_, parts, tiles) in &configs {
+    let mut rows: Vec<Vec<Samples>> = Vec::new();
+    for &(name, parts, tiles) in &configs {
         let mut row = Vec::new();
         for &d in &args.cfg.lengths {
             let cfg = FeatgraphCpuConfig {
@@ -413,14 +623,16 @@ fn fig11(args: &Args) {
                 feature_tiles: tiles,
                 traversal: Traversal::Hilbert,
             };
-            row.push(featgraph_cpu_secs(
+            let s = featgraph_cpu_samples(
                 KernelKind::GcnAggregation,
                 &g,
                 d,
                 1,
                 args.cfg.runs,
                 cfg,
-            ));
+            );
+            rep.push(format!("fig11/{name}/d{d}"), "s", &s);
+            row.push(s);
         }
         rows.push(row);
     }
@@ -428,18 +640,19 @@ fn fig11(args: &Args) {
         print!("{name:<12}");
         for (di, _) in args.cfg.lengths.iter().enumerate() {
             // speedup over the baseline config
-            print!("{:>10}", speedup(rows[0][di], rows[ci][di]));
+            print!("{:>10}", speedup(rows[0][di].mean(), rows[ci][di].mean()));
         }
         println!();
     }
 }
 
-fn fig12(args: &Args) {
+fn fig12(args: &Args, rep: &mut Report) {
     println!(
         "\n=== Fig. 12: tree reduction ablation (dot attention, rand-100K, GPU sim, scale 1/{}) ===",
         args.cfg.scale
     );
     let g = load(Dataset::Rand100K, args.cfg.scale);
+    rep.push_graph(Dataset::Rand100K.name(), &g);
     header("config", &args.cfg.lengths);
     let mut gunrock = Vec::new();
     let mut no_tree = Vec::new();
@@ -468,19 +681,22 @@ fn fig12(args: &Args) {
         ("FG w/ tree", &tree),
     ] {
         print!("{name:<12}");
-        for (di, _) in args.cfg.lengths.iter().enumerate() {
+        for (di, &d) in args.cfg.lengths.iter().enumerate() {
             print!("{:>10}", speedup(gunrock[di], row[di]));
+            let slug = name.replace([' ', '/'], "_");
+            rep.push_single(format!("fig12/{slug}/d{d}"), "ms", row[di]);
         }
         println!("   (speedup over Gunrock)");
     }
 }
 
-fn fig13(args: &Args) {
+fn fig13(args: &Args, rep: &mut Report) {
     println!(
         "\n=== Fig. 13: hybrid partitioning ablation (GCN agg, rand-100K, GPU sim, scale 1/{}) ===",
         args.cfg.scale
     );
     let g = load(Dataset::Rand100K, args.cfg.scale);
+    rep.push_graph(Dataset::Rand100K.name(), &g);
     header("config", &args.cfg.lengths);
     let n = g.num_vertices();
     // Enough blocks to keep every SM fed, but enough rows per block that a
@@ -526,19 +742,22 @@ fn fig13(args: &Args) {
         ("FG w/ hyb", &hybrid),
     ] {
         print!("{name:<12}");
-        for (di, _) in args.cfg.lengths.iter().enumerate() {
+        for (di, &d) in args.cfg.lengths.iter().enumerate() {
             print!("{:>10}", speedup(cus[di], row[di]));
+            let slug = name.replace([' ', '/'], "_");
+            rep.push_single(format!("fig13/{slug}/d{d}"), "ms", row[di]);
         }
         println!("   (speedup over cuSPARSE)");
     }
 }
 
-fn fig14(args: &Args) {
+fn fig14(args: &Args, rep: &mut Report) {
     println!(
         "\n=== Fig. 14: sensitivity to partitioning factors (GCN agg, reddit, d=128, scale 1/{}) ===",
         args.cfg.scale
     );
     let g = load(Dataset::Reddit, args.cfg.scale);
+    rep.push_graph(Dataset::Reddit.name(), &g);
     let partitions = [1usize, 4, 16, 64];
     let tiles = [1usize, 2, 4, 8];
     print!("{:<22}", "graph parts \\ feat parts");
@@ -554,20 +773,22 @@ fn fig14(args: &Args) {
                 feature_tiles: Some(t),
                 traversal: Traversal::Hilbert,
             };
-            let secs =
-                featgraph_cpu_secs(KernelKind::GcnAggregation, &g, 128, 1, args.cfg.runs, cfg);
-            print!("{:>10.3}", secs);
+            let s =
+                featgraph_cpu_samples(KernelKind::GcnAggregation, &g, 128, 1, args.cfg.runs, cfg);
+            print!("{:>10.3}", s.mean());
+            rep.push(format!("fig14/p{p}/t{t}"), "s", &s);
         }
         println!();
     }
 }
 
-fn fig15(args: &Args) {
+fn fig15(args: &Args, rep: &mut Report) {
     println!(
         "\n=== Fig. 15: sensitivity to #CUDA blocks (GCN agg, reddit, d=128, GPU sim, scale 1/{}) ===",
         args.cfg.scale
     );
     let g = load(Dataset::Reddit, args.cfg.scale);
+    rep.push_graph(Dataset::Reddit.name(), &g);
     let n = g.num_vertices();
     for &blocks in &[8usize, 32, 80, 256, 1024, 4096, 16384, 65536, 262144] {
         let blocks = blocks.min(n);
@@ -582,22 +803,24 @@ fn fig15(args: &Args) {
             },
         );
         println!("blocks={blocks:>8}  time={ms:>9.3} ms");
+        rep.push_single(format!("fig15/blocks{blocks}"), "ms", ms);
         if blocks == n {
             break;
         }
     }
 }
 
-fn table5(args: &Args) {
+fn table5(args: &Args, rep: &mut Report) {
     println!(
         "\n=== Table V: sensitivity to graph sparsity (GCN agg, uniform 100K/scale, d=128) ==="
     );
     let n = 100_000 / args.cfg.scale;
     for sparsity in [0.9995f64, 0.995, 0.95] {
         let g = fg_graph::generators::uniform_with_sparsity(n.max(64), sparsity, 7);
-        let mkl = cpu_kernel_secs(CpuSystem::Mkl, KernelKind::GcnAggregation, &g, 128, 1, args.cfg.runs)
-            .unwrap();
-        let fg = cpu_kernel_secs(
+        let mkl =
+            cpu_kernel_samples(CpuSystem::Mkl, KernelKind::GcnAggregation, &g, 128, 1, args.cfg.runs)
+                .unwrap();
+        let fg = cpu_kernel_samples(
             CpuSystem::FeatGraph,
             KernelKind::GcnAggregation,
             &g,
@@ -609,14 +832,16 @@ fn table5(args: &Args) {
         println!(
             "sparsity {:>7.2}%  MKL {:>8.3}s  FeatGraph {:>8.3}s  speedup {}",
             sparsity * 100.0,
-            mkl,
-            fg,
-            speedup(mkl, fg)
+            mkl.mean(),
+            fg.mean(),
+            speedup(mkl.mean(), fg.mean())
         );
+        rep.push(format!("table5/sparsity{:.2}/MKL", sparsity * 100.0), "s", &mkl);
+        rep.push(format!("table5/sparsity{:.2}/FeatGraph", sparsity * 100.0), "s", &fg);
     }
 }
 
-fn table6(args: &Args) {
+fn table6(args: &Args, rep: &mut Report) {
     println!(
         "\n=== Table VI: end-to-end training/inference, DGL-style naive vs FeatGraph backend ==="
     );
@@ -646,6 +871,12 @@ fn table6(args: &Args) {
             r2.avg_epoch_seconds,
             speedup(r1.avg_epoch_seconds, r2.avg_epoch_seconds)
         );
+        rep.push_single(format!("table6/{model_name}/cpu_train/naive"), "s", r1.avg_epoch_seconds);
+        rep.push_single(
+            format!("table6/{model_name}/cpu_train/featgraph"),
+            "s",
+            r2.avg_epoch_seconds,
+        );
         let (_, i1, _) = inference(m1.as_ref(), &task, &naive, None);
         let (_, i2, _) = inference(m2.as_ref(), &task, &fgb, None);
         println!(
@@ -654,6 +885,8 @@ fn table6(args: &Args) {
             i2,
             speedup(i1, i2)
         );
+        rep.push_single(format!("table6/{model_name}/cpu_infer/naive"), "s", i1);
+        rep.push_single(format!("table6/{model_name}/cpu_infer/featgraph"), "s", i2);
 
         // --- GPU (simulated) ---
         let naive_gpu = NaiveBackend::gpu(DeviceConfig::v100());
@@ -684,6 +917,12 @@ fn table6(args: &Args) {
             r4.avg_epoch_gpu_ms,
             speedup(r3.avg_epoch_gpu_ms, r4.avg_epoch_gpu_ms)
         );
+        rep.push_single(format!("table6/{model_name}/gpu_train/naive"), "ms", r3.avg_epoch_gpu_ms);
+        rep.push_single(
+            format!("table6/{model_name}/gpu_train/featgraph"),
+            "ms",
+            r4.avg_epoch_gpu_ms,
+        );
         let (_, _, g1) = inference(m3.as_ref(), &task, &naive_gpu, Some(&dense1));
         let (_, _, g2) = inference(m4.as_ref(), &task, &fgb_gpu, Some(&dense2));
         println!(
@@ -692,15 +931,18 @@ fn table6(args: &Args) {
             g2,
             speedup(g1, g2)
         );
+        rep.push_single(format!("table6/{model_name}/gpu_infer/naive"), "ms", g1);
+        rep.push_single(format!("table6/{model_name}/gpu_infer/featgraph"), "ms", g2);
     }
 }
 
-fn traversal(args: &Args) {
+fn traversal(args: &Args, rep: &mut Report) {
     println!(
         "\n=== SS III-C1: Hilbert vs canonical edge traversal (dot attention, reddit, scale 1/{}) ===",
         args.cfg.scale
     );
     let g = load(Dataset::Reddit, args.cfg.scale);
+    rep.push_graph(Dataset::Reddit.name(), &g);
     let canonical_order = fg_graph::hilbert::EdgeOrder::canonical(&g);
     let hilbert_order = fg_graph::hilbert::EdgeOrder::hilbert(&g);
     println!(
@@ -719,19 +961,21 @@ fn traversal(args: &Args) {
                 traversal: trav,
                 ..Default::default()
             };
-            let secs = featgraph_cpu_secs(KernelKind::DotAttention, &g, d, 1, args.cfg.runs, cfg);
-            print!("{:>10.3}", secs);
+            let s = featgraph_cpu_samples(KernelKind::DotAttention, &g, d, 1, args.cfg.runs, cfg);
+            print!("{:>10.3}", s.mean());
+            rep.push(format!("traversal/{name}/d{d}"), "s", &s);
         }
         println!();
     }
 }
 
-fn a100(args: &Args) {
+fn a100(args: &Args, rep: &mut Report) {
     println!(
         "\n=== Newer hardware: V100 vs A100 device model (FeatGraph kernels, reddit, scale 1/{}) ===",
         args.cfg.scale
     );
     let g = load(Dataset::Reddit, args.cfg.scale);
+    rep.push_graph(Dataset::Reddit.name(), &g);
     println!("{:<24}{:>12}{:>12}{:>10}", "kernel (d=256)", "V100 ms", "A100 ms", "ratio");
     for kind in [
         KernelKind::GcnAggregation,
@@ -749,6 +993,8 @@ fn a100(args: &Args) {
             },
         );
         println!("{:<24}{:>12.3}{:>12.3}{:>9.2}x", kind.name(), v, a, v / a);
+        rep.push_single(format!("a100/{}/v100", kind.slug()), "ms", v);
+        rep.push_single(format!("a100/{}/a100", kind.slug()), "ms", a);
     }
     println!("(memory-bound kernels track the 1.73x HBM bandwidth ratio)");
 }

@@ -8,7 +8,7 @@ use fg_graph::Graph;
 use fg_ligra::EdgeMapOptions;
 use fg_tensor::Dense2;
 
-use crate::runner::{features, time_secs, weights, KernelKind, MLP_D1};
+use crate::runner::{features, time_samples, weights, KernelKind, Samples, MLP_D1};
 
 /// Effective cache the partitioning heuristic targets on *this* host. The
 /// paper's c5.9xlarge has a 25 MB LLC; this container exposes a 2 MB private
@@ -38,9 +38,10 @@ impl CpuSystem {
     }
 }
 
-/// Measure one cell of Table III: seconds for `system` running `kind` at
-/// feature length `d` with `threads` workers. Returns `None` where the paper
-/// has no number (MKL only supports vanilla SpMM).
+/// Measure one cell of Table III: mean seconds for `system` running `kind`
+/// at feature length `d` with `threads` workers. Returns `None` where the
+/// paper has no number (MKL only supports vanilla SpMM). Thin wrapper over
+/// [`cpu_kernel_samples`] for callers that only need a point estimate.
 pub fn cpu_kernel_secs(
     system: CpuSystem,
     kind: KernelKind,
@@ -49,12 +50,24 @@ pub fn cpu_kernel_secs(
     threads: usize,
     runs: usize,
 ) -> Option<f64> {
+    cpu_kernel_samples(system, kind, graph, d, threads, runs).map(|s| s.mean())
+}
+
+/// Per-run timing samples for one Table III cell (see [`cpu_kernel_secs`]).
+pub fn cpu_kernel_samples(
+    system: CpuSystem,
+    kind: KernelKind,
+    graph: &Graph,
+    d: usize,
+    threads: usize,
+    runs: usize,
+) -> Option<Samples> {
     let n = graph.num_vertices();
     match (system, kind) {
         (CpuSystem::Mkl, KernelKind::GcnAggregation) => {
             let x = features(n, d);
             let mut out = Dense2::zeros(n, d);
-            Some(time_secs(runs, || {
+            Some(time_samples(runs, || {
                 fg_sparselib::mkl_like::csrmm(graph, &x, &mut out, threads)
             }))
         }
@@ -66,7 +79,7 @@ pub fn cpu_kernel_secs(
                 threads,
                 ..Default::default()
             };
-            Some(time_secs(runs, || {
+            Some(time_samples(runs, || {
                 fg_ligra::kernels::gcn_aggregation(graph, &x, &mut out, &opts)
             }))
         }
@@ -78,7 +91,7 @@ pub fn cpu_kernel_secs(
                 threads,
                 ..Default::default()
             };
-            Some(time_secs(runs, || {
+            Some(time_samples(runs, || {
                 fg_ligra::kernels::mlp_aggregation(graph, &x, &w, &mut out, &opts)
             }))
         }
@@ -89,11 +102,11 @@ pub fn cpu_kernel_secs(
                 threads,
                 ..Default::default()
             };
-            Some(time_secs(runs, || {
+            Some(time_samples(runs, || {
                 fg_ligra::kernels::dot_attention(graph, &x, &mut out, &opts)
             }))
         }
-        (CpuSystem::FeatGraph, _) => Some(featgraph_cpu_secs(
+        (CpuSystem::FeatGraph, _) => Some(featgraph_cpu_samples(
             kind,
             graph,
             d,
@@ -152,7 +165,8 @@ pub fn default_graph_partitions(graph: &Graph, tile_cols: usize) -> usize {
     )
 }
 
-/// Measure FeatGraph's CPU kernel with explicit scheduling knobs.
+/// Measure FeatGraph's CPU kernel with explicit scheduling knobs; mean
+/// seconds (wrapper over [`featgraph_cpu_samples`]).
 pub fn featgraph_cpu_secs(
     kind: KernelKind,
     graph: &Graph,
@@ -161,6 +175,19 @@ pub fn featgraph_cpu_secs(
     runs: usize,
     cfg: FeatgraphCpuConfig,
 ) -> f64 {
+    featgraph_cpu_samples(kind, graph, d, threads, runs, cfg).mean()
+}
+
+/// Per-run timing samples for FeatGraph's CPU kernel with explicit
+/// scheduling knobs.
+pub fn featgraph_cpu_samples(
+    kind: KernelKind,
+    graph: &Graph,
+    d: usize,
+    threads: usize,
+    runs: usize,
+    cfg: FeatgraphCpuConfig,
+) -> Samples {
     let n = graph.num_vertices();
     let tiles = cfg
         .feature_tiles
@@ -179,7 +206,7 @@ pub fn featgraph_cpu_secs(
             let x = features(n, d);
             let inputs = GraphTensors::vertex_only(&x);
             let mut out = Dense2::zeros(n, d);
-            time_secs(runs, || {
+            time_samples(runs, || {
                 kernel.run(&inputs, &mut out).expect("run");
             })
         }
@@ -199,7 +226,7 @@ pub fn featgraph_cpu_secs(
             let params = [&w];
             let inputs = GraphTensors::with_params(&x, &params);
             let mut out = Dense2::zeros(n, d);
-            time_secs(runs, || {
+            time_samples(runs, || {
                 kernel.run(&inputs, &mut out).expect("run");
             })
         }
@@ -216,7 +243,7 @@ pub fn featgraph_cpu_secs(
             let x = features(n, d);
             let inputs = GraphTensors::vertex_only(&x);
             let mut out = Dense2::zeros(graph.num_edges(), 1);
-            time_secs(runs, || {
+            time_samples(runs, || {
                 kernel.run(&inputs, &mut out).expect("run");
             })
         }

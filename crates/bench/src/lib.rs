@@ -14,6 +14,7 @@
 
 pub mod cpu_kernels;
 pub mod gpu_kernels;
+pub mod perf;
 pub mod report;
 pub mod runner;
 

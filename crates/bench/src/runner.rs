@@ -27,6 +27,15 @@ impl KernelKind {
         }
     }
 
+    /// Short slug used in report entry ids (`gcn`, `mlp`, `dot`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            KernelKind::GcnAggregation => "gcn",
+            KernelKind::MlpAggregation => "mlp",
+            KernelKind::DotAttention => "dot",
+        }
+    }
+
     /// Parse a CLI flag.
     pub fn parse(s: &str) -> Option<Self> {
         match s {
@@ -77,16 +86,105 @@ pub fn weights(d1: usize, d2: usize) -> Dense2<f32> {
     Dense2::from_fn(d1, d2, |r, c| ((r * 17 + c * 13) % 101) as f32 * 0.02 - 1.0)
 }
 
-/// Time `f` with one warm-up call and `runs` measured calls; returns mean
-/// seconds.
-pub fn time_secs(runs: usize, mut f: impl FnMut()) -> f64 {
-    f(); // warm-up
-    let t0 = Instant::now();
-    let runs = runs.max(1);
-    for _ in 0..runs {
-        f();
+/// Per-run wall-clock measurements from [`time_samples`]. Unlike a pooled
+/// mean, the individual samples keep outlier runs visible, which is what the
+/// compare/regression gate's noise thresholds are built on.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Samples {
+    /// One wall-clock measurement per run, in seconds, in run order.
+    pub secs: Vec<f64>,
+}
+
+impl Samples {
+    /// Wrap an explicit sample vector.
+    pub fn from_secs(secs: Vec<f64>) -> Self {
+        Self { secs }
     }
-    t0.elapsed().as_secs_f64() / runs as f64
+
+    /// A single measurement (deterministic sources like the GPU simulator).
+    pub fn single(s: f64) -> Self {
+        Self { secs: vec![s] }
+    }
+
+    /// Number of measured runs.
+    pub fn len(&self) -> usize {
+        self.secs.len()
+    }
+
+    /// True when no run was recorded.
+    pub fn is_empty(&self) -> bool {
+        self.secs.is_empty()
+    }
+
+    /// Fastest run.
+    pub fn min(&self) -> f64 {
+        self.secs.iter().copied().fold(f64::INFINITY, f64::min)
+    }
+
+    /// Slowest run.
+    pub fn max(&self) -> f64 {
+        self.secs.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Arithmetic mean.
+    pub fn mean(&self) -> f64 {
+        if self.secs.is_empty() {
+            return 0.0;
+        }
+        self.secs.iter().sum::<f64>() / self.secs.len() as f64
+    }
+
+    /// Median (midpoint-interpolated for even lengths) — the statistic the
+    /// regression gate compares, because it shrugs off single outlier runs.
+    pub fn median(&self) -> f64 {
+        if self.secs.is_empty() {
+            return 0.0;
+        }
+        let mut sorted = self.secs.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let n = sorted.len();
+        if n % 2 == 1 {
+            sorted[n / 2]
+        } else {
+            (sorted[n / 2 - 1] + sorted[n / 2]) / 2.0
+        }
+    }
+
+    /// Sample standard deviation (`0.0` with fewer than two runs).
+    pub fn stddev(&self) -> f64 {
+        let n = self.secs.len();
+        if n < 2 {
+            return 0.0;
+        }
+        let mean = self.mean();
+        let var = self
+            .secs
+            .iter()
+            .map(|&s| (s - mean) * (s - mean))
+            .sum::<f64>()
+            / (n - 1) as f64;
+        var.sqrt()
+    }
+}
+
+/// Time `f` with one warm-up call and `runs` individually-timed calls.
+pub fn time_samples(runs: usize, mut f: impl FnMut()) -> Samples {
+    f(); // warm-up
+    let runs = runs.max(1);
+    let mut secs = Vec::with_capacity(runs);
+    for _ in 0..runs {
+        let t0 = Instant::now();
+        f();
+        secs.push(t0.elapsed().as_secs_f64());
+    }
+    Samples { secs }
+}
+
+/// Time `f` with one warm-up call and `runs` measured calls; returns mean
+/// seconds. Thin wrapper over [`time_samples`] for callers that only need a
+/// point estimate.
+pub fn time_secs(runs: usize, f: impl FnMut()) -> f64 {
+    time_samples(runs, f).mean()
 }
 
 #[cfg(test)]
@@ -107,6 +205,31 @@ mod tests {
             std::hint::black_box((0..1000).sum::<usize>());
         });
         assert!(t >= 0.0);
+    }
+
+    #[test]
+    fn time_samples_keeps_per_run_variance() {
+        let s = time_samples(4, || {
+            std::hint::black_box((0..10_000).sum::<usize>());
+        });
+        assert_eq!(s.len(), 4);
+        assert!(s.min() <= s.median() && s.median() <= s.max());
+        assert!(s.mean() >= 0.0 && s.stddev() >= 0.0);
+    }
+
+    #[test]
+    fn sample_statistics_are_exact_on_known_data() {
+        let s = Samples::from_secs(vec![1.0, 2.0, 3.0, 10.0]);
+        assert_eq!(s.min(), 1.0);
+        assert_eq!(s.max(), 10.0);
+        assert_eq!(s.mean(), 4.0);
+        assert_eq!(s.median(), 2.5); // interpolated, outlier-resistant
+        // sample stddev of [1,2,3,10]: var = (9+4+1+36)/3 = 50/3
+        assert!((s.stddev() - (50.0f64 / 3.0).sqrt()).abs() < 1e-12);
+        let odd = Samples::from_secs(vec![3.0, 1.0, 2.0]);
+        assert_eq!(odd.median(), 2.0);
+        assert_eq!(Samples::single(5.0).stddev(), 0.0);
+        assert_eq!(Samples::default().median(), 0.0);
     }
 
     #[test]

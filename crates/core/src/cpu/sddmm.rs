@@ -6,7 +6,7 @@ use fg_ir::interp::{eval_udf, EdgeCtx};
 use fg_ir::{Fds, KernelPattern, Udf};
 use fg_tensor::tile::{ColTile, ColTiles};
 use fg_tensor::Dense2;
-use fg_telemetry::{counter_add, span, Counter};
+use fg_telemetry::{counter_add, histogram_record, span, Counter, Histogram};
 use rayon::prelude::*;
 
 use crate::error::KernelError;
@@ -136,6 +136,7 @@ impl CpuSddmm {
             counter_add(Counter::BytesMoved, (visits.len() * (2 * kt.len() + 1) * 4) as u64);
             self.pool.install(|| {
                 visits.par_chunks(chunk).for_each(|edges| {
+                    histogram_record(Histogram::SddmmChunkEdges, edges.len() as u64);
                     for &(src, dst, eid) in edges {
                         let a = &x.row(src as usize)[kt.range()];
                         let b = &xd.row(dst as usize)[kt.range()];
@@ -165,6 +166,7 @@ impl CpuSddmm {
         let writer = SharedRows::new(out.as_mut_slice(), h);
         self.pool.install(|| {
             visits.par_chunks(chunk).for_each(|edges| {
+                histogram_record(Histogram::SddmmChunkEdges, edges.len() as u64);
                 for &(src, dst, eid) in edges {
                     let srow = x.row(src as usize);
                     let drow = xd.row(dst as usize);
@@ -201,6 +203,7 @@ impl CpuSddmm {
         let writer = SharedRows::new(out.as_mut_slice(), cols);
         self.pool.install(|| {
             visits.par_chunks(chunk).for_each(|edges| {
+                histogram_record(Histogram::SddmmChunkEdges, edges.len() as u64);
                 for &(src, dst, eid) in edges {
                     let ctx = EdgeCtx {
                         src: if udf.src_len > 0 { x.row(src as usize) } else { &empty },

@@ -6,7 +6,7 @@ use fg_ir::pattern::ElemOp;
 use fg_ir::{Fds, KernelPattern, Reducer, Udf};
 use fg_tensor::tile::{ColTile, ColTiles};
 use fg_tensor::Dense2;
-use fg_telemetry::{counter_add, span, Counter};
+use fg_telemetry::{counter_add, histogram_record, span, Counter, Histogram};
 use rayon::prelude::*;
 
 use crate::error::KernelError;
@@ -186,6 +186,7 @@ impl CpuSpmm {
             for (pi, seg, eids, _) in self.parts.iter() {
                 let _span = span!("spmm/partition", "tile={ti} part={pi} edges={}", eids.len());
                 counter_add(Counter::EdgesProcessed, eids.len() as u64);
+                histogram_record(Histogram::SpmmPartitionEdges, eids.len() as u64);
                 // Estimate: one source-row read + one output combine per
                 // edge, tile-width f32 elements each.
                 counter_add(Counter::BytesMoved, (eids.len() * tile.len() * 2 * 4) as u64);
@@ -279,6 +280,7 @@ impl CpuSpmm {
             for (pi, seg, eids, _) in self.parts.iter() {
                 let _span = span!("spmm/partition", "tile={ti} part={pi} edges={}", eids.len());
                 counter_add(Counter::EdgesProcessed, eids.len() as u64);
+                histogram_record(Histogram::SpmmPartitionEdges, eids.len() as u64);
                 // Estimate per edge: read src+dst rows (d1 each), stream the
                 // weight tile, and combine into the output tile.
                 counter_add(
@@ -348,6 +350,7 @@ impl CpuSpmm {
         for (pi, seg, eids, _) in self.parts.iter() {
             let _span = span!("spmm/partition", "part={pi} edges={}", eids.len());
             counter_add(Counter::EdgesProcessed, eids.len() as u64);
+            histogram_record(Histogram::SpmmPartitionEdges, eids.len() as u64);
             counter_add(Counter::BytesMoved, (eids.len() * d * 2 * 4) as u64);
             self.pool.install(|| {
                 out.as_mut_slice()

@@ -107,6 +107,18 @@ impl DeviceConfig {
         cycles / (self.clock_ghz * 1e9) * 1e3
     }
 
+    /// Peak FP32 throughput in GFLOP/s under this model's accounting (one
+    /// ALU op per lane per cycle — the same unit [`crate::CostTally::alu_ops`]
+    /// counts in, so attained/peak ratios are internally consistent).
+    pub fn peak_gflops(&self) -> f64 {
+        self.num_sms as f64 * self.fp32_lanes_per_sm as f64 * self.clock_ghz
+    }
+
+    /// Peak global-memory bandwidth in GB/s.
+    pub fn peak_bandwidth_gbs(&self) -> f64 {
+        self.global_bytes_per_cycle * self.clock_ghz
+    }
+
     /// Blocks resident per SM for a kernel with the given resource usage.
     pub fn occupancy_blocks(
         &self,
@@ -144,6 +156,15 @@ mod tests {
         let d = DeviceConfig::v100();
         // 1.38e9 cycles = 1 s = 1000 ms
         assert!((d.cycles_to_ms(1.38e9) - 1000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn peak_figures_match_the_model_parameters() {
+        let d = DeviceConfig::v100();
+        // 80 SMs * 64 lanes * 1.38 GHz
+        assert!((d.peak_gflops() - 7065.6).abs() < 1e-6);
+        // bytes/cycle * GHz = GB/s; V100 models 900 GB/s HBM2
+        assert!((d.peak_bandwidth_gbs() - 900.0).abs() < 1.0);
     }
 
     #[test]

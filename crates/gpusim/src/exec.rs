@@ -40,9 +40,137 @@ use crate::ctx::BlockCtx;
 use crate::device::DeviceConfig;
 use crate::kernel::GpuKernel;
 use crate::tally::CostTally;
+use std::collections::BTreeMap;
+use std::sync::Mutex;
 
 /// Cycles charged per block-wide barrier.
 const BARRIER_CYCLES: f64 = 20.0;
+
+/// Aggregated launch statistics for one kernel name, accumulated across
+/// every [`launch`] while telemetry is runtime-enabled. This is what the
+/// roofline attribution in `fgbench --metrics` reads: per-kernel FLOPs,
+/// DRAM traffic, simulated time, and the peak figures of the device the
+/// kernel ran on.
+#[derive(Debug, Clone)]
+pub struct KernelRollup {
+    /// Kernel name (as reported by [`GpuKernel::name`]).
+    pub kernel: &'static str,
+    /// Number of launches folded into this rollup.
+    pub launches: u64,
+    /// Total simulated milliseconds.
+    pub time_ms: f64,
+    /// Summed event counts.
+    pub tally: CostTally,
+    /// Global-memory transaction size of the device (bytes).
+    pub transaction_bytes: usize,
+    /// Peak FP32 throughput of the device, GFLOP/s (last launch wins if the
+    /// same kernel ran on several device models).
+    pub peak_gflops: f64,
+    /// Peak global-memory bandwidth of the device, GB/s.
+    pub peak_gbs: f64,
+}
+
+impl KernelRollup {
+    /// FP32 operations executed (the model counts one op per lane).
+    pub fn flops(&self) -> u64 {
+        self.tally.alu_ops
+    }
+
+    /// Bytes actually moved over the DRAM bus (transactions × segment size;
+    /// larger than `global_bytes` when accesses are uncoalesced).
+    pub fn dram_bytes(&self) -> u64 {
+        self.tally.global_transactions * self.transaction_bytes as u64
+    }
+
+    /// Arithmetic intensity in FLOPs per DRAM byte.
+    pub fn arithmetic_intensity(&self) -> f64 {
+        let bytes = self.dram_bytes();
+        if bytes == 0 {
+            f64::INFINITY
+        } else {
+            self.flops() as f64 / bytes as f64
+        }
+    }
+
+    /// Attained compute throughput, GFLOP/s.
+    pub fn attained_gflops(&self) -> f64 {
+        if self.time_ms <= 0.0 {
+            0.0
+        } else {
+            self.flops() as f64 / (self.time_ms * 1e6)
+        }
+    }
+
+    /// Attained DRAM bandwidth, GB/s.
+    pub fn attained_gbs(&self) -> f64 {
+        if self.time_ms <= 0.0 {
+            0.0
+        } else {
+            self.dram_bytes() as f64 / (self.time_ms * 1e6)
+        }
+    }
+
+    /// The roofline ceiling at this kernel's arithmetic intensity:
+    /// `min(peak_gflops, AI × peak_bandwidth)` (Williams et al., CACM 2009).
+    pub fn roofline_gflops(&self) -> f64 {
+        let ai = self.arithmetic_intensity();
+        if ai.is_infinite() {
+            self.peak_gflops
+        } else {
+            self.peak_gflops.min(ai * self.peak_gbs)
+        }
+    }
+
+    /// Attained compute throughput as a fraction of the roofline ceiling
+    /// (1.0 = the kernel runs as fast as the model's hardware allows).
+    pub fn attained_fraction(&self) -> f64 {
+        let roof = self.roofline_gflops();
+        if roof <= 0.0 {
+            0.0
+        } else {
+            (self.attained_gflops() / roof).min(1.0)
+        }
+    }
+
+    /// True when the kernel sits on the bandwidth-limited side of the
+    /// roofline ridge point.
+    pub fn memory_bound(&self) -> bool {
+        self.arithmetic_intensity() < self.peak_gflops / self.peak_gbs
+    }
+}
+
+static ROLLUPS: Mutex<BTreeMap<&'static str, KernelRollup>> = Mutex::new(BTreeMap::new());
+
+fn rollup_record(device: &DeviceConfig, kernel: &'static str, time_ms: f64, tally: &CostTally) {
+    let mut rollups = ROLLUPS.lock().unwrap();
+    let entry = rollups.entry(kernel).or_insert_with(|| KernelRollup {
+        kernel,
+        launches: 0,
+        time_ms: 0.0,
+        tally: CostTally::default(),
+        transaction_bytes: device.transaction_bytes,
+        peak_gflops: device.peak_gflops(),
+        peak_gbs: device.peak_bandwidth_gbs(),
+    });
+    entry.launches += 1;
+    entry.time_ms += time_ms;
+    entry.tally.add(tally);
+    entry.transaction_bytes = device.transaction_bytes;
+    entry.peak_gflops = device.peak_gflops();
+    entry.peak_gbs = device.peak_bandwidth_gbs();
+}
+
+/// Per-kernel-name launch rollups accumulated since the last
+/// [`reset_kernel_rollups`], sorted by kernel name. Empty unless telemetry
+/// was runtime-enabled during the launches.
+pub fn kernel_rollups() -> Vec<KernelRollup> {
+    ROLLUPS.lock().unwrap().values().cloned().collect()
+}
+
+/// Clear the per-kernel rollup registry (e.g. between benchmark commands).
+pub fn reset_kernel_rollups() {
+    ROLLUPS.lock().unwrap().clear();
+}
 
 /// Result of simulating one kernel launch.
 #[derive(Debug, Clone)]
@@ -186,6 +314,9 @@ pub fn launch<K: GpuKernel + ?Sized>(device: &DeviceConfig, kernel: &mut K) -> L
     let cycles = max_sm.max(mem_cycles) + device.launch_overhead_cycles;
 
     record_launch(device, &total);
+    if fg_telemetry::enabled() {
+        rollup_record(device, kernel.name(), device.cycles_to_ms(cycles), &total);
+    }
 
     LaunchReport {
         kernel: kernel.name(),
@@ -374,6 +505,85 @@ mod tests {
         let r = launch(&d, &mut empty);
         assert!(r.cycles >= d.launch_overhead_cycles);
         assert!(r.time_ms > 0.0);
+    }
+
+    #[test]
+    fn rollup_roofline_math_is_consistent() {
+        let d = DeviceConfig::v100();
+        // Hand-built rollup: 1e9 FLOPs, 1e8 bytes in 1 ms.
+        let r = KernelRollup {
+            kernel: "hand",
+            launches: 1,
+            time_ms: 1.0,
+            tally: CostTally {
+                alu_ops: 1_000_000_000,
+                global_transactions: 781_250, // * 128 B = 1e8 bytes
+                global_bytes: 100_000_000,
+                ..Default::default()
+            },
+            transaction_bytes: d.transaction_bytes,
+            peak_gflops: d.peak_gflops(),
+            peak_gbs: d.peak_bandwidth_gbs(),
+        };
+        assert_eq!(r.dram_bytes(), 100_000_000);
+        assert!((r.arithmetic_intensity() - 10.0).abs() < 1e-9);
+        // 1e9 FLOPs in 1 ms = 1000 GFLOP/s
+        assert!((r.attained_gflops() - 1000.0).abs() < 1e-9);
+        assert!((r.attained_gbs() - 100.0).abs() < 1e-9);
+        // AI 10 < ridge (7065.6/900 ≈ 7.85)? No: 10 > 7.85 → compute side.
+        assert!(!r.memory_bound());
+        assert!(r.roofline_gflops() <= r.peak_gflops);
+        assert!(r.attained_fraction() > 0.0 && r.attained_fraction() <= 1.0);
+    }
+
+    #[cfg(feature = "telemetry")]
+    #[test]
+    fn launches_accumulate_into_kernel_rollups_when_enabled() {
+        // The registry is keyed by kernel name; tests run in parallel, so
+        // this one uses a name no other test launches and only asserts on
+        // that key.
+        struct Named(Synthetic);
+        impl GpuKernel for Named {
+            fn name(&self) -> &'static str {
+                "rollup_test_kernel"
+            }
+            fn grid_dim(&self) -> usize {
+                self.0.grid_dim()
+            }
+            fn block_dim(&self) -> usize {
+                self.0.block_dim()
+            }
+            fn shared_mem_bytes(&self) -> usize {
+                self.0.shared_mem_bytes()
+            }
+            fn regs_per_thread(&self) -> usize {
+                self.0.regs_per_thread()
+            }
+            fn run_block(&mut self, b: usize, ctx: &mut BlockCtx<'_>) {
+                self.0.run_block(b, ctx)
+            }
+        }
+
+        fg_telemetry::set_enabled(true);
+        let d = DeviceConfig::v100();
+        let mut k = Named(base());
+        let r1 = launch(&d, &mut k);
+        let mut k = Named(base());
+        let r2 = launch(&d, &mut k);
+        let rollups = kernel_rollups();
+        fg_telemetry::set_enabled(false);
+        let syn = rollups
+            .iter()
+            .find(|r| r.kernel == "rollup_test_kernel")
+            .unwrap();
+        assert_eq!(syn.launches, 2);
+        assert!((syn.time_ms - (r1.time_ms + r2.time_ms)).abs() < 1e-9);
+        assert_eq!(syn.tally.alu_ops, r1.tally.alu_ops + r2.tally.alu_ops);
+        assert!((syn.peak_gbs - d.peak_bandwidth_gbs()).abs() < 1e-9);
+        reset_kernel_rollups();
+        assert!(kernel_rollups()
+            .iter()
+            .all(|r| r.kernel != "rollup_test_kernel"));
     }
 
     #[test]

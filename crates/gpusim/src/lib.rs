@@ -41,6 +41,6 @@ pub mod tally;
 
 pub use ctx::BlockCtx;
 pub use device::DeviceConfig;
-pub use exec::{launch, LaunchReport};
+pub use exec::{kernel_rollups, launch, reset_kernel_rollups, KernelRollup, LaunchReport};
 pub use kernel::GpuKernel;
 pub use tally::CostTally;

@@ -164,6 +164,106 @@ impl Gauge {
     }
 }
 
+/// Log-bucketed `u64` distributions, one slot per variant, merged across
+/// threads. Recording is lock-free: one bucket increment plus count/sum/
+/// min/max atomics per sample.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Histogram {
+    /// Edges per graph partition processed by the CPU SpMM template (one
+    /// sample per partition per tile pass) — the load-imbalance signal.
+    SpmmPartitionEdges,
+    /// Edges per parallel chunk processed by the CPU SDDMM template.
+    SddmmChunkEdges,
+}
+
+impl Histogram {
+    pub const ALL: [Histogram; 2] = [
+        Histogram::SpmmPartitionEdges,
+        Histogram::SddmmChunkEdges,
+    ];
+
+    pub fn name(self) -> &'static str {
+        match self {
+            Histogram::SpmmPartitionEdges => "spmm_partition_edges",
+            Histogram::SddmmChunkEdges => "sddmm_chunk_edges",
+        }
+    }
+}
+
+/// Number of power-of-two buckets per histogram: bucket 0 holds zeros,
+/// bucket `i >= 1` holds values in `[2^(i-1), 2^i)`.
+pub const HISTOGRAM_BUCKETS: usize = 65;
+
+/// Aggregated view of one histogram, taken by [`histogram_snapshot`].
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct HistogramSummary {
+    /// Samples recorded.
+    pub count: u64,
+    /// Sum of all recorded values (exact).
+    pub sum: u64,
+    /// Smallest recorded value (exact).
+    pub min: u64,
+    /// Largest recorded value (exact).
+    pub max: u64,
+    /// Per-bucket sample counts (see [`HISTOGRAM_BUCKETS`]).
+    pub buckets: Vec<u64>,
+}
+
+impl HistogramSummary {
+    /// Mean of the recorded values.
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Estimated quantile (`q` in `[0, 1]`) from the log buckets: the
+    /// midpoint of the bucket holding the q-th sample, clamped to the exact
+    /// min/max so single-bucket distributions stay tight.
+    pub fn quantile(&self, q: f64) -> u64 {
+        if self.count == 0 {
+            return 0;
+        }
+        let rank = ((q.clamp(0.0, 1.0) * self.count as f64).ceil() as u64).max(1);
+        let mut seen = 0u64;
+        for (i, &c) in self.buckets.iter().enumerate() {
+            seen += c;
+            if seen >= rank {
+                let estimate = if i == 0 {
+                    0
+                } else {
+                    // midpoint of [2^(i-1), 2^i)
+                    (1u64 << (i - 1)) + (1u64 << (i - 1)) / 2
+                };
+                return estimate.clamp(self.min, self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Max-over-mean load-imbalance factor (1.0 = perfectly balanced).
+    pub fn imbalance(&self) -> f64 {
+        let mean = self.mean();
+        if mean <= 0.0 {
+            1.0
+        } else {
+            self.max as f64 / mean
+        }
+    }
+}
+
+#[inline]
+#[cfg_attr(not(feature = "enabled"), allow(dead_code))]
+fn histogram_bucket(value: u64) -> usize {
+    if value == 0 {
+        0
+    } else {
+        64 - value.leading_zeros() as usize
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Runtime enable flag (both builds; the disabled build hardwires `false`).
 // ---------------------------------------------------------------------------
@@ -217,6 +317,41 @@ mod live {
         [const { AtomicU64::new(0) }; Gauge::ALL.len()];
     pub(super) static GAUGES_SET: [AtomicU64; Gauge::ALL.len()] =
         [const { AtomicU64::new(0) }; Gauge::ALL.len()];
+
+    // Histograms: per-variant log buckets plus exact count/sum/min/max.
+    // All plain atomics, so concurrent recorders never contend on a lock.
+    pub(super) struct HistSlot {
+        pub(super) buckets: [AtomicU64; crate::HISTOGRAM_BUCKETS],
+        pub(super) count: AtomicU64,
+        pub(super) sum: AtomicU64,
+        pub(super) min: AtomicU64,
+        pub(super) max: AtomicU64,
+    }
+
+    impl HistSlot {
+        const fn new() -> Self {
+            Self {
+                buckets: [const { AtomicU64::new(0) }; crate::HISTOGRAM_BUCKETS],
+                count: AtomicU64::new(0),
+                sum: AtomicU64::new(0),
+                min: AtomicU64::new(u64::MAX),
+                max: AtomicU64::new(0),
+            }
+        }
+
+        pub(super) fn reset(&self) {
+            for b in &self.buckets {
+                b.store(0, Ordering::Relaxed);
+            }
+            self.count.store(0, Ordering::Relaxed);
+            self.sum.store(0, Ordering::Relaxed);
+            self.min.store(u64::MAX, Ordering::Relaxed);
+            self.max.store(0, Ordering::Relaxed);
+        }
+    }
+
+    pub(super) static HISTOGRAMS: [HistSlot; super::Histogram::ALL.len()] =
+        [const { HistSlot::new() }; super::Histogram::ALL.len()];
 
     // -- clock & thread ids ------------------------------------------------
 
@@ -397,6 +532,60 @@ pub fn gauge_set(gauge: Gauge, value: f64) {
     let _ = (gauge, value);
 }
 
+/// Record one sample into a histogram. Lock-free; one relaxed atomic load
+/// when disabled.
+#[inline]
+pub fn histogram_record(histogram: Histogram, value: u64) {
+    #[cfg(feature = "enabled")]
+    if enabled() {
+        use std::sync::atomic::Ordering;
+        let slot = &live::HISTOGRAMS[histogram as usize];
+        slot.buckets[histogram_bucket(value)].fetch_add(1, Ordering::Relaxed);
+        slot.count.fetch_add(1, Ordering::Relaxed);
+        slot.sum.fetch_add(value, Ordering::Relaxed);
+        slot.min.fetch_min(value, Ordering::Relaxed);
+        slot.max.fetch_max(value, Ordering::Relaxed);
+    }
+    #[cfg(not(feature = "enabled"))]
+    let _ = (histogram, value);
+}
+
+/// Aggregated view of one histogram; `None` until it records a sample.
+pub fn histogram_snapshot(histogram: Histogram) -> Option<HistogramSummary> {
+    #[cfg(feature = "enabled")]
+    {
+        use std::sync::atomic::Ordering;
+        let slot = &live::HISTOGRAMS[histogram as usize];
+        let count = slot.count.load(Ordering::Relaxed);
+        if count == 0 {
+            return None;
+        }
+        Some(HistogramSummary {
+            count,
+            sum: slot.sum.load(Ordering::Relaxed),
+            min: slot.min.load(Ordering::Relaxed),
+            max: slot.max.load(Ordering::Relaxed),
+            buckets: slot.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
+        })
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        let _ = histogram;
+        None
+    }
+}
+
+/// Snapshot of every histogram that recorded at least one sample, sorted by
+/// name.
+pub fn histograms_snapshot() -> Vec<(&'static str, HistogramSummary)> {
+    let mut out: Vec<_> = Histogram::ALL
+        .iter()
+        .filter_map(|&h| histogram_snapshot(h).map(|s| (h.name(), s)))
+        .collect();
+    out.sort_by_key(|&(name, _)| name);
+    out
+}
+
 /// Current value of a counter.
 #[inline]
 pub fn counter_value(counter: Counter) -> u64 {
@@ -411,25 +600,30 @@ pub fn counter_value(counter: Counter) -> u64 {
     }
 }
 
-/// Snapshot of all counters with a non-zero value.
+/// Snapshot of all counters with a non-zero value, sorted by name so metric
+/// tables and JSON reports are byte-stable across runs and thread schedules.
 pub fn counters_snapshot() -> Vec<(&'static str, u64)> {
-    Counter::ALL
+    let mut out: Vec<_> = Counter::ALL
         .iter()
         .map(|&c| (c.name(), counter_value(c)))
         .filter(|&(_, v)| v != 0)
-        .collect()
+        .collect();
+    out.sort_by_key(|&(name, _)| name);
+    out
 }
 
-/// Snapshot of all gauges that have been set at least once.
+/// Snapshot of all gauges that have been set at least once, sorted by name.
 pub fn gauges_snapshot() -> Vec<(&'static str, f64)> {
     #[cfg(feature = "enabled")]
     {
-        Gauge::ALL
+        let mut out: Vec<_> = Gauge::ALL
             .iter()
             .enumerate()
             .filter(|&(i, _)| live::GAUGES_SET[i].load(Ordering::Relaxed) != 0)
             .map(|(i, &g)| (g.name(), f64::from_bits(live::GAUGES[i].load(Ordering::Relaxed))))
-            .collect()
+            .collect();
+        out.sort_by_key(|&(name, _)| name);
+        out
     }
     #[cfg(not(feature = "enabled"))]
     {
@@ -437,7 +631,8 @@ pub fn gauges_snapshot() -> Vec<(&'static str, f64)> {
     }
 }
 
-/// Zero every counter and mark every gauge unset (sinks are untouched).
+/// Zero every counter, mark every gauge unset, and clear every histogram
+/// (sinks are untouched).
 pub fn reset_metrics() {
     #[cfg(feature = "enabled")]
     {
@@ -447,6 +642,9 @@ pub fn reset_metrics() {
         for (value, set) in live::GAUGES.iter().zip(&live::GAUGES_SET) {
             value.store(0, Ordering::Relaxed);
             set.store(0, Ordering::Relaxed);
+        }
+        for slot in &live::HISTOGRAMS {
+            slot.reset();
         }
     }
 }
@@ -540,6 +738,95 @@ mod tests {
         assert_eq!(counter_value(Counter::Partitions), 6);
         assert_eq!(counters_snapshot(), vec![("partitions", 6)]);
         assert_eq!(gauges_snapshot(), vec![("loss", 0.25)]);
+        set_enabled(false);
+        reset_metrics();
+    }
+
+    #[test]
+    fn snapshots_are_sorted_by_name() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset_metrics();
+        // enum order differs from name order for these pairs
+        counter_add(Counter::Partitions, 1);
+        counter_add(Counter::EdgesProcessed, 1);
+        counter_add(Counter::BytesMoved, 1);
+        gauge_set(Gauge::Loss, 1.0);
+        gauge_set(Gauge::AutotuneBestSeconds, 2.0);
+        let counters = counters_snapshot();
+        let names: Vec<_> = counters.iter().map(|&(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort_unstable();
+        assert_eq!(names, sorted);
+        let gauges = gauges_snapshot();
+        assert_eq!(gauges[0].0, "autotune_best_seconds");
+        assert_eq!(gauges[1].0, "loss");
+        set_enabled(false);
+        reset_metrics();
+    }
+
+    #[test]
+    fn histogram_bucket_edges() {
+        assert_eq!(histogram_bucket(0), 0);
+        assert_eq!(histogram_bucket(1), 1);
+        assert_eq!(histogram_bucket(2), 2);
+        assert_eq!(histogram_bucket(3), 2);
+        assert_eq!(histogram_bucket(4), 3);
+        assert_eq!(histogram_bucket(u64::MAX), 64);
+    }
+
+    #[test]
+    fn histogram_records_and_summarizes() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset_metrics();
+        assert!(histogram_snapshot(Histogram::SpmmPartitionEdges).is_none());
+        for v in [0u64, 1, 7, 8, 1000] {
+            histogram_record(Histogram::SpmmPartitionEdges, v);
+        }
+        let s = histogram_snapshot(Histogram::SpmmPartitionEdges).unwrap();
+        assert_eq!(s.count, 5);
+        assert_eq!(s.sum, 1016);
+        assert_eq!(s.min, 0);
+        assert_eq!(s.max, 1000);
+        assert!((s.mean() - 203.2).abs() < 1e-9);
+        assert!(s.quantile(1.0) <= 1000);
+        assert!(s.imbalance() > 1.0);
+        let all = histograms_snapshot();
+        assert_eq!(all.len(), 1);
+        assert_eq!(all[0].0, "spmm_partition_edges");
+        set_enabled(false);
+        reset_metrics();
+        assert!(histogram_snapshot(Histogram::SpmmPartitionEdges).is_none());
+    }
+
+    #[test]
+    fn histogram_disabled_is_a_noop() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(false);
+        reset_metrics();
+        histogram_record(Histogram::SddmmChunkEdges, 42);
+        assert!(histogram_snapshot(Histogram::SddmmChunkEdges).is_none());
+        assert!(histograms_snapshot().is_empty());
+    }
+
+    #[test]
+    fn histogram_quantiles_track_the_distribution() {
+        let _guard = LOCK.lock().unwrap();
+        set_enabled(true);
+        reset_metrics();
+        // 90 small values, 10 large ones
+        for _ in 0..90 {
+            histogram_record(Histogram::SddmmChunkEdges, 10);
+        }
+        for _ in 0..10 {
+            histogram_record(Histogram::SddmmChunkEdges, 10_000);
+        }
+        let s = histogram_snapshot(Histogram::SddmmChunkEdges).unwrap();
+        let p50 = s.quantile(0.5);
+        let p99 = s.quantile(0.99);
+        assert!(p50 < 100, "p50 {p50}");
+        assert!(p99 > 1000, "p99 {p99}");
         set_enabled(false);
         reset_metrics();
     }

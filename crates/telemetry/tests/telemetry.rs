@@ -6,8 +6,9 @@
 //! same mutex before toggling them.
 
 use fg_telemetry::{
-    add_sink, clear_sinks, counter_add, counter_value, flush, gauge_set, reset_metrics,
-    set_enabled, span, ChromeTraceSink, Counter, Gauge, MemorySink, Sink, SpanRecord,
+    add_sink, clear_sinks, counter_add, counter_value, flush, gauge_set, histogram_record,
+    histogram_snapshot, reset_metrics, set_enabled, span, ChromeTraceSink, Counter, Gauge,
+    Histogram, MemorySink, Sink, SpanRecord,
 };
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -120,6 +121,45 @@ fn counters_aggregate_across_threads() {
 
     assert_eq!(edges, 4000);
     assert_eq!(parts, 8);
+}
+
+#[test]
+fn histograms_merge_across_concurrent_writers() {
+    let _guard = session();
+
+    // 8 writers, each recording the same deterministic value stream; the
+    // merged summary must be exact in count/sum/min/max regardless of the
+    // interleaving (everything is relaxed atomics, no locks).
+    const WRITERS: u64 = 8;
+    const PER_WRITER: u64 = 10_000;
+    std::thread::scope(|s| {
+        for _ in 0..WRITERS {
+            s.spawn(|| {
+                for i in 0..PER_WRITER {
+                    // values 1..=10_000, hitting many buckets
+                    histogram_record(Histogram::SpmmPartitionEdges, i + 1);
+                }
+            });
+        }
+    });
+
+    let summary = histogram_snapshot(Histogram::SpmmPartitionEdges).unwrap();
+    teardown();
+
+    assert_eq!(summary.count, WRITERS * PER_WRITER);
+    assert_eq!(summary.sum, WRITERS * (PER_WRITER * (PER_WRITER + 1) / 2));
+    assert_eq!(summary.min, 1);
+    assert_eq!(summary.max, PER_WRITER);
+    assert_eq!(summary.buckets.iter().sum::<u64>(), summary.count);
+    // Quantiles are bucket estimates but must be ordered and in range.
+    let p50 = summary.quantile(0.5);
+    let p90 = summary.quantile(0.9);
+    let p99 = summary.quantile(0.99);
+    assert!(p50 <= p90 && p90 <= p99);
+    assert!(p99 <= summary.max);
+    // The uniform stream's median is ~5000; the log-bucket estimate must land
+    // within a factor-of-two band around it.
+    assert!((2_500..=10_000).contains(&p50), "p50 {p50}");
 }
 
 #[test]
