@@ -308,6 +308,14 @@ fn run_compare(args: &Args) -> ! {
     }
     let cmp = perf::compare(&base, &cur, args.fail_on_regress);
     print!("{}", cmp.format_table());
+    if cmp.incomparables() > 0 {
+        eprintln!(
+            "warning: {} entr{} could not be compared (zero, NaN, or Inf medians); \
+             inspect the reports by hand",
+            cmp.incomparables(),
+            if cmp.incomparables() == 1 { "y" } else { "ies" }
+        );
+    }
     if cmp.has_regressions() {
         if args.warn_only {
             eprintln!("warn-only: {} regression(s) ignored", cmp.regressions());

@@ -747,7 +747,15 @@ impl Report {
             .ok_or("entries must be an array")?
             .iter()
             .map(|e| {
-                let f = |key: &str| e.get(key).and_then(Json::as_f64).unwrap_or(0.0);
+                // The writer maps non-finite stats to JSON null (there is no
+                // NaN/Inf literal). Read null back as NaN so a corrupt or
+                // degenerate stat stays visibly degenerate instead of
+                // masquerading as a legitimate 0.0; a *missing* key still
+                // defaults to 0.0 for old-report compatibility.
+                let f = |key: &str| match e.get(key) {
+                    Some(Json::Null) => f64::NAN,
+                    other => other.and_then(Json::as_f64).unwrap_or(0.0),
+                };
                 Ok(Entry {
                     id: e.get("id").and_then(Json::as_str).ok_or("entry missing id")?.to_string(),
                     unit: e.get("unit").and_then(Json::as_str).unwrap_or("s").to_string(),
@@ -761,7 +769,13 @@ impl Report {
                         samples: e
                             .get("samples")
                             .and_then(Json::as_arr)
-                            .map(|a| a.iter().filter_map(Json::as_f64).collect())
+                            // Keep positions: a null sample (a non-finite
+                            // value at write time) parses as NaN rather than
+                            // silently vanishing and shifting `runs` out of
+                            // sync with `samples.len()`.
+                            .map(|a| {
+                                a.iter().map(|v| v.as_f64().unwrap_or(f64::NAN)).collect()
+                            })
                             .unwrap_or_default(),
                     },
                 })
@@ -905,6 +919,11 @@ pub enum Verdict {
     Added,
     /// Entry only present in the baseline report.
     Removed,
+    /// The pair cannot be meaningfully diffed: a median is NaN/Inf (written
+    /// as JSON null), the noise band is degenerate, or the baseline median
+    /// is zero/near-zero so a relative delta has no basis. Warned about,
+    /// never counted as a regression or an improvement.
+    Incomparable,
 }
 
 impl Verdict {
@@ -916,6 +935,7 @@ impl Verdict {
             Verdict::WithinNoise => "ok",
             Verdict::Added => "added",
             Verdict::Removed => "removed",
+            Verdict::Incomparable => "INCOMP",
         }
     }
 }
@@ -948,10 +968,20 @@ pub struct Comparison {
     pub fail_pct: f64,
 }
 
+/// Baseline medians at or below this are treated as "no basis for a
+/// relative delta": dividing by them would turn timing jitter (or an
+/// outright zero from a degenerate run) into arbitrarily large percentages.
+pub const MIN_BASELINE_MEDIAN: f64 = 1e-12;
+
 impl Comparison {
     /// Number of regressions.
     pub fn regressions(&self) -> usize {
         self.rows.iter().filter(|r| r.verdict == Verdict::Regression).count()
+    }
+
+    /// Number of entries that could not be meaningfully compared.
+    pub fn incomparables(&self) -> usize {
+        self.rows.iter().filter(|r| r.verdict == Verdict::Incomparable).count()
     }
 
     /// True when any entry regressed.
@@ -970,26 +1000,39 @@ impl Comparison {
         );
         for r in &self.rows {
             let fmt = |v: Option<f64>| match v {
-                Some(v) => format!("{v:>12.6}"),
-                None => format!("{:>12}", "-"),
+                Some(v) if v.is_finite() => format!("{v:>12.6}"),
+                _ => format!("{:>12}", "-"),
+            };
+            let pct = |v: f64, signed: bool| {
+                if v.is_finite() {
+                    if signed { format!("{v:>+8.1}") } else { format!("{v:>8.1}") }
+                } else {
+                    format!("{:>8}", "-")
+                }
             };
             let _ = writeln!(
                 out,
-                "{:<id_w$}  {}  {}  {:>+8.1}  {:>8.1}  {}",
+                "{:<id_w$}  {}  {}  {}  {}  {}",
                 r.id,
                 fmt(r.base_median),
                 fmt(r.cur_median),
-                r.delta_pct,
-                r.threshold_pct,
+                pct(r.delta_pct, true),
+                pct(r.threshold_pct, false),
                 r.verdict.tag()
             );
         }
+        let incomp = self.incomparables();
         let _ = writeln!(
             out,
-            "{} entries compared, {} regression(s) at max({}%, noise)",
+            "{} entries compared, {} regression(s) at max({}%, noise){}",
             self.rows.len(),
             self.regressions(),
-            self.fail_pct
+            self.fail_pct,
+            if incomp > 0 {
+                format!(", {incomp} incomparable (zero or non-finite medians)")
+            } else {
+                String::new()
+            }
         );
         out
     }
@@ -1007,6 +1050,11 @@ impl Comparison {
 ///
 /// Deterministic single-sample entries (σ = 0) therefore gate purely on
 /// `fail_pct`, while noisy wall-clock entries get a wider band.
+///
+/// Entries whose medians cannot support that arithmetic — NaN/Inf (stored
+/// as JSON null), or a baseline median at or below
+/// [`MIN_BASELINE_MEDIAN`] — come back as [`Verdict::Incomparable`]; they
+/// are surfaced in the table and the summary but never gate the build.
 pub fn compare(base: &Report, cur: &Report, fail_pct: f64) -> Comparison {
     let mut rows = Vec::new();
     for entry in &cur.entries {
@@ -1024,13 +1072,32 @@ pub fn compare(base: &Report, cur: &Report, fail_pct: f64) -> Comparison {
         };
         let b = &base_entry.stats;
         let c = &entry.stats;
-        let delta_pct =
-            if b.median > 0.0 { 100.0 * (c.median - b.median) / b.median } else { 0.0 };
-        let noise_pct = if b.median > 0.0 {
-            100.0 * 2.0 * (b.stddev * b.stddev + c.stddev * c.stddev).sqrt() / b.median
-        } else {
-            0.0
-        };
+        // A relative delta needs a finite pair of medians, a finite noise
+        // estimate, and a baseline median meaningfully above zero to divide
+        // by. Anything else — a null (NaN/Inf) median read back from JSON, a
+        // zero-cost baseline entry, a NaN stddev — is reported as
+        // `Incomparable` instead of silently classifying as `WithinNoise`
+        // with a fabricated 0% delta.
+        let comparable = b.median.is_finite()
+            && c.median.is_finite()
+            && b.stddev.is_finite()
+            && c.stddev.is_finite()
+            && b.median > MIN_BASELINE_MEDIAN;
+        if !comparable {
+            rows.push(CompareRow {
+                id: entry.id.clone(),
+                base_median: Some(b.median),
+                cur_median: Some(c.median),
+                delta_pct: f64::NAN,
+                noise_pct: f64::NAN,
+                threshold_pct: fail_pct,
+                verdict: Verdict::Incomparable,
+            });
+            continue;
+        }
+        let delta_pct = 100.0 * (c.median - b.median) / b.median;
+        let noise_pct =
+            100.0 * 2.0 * (b.stddev * b.stddev + c.stddev * c.stddev).sqrt() / b.median;
         let threshold_pct = fail_pct.max(noise_pct);
         let verdict = if delta_pct > threshold_pct {
             Verdict::Regression
@@ -1201,6 +1268,83 @@ mod tests {
         assert!(!cmp.has_regressions()); // membership changes never gate
         let table = cmp.format_table();
         assert!(table.contains("added") && table.contains("removed"));
+    }
+
+    #[test]
+    fn zero_baseline_median_is_incomparable_not_ok() {
+        // Regression test: before Verdict::Incomparable existed, a zero
+        // baseline median short-circuited delta_pct to 0.0 and the row came
+        // back `WithinNoise` ("ok") no matter how different the current
+        // median was — a 0 → 5.0 s swing passed the gate silently.
+        let base = report_with(vec![entry("k", vec![0.0, 0.0, 0.0])]);
+        let cur = report_with(vec![entry("k", vec![5.0, 5.0, 5.0])]);
+        let cmp = compare(&base, &cur, 10.0);
+        assert_eq!(cmp.rows[0].verdict, Verdict::Incomparable);
+        assert!(cmp.rows[0].delta_pct.is_nan(), "no fabricated 0% delta");
+        assert_eq!(cmp.incomparables(), 1);
+        assert!(!cmp.has_regressions(), "incomparable entries never gate");
+        // near-zero is just as degenerate as exactly zero
+        let base = report_with(vec![entry("k", vec![1e-15])]);
+        let cur = report_with(vec![entry("k", vec![1.0])]);
+        assert_eq!(compare(&base, &cur, 10.0).rows[0].verdict, Verdict::Incomparable);
+    }
+
+    #[test]
+    fn non_finite_medians_are_incomparable() {
+        // NaN median on either side: NaN comparisons are all false, so the
+        // old classifier fell through to `WithinNoise` — garbage read as
+        // "ok". Inf baseline produced delta_pct = NaN with the same result.
+        let sick = |v: f64| {
+            let mut e = entry("k", vec![1.0]);
+            e.stats.median = v;
+            report_with(vec![e])
+        };
+        let healthy = report_with(vec![entry("k", vec![1.0])]);
+        for bad in [f64::NAN, f64::INFINITY, f64::NEG_INFINITY] {
+            let cmp = compare(&sick(bad), &healthy, 10.0);
+            assert_eq!(cmp.rows[0].verdict, Verdict::Incomparable, "baseline median {bad}");
+            let cmp = compare(&healthy, &sick(bad), 10.0);
+            assert_eq!(cmp.rows[0].verdict, Verdict::Incomparable, "current median {bad}");
+        }
+        // the table renders the degenerate row without +NaN noise
+        let cmp = compare(&sick(f64::NAN), &healthy, 10.0);
+        let table = cmp.format_table();
+        assert!(table.contains("INCOMP"), "{table}");
+        assert!(!table.contains("NaN"), "{table}");
+        assert!(table.contains("incomparable"), "{table}");
+    }
+
+    #[test]
+    fn null_medians_round_trip_as_nan_not_zero() {
+        // Regression test: the writer maps non-finite numbers to JSON null
+        // (there is no NaN literal), and the parser used to read null back
+        // via unwrap_or(0.0) — a corrupt median re-entered the gate as a
+        // legitimate-looking 0.0 baseline. It must come back NaN and then
+        // classify as Incomparable.
+        let mut e = entry("k", vec![1.0, 2.0]);
+        e.stats.median = f64::NAN;
+        let text = report_with(vec![e]).to_json();
+        assert!(text.contains("null"), "{text}");
+        let parsed = Report::from_json(&text).expect("parse");
+        assert!(parsed.entries[0].stats.median.is_nan(), "null must not become 0.0");
+        let healthy = report_with(vec![entry("k", vec![1.0, 2.0])]);
+        let cmp = compare(&parsed, &healthy, 10.0);
+        assert_eq!(cmp.rows[0].verdict, Verdict::Incomparable);
+    }
+
+    #[test]
+    fn null_samples_keep_their_position_through_a_round_trip() {
+        // Non-finite samples serialize as null; the parser used to drop
+        // them (filter_map), silently desyncing samples.len() from runs.
+        let mut e = entry("k", vec![1.0, 2.0, 3.0]);
+        e.stats.samples = vec![1.0, f64::INFINITY, 3.0];
+        let text = report_with(vec![e]).to_json();
+        let parsed = Report::from_json(&text).expect("parse");
+        let s = &parsed.entries[0].stats.samples;
+        assert_eq!(s.len(), 3, "null sample must not vanish");
+        assert_eq!(s[0], 1.0);
+        assert!(s[1].is_nan(), "null sample reads back as NaN");
+        assert_eq!(s[2], 3.0);
     }
 
     #[test]

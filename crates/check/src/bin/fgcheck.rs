@@ -1,0 +1,134 @@
+//! `fgcheck` — differential kernel fuzzing CLI.
+//!
+//! ```text
+//! fgcheck [--seed N] [--cases K] [--shrink-budget N] [--verbose]
+//! fgcheck --case '<descriptor>'
+//! fgcheck --seed 0 --cases 200        # the deterministic CI smoke sweep
+//! ```
+//!
+//! Sweep mode generates `K` seeded cases, runs each across every applicable
+//! executor against the naive reference, shrinks any failure, and prints a
+//! replayable `fgcheck --case '...'` one-liner per failure. Exit status is
+//! nonzero iff any case failed.
+//!
+//! Replay mode (`--case`) re-runs one descriptor (as printed by a failing
+//! sweep) with per-executor detail.
+
+use std::process::ExitCode;
+
+use fg_check::{run_case, shrink, sweep, Case};
+
+struct Args {
+    seed: u64,
+    cases: usize,
+    case: Option<String>,
+    shrink_budget: usize,
+    verbose: bool,
+}
+
+fn parse_args() -> Args {
+    let mut out = Args {
+        seed: 0,
+        cases: 200,
+        case: None,
+        shrink_budget: fg_check::runner::SHRINK_BUDGET,
+        verbose: false,
+    };
+    let mut args = std::env::args().skip(1);
+    while let Some(a) = args.next() {
+        let mut val = || args.next().expect("flag value");
+        match a.as_str() {
+            "--seed" => out.seed = val().parse().expect("seed"),
+            "--cases" => out.cases = val().parse().expect("cases"),
+            "--case" => out.case = Some(val()),
+            "--shrink-budget" => out.shrink_budget = val().parse().expect("shrink budget"),
+            "--verbose" | "-v" => out.verbose = true,
+            "--help" | "-h" => {
+                println!(
+                    "fgcheck — differential kernel fuzzer\n\n\
+                     usage: fgcheck [--seed N] [--cases K] [--shrink-budget N] [--verbose]\n\
+                     \x20      fgcheck --case '<descriptor>'\n\n\
+                     Runs every FeatGraph executor (optimized CPU/GPU templates and the\n\
+                     ligra/gunrock/sparselib baselines) against the naive reference on\n\
+                     seeded adversarial cases; shrinks and prints any divergence."
+                );
+                std::process::exit(0);
+            }
+            other => {
+                eprintln!("unknown flag {other} (try --help)");
+                std::process::exit(2);
+            }
+        }
+    }
+    out
+}
+
+fn replay(desc: &str, shrink_budget: usize) -> ExitCode {
+    let case: Case = match desc.parse() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("replaying: {case}");
+    let fails = run_case(&case);
+    if fails.is_empty() {
+        println!("PASS: all executors agree with the reference");
+        return ExitCode::SUCCESS;
+    }
+    for f in &fails {
+        println!("FAIL {f}");
+    }
+    let small = shrink(&case, |c| !run_case(c).is_empty(), shrink_budget);
+    if small != case {
+        println!("shrinks to: fgcheck --case '{small}'");
+    }
+    ExitCode::FAILURE
+}
+
+fn main() -> ExitCode {
+    let args = parse_args();
+
+    if let Some(desc) = &args.case {
+        return replay(desc, args.shrink_budget);
+    }
+
+    println!(
+        "fgcheck: sweeping {} cases from seed {}",
+        args.cases, args.seed
+    );
+    let verbose = args.verbose;
+    let report = sweep(args.seed, args.cases, |i, rep| {
+        if verbose && (i + 1) % 50 == 0 {
+            println!(
+                "  ... {}/{} cases, {} executor runs, {} failures",
+                i + 1,
+                rep.total.max(i + 1),
+                rep.executor_runs,
+                rep.failures.len()
+            );
+        }
+    });
+
+    println!(
+        "swept {} cases ({} executor runs): {} failure(s)",
+        report.total,
+        report.executor_runs,
+        report.failures.len()
+    );
+    if report.failures.is_empty() {
+        println!("PASS");
+        return ExitCode::SUCCESS;
+    }
+    for (i, f) in report.failures.iter().enumerate() {
+        println!("--- failure {} -------------------------------------", i + 1);
+        println!("  original: {}", f.case);
+        println!("  shrunken: {}", f.shrunk);
+        for r in &f.reports {
+            println!("    {r}");
+        }
+        println!("  replay:   fgcheck --case '{}'", f.shrunk);
+    }
+    ExitCode::FAILURE
+}

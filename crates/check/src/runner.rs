@@ -1,0 +1,213 @@
+//! The sweep driver: seeded case generation, differential execution,
+//! shrinking, and the report the CLI prints.
+
+use rand::{Rng, SeedableRng};
+use rand_pcg::Pcg64Mcg;
+
+use crate::case::{Case, ExecPlan, GraphSpec, KernelKind, UdfKind};
+use crate::exec::{run_case, ExecFailure};
+use crate::shrink::shrink;
+use featgraph::{GpuBind, Reducer};
+
+/// One confirmed failure: the original case, its shrunken form, and the
+/// per-executor reports from the shrunken replay.
+#[derive(Debug, Clone)]
+pub struct Failure {
+    /// Case as originally generated.
+    pub case: Case,
+    /// Minimal still-failing case found by the shrinker.
+    pub shrunk: Case,
+    /// Executor disagreements on the shrunken case.
+    pub reports: Vec<ExecFailure>,
+}
+
+/// Result of a sweep.
+#[derive(Debug, Clone, Default)]
+pub struct Sweep {
+    /// Cases executed.
+    pub total: usize,
+    /// Kernel runs (case × applicable executors), summed.
+    pub executor_runs: usize,
+    /// Confirmed failures, shrunk.
+    pub failures: Vec<Failure>,
+}
+
+fn pick<T: Copy>(rng: &mut Pcg64Mcg, xs: &[T]) -> T {
+    xs[rng.gen_range(0..xs.len())]
+}
+
+/// Draw one case. The distribution is deliberately adversarial: small
+/// graphs dominate (shrunken-by-construction), degenerate shapes (empty,
+/// single-vertex, edgeless) appear at a fixed rate, and schedules
+/// oversample the interacting knobs (partitions × threads × tiles).
+pub fn gen_case(rng: &mut Pcg64Mcg) -> Case {
+    let kernel = if rng.gen_bool(0.6) { KernelKind::Spmm } else { KernelKind::Sddmm };
+
+    let graph = match rng.gen_range(0..10u32) {
+        0 => GraphSpec::Empty,
+        1 => GraphSpec::Edgeless { n: rng.gen_range(1..6) },
+        2 | 3 => GraphSpec::Uniform {
+            // up to ~300 vertices: exercises multi-level Hilbert curves and
+            // nontrivial partition/band splits
+            n: rng.gen_range(1..300),
+            deg: rng.gen_range(1..10),
+            seed: rng.gen(),
+        },
+        4 | 5 => GraphSpec::PowerLaw {
+            n: rng.gen_range(2..200),
+            deg: rng.gen_range(1..6),
+            seed: rng.gen(),
+        },
+        _ => GraphSpec::Adversarial {
+            n: rng.gen_range(1..64),
+            seed: rng.gen(),
+        },
+    };
+
+    // d up to 64 deliberately exceeds the smallest threads_per_block (32) so
+    // GPU bindings must wrap the feature axis across warp iterations.
+    let d = pick(rng, &[1usize, 2, 3, 4, 8, 16, 64]);
+    let udf = match kernel {
+        KernelKind::Spmm => match rng.gen_range(0..9u32) {
+            0 => UdfKind::CopyEdge { d },
+            1 => UdfKind::SrcMulEdge { d },
+            2 => UdfKind::SrcMulEdgeScalar { d },
+            3 => UdfKind::SrcAddDst { d },
+            4 => UdfKind::Mlp {
+                d1: pick(rng, &[1usize, 2, 4, 8, 16]),
+                d2: pick(rng, &[1usize, 2, 4, 8]),
+            },
+            // dot-reduce UDFs are legal in SpMM too; they exercise the
+            // generic interpreter fallback of both templates
+            5 => UdfKind::Dot { d },
+            6 => UdfKind::MultiHeadDot {
+                h: pick(rng, &[1usize, 2, 4]),
+                d: pick(rng, &[1usize, 2, 4]),
+            },
+            // Oversample copy-src: it is the only shape the full baseline
+            // matrix (ligra/gunrock/mkl/cusparse) participates in.
+            _ => UdfKind::CopySrc { d },
+        },
+        KernelKind::Sddmm => match rng.gen_range(0..6u32) {
+            0 => UdfKind::CopySrc { d },
+            1 => UdfKind::SrcMulEdge { d },
+            2 => UdfKind::SrcAddDst { d },
+            3 => UdfKind::MultiHeadDot {
+                h: pick(rng, &[1usize, 2, 4]),
+                d: pick(rng, &[1usize, 2, 4, 8]),
+            },
+            // Oversample dot: the attention baselines only join here.
+            _ => UdfKind::Dot { d },
+        },
+    };
+
+    let reducer = match (kernel, &udf) {
+        (KernelKind::Sddmm, _) => Reducer::Sum, // unused placeholder
+        // Keep the baseline-eligible pairings common, but roam the full
+        // reducer space: that is where the zero-in-degree audit lives.
+        (_, UdfKind::Mlp { .. }) if rng.gen_bool(0.6) => Reducer::Max,
+        _ => pick(rng, &[Reducer::Sum, Reducer::Max, Reducer::Min, Reducer::Mean]),
+    };
+
+    let plan = ExecPlan {
+        threads: pick(rng, &[1usize, 1, 2, 4]),
+        partitions: pick(rng, &[1usize, 1, 2, 3, 7]),
+        feature_tiles: pick(rng, &[1usize, 1, 2, 4]),
+        reduce_tiles: pick(rng, &[1usize, 1, 2]),
+        tree_reduce: rng.gen_bool(0.3),
+        hilbert: rng.gen_bool(0.5),
+        rows_per_block: pick(rng, &[1usize, 2, 8]),
+        edges_per_block: pick(rng, &[1usize, 64, 256]),
+        hybrid: rng.gen_bool(0.25),
+        threads_per_block: pick(rng, &[32usize, 64, 256]),
+        bind: match &udf {
+            UdfKind::Mlp { .. } => pick(rng, &[GpuBind::BlockX, GpuBind::None]),
+            UdfKind::Dot { .. } | UdfKind::MultiHeadDot { .. } => GpuBind::None,
+            _ => pick(rng, &[GpuBind::ThreadX, GpuBind::None]),
+        },
+    };
+
+    Case { kernel, graph, udf, reducer, plan, seed: rng.gen() }
+}
+
+/// Upper bound on kernel re-executions while shrinking one failure.
+pub const SHRINK_BUDGET: usize = 400;
+
+/// Run `cases` generated cases from `seed`. Deterministic: the same
+/// `(seed, cases)` always explores the same case list.
+pub fn sweep(seed: u64, cases: usize, progress: impl Fn(usize, &Sweep)) -> Sweep {
+    let mut rng = Pcg64Mcg::seed_from_u64(seed);
+    let mut report = Sweep::default();
+    for i in 0..cases {
+        let case = gen_case(&mut rng);
+        let fails = run_case(&case);
+        report.total += 1;
+        report.executor_runs += executor_count(&case);
+        if !fails.is_empty() {
+            let shrunk = shrink(&case, |c| !run_case(c).is_empty(), SHRINK_BUDGET);
+            let reports = run_case(&shrunk);
+            report.failures.push(Failure { case, shrunk, reports });
+        }
+        progress(i, &report);
+    }
+    report
+}
+
+/// How many executors (beyond the reference) a case fans out to — for the
+/// coverage line in the sweep summary.
+fn executor_count(case: &Case) -> usize {
+    let mut n = 2; // optimized cpu + gpu always run
+    let gcn_like = case.kernel == KernelKind::Spmm
+        && matches!(case.udf, UdfKind::CopySrc { .. })
+        && case.reducer == Reducer::Sum;
+    let mlp_like = case.kernel == KernelKind::Spmm
+        && matches!(case.udf, UdfKind::Mlp { .. })
+        && case.reducer == Reducer::Max;
+    let dot_like = case.kernel == KernelKind::Sddmm && matches!(case.udf, UdfKind::Dot { .. });
+    if gcn_like {
+        n += 4; // ligra, gunrock, mkl, cusparse
+    }
+    if mlp_like || dot_like {
+        n += 2; // ligra, gunrock
+    }
+    n
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic() {
+        let mut a = Pcg64Mcg::seed_from_u64(0);
+        let mut b = Pcg64Mcg::seed_from_u64(0);
+        for _ in 0..64 {
+            assert_eq!(gen_case(&mut a), gen_case(&mut b));
+        }
+    }
+
+    #[test]
+    fn generated_cases_roundtrip_through_descriptors() {
+        let mut rng = Pcg64Mcg::seed_from_u64(42);
+        for _ in 0..128 {
+            let case = gen_case(&mut rng);
+            let desc = case.to_string();
+            let parsed: Case = desc.parse().unwrap_or_else(|e| panic!("{desc}: {e}"));
+            assert_eq!(parsed, case, "{desc}");
+        }
+    }
+
+    #[test]
+    fn smoke_sweep_runs_clean() {
+        // A miniature version of the CI job; the full 200-case sweep runs
+        // as `fgcheck --seed 0 --cases 200` in the fuzz-smoke CI job.
+        let report = sweep(0, 25, |_, _| {});
+        let msgs: Vec<String> = report
+            .failures
+            .iter()
+            .map(|f| format!("fgcheck --case '{}' # {:?}", f.shrunk, f.reports))
+            .collect();
+        assert!(report.failures.is_empty(), "{msgs:#?}");
+        assert_eq!(report.total, 25);
+    }
+}

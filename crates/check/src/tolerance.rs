@@ -1,0 +1,194 @@
+//! ULP/relative-tolerance float comparison.
+//!
+//! Reassociation is the only legitimate source of divergence between an
+//! optimized kernel and the naive reference: partitioned merges, tiled
+//! accumulation, tree reductions, and atomic scatter all sum the same terms
+//! in a different order. The comparison model therefore accepts a value if
+//! **any** of the following hold:
+//!
+//! 1. bitwise equal (covers `-0.0`/`0.0` via `==`, and both-NaN),
+//! 2. absolute difference ≤ `abs` (for values straddling zero, where
+//!    relative error is meaningless),
+//! 3. ULP distance ≤ `max_ulps` (scale-free, tight near any magnitude),
+//! 4. relative difference ≤ `rel` (backstop for the subnormal range where
+//!    ULPs become coarse).
+//!
+//! EXPERIMENTS.md ("Comparison tolerance model") documents why `Mean` and
+//! matmul-bearing UDFs get looser bounds than copy/add/mul message kernels.
+
+use crate::case::{Case, KernelKind, UdfKind};
+use featgraph::Reducer;
+
+/// One element that failed the comparison.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Mismatch {
+    /// Flat element index into the output tensor.
+    pub index: usize,
+    /// Reference (oracle) value.
+    pub want: f32,
+    /// Executor value.
+    pub got: f32,
+    /// ULP distance (saturating; `u32::MAX` when signs differ on non-tiny
+    /// values or exactly one side is NaN).
+    pub ulps: u32,
+    /// Relative difference `|want - got| / max(|want|, |got|)`.
+    pub rel: f64,
+}
+
+impl std::fmt::Display for Mismatch {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "out[{}]: want {:?} got {:?} (ulps={}, rel={:.3e})",
+            self.index, self.want, self.got, self.ulps, self.rel
+        )
+    }
+}
+
+/// Comparison thresholds; see the module docs for how they combine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Tolerance {
+    /// Maximum accepted ULP distance.
+    pub max_ulps: u32,
+    /// Maximum accepted relative difference.
+    pub rel: f64,
+    /// Maximum accepted absolute difference.
+    pub abs: f64,
+}
+
+impl Tolerance {
+    /// Tight bound for message kernels that only copy/add/multiply:
+    /// with lattice-valued inputs these are exact up to reassociation of
+    /// exact sums, so only a few ULPs of slack are needed.
+    pub fn strict() -> Self {
+        Self {
+            max_ulps: 4,
+            rel: 1e-5,
+            abs: 1e-6,
+        }
+    }
+
+    /// Loose bound for reductions that divide (`Mean`) or chain a matmul
+    /// (`Mlp`, `Dot`, `MultiHeadDot`): each reassociated partial sum can
+    /// round differently *before* the division/ReLU, so errors compound.
+    pub fn loose() -> Self {
+        Self {
+            max_ulps: 128,
+            rel: 1e-4,
+            abs: 1e-5,
+        }
+    }
+
+    /// Pick the bound a case is entitled to.
+    pub fn for_case(case: &Case) -> Self {
+        let loose_udf = matches!(
+            case.udf,
+            UdfKind::Mlp { .. } | UdfKind::Dot { .. } | UdfKind::MultiHeadDot { .. }
+        );
+        let loose_red = case.kernel == KernelKind::Spmm && case.reducer == Reducer::Mean;
+        if loose_udf || loose_red {
+            Self::loose()
+        } else {
+            Self::strict()
+        }
+    }
+}
+
+/// ULP distance between two floats: how many representable `f32` values lie
+/// between them. Same-sign values map onto a monotone integer line; values
+/// of opposite sign are only comparable through zero, so the distance is the
+/// sum of each magnitude's distance to `±0.0`.
+pub fn ulp_diff(a: f32, b: f32) -> u32 {
+    if a == b {
+        return 0; // also catches -0.0 == 0.0
+    }
+    if a.is_nan() || b.is_nan() {
+        return if a.is_nan() && b.is_nan() { 0 } else { u32::MAX };
+    }
+    // Map the sign-magnitude bit pattern onto a monotone lattice.
+    fn key(x: f32) -> i64 {
+        let bits = i64::from(x.to_bits() as i32);
+        if bits < 0 {
+            // negative floats: order on the real line reverses with magnitude
+            i64::from(i32::MIN) - bits
+        } else {
+            bits
+        }
+    }
+    (key(a) - key(b)).unsigned_abs().min(u64::from(u32::MAX)) as u32
+}
+
+/// Compare `got` against the oracle `want` element-wise; `None` means the
+/// slices agree under `tol`. Both-NaN agrees; one-sided NaN never does.
+pub fn compare_slices(want: &[f32], got: &[f32], tol: Tolerance) -> Option<Mismatch> {
+    assert_eq!(want.len(), got.len(), "output shape diverged");
+    for (i, (&w, &g)) in want.iter().zip(got.iter()).enumerate() {
+        if w == g || (w.is_nan() && g.is_nan()) {
+            continue;
+        }
+        let ad = f64::from((w - g).abs());
+        if ad <= tol.abs {
+            continue;
+        }
+        let ulps = ulp_diff(w, g);
+        if ulps <= tol.max_ulps {
+            continue;
+        }
+        let rel = ad / f64::from(w.abs().max(g.abs()));
+        if rel <= tol.rel {
+            continue;
+        }
+        return Some(Mismatch {
+            index: i,
+            want: w,
+            got: g,
+            ulps,
+            rel,
+        });
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ulp_distance_basics() {
+        assert_eq!(ulp_diff(1.0, 1.0), 0);
+        assert_eq!(ulp_diff(0.0, -0.0), 0);
+        assert_eq!(ulp_diff(1.0, f32::from_bits(1.0f32.to_bits() + 1)), 1);
+        assert_eq!(ulp_diff(-1.0, f32::from_bits((-1.0f32).to_bits() + 1)), 1);
+        // smallest positive and negative subnormals are 2 ULPs apart
+        // (through both zeros)
+        assert_eq!(ulp_diff(f32::from_bits(1), -f32::from_bits(1)), 2);
+        assert_eq!(ulp_diff(f32::NAN, f32::NAN), 0);
+        assert_eq!(ulp_diff(f32::NAN, 1.0), u32::MAX);
+        // far-apart values saturate rather than wrap
+        assert!(ulp_diff(f32::MAX, f32::MIN) > 1 << 30);
+    }
+
+    #[test]
+    fn compare_accepts_reassociation_noise() {
+        let tol = Tolerance::strict();
+        let a = [0.1f32 + 0.2];
+        let b = [0.3f32];
+        assert!(compare_slices(&a, &b, tol).is_none());
+    }
+
+    #[test]
+    fn compare_rejects_real_divergence() {
+        let tol = Tolerance::strict();
+        let m = compare_slices(&[1.0], &[1.001], tol).expect("should mismatch");
+        assert_eq!(m.index, 0);
+        assert!(compare_slices(&[1.0], &[f32::NAN], tol).is_some());
+        assert!(compare_slices(&[f32::MIN], &[0.0], tol).is_some(), "sentinel leak must be caught");
+    }
+
+    #[test]
+    fn zero_straddling_uses_absolute_bound() {
+        let tol = Tolerance::strict();
+        // 1e-7 apart across zero: huge ULP distance, tiny absolute error
+        assert!(compare_slices(&[5e-8], &[-5e-8], tol).is_none());
+    }
+}

@@ -1,0 +1,69 @@
+//! Committed corpus of shrunken `fgcheck` case descriptors.
+//!
+//! Every entry came out of the fg-check differential sweeps that audited the
+//! kernel stack (seeds 0–5, ~16k generated cases): each is the shrunken form
+//! of a case family the audit flagged as risky — zero-in-degree Max/Min
+//! normalization, self-loops under Mean, duplicate-edge canonicalization,
+//! empty iteration spaces, and the interacting schedule knobs (partitions ×
+//! threads × tiles × tree-reduce × hybrid GPU binning). The sweep found all
+//! executors agreeing with the reference on every one; this corpus pins that
+//! down so a future kernel change that re-introduces a divergence fails here
+//! with a ready-made `fgcheck --case '<descriptor>'` repro line.
+//!
+//! Replay any entry by hand:
+//!
+//! ```text
+//! cargo run -p fg-check --bin fgcheck -- --case '<descriptor>'
+//! ```
+
+use fg_check::{run_case, Case};
+
+/// Shrunken descriptors, one per audited failure family.
+const CORPUS: &[&str] = &[
+    // zero-in-degree Max: isolated destinations must read 0.0, not the -inf
+    // identity, on a partitioned + threaded + feature-tiled CPU plan
+    "spmm;g=adversarial:18:3;u=copy-src:2;r=max;p=t2.p3.ft2.rt1.tr0.hil0.rpb1.epb64.hyb0.tpb32.bindt;s=7",
+    // zero-in-degree Min, tree-reduce enabled: the +inf identity must also
+    // normalize exactly once under the pairwise reduction order
+    "spmm;g=adversarial:18:3;u=copy-src:2;r=min;p=t2.p3.ft2.rt2.tr1.hil0.rpb1.epb64.hyb0.tpb32.bindt;s=7",
+    // Mean over self-loops: the divisor is the deduplicated in-degree, and
+    // the normalization must not be applied once per partition
+    "spmm;g=explicit:2:0-0,1-0,1-1;u=copy-src:1;r=mean;p=t2.p2.ft1.rt1.tr0.hil0.rpb1.epb64.hyb0.tpb32.bindt;s=1",
+    // duplicate edges collapse at construction: Sum must not double-count
+    "spmm;g=explicit:3:0-1,0-1,2-1;u=copy-src:1;r=sum;p=t1.p1.ft1.rt1.tr0.hil0.rpb1.epb64.hyb0.tpb32.bindt;s=1",
+    // empty graph: every executor must produce an empty result, not panic
+    "spmm;g=empty;u=copy-src:1;r=sum;p=t1.p1.ft1.rt1.tr0.hil0.rpb1.epb64.hyb0.tpb32.bindn;s=0",
+    // all vertices isolated, Mean: no division by the zero in-degree
+    "spmm;g=edgeless:5;u=copy-src:2;r=mean;p=t2.p2.ft1.rt1.tr0.hil0.rpb1.epb64.hyb0.tpb32.bindt;s=3",
+    // GPU hybrid binning with a hub vertex: the high-degree row goes down
+    // the shared-memory staging path, the isolated band down the simple one
+    "spmm;g=adversarial:24:9;u=copy-src:4;r=sum;p=t1.p1.ft1.rt1.tr0.hil0.rpb2.epb64.hyb1.tpb64.bindt;s=11",
+    // MLP + Max with block binding and tree-reduce on a power-law graph:
+    // the paper's GAT-like shape at its smallest still-interesting size
+    "spmm;g=powerlaw:12:2:5;u=mlp:4:2;r=max;p=t2.p2.ft1.rt2.tr1.hil0.rpb1.epb64.hyb0.tpb32.bindb;s=13",
+    // SDDMM dot over self-loops with Hilbert traversal: edge-output order
+    // must stay CSR order even when traversal is curve-ordered
+    "sddmm;g=explicit:3:0-0,1-2,2-2;u=dot:2;r=none;p=t2.p1.ft1.rt1.tr0.hil1.rpb1.epb1.hyb0.tpb32.bindn;s=5",
+    // SDDMM multi-head dot on the adversarial mix, one edge per GPU block
+    "sddmm;g=adversarial:9:42;u=mhdot:2:3;r=none;p=t1.p1.ft1.rt1.tr0.hil0.rpb1.epb1.hyb0.tpb32.bindn;s=17",
+];
+
+#[test]
+fn corpus_descriptors_parse_and_roundtrip() {
+    for desc in CORPUS {
+        let case: Case = desc.parse().unwrap_or_else(|e| panic!("{desc}: {e}"));
+        assert_eq!(&case.to_string(), desc, "descriptor not in canonical form");
+    }
+}
+
+#[test]
+fn corpus_replays_clean_on_every_executor() {
+    for desc in CORPUS {
+        let case: Case = desc.parse().unwrap();
+        let fails = run_case(&case);
+        assert!(
+            fails.is_empty(),
+            "regression: fgcheck --case '{desc}' diverged: {fails:?}"
+        );
+    }
+}

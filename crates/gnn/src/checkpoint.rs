@@ -30,11 +30,15 @@ pub enum CheckpointError {
     ShapeMismatch {
         /// Which tensor (model parameter order).
         index: usize,
-        /// Shape in the file.
-        file: (usize, usize),
+        /// Shape in the file (saturated to `usize::MAX` if the stored u64
+        /// does not fit this platform's `usize`).
+        file: (u64, u64),
         /// Shape in the model.
         model: (usize, usize),
     },
+    /// The file continues past the final expected tensor payload — it was
+    /// written by something else or corrupted in transit.
+    TrailingData,
 }
 
 impl std::fmt::Display for CheckpointError {
@@ -47,6 +51,9 @@ impl std::fmt::Display for CheckpointError {
             }
             CheckpointError::ShapeMismatch { index, file, model } => {
                 write!(f, "tensor {index}: file shape {file:?} vs model shape {model:?}")
+            }
+            CheckpointError::TrailingData => {
+                write!(f, "checkpoint has trailing data past the final tensor")
             }
         }
     }
@@ -96,33 +103,59 @@ pub fn load<R: Read>(model: &mut dyn Model, reader: R) -> Result<(), CheckpointE
     if &magic != MAGIC {
         return Err(CheckpointError::BadMagic);
     }
-    let count = read_u64(&mut r)? as usize;
+    // Every header field is validated against the in-memory model BEFORE any
+    // file-sized allocation: a corrupt or truncated header must surface as a
+    // typed CheckpointError, never as an OOM abort from trusting u64 dims.
+    // The u64 → usize conversions are lossless (no `as` truncation, which on
+    // 32-bit targets could alias an absurd dimension onto a plausible one).
+    let count = read_u64(&mut r)?;
     let mut params = model.params();
-    if count != params.len() {
+    if usize::try_from(count) != Ok(params.len()) {
         return Err(CheckpointError::TensorCountMismatch {
-            file: count,
+            file: usize::try_from(count).unwrap_or(usize::MAX),
             model: params.len(),
         });
     }
     for (index, p) in params.iter_mut().enumerate() {
-        let rows = read_u64(&mut r)? as usize;
-        let cols = read_u64(&mut r)? as usize;
-        if (rows, cols) != p.value.shape() {
+        let file_rows = read_u64(&mut r)?;
+        let file_cols = read_u64(&mut r)?;
+        let (rows, cols) = p.value.shape();
+        if (usize::try_from(file_rows), usize::try_from(file_cols)) != (Ok(rows), Ok(cols)) {
             return Err(CheckpointError::ShapeMismatch {
                 index,
-                file: (rows, cols),
-                model: p.value.shape(),
+                file: (file_rows, file_cols),
+                model: (rows, cols),
             });
         }
-        let mut flat = vec![0.0f32; rows * cols];
-        let mut buf = [0u8; 4];
-        for v in &mut flat {
-            r.read_exact(&mut buf)?;
-            *v = f32::from_le_bytes(buf);
-        }
+        // The shape equals the live parameter's, so the payload allocation is
+        // bounded by memory the model already holds; checked_mul keeps that
+        // invariant explicit should the validation above ever loosen.
+        let numel = rows
+            .checked_mul(cols)
+            .filter(|&n| n == p.value.as_slice().len())
+            .ok_or(CheckpointError::ShapeMismatch {
+                index,
+                file: (file_rows, file_cols),
+                model: (rows, cols),
+            })?;
+        let mut bytes = vec![0u8; numel * 4];
+        r.read_exact(&mut bytes)?;
+        let flat = bytes
+            .chunks_exact(4)
+            .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+            .collect();
         p.value = Dense2::from_vec(rows, cols, flat).expect("shape checked");
     }
-    Ok(())
+    // A well-formed checkpoint ends exactly at the last payload byte.
+    let mut probe = [0u8; 1];
+    loop {
+        match r.read(&mut probe) {
+            Ok(0) => return Ok(()),
+            Ok(_) => return Err(CheckpointError::TrailingData),
+            Err(e) if e.kind() == io::ErrorKind::Interrupted => continue,
+            Err(e) => return Err(CheckpointError::Io(e)),
+        }
+    }
 }
 
 /// Save to a file path.
@@ -219,6 +252,69 @@ mod tests {
         assert!(matches!(
             load(m.as_mut(), buf.as_slice()),
             Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn truncated_header_is_an_io_error() {
+        let mut m = build_model("gcn", 4, 8, 3, 1);
+        let mut buf = Vec::new();
+        save(m.as_mut(), &mut buf).unwrap();
+        // cut inside the tensor-count field (magic is 8 bytes, count is 8)
+        buf.truncate(12);
+        assert!(matches!(
+            load(m.as_mut(), buf.as_slice()),
+            Err(CheckpointError::Io(_))
+        ));
+        // cut inside the first tensor's rows field
+        let mut buf2 = Vec::new();
+        save(m.as_mut(), &mut buf2).unwrap();
+        buf2.truncate(20);
+        assert!(matches!(
+            load(m.as_mut(), buf2.as_slice()),
+            Err(CheckpointError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn absurd_header_dims_error_before_allocating() {
+        // A corrupt file claiming u64::MAX-sized tensors must come back as a
+        // typed error; pre-hardening, `read_u64(..)? as usize` plus an
+        // unchecked `rows * cols` meant a forged header could drive the
+        // allocator instead of the validator.
+        let mut m = build_model("gcn", 4, 8, 3, 1);
+        let mut buf = Vec::new();
+        save(m.as_mut(), &mut buf).unwrap();
+        // magic (8) + count (8) = 16; bytes 16..32 are tensor 0's rows/cols
+        buf[16..24].copy_from_slice(&u64::MAX.to_le_bytes());
+        buf[24..32].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            load(m.as_mut(), buf.as_slice()),
+            Err(CheckpointError::ShapeMismatch {
+                index: 0,
+                file: (u64::MAX, u64::MAX),
+                ..
+            })
+        ));
+        // same for a forged tensor count
+        let mut buf2 = Vec::new();
+        save(m.as_mut(), &mut buf2).unwrap();
+        buf2[8..16].copy_from_slice(&u64::MAX.to_le_bytes());
+        assert!(matches!(
+            load(m.as_mut(), buf2.as_slice()),
+            Err(CheckpointError::TensorCountMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn trailing_data_is_rejected() {
+        let mut m = build_model("gcn", 4, 8, 3, 1);
+        let mut buf = Vec::new();
+        save(m.as_mut(), &mut buf).unwrap();
+        buf.push(0u8);
+        assert!(matches!(
+            load(m.as_mut(), buf.as_slice()),
+            Err(CheckpointError::TrailingData)
         ));
     }
 }
