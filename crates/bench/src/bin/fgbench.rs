@@ -369,12 +369,13 @@ fn main() {
         "table5" => table5(&args, &mut rep),
         "table6" => table6(&args, &mut rep),
         "accuracy" => accuracy(&args),
+        "serve" => serve_bench(&args, &mut rep),
         "traversal" => traversal(&args, &mut rep),
         "a100" => a100(&args, &mut rep),
         "tune" => tune(&args),
         "all" => run_all(&args, &mut rep),
         _ => {
-            eprintln!("usage: fgbench <table2|table3|fig10|table4|fig11|fig12|fig13|fig14|fig15|table5|table6|accuracy|all|compare> [--scale N] [--lengths l1,l2] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all] [--trace out.json] [--metrics] [--json report.json] [--bench-json]");
+            eprintln!("usage: fgbench <table2|table3|fig10|table4|fig11|fig12|fig13|fig14|fig15|table5|table6|accuracy|serve|all|compare> [--scale N] [--lengths l1,l2] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all] [--trace out.json] [--metrics] [--json report.json] [--bench-json]");
             std::process::exit(2);
         }
     }
@@ -420,6 +421,7 @@ fn run_all(args: &Args, master: &mut Report) {
     sub("table5", &mut |r| table5(args, r));
     sub("table6", &mut |r| table6(args, r));
     sub("accuracy", &mut |_| accuracy(args));
+    sub("serve", &mut |r| serve_bench(args, r));
     sub("traversal", &mut |r| traversal(args, r));
     sub("tune", &mut |_| tune(args));
     sub("a100", &mut |r| a100(args, r));
@@ -942,6 +944,88 @@ fn table6(args: &Args, rep: &mut Report) {
         rep.push_single(format!("table6/{model_name}/gpu_infer/naive"), "ms", g1);
         rep.push_single(format!("table6/{model_name}/gpu_infer/featgraph"), "ms", g2);
     }
+}
+
+/// Closed-loop serving benchmark through the fg-serve engine: concurrent
+/// clients issue single-node inference requests that the engine coalesces
+/// into batches, so the full-graph forward cost amortizes and compiled
+/// plans are reused across batches (the fg-serve plan cache).
+fn serve_bench(args: &Args, rep: &mut Report) {
+    use fg_serve::{Engine, InferRequest, ServeConfig};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const CLIENTS: usize = 8;
+    let n = (30_000 / args.cfg.scale).max(500);
+    let requests = (4_000 / args.cfg.scale).max(400);
+    let per_client = (requests / CLIENTS).max(1);
+    println!(
+        "\n=== serve: closed-loop batched inference, {CLIENTS} clients x {per_client} \
+         requests/model, {n}-vertex graph ==="
+    );
+    let engine = Arc::new(Engine::new(ServeConfig {
+        kernel_threads: args.threads,
+        default_deadline: None,
+        ..ServeConfig::default()
+    }));
+    let task = SbmTask::generate(n, 4, 16, 4, 33);
+    let vertices = task.graph.num_vertices();
+    for name in ["gcn", "graphsage", "gat"] {
+        let model = build_model(name, task.in_dim(), 32, task.num_classes, 1);
+        engine.register_model(name, model, task.graph.clone(), task.features.clone());
+    }
+    for name in ["gcn", "graphsage", "gat"] {
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                let engine = Arc::clone(&engine);
+                std::thread::spawn(move || {
+                    let mut lat = Vec::with_capacity(per_client);
+                    for i in 0..per_client {
+                        let node = (c * 997 + i * 31) % vertices;
+                        let t = Instant::now();
+                        engine
+                            .infer(InferRequest {
+                                model: name.into(),
+                                node,
+                                deadline: None,
+                            })
+                            .expect("serve infer");
+                        lat.push(t.elapsed().as_secs_f64());
+                    }
+                    lat
+                })
+            })
+            .collect();
+        let mut lat: Vec<f64> = handles
+            .into_iter()
+            .flat_map(|h| h.join().expect("serve client"))
+            .collect();
+        let wall = t0.elapsed().as_secs_f64();
+        let samples = Samples::from_secs(lat.clone());
+        lat.sort_by(f64::total_cmp);
+        let q = |p: f64| lat[((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len()) - 1];
+        println!(
+            "{name:<10} {:>7} req  {:>9.1} req/s   p50 {:>10}  p99 {:>10}  max {:>10}",
+            lat.len(),
+            lat.len() as f64 / wall,
+            fmt_secs(Some(q(0.50))),
+            fmt_secs(Some(q(0.99))),
+            fmt_secs(lat.last().copied()),
+        );
+        rep.push(format!("serve/{name}/request_latency"), "s", &samples);
+        rep.push_single(format!("serve/{name}/wall"), "s", wall);
+    }
+    let stats = engine.stats();
+    println!(
+        "engine: {} batches (avg {:.1} req/batch), plan hit rate {:.1}%, shed {}, timeouts {}",
+        stats.batches,
+        stats.avg_batch,
+        stats.plan_hit_rate * 100.0,
+        stats.shed,
+        stats.timed_out
+    );
+    engine.shutdown();
 }
 
 fn traversal(args: &Args, rep: &mut Report) {

@@ -36,10 +36,14 @@ pub struct CpuSddmmOptions {
 
 impl CpuSddmmOptions {
     /// Defaults: Hilbert traversal, all cores.
+    ///
+    /// When the OS cannot report its core count the thread count falls back
+    /// to 1 — see [`crate::util::detected_threads`] for how that fallback is
+    /// surfaced (stderr warning + `parallelism_fallbacks` counter).
     pub fn auto(_graph: &Graph, _udf: &Udf, _fds: &Fds) -> Self {
         Self {
             traversal: Traversal::Hilbert,
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: util::detected_threads(),
         }
     }
 
@@ -76,6 +80,7 @@ impl CpuSddmm {
             Traversal::Canonical => EdgeOrder::canonical(graph),
             Traversal::Hilbert => EdgeOrder::hilbert(graph),
         };
+        counter_add(Counter::KernelCompiles, 1);
         Ok(Self {
             udf: udf.clone(),
             fds: *fds,

@@ -31,6 +31,10 @@ pub const DEFAULT_LLC_BYTES: usize = 25 * 1024 * 1024;
 impl CpuSpmmOptions {
     /// Heuristic defaults: partition count from the cache model
     /// (`fg_graph::partition::partitions_for_cache`), all cores.
+    ///
+    /// When the OS cannot report its core count the thread count falls back
+    /// to 1 — see [`crate::util::detected_threads`] for how that fallback is
+    /// surfaced (stderr warning + `parallelism_fallbacks` counter).
     pub fn auto(graph: &Graph, udf: &Udf, fds: &Fds) -> Self {
         let tile_cols = udf.src_len.max(udf.dst_len).max(1) / fds.feature_tiles.max(1);
         let parts = fg_graph::partition::partitions_for_cache(
@@ -41,7 +45,7 @@ impl CpuSpmmOptions {
         );
         Self {
             graph_partitions: parts,
-            threads: std::thread::available_parallelism().map_or(1, |n| n.get()),
+            threads: util::detected_threads(),
             llc_bytes: DEFAULT_LLC_BYTES,
         }
     }
@@ -99,6 +103,7 @@ impl CpuSpmm {
         let degrees = (0..graph.num_vertices() as u32)
             .map(|v| graph.in_degree(v) as u32)
             .collect();
+        counter_add(Counter::KernelCompiles, 1);
         Ok(Self {
             udf: udf.clone(),
             agg,

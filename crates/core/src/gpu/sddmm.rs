@@ -62,6 +62,7 @@ impl GpuSddmm {
                 fds.gpu.threads_per_block
             )));
         }
+        counter_add(Counter::KernelCompiles, 1);
         Ok(Self {
             udf: udf.clone(),
             fds: *fds,

@@ -106,6 +106,7 @@ impl GpuSpmm {
                 fds.gpu.threads_per_block
             )));
         }
+        counter_add(Counter::KernelCompiles, 1);
         Ok(Self {
             udf: udf.clone(),
             agg,

@@ -57,6 +57,32 @@ impl<'a, S: Scalar> SharedRows<'a, S> {
     }
 }
 
+/// Worker-thread count detected from the OS.
+///
+/// When `std::thread::available_parallelism` errors (sandboxes, unusual
+/// cgroup configurations, exotic platforms), the `auto` option constructors
+/// fall back to **one** thread. That used to happen silently — a
+/// mis-configured container would quietly run every kernel serially. The
+/// first fallback in a process now emits a one-line warning on stderr and
+/// increments the `parallelism_fallbacks` telemetry counter so the
+/// degradation is visible in metric snapshots.
+pub fn detected_threads() -> usize {
+    match std::thread::available_parallelism() {
+        Ok(n) => n.get(),
+        Err(err) => {
+            static ONCE: std::sync::Once = std::sync::Once::new();
+            ONCE.call_once(|| {
+                eprintln!(
+                    "featgraph: available_parallelism failed ({err}); \
+                     falling back to 1 worker thread"
+                );
+                fg_telemetry::counter_add(fg_telemetry::Counter::ParallelismFallbacks, 1);
+            });
+            1
+        }
+    }
+}
+
 /// Build a rayon thread pool with `threads` workers (1 = effectively serial).
 pub fn pool(threads: usize) -> rayon::ThreadPool {
     rayon::ThreadPoolBuilder::new()

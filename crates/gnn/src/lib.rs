@@ -32,3 +32,4 @@ pub mod trainer;
 pub use backend::{FeatgraphBackend, GraphBackend, NaiveBackend};
 pub use ggraph::GnnGraph;
 pub use tape::{Tape, Var};
+pub use trainer::{infer_batch, InferError};

@@ -7,7 +7,11 @@ use crate::nn::{init_rng, Param};
 use crate::tape::{Tape, Var};
 
 /// A trainable GNN model.
-pub trait Model {
+///
+/// Models are `Send + Sync`: parameters are plain tensors and `forward`
+/// takes `&self`, so a boxed model can move to a serving worker thread and
+/// be shared behind an `Arc`/`Mutex` (the `fg-serve` engine relies on this).
+pub trait Model: Send + Sync {
     /// Model name ("GCN", "GraphSage", "GAT").
     fn name(&self) -> &'static str;
 

@@ -7,6 +7,7 @@ use fg_tensor::Dense2;
 
 use crate::backend::{GpuCostModel, GraphBackend};
 use crate::data::SbmTask;
+use crate::ggraph::GnnGraph;
 use crate::loss::{accuracy, softmax_cross_entropy};
 use crate::models::Model;
 use crate::nn::Optimizer;
@@ -126,6 +127,69 @@ pub fn inference(
     (tape.value(logits_var).clone(), seconds, gpu_ms)
 }
 
+/// Errors from [`infer_batch`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum InferError {
+    /// A requested node ID is outside the graph.
+    NodeOutOfRange {
+        /// The offending node ID.
+        node: usize,
+        /// Vertex count of the graph.
+        vertices: usize,
+    },
+    /// The feature matrix does not cover every vertex.
+    FeatureRowsMismatch {
+        /// Rows in the feature matrix.
+        rows: usize,
+        /// Vertex count of the graph.
+        vertices: usize,
+    },
+}
+
+impl std::fmt::Display for InferError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            InferError::NodeOutOfRange { node, vertices } => {
+                write!(f, "node {node} out of range (graph has {vertices} vertices)")
+            }
+            InferError::FeatureRowsMismatch { rows, vertices } => {
+                write!(f, "feature matrix has {rows} rows, graph has {vertices} vertices")
+            }
+        }
+    }
+}
+
+impl std::error::Error for InferError {}
+
+/// Batched single-node inference: one full-graph forward pass answers every
+/// requested node, returning that node's logits row per request.
+///
+/// This is the serving entry point (`fg-serve` coalesces concurrent
+/// requests into one call): the forward cost is paid once per *batch*, not
+/// once per request, and the backend's cached kernel plans are reused
+/// across batches. Requested node IDs are validated before any compute.
+pub fn infer_batch(
+    model: &dyn Model,
+    graph: &GnnGraph,
+    features: &Dense2<f32>,
+    backend: &dyn GraphBackend,
+    nodes: &[usize],
+) -> Result<Vec<Vec<f32>>, InferError> {
+    let vertices = graph.num_vertices();
+    if features.rows() != vertices {
+        return Err(InferError::FeatureRowsMismatch { rows: features.rows(), vertices });
+    }
+    if let Some(&node) = nodes.iter().find(|&&v| v >= vertices) {
+        return Err(InferError::NodeOutOfRange { node, vertices });
+    }
+    let _span = span!("gnn/infer_batch", "nodes={}", nodes.len());
+    let mut tape = Tape::new(graph, backend, None);
+    let x = tape.leaf(features.clone());
+    let (logits_var, _) = model.forward(&mut tape, x);
+    let logits = tape.value(logits_var);
+    Ok(nodes.iter().map(|&v| logits.row(v).to_vec()).collect())
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -202,6 +266,30 @@ mod tests {
             );
             assert!(result.test_acc > 0.6, "{name} acc {}", result.test_acc);
         }
+    }
+
+    #[test]
+    fn infer_batch_matches_full_inference() {
+        let task = small_task();
+        let backend = FeatgraphBackend::cpu(1);
+        let model = build_model("gcn", task.in_dim(), 8, task.num_classes, 2);
+        let (logits, _, _) = inference(model.as_ref(), &task, &backend, None);
+        let nodes = [0usize, 5, 299];
+        let rows =
+            infer_batch(model.as_ref(), &task.graph, &task.features, &backend, &nodes).unwrap();
+        assert_eq!(rows.len(), nodes.len());
+        for (row, &v) in rows.iter().zip(&nodes) {
+            assert_eq!(row.as_slice(), logits.row(v));
+        }
+        assert!(matches!(
+            infer_batch(model.as_ref(), &task.graph, &task.features, &backend, &[300]),
+            Err(InferError::NodeOutOfRange { node: 300, vertices: 300 })
+        ));
+        let short = Dense2::zeros(10, task.in_dim());
+        assert!(matches!(
+            infer_batch(model.as_ref(), &task.graph, &short, &backend, &[0]),
+            Err(InferError::FeatureRowsMismatch { rows: 10, vertices: 300 })
+        ));
     }
 
     #[test]

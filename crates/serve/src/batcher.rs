@@ -1,0 +1,314 @@
+//! Bounded multi-producer batching queue with a deadline-or-size dispatch
+//! trigger, built on `Mutex` + `Condvar` (no async runtime).
+//!
+//! Producers [`Batcher::push`] individual items; consumers block in
+//! [`Batcher::next_batch`] until either
+//!
+//! * **size trigger** — at least `max_batch` items are queued (fires
+//!   immediately, preempting any pending deadline), or
+//! * **deadline trigger** — the *oldest* queued item has waited `max_delay`
+//!   (a partial batch is dispatched rather than stalling the head request).
+//!
+//! The queue is bounded: once `capacity` items are waiting, `push` fails
+//! fast with [`PushError::Overloaded`] instead of blocking the producer —
+//! that is the overload-shedding contract the engine surfaces as a typed
+//! error. [`Batcher::close`] initiates a graceful drain: queued items are
+//! still handed out in batches, and `next_batch` returns `None` only once
+//! the queue is empty.
+
+use std::collections::VecDeque;
+use std::sync::{Condvar, Mutex};
+use std::time::{Duration, Instant};
+
+use fg_telemetry::{gauge_set, Gauge};
+
+/// Dispatch and capacity knobs for a [`Batcher`].
+#[derive(Debug, Clone)]
+pub struct BatcherConfig {
+    /// Maximum queued (not yet dispatched) items before `push` sheds.
+    pub capacity: usize,
+    /// Size trigger: dispatch as soon as this many items are queued.
+    pub max_batch: usize,
+    /// Deadline trigger: dispatch a partial batch once the oldest item has
+    /// waited this long.
+    pub max_delay: Duration,
+}
+
+impl Default for BatcherConfig {
+    fn default() -> Self {
+        BatcherConfig {
+            capacity: 1024,
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+        }
+    }
+}
+
+/// Why a [`Batcher::push`] was rejected. The item is handed back so the
+/// caller can reply to it.
+#[derive(Debug)]
+pub enum PushError<T> {
+    /// The queue is at capacity; the item was shed.
+    Overloaded(T),
+    /// The batcher was closed; no new work is accepted.
+    Closed(T),
+}
+
+struct Entry<T> {
+    enqueued: Instant,
+    item: T,
+}
+
+struct State<T> {
+    queue: VecDeque<Entry<T>>,
+    closed: bool,
+}
+
+/// See the [module docs](self).
+pub struct Batcher<T> {
+    state: Mutex<State<T>>,
+    ready: Condvar,
+    cfg: BatcherConfig,
+}
+
+impl<T> Batcher<T> {
+    /// Create an empty batcher. `max_batch` and `capacity` are clamped to
+    /// at least 1.
+    pub fn new(cfg: BatcherConfig) -> Self {
+        let cfg = BatcherConfig {
+            capacity: cfg.capacity.max(1),
+            max_batch: cfg.max_batch.max(1),
+            max_delay: cfg.max_delay,
+        };
+        Batcher {
+            state: Mutex::new(State {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            ready: Condvar::new(),
+            cfg,
+        }
+    }
+
+    /// Enqueue one item, failing fast when full or closed.
+    pub fn push(&self, item: T) -> Result<(), PushError<T>> {
+        let mut st = self.state.lock().unwrap();
+        if st.closed {
+            return Err(PushError::Closed(item));
+        }
+        if st.queue.len() >= self.cfg.capacity {
+            return Err(PushError::Overloaded(item));
+        }
+        st.queue.push_back(Entry {
+            enqueued: Instant::now(),
+            item,
+        });
+        gauge_set(Gauge::ServeQueueDepth, st.queue.len() as f64);
+        self.ready.notify_one();
+        Ok(())
+    }
+
+    /// Block until a batch is ready (size or deadline trigger) or the
+    /// batcher is closed *and* drained, in which case `None` is returned.
+    /// Batches never exceed `max_batch` items and preserve arrival order.
+    pub fn next_batch(&self) -> Option<Vec<T>> {
+        let mut st = self.state.lock().unwrap();
+        loop {
+            if st.queue.len() >= self.cfg.max_batch || (st.closed && !st.queue.is_empty()) {
+                return Some(self.take_batch(&mut st));
+            }
+            if st.closed {
+                return None;
+            }
+            if st.queue.is_empty() {
+                st = self.ready.wait(st).unwrap();
+                continue;
+            }
+            let deadline = st.queue.front().unwrap().enqueued + self.cfg.max_delay;
+            let now = Instant::now();
+            if now >= deadline {
+                return Some(self.take_batch(&mut st));
+            }
+            // Sleep until the head deadline, the size trigger, or close —
+            // wakeups re-evaluate every condition above.
+            let (guard, _) = self.ready.wait_timeout(st, deadline - now).unwrap();
+            st = guard;
+        }
+    }
+
+    fn take_batch(&self, st: &mut State<T>) -> Vec<T> {
+        let n = st.queue.len().min(self.cfg.max_batch);
+        let batch: Vec<T> = st.queue.drain(..n).map(|e| e.item).collect();
+        gauge_set(Gauge::ServeQueueDepth, st.queue.len() as f64);
+        if !st.queue.is_empty() {
+            // Leftover items may already satisfy a trigger; hand them to
+            // another waiting worker instead of letting them ride out a
+            // fresh timeout.
+            self.ready.notify_one();
+        }
+        batch
+    }
+
+    /// Stop accepting new items and wake every waiter. Already-queued items
+    /// are still dispatched (graceful drain).
+    pub fn close(&self) {
+        let mut st = self.state.lock().unwrap();
+        st.closed = true;
+        self.ready.notify_all();
+    }
+
+    /// Items currently queued (excludes dispatched batches).
+    pub fn len(&self) -> usize {
+        self.state.lock().unwrap().queue.len()
+    }
+
+    /// True when no items are queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+    use std::thread;
+
+    fn cfg(capacity: usize, max_batch: usize, max_delay_ms: u64) -> BatcherConfig {
+        BatcherConfig {
+            capacity,
+            max_batch,
+            max_delay: Duration::from_millis(max_delay_ms),
+        }
+    }
+
+    #[test]
+    fn deadline_trigger_fires_with_partial_batch() {
+        let b = Batcher::new(cfg(64, 16, 20));
+        b.push(1u32).unwrap();
+        b.push(2).unwrap();
+        let t0 = Instant::now();
+        let batch = b.next_batch().unwrap();
+        let waited = t0.elapsed();
+        assert_eq!(batch, vec![1, 2], "partial batch dispatched in order");
+        assert!(
+            waited >= Duration::from_millis(10),
+            "returned after {waited:?}, before the deadline could fire"
+        );
+    }
+
+    #[test]
+    fn size_trigger_preempts_deadline() {
+        // With an hour-long deadline only the size trigger can fire.
+        let b = Arc::new(Batcher::new(cfg(64, 4, 3_600_000)));
+        let consumer = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || b.next_batch())
+        };
+        for i in 0..4u32 {
+            b.push(i).unwrap();
+        }
+        let batch = consumer.join().unwrap().unwrap();
+        assert_eq!(batch, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn batches_never_exceed_max_batch() {
+        let b = Batcher::new(cfg(64, 3, 0));
+        for i in 0..8u32 {
+            b.push(i).unwrap();
+        }
+        let mut seen = Vec::new();
+        while seen.len() < 8 {
+            let batch = b.next_batch().unwrap();
+            assert!(batch.len() <= 3);
+            seen.extend(batch);
+        }
+        assert_eq!(seen, (0..8).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shedding_kicks_in_at_capacity() {
+        let b = Batcher::new(cfg(3, 8, 1_000));
+        for i in 0..3u32 {
+            b.push(i).unwrap();
+        }
+        match b.push(99) {
+            Err(PushError::Overloaded(item)) => assert_eq!(item, 99),
+            other => panic!("expected Overloaded, got {other:?}"),
+        }
+        // Draining makes room again.
+        let batch = b.next_batch().unwrap();
+        assert_eq!(batch.len(), 3);
+        b.push(99).unwrap();
+    }
+
+    #[test]
+    fn close_drains_then_returns_none() {
+        let b = Batcher::new(cfg(64, 2, 3_600_000));
+        for i in 0..5u32 {
+            b.push(i).unwrap();
+        }
+        b.close();
+        assert!(matches!(b.push(6), Err(PushError::Closed(6))));
+        let mut seen = Vec::new();
+        while let Some(batch) = b.next_batch() {
+            seen.extend(batch);
+        }
+        assert_eq!(seen, vec![0, 1, 2, 3, 4], "queued items drain after close");
+        assert!(b.next_batch().is_none(), "stays closed");
+    }
+
+    #[test]
+    fn close_wakes_blocked_consumer() {
+        let b = Arc::new(Batcher::<u32>::new(cfg(64, 8, 3_600_000)));
+        let consumer = {
+            let b = Arc::clone(&b);
+            thread::spawn(move || b.next_batch())
+        };
+        thread::sleep(Duration::from_millis(20));
+        b.close();
+        assert!(consumer.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn multi_producer_multi_consumer_loses_nothing() {
+        const PRODUCERS: usize = 8;
+        const PER_PRODUCER: usize = 250;
+        let b = Arc::new(Batcher::new(cfg(usize::MAX, 16, 1)));
+        let consumers: Vec<_> = (0..4)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                thread::spawn(move || {
+                    let mut got = Vec::new();
+                    while let Some(batch) = b.next_batch() {
+                        got.extend(batch);
+                    }
+                    got
+                })
+            })
+            .collect();
+        let producers: Vec<_> = (0..PRODUCERS)
+            .map(|p| {
+                let b = Arc::clone(&b);
+                thread::spawn(move || {
+                    for i in 0..PER_PRODUCER {
+                        b.push((p, i)).unwrap();
+                    }
+                })
+            })
+            .collect();
+        for h in producers {
+            h.join().unwrap();
+        }
+        b.close();
+        let mut all: Vec<(usize, usize)> = Vec::new();
+        for h in consumers {
+            all.extend(h.join().unwrap());
+        }
+        assert_eq!(all.len(), PRODUCERS * PER_PRODUCER, "no item lost or duplicated");
+        all.sort_unstable();
+        all.dedup();
+        assert_eq!(all.len(), PRODUCERS * PER_PRODUCER, "no duplicates");
+    }
+}

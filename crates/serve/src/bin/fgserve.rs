@@ -1,0 +1,384 @@
+//! `fgserve` — TCP front-end and benchmark driver for the fg-serve engine.
+//!
+//! ```text
+//! fgserve serve [--addr 127.0.0.1:7878] [dataset/engine knobs]
+//! fgserve bench [--addr HOST:PORT] --clients 8 --requests 500 [checks]
+//! ```
+//!
+//! `bench` without `--addr` spins up an embedded server on a loopback
+//! ephemeral port, benchmarks it, and shuts it down — that is what CI's
+//! serve-smoke job runs.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::process::ExitCode;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use fg_gnn::data::SbmTask;
+use fg_gnn::models::build_model;
+use fg_serve::stats::LatencyRecorder;
+use fg_serve::{protocol, Engine, ServeConfig};
+
+struct Opts {
+    addr: Option<String>,
+    models: Vec<String>,
+    vertices: usize,
+    classes: usize,
+    avg_deg: usize,
+    noise: usize,
+    hidden: usize,
+    seed: u64,
+    batch: usize,
+    delay_ms: u64,
+    queue: usize,
+    workers: usize,
+    kernel_threads: usize,
+    deadline_ms: u64,
+    exec_delay_ms: u64,
+    clients: usize,
+    requests: usize,
+    runs: usize,
+    expect_no_shed: bool,
+    expect_shed: bool,
+    expect_plan_hits: bool,
+}
+
+impl Default for Opts {
+    fn default() -> Self {
+        Opts {
+            addr: None,
+            models: vec!["gcn".into()],
+            vertices: 3000,
+            classes: 3,
+            avg_deg: 8,
+            noise: 4,
+            hidden: 16,
+            seed: 42,
+            batch: 32,
+            delay_ms: 2,
+            queue: 1024,
+            workers: 2,
+            kernel_threads: 1,
+            deadline_ms: 500,
+            exec_delay_ms: 0,
+            clients: 8,
+            requests: 500,
+            runs: 1,
+            expect_no_shed: false,
+            expect_shed: false,
+            expect_plan_hits: false,
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  fgserve serve [--addr HOST:PORT] [--model gcn|graphsage|gat|all] [--vertices N]
+                [--classes N] [--avg-deg N] [--noise N] [--hidden N] [--seed N]
+                [--batch N] [--delay-ms N] [--queue N] [--workers N]
+                [--kernel-threads N] [--deadline-ms N] [--exec-delay-ms N]
+  fgserve bench [--addr HOST:PORT] [--clients N] [--requests N] [--runs N]
+                [--model NAME] [dataset/engine knobs as above when embedded]
+                [--expect-no-shed] [--expect-shed] [--expect-plan-hits]
+
+bench without --addr benchmarks an embedded server on an ephemeral port.";
+
+fn parse_opts(args: &[String]) -> Result<Opts, String> {
+    let mut o = Opts::default();
+    let mut it = args.iter();
+    let value = |flag: &str, it: &mut std::slice::Iter<String>| -> Result<String, String> {
+        it.next().cloned().ok_or(format!("{flag} needs a value"))
+    };
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--addr" => o.addr = Some(value(arg, &mut it)?),
+            "--model" => {
+                let v = value(arg, &mut it)?;
+                o.models = if v == "all" {
+                    vec!["gcn".into(), "graphsage".into(), "gat".into()]
+                } else {
+                    vec![v]
+                };
+            }
+            "--vertices" => o.vertices = num(arg, &value(arg, &mut it)?)?,
+            "--classes" => o.classes = num(arg, &value(arg, &mut it)?)?,
+            "--avg-deg" => o.avg_deg = num(arg, &value(arg, &mut it)?)?,
+            "--noise" => o.noise = num(arg, &value(arg, &mut it)?)?,
+            "--hidden" => o.hidden = num(arg, &value(arg, &mut it)?)?,
+            "--seed" => o.seed = num(arg, &value(arg, &mut it)?)? as u64,
+            "--batch" => o.batch = num(arg, &value(arg, &mut it)?)?,
+            "--delay-ms" => o.delay_ms = num(arg, &value(arg, &mut it)?)? as u64,
+            "--queue" => o.queue = num(arg, &value(arg, &mut it)?)?,
+            "--workers" => o.workers = num(arg, &value(arg, &mut it)?)?,
+            "--kernel-threads" => o.kernel_threads = num(arg, &value(arg, &mut it)?)?,
+            "--deadline-ms" => o.deadline_ms = num(arg, &value(arg, &mut it)?)? as u64,
+            "--exec-delay-ms" => o.exec_delay_ms = num(arg, &value(arg, &mut it)?)? as u64,
+            "--clients" => o.clients = num(arg, &value(arg, &mut it)?)?,
+            "--requests" => o.requests = num(arg, &value(arg, &mut it)?)?,
+            "--runs" => o.runs = num(arg, &value(arg, &mut it)?)?,
+            "--expect-no-shed" => o.expect_no_shed = true,
+            "--expect-shed" => o.expect_shed = true,
+            "--expect-plan-hits" => o.expect_plan_hits = true,
+            other => return Err(format!("unknown flag {other}")),
+        }
+    }
+    Ok(o)
+}
+
+fn num(flag: &str, v: &str) -> Result<usize, String> {
+    v.parse().map_err(|_| format!("{flag}: bad number {v:?}"))
+}
+
+fn build_engine(o: &Opts) -> Arc<Engine> {
+    let engine = Arc::new(Engine::new(ServeConfig {
+        max_batch: o.batch,
+        max_delay: Duration::from_millis(o.delay_ms),
+        queue_capacity: o.queue,
+        workers: o.workers,
+        kernel_threads: o.kernel_threads,
+        default_deadline: (o.deadline_ms > 0).then(|| Duration::from_millis(o.deadline_ms)),
+        exec_delay: Duration::from_millis(o.exec_delay_ms),
+    }));
+    for name in &o.models {
+        let task = SbmTask::generate(o.vertices, o.classes, o.avg_deg, o.noise, o.seed);
+        let model = build_model(name, task.in_dim(), o.hidden, task.num_classes, o.seed);
+        engine.register_model(name, model, task.graph, task.features);
+    }
+    engine
+}
+
+fn cmd_serve(o: &Opts) -> ExitCode {
+    let engine = build_engine(o);
+    let addr = o.addr.clone().unwrap_or_else(|| "127.0.0.1:7878".into());
+    let handle = match fg_serve::serve(engine, addr.as_str()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("fgserve: bind {addr}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "fgserve: listening on {} models=[{}]",
+        handle.addr(),
+        o.models.join(",")
+    );
+    let _ = std::io::stdout().flush();
+    handle.join();
+    ExitCode::SUCCESS
+}
+
+/// Aggregated outcome of one closed-loop bench run.
+#[derive(Default)]
+struct RunTally {
+    completed: u64,
+    shed: u64,
+    timed_out: u64,
+    other_err: u64,
+    mismatched: u64,
+    lost: u64,
+}
+
+fn bench_client(addr: &str, model: &str, client: usize, n: usize, vertices: usize)
+    -> std::io::Result<(RunTally, Vec<Duration>)>
+{
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut tally = RunTally::default();
+    let mut latencies = Vec::with_capacity(n);
+    let mut line = String::new();
+    for i in 0..n {
+        // Deterministic pseudo-random node pick, distinct stream per client.
+        let node = (client
+            .wrapping_mul(2654435761)
+            .wrapping_add(i.wrapping_mul(40503)))
+            % vertices;
+        let id = format!("c{client}-r{i}");
+        let t0 = Instant::now();
+        writeln!(writer, "INFER {model} {node} id={id}")?;
+        line.clear();
+        if reader.read_line(&mut line)? == 0 {
+            tally.lost += (n - i) as u64;
+            break;
+        }
+        let elapsed = t0.elapsed();
+        match protocol::parse_reply(line.trim_end()) {
+            Ok(protocol::Reply::Ok { id: got, .. }) if got == id => {
+                tally.completed += 1;
+                latencies.push(elapsed);
+            }
+            Ok(protocol::Reply::Err { id: got, code }) if got == id => match code.as_str() {
+                "overloaded" => tally.shed += 1,
+                "timeout" => tally.timed_out += 1,
+                _ => tally.other_err += 1,
+            },
+            _ => tally.mismatched += 1,
+        }
+    }
+    Ok((tally, latencies))
+}
+
+fn fetch_stats(addr: &str) -> Option<String> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().ok()?;
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "STATS").ok()?;
+    let mut line = String::new();
+    reader.read_line(&mut line).ok()?;
+    Some(line.trim_end().to_string())
+}
+
+/// Pull `key=<u64>` out of a STATS line.
+fn stats_field(stats: &str, key: &str) -> Option<u64> {
+    stats
+        .split_ascii_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+}
+
+fn cmd_bench(o: &Opts) -> ExitCode {
+    // Embedded server unless --addr points at a running one.
+    let embedded = if o.addr.is_none() {
+        let engine = build_engine(o);
+        match fg_serve::serve(engine, "127.0.0.1:0") {
+            Ok(h) => Some(h),
+            Err(e) => {
+                eprintln!("fgserve bench: embedded bind: {e}");
+                return ExitCode::FAILURE;
+            }
+        }
+    } else {
+        None
+    };
+    let addr = match &embedded {
+        Some(h) => h.addr().to_string(),
+        None => o.addr.clone().unwrap(),
+    };
+    let model = o.models[0].clone();
+    let mut failures: Vec<String> = Vec::new();
+    let mut total_shed = 0u64;
+
+    for run in 1..=o.runs.max(1) {
+        let per_client = o.requests / o.clients.max(1);
+        let remainder = o.requests % o.clients.max(1);
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..o.clients.max(1))
+            .map(|c| {
+                let addr = addr.clone();
+                let model = model.clone();
+                let n = per_client + usize::from(c < remainder);
+                let vertices = o.vertices;
+                std::thread::spawn(move || bench_client(&addr, &model, c, n, vertices))
+            })
+            .collect();
+        let mut tally = RunTally::default();
+        let recorder = LatencyRecorder::new();
+        for h in handles {
+            match h.join().expect("bench client panicked") {
+                Ok((t, lat)) => {
+                    tally.completed += t.completed;
+                    tally.shed += t.shed;
+                    tally.timed_out += t.timed_out;
+                    tally.other_err += t.other_err;
+                    tally.mismatched += t.mismatched;
+                    tally.lost += t.lost;
+                    for d in lat {
+                        recorder.record(d);
+                    }
+                }
+                Err(e) => failures.push(format!("run {run}: client I/O error: {e}")),
+            }
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let answered =
+            tally.completed + tally.shed + tally.timed_out + tally.other_err + tally.mismatched;
+        tally.lost = (o.requests as u64).saturating_sub(answered);
+        let lat = recorder.snapshot();
+        println!(
+            "fgserve bench run {run}/{}: {} clients x {} requests -> {addr} (model {model})",
+            o.runs.max(1),
+            o.clients.max(1),
+            o.requests
+        );
+        println!(
+            "  completed {}/{}  shed {}  timeout {}  failed {}  mismatched {}  lost {}",
+            tally.completed, o.requests, tally.shed, tally.timed_out, tally.other_err,
+            tally.mismatched, tally.lost
+        );
+        println!(
+            "  wall {wall:.3} s   throughput {:.1} req/s",
+            tally.completed as f64 / wall
+        );
+        println!(
+            "  latency ms  p50 {:.2}  p95 {:.2}  p99 {:.2}  mean {:.2}  max {:.2}",
+            lat.p50_ms, lat.p95_ms, lat.p99_ms, lat.mean_ms, lat.max_ms
+        );
+        let stats = fetch_stats(&addr);
+        if let Some(stats) = &stats {
+            println!("  server {stats}");
+        }
+        total_shed += tally.shed;
+
+        if tally.lost > 0 || tally.mismatched > 0 {
+            failures.push(format!(
+                "run {run}: {} lost / {} mismatched responses",
+                tally.lost, tally.mismatched
+            ));
+        }
+        if o.expect_no_shed && tally.shed > 0 {
+            failures.push(format!("run {run}: expected zero sheds, saw {}", tally.shed));
+        }
+        if o.expect_plan_hits && run == o.runs.max(1) {
+            let hits = stats.as_deref().and_then(|s| stats_field(s, "plan_hits"));
+            match hits {
+                Some(h) if h > 0 => {}
+                other => failures.push(format!(
+                    "expected plan-cache hits > 0 on final run, got {other:?}"
+                )),
+            }
+        }
+    }
+    if o.expect_shed && total_shed == 0 {
+        failures.push("expected overload sheds, saw none".into());
+    }
+    if let Some(h) = embedded {
+        h.shutdown();
+    }
+    if failures.is_empty() {
+        println!("fgserve bench: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("fgserve bench: FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, rest)) => (c.as_str(), rest),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let opts = match parse_opts(rest) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("fgserve: {e}\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match cmd {
+        "serve" => cmd_serve(&opts),
+        "bench" => cmd_bench(&opts),
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::FAILURE
+        }
+    }
+}

@@ -1,0 +1,409 @@
+//! The serving engine: admission control, request coalescing, a worker
+//! pool executing batched full-graph inference, and the compiled-plan
+//! cache.
+//!
+//! Data path: [`Engine::submit`] validates a request, stamps its deadline,
+//! and pushes it into the bounded [`Batcher`]; when the queue is full the
+//! request is **shed** with [`ServeError::Overloaded`] instead of blocking
+//! the caller. Worker threads pull deadline-or-size batches, drop entries
+//! whose deadline already passed ([`ServeError::Timeout`]), group the rest
+//! by model, and answer each group with **one** full-graph forward pass via
+//! [`fg_gnn::infer_batch`] — so the forward cost amortizes over the whole
+//! batch. The [`PlanCache`] keyed by `(graph id, model, options)` keeps the
+//! compiled kernel plans alive across batches: every batch after the first
+//! is a plan-cache hit and skips kernel compilation entirely.
+//!
+//! Shutdown is graceful: [`Engine::shutdown`] closes the batcher (new
+//! submits fail with [`ServeError::ShuttingDown`]), lets workers drain the
+//! queue, and joins them. Dropping the engine does the same.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+use fg_gnn::models::Model;
+use fg_gnn::{infer_batch, FeatgraphBackend, GnnGraph};
+use fg_telemetry::{counter_add, histogram_record, span, Counter, Histogram};
+use fg_tensor::Dense2;
+
+use crate::batcher::{Batcher, BatcherConfig, PushError};
+use crate::oneshot::Oneshot;
+use crate::plan_cache::{PlanCache, PlanKey};
+use crate::stats::{ServeStats, StatsSnapshot};
+
+/// Engine configuration. Defaults suit an interactive low-latency setup.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Dispatch a batch once this many requests are queued.
+    pub max_batch: usize,
+    /// Dispatch a partial batch once the oldest request waited this long.
+    pub max_delay: Duration,
+    /// Admission queue bound; beyond it requests are shed.
+    pub queue_capacity: usize,
+    /// Worker threads executing batches.
+    pub workers: usize,
+    /// Kernel threads per compiled backend.
+    pub kernel_threads: usize,
+    /// Default per-request deadline when the request carries none;
+    /// `None` disables timeouts.
+    pub default_deadline: Option<Duration>,
+    /// Artificial extra latency per batch execution — overload/timeout
+    /// testing knob, zero in production.
+    pub exec_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            max_batch: 32,
+            max_delay: Duration::from_millis(2),
+            queue_capacity: 1024,
+            workers: 2,
+            kernel_threads: 1,
+            default_deadline: Some(Duration::from_millis(500)),
+            exec_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// Typed serving failure, surfaced on the wire as `ERR <id> <code>`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ServeError {
+    /// Admission queue full; request shed without queueing.
+    Overloaded,
+    /// Deadline expired before the request executed.
+    Timeout,
+    /// No model registered under that name.
+    UnknownModel(String),
+    /// Request invalid for the target model (e.g. node out of range).
+    BadRequest(String),
+    /// Engine is draining; no new work accepted.
+    ShuttingDown,
+    /// Inference itself failed.
+    Infer(String),
+}
+
+impl ServeError {
+    /// Stable machine-readable code used in the wire protocol.
+    pub fn code(&self) -> &'static str {
+        match self {
+            ServeError::Overloaded => "overloaded",
+            ServeError::Timeout => "timeout",
+            ServeError::UnknownModel(_) => "unknown-model",
+            ServeError::BadRequest(_) => "bad-request",
+            ServeError::ShuttingDown => "shutting-down",
+            ServeError::Infer(_) => "infer-failed",
+        }
+    }
+}
+
+impl std::fmt::Display for ServeError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServeError::Overloaded => write!(f, "queue full, request shed"),
+            ServeError::Timeout => write!(f, "deadline expired before execution"),
+            ServeError::UnknownModel(m) => write!(f, "unknown model {m:?}"),
+            ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
+            ServeError::ShuttingDown => write!(f, "engine shutting down"),
+            ServeError::Infer(msg) => write!(f, "inference failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+/// A single-node inference request.
+#[derive(Debug, Clone)]
+pub struct InferRequest {
+    /// Registered model name.
+    pub model: String,
+    /// Node whose logits are wanted.
+    pub node: usize,
+    /// Per-request deadline; falls back to
+    /// [`ServeConfig::default_deadline`] when `None`.
+    pub deadline: Option<Duration>,
+}
+
+/// A successful reply.
+#[derive(Debug, Clone, PartialEq)]
+pub struct InferResponse {
+    /// Predicted class (argmax over logits).
+    pub class: usize,
+    /// Raw logits row for the requested node.
+    pub logits: Vec<f32>,
+}
+
+struct Job {
+    req: InferRequest,
+    accepted: Instant,
+    deadline: Option<Instant>,
+    reply: Arc<Oneshot<Result<InferResponse, ServeError>>>,
+}
+
+/// Handle to one in-flight request; [`Ticket::wait`] blocks for the reply.
+/// Every admitted request is guaranteed a reply — workers answer dequeued
+/// jobs unconditionally and shutdown drains the queue first.
+pub struct Ticket {
+    reply: Arc<Oneshot<Result<InferResponse, ServeError>>>,
+}
+
+impl Ticket {
+    /// Block until the worker pool answers.
+    pub fn wait(self) -> Result<InferResponse, ServeError> {
+        self.reply.recv()
+    }
+}
+
+/// One servable model: the graph it runs on, its input features, and the
+/// trained (or initialized) parameters.
+pub struct ModelEntry {
+    graph_id: u64,
+    graph: GnnGraph,
+    features: Dense2<f32>,
+    model: Box<dyn Model>,
+}
+
+struct Shared {
+    cfg: ServeConfig,
+    models: RwLock<HashMap<String, Arc<ModelEntry>>>,
+    batcher: Batcher<Job>,
+    plans: PlanCache,
+    stats: ServeStats,
+    next_graph_id: AtomicU64,
+}
+
+/// See the [module docs](self).
+pub struct Engine {
+    shared: Arc<Shared>,
+    workers: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Start an engine with `cfg.workers` batch-execution threads.
+    pub fn new(cfg: ServeConfig) -> Self {
+        let workers = cfg.workers.max(1);
+        let shared = Arc::new(Shared {
+            batcher: Batcher::new(BatcherConfig {
+                capacity: cfg.queue_capacity,
+                max_batch: cfg.max_batch,
+                max_delay: cfg.max_delay,
+            }),
+            cfg,
+            models: RwLock::new(HashMap::new()),
+            plans: PlanCache::new(),
+            stats: ServeStats::default(),
+            next_graph_id: AtomicU64::new(0),
+        });
+        let handles = (0..workers)
+            .map(|i| {
+                let shared = Arc::clone(&shared);
+                std::thread::Builder::new()
+                    .name(format!("fgserve-worker-{i}"))
+                    .spawn(move || worker_loop(shared))
+                    .expect("spawn worker")
+            })
+            .collect();
+        Engine {
+            shared,
+            workers: Mutex::new(handles),
+        }
+    }
+
+    /// Register `model` under `name`, replacing any previous registration.
+    /// Returns the graph ID assigned to this registration (part of the
+    /// plan-cache key).
+    pub fn register_model(
+        &self,
+        name: &str,
+        model: Box<dyn Model>,
+        graph: GnnGraph,
+        features: Dense2<f32>,
+    ) -> u64 {
+        let graph_id = self.shared.next_graph_id.fetch_add(1, Ordering::Relaxed);
+        let entry = Arc::new(ModelEntry {
+            graph_id,
+            graph,
+            features,
+            model,
+        });
+        self.shared
+            .models
+            .write()
+            .unwrap()
+            .insert(name.to_string(), entry);
+        graph_id
+    }
+
+    /// Registered model names, sorted.
+    pub fn model_names(&self) -> Vec<String> {
+        let mut names: Vec<String> =
+            self.shared.models.read().unwrap().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Admit a request. Fails fast (without queueing) on unknown model,
+    /// out-of-range node, full queue, or shutdown.
+    pub fn submit(&self, req: InferRequest) -> Result<Ticket, ServeError> {
+        counter_add(Counter::ServeRequests, 1);
+        let entry = self
+            .shared
+            .models
+            .read()
+            .unwrap()
+            .get(&req.model)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(req.model.clone()))?;
+        let vertices = entry.graph.num_vertices();
+        if req.node >= vertices {
+            return Err(ServeError::BadRequest(format!(
+                "node {} out of range (graph has {vertices} vertices)",
+                req.node
+            )));
+        }
+        let now = Instant::now();
+        let deadline = req
+            .deadline
+            .or(self.shared.cfg.default_deadline)
+            .map(|d| now + d);
+        let reply = Arc::new(Oneshot::new());
+        let job = Job {
+            req,
+            accepted: now,
+            deadline,
+            reply: Arc::clone(&reply),
+        };
+        match self.shared.batcher.push(job) {
+            Ok(()) => {
+                self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
+                Ok(Ticket { reply })
+            }
+            Err(PushError::Overloaded(_)) => {
+                counter_add(Counter::ServeShed, 1);
+                self.shared.stats.shed.fetch_add(1, Ordering::Relaxed);
+                Err(ServeError::Overloaded)
+            }
+            Err(PushError::Closed(_)) => Err(ServeError::ShuttingDown),
+        }
+    }
+
+    /// Convenience: [`submit`](Self::submit) then block for the reply.
+    pub fn infer(&self, req: InferRequest) -> Result<InferResponse, ServeError> {
+        self.submit(req)?.wait()
+    }
+
+    /// Point-in-time statistics.
+    pub fn stats(&self) -> StatsSnapshot {
+        self.shared.stats.snapshot()
+    }
+
+    /// Compiled-plan cache entries currently held.
+    pub fn plan_cache_len(&self) -> usize {
+        self.shared.plans.len()
+    }
+
+    /// Stop accepting work, drain the queue, and join the workers.
+    /// Idempotent.
+    pub fn shutdown(&self) {
+        self.shared.batcher.close();
+        let handles: Vec<_> = self.workers.lock().unwrap().drain(..).collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+}
+
+impl Drop for Engine {
+    fn drop(&mut self) {
+        self.shutdown();
+    }
+}
+
+fn worker_loop(shared: Arc<Shared>) {
+    while let Some(jobs) = shared.batcher.next_batch() {
+        execute_batch(&shared, jobs);
+    }
+}
+
+fn execute_batch(shared: &Shared, jobs: Vec<Job>) {
+    let _span = span!("serve/batch", "jobs={}", jobs.len());
+    counter_add(Counter::ServeBatches, 1);
+    histogram_record(Histogram::ServeBatchSize, jobs.len() as u64);
+    shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    if !shared.cfg.exec_delay.is_zero() {
+        std::thread::sleep(shared.cfg.exec_delay);
+    }
+
+    // Expire jobs whose deadline passed while they queued.
+    let now = Instant::now();
+    let (live, expired): (Vec<Job>, Vec<Job>) = jobs
+        .into_iter()
+        .partition(|j| j.deadline.is_none_or(|d| now < d));
+    for job in expired {
+        counter_add(Counter::ServeTimeouts, 1);
+        shared.stats.timed_out.fetch_add(1, Ordering::Relaxed);
+        job.reply.send(Err(ServeError::Timeout));
+    }
+
+    // Group by model so each group is one forward pass.
+    let mut groups: HashMap<String, Vec<Job>> = HashMap::new();
+    for job in live {
+        groups.entry(job.req.model.clone()).or_default().push(job);
+    }
+    for (model_name, group) in groups {
+        let entry = shared.models.read().unwrap().get(&model_name).cloned();
+        let Some(entry) = entry else {
+            // Model was unregistered between submit and execution.
+            for job in group {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                job.reply.send(Err(ServeError::UnknownModel(model_name.clone())));
+            }
+            continue;
+        };
+        let key = PlanKey::cpu(entry.graph_id, &model_name, shared.cfg.kernel_threads);
+        let (backend, hit) = shared
+            .plans
+            .get_or_insert(&key, || FeatgraphBackend::cpu(shared.cfg.kernel_threads));
+        let slot = if hit {
+            &shared.stats.plan_hits
+        } else {
+            &shared.stats.plan_misses
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+
+        let nodes: Vec<usize> = group.iter().map(|j| j.req.node).collect();
+        let result = {
+            let _infer_span = span!("serve/infer", "model={model_name} nodes={}", nodes.len());
+            infer_batch(
+                entry.model.as_ref(),
+                &entry.graph,
+                &entry.features,
+                backend.as_ref(),
+                &nodes,
+            )
+        };
+        match result {
+            Ok(rows) => {
+                for (job, logits) in group.into_iter().zip(rows) {
+                    let class = logits
+                        .iter()
+                        .enumerate()
+                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+                        .map_or(0, |(i, _)| i);
+                    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.latency.record(job.accepted.elapsed());
+                    job.reply.send(Ok(InferResponse { class, logits }));
+                }
+            }
+            Err(err) => {
+                let msg = err.to_string();
+                for job in group {
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    job.reply.send(Err(ServeError::Infer(msg.clone())));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,47 @@
+//! # fg-serve — batched, backpressured GNN inference serving
+//!
+//! An embedded inference engine over the `fg-gnn` stack: concurrent
+//! single-node requests are coalesced into batches on a
+//! **deadline-or-size** trigger, answered by **one** full-graph forward
+//! pass per batch, and executed against a **compiled-plan cache** so every
+//! batch after the first skips kernel compilation. No async runtime — the
+//! batching queue, reply channels, and worker pool are hand-rolled on
+//! `std::sync` primitives, matching the workspace's no-external-deps rule.
+//!
+//! ```text
+//!  clients ──INFER──▶ admission ──▶ [bounded queue] ──▶ worker pool
+//!                        │shed           │deadline-or-size   │
+//!                        ▼               ▼ batches           ▼
+//!                  ERR overloaded   Batcher<Job>     infer_batch (1 fwd pass)
+//!                                                        │
+//!                                   PlanCache(graph,model,opts) ─▶ kernels
+//! ```
+//!
+//! Layers:
+//!
+//! * [`batcher`] — bounded MPSC queue with deadline-or-size dispatch and
+//!   overload shedding.
+//! * [`engine`] — admission control, per-request deadlines, worker pool,
+//!   graceful drain, typed [`engine::ServeError`]s.
+//! * [`plan_cache`] — `(graph id, model, options)` → compiled backend.
+//! * [`stats`] — always-on p50/p95/p99 latency and event counters
+//!   (`fg-telemetry` counters/gauges/histograms ride along when the
+//!   `telemetry` feature is on).
+//! * [`protocol`] / [`server`] — line-oriented TCP front-end for the
+//!   `fgserve` binary.
+
+#![warn(missing_docs)]
+
+pub mod batcher;
+pub mod engine;
+pub mod oneshot;
+pub mod plan_cache;
+pub mod protocol;
+pub mod server;
+pub mod stats;
+
+pub use batcher::{Batcher, BatcherConfig, PushError};
+pub use engine::{Engine, InferRequest, InferResponse, ServeConfig, ServeError, Ticket};
+pub use plan_cache::{PlanCache, PlanKey};
+pub use server::{serve, ServerHandle};
+pub use stats::{LatencySnapshot, StatsSnapshot};

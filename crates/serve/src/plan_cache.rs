@@ -1,0 +1,112 @@
+//! Compiled-plan cache: maps a serving workload key to a long-lived
+//! [`FeatgraphBackend`] whose internal plan table holds the compiled
+//! SpMM/SDDMM kernels for that (graph, model) pair.
+//!
+//! A `FeatgraphBackend` instance caches one compiled plan per
+//! `(op, feature-dim)` it executes, and those plans embed graph-specific
+//! partitioning — so one backend instance is only valid for one graph. The
+//! serving cache key is therefore `(graph id, model, options)`: the options
+//! string folds in everything that changes kernel selection (target,
+//! thread count — and through those, the Fds chosen by the autotuner).
+//! A cache hit means a batch executes entirely against already-compiled
+//! kernels; a miss pays compilation on first touch.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use fg_gnn::FeatgraphBackend;
+use fg_telemetry::{counter_add, Counter};
+
+/// Identity of a compiled-plan cache entry.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct PlanKey {
+    /// Stable ID of the graph the plans were partitioned for.
+    pub graph_id: u64,
+    /// Model name (distinct models use distinct feature dims, hence
+    /// distinct plans).
+    pub model: String,
+    /// Kernel-selection options: target and thread count, e.g. `cpu,t=4`.
+    /// Everything the autotuner's Fds choice depends on is a function of
+    /// these plus the per-layer feature dim the backend keys on internally.
+    pub options: String,
+}
+
+impl PlanKey {
+    /// Key for a CPU serving workload.
+    pub fn cpu(graph_id: u64, model: &str, threads: usize) -> Self {
+        PlanKey {
+            graph_id,
+            model: model.to_string(),
+            options: format!("cpu,t={threads}"),
+        }
+    }
+}
+
+/// See the [module docs](self).
+#[derive(Default)]
+pub struct PlanCache {
+    map: Mutex<HashMap<PlanKey, Arc<FeatgraphBackend>>>,
+}
+
+impl PlanCache {
+    /// An empty cache.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Fetch the backend for `key`, building (and retaining) it on first
+    /// use. Returns `(backend, hit)` where `hit` is false exactly when
+    /// `build` ran. Telemetry: bumps `serve_plan_hits` / `serve_plan_misses`.
+    pub fn get_or_insert(
+        &self,
+        key: &PlanKey,
+        build: impl FnOnce() -> FeatgraphBackend,
+    ) -> (Arc<FeatgraphBackend>, bool) {
+        let mut map = self.map.lock().unwrap();
+        if let Some(backend) = map.get(key) {
+            counter_add(Counter::ServePlanHits, 1);
+            return (Arc::clone(backend), true);
+        }
+        counter_add(Counter::ServePlanMisses, 1);
+        let backend = Arc::new(build());
+        map.insert(key.clone(), Arc::clone(&backend));
+        (backend, false)
+    }
+
+    /// Number of cached entries.
+    pub fn len(&self) -> usize {
+        self.map.lock().unwrap().len()
+    }
+
+    /// True when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_lookup_hits_and_reuses_instance() {
+        let cache = PlanCache::new();
+        let key = PlanKey::cpu(7, "gcn", 2);
+        let (b1, hit1) = cache.get_or_insert(&key, || FeatgraphBackend::cpu(2));
+        assert!(!hit1);
+        let (b2, hit2) = cache.get_or_insert(&key, || panic!("must not rebuild"));
+        assert!(hit2);
+        assert!(Arc::ptr_eq(&b1, &b2), "hit returns the same backend instance");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn distinct_keys_get_distinct_backends() {
+        let cache = PlanCache::new();
+        let (_, h1) = cache.get_or_insert(&PlanKey::cpu(1, "gcn", 1), || FeatgraphBackend::cpu(1));
+        let (_, h2) = cache.get_or_insert(&PlanKey::cpu(1, "gat", 1), || FeatgraphBackend::cpu(1));
+        let (_, h3) = cache.get_or_insert(&PlanKey::cpu(2, "gcn", 1), || FeatgraphBackend::cpu(1));
+        assert!(!h1 && !h2 && !h3);
+        assert_eq!(cache.len(), 3);
+    }
+}

@@ -1,0 +1,253 @@
+//! Line-oriented wire protocol for the `fgserve` TCP front-end.
+//!
+//! Requests (one per line, space-separated, UTF-8):
+//!
+//! ```text
+//! INFER <model> <node> [id=<token>] [deadline_ms=<n>]
+//! STATS
+//! PING
+//! SHUTDOWN
+//! ```
+//!
+//! Responses (one line per request, in request order per connection):
+//!
+//! ```text
+//! OK <id> <class> <logit0> <logit1> ...
+//! ERR <id> <code> [detail ...]
+//! STATS <key>=<value> ...
+//! PONG
+//! BYE
+//! ```
+//!
+//! `<id>` is an opaque client token echoed back verbatim (`-` when the
+//! request carried none) — it is how `fgserve bench` proves that no
+//! response was lost, duplicated, or crossed between requests. Error codes
+//! are the stable strings from [`ServeError::code`]: `overloaded`,
+//! `timeout`, `unknown-model`, `bad-request`, `shutting-down`,
+//! `infer-failed`.
+
+use std::time::Duration;
+
+use crate::engine::{InferResponse, ServeError};
+
+/// Placeholder ID echoed when the client supplied none.
+pub const NO_ID: &str = "-";
+
+/// A parsed client line.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Request {
+    /// `INFER <model> <node> [id=..] [deadline_ms=..]`
+    Infer {
+        /// Target model name.
+        model: String,
+        /// Requested node.
+        node: usize,
+        /// Client token echoed in the response.
+        id: Option<String>,
+        /// Per-request deadline override.
+        deadline_ms: Option<u64>,
+    },
+    /// `STATS`
+    Stats,
+    /// `PING`
+    Ping,
+    /// `SHUTDOWN`
+    Shutdown,
+}
+
+impl Request {
+    /// The deadline as a `Duration`, if any.
+    pub fn deadline(&self) -> Option<Duration> {
+        match self {
+            Request::Infer { deadline_ms, .. } => deadline_ms.map(Duration::from_millis),
+            _ => None,
+        }
+    }
+}
+
+/// Parse one client line. Returns a human-readable error message for
+/// malformed input (sent back as `ERR - bad-request <msg>`).
+pub fn parse_request(line: &str) -> Result<Request, String> {
+    let mut parts = line.split_ascii_whitespace();
+    let verb = parts.next().ok_or("empty request")?;
+    match verb {
+        "PING" => Ok(Request::Ping),
+        "STATS" => Ok(Request::Stats),
+        "SHUTDOWN" => Ok(Request::Shutdown),
+        "INFER" => {
+            let model = parts
+                .next()
+                .ok_or("INFER needs: INFER <model> <node>")?
+                .to_string();
+            let node_tok = parts.next().ok_or("INFER needs: INFER <model> <node>")?;
+            let node: usize = node_tok
+                .parse()
+                .map_err(|_| format!("bad node {node_tok:?}"))?;
+            let mut id = None;
+            let mut deadline_ms = None;
+            for opt in parts {
+                if let Some(tok) = opt.strip_prefix("id=") {
+                    if tok.is_empty() {
+                        return Err("empty id=".into());
+                    }
+                    id = Some(tok.to_string());
+                } else if let Some(ms) = opt.strip_prefix("deadline_ms=") {
+                    deadline_ms =
+                        Some(ms.parse().map_err(|_| format!("bad deadline_ms {ms:?}"))?);
+                } else {
+                    return Err(format!("unknown option {opt:?}"));
+                }
+            }
+            Ok(Request::Infer {
+                model,
+                node,
+                id,
+                deadline_ms,
+            })
+        }
+        other => Err(format!("unknown verb {other:?}")),
+    }
+}
+
+/// Render a successful inference reply.
+pub fn format_ok(id: Option<&str>, resp: &InferResponse) -> String {
+    let mut line = format!("OK {} {}", id.unwrap_or(NO_ID), resp.class);
+    for logit in &resp.logits {
+        line.push(' ');
+        line.push_str(&format!("{logit}"));
+    }
+    line
+}
+
+/// Render a typed serving error.
+pub fn format_err(id: Option<&str>, err: &ServeError) -> String {
+    format!("ERR {} {} {err}", id.unwrap_or(NO_ID), err.code())
+}
+
+/// Render a malformed-line rejection.
+pub fn format_bad_request(msg: &str) -> String {
+    format!("ERR {NO_ID} bad-request {msg}")
+}
+
+/// A parsed `OK`/`ERR` server reply, as seen by the bench client.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Reply {
+    /// Successful inference.
+    Ok {
+        /// Echoed client token.
+        id: String,
+        /// Predicted class.
+        class: usize,
+        /// Logits row.
+        logits: Vec<f32>,
+    },
+    /// Typed failure.
+    Err {
+        /// Echoed client token.
+        id: String,
+        /// Machine-readable error code.
+        code: String,
+    },
+}
+
+/// Parse a server `OK`/`ERR` line (bench-client side).
+pub fn parse_reply(line: &str) -> Result<Reply, String> {
+    let mut parts = line.split_ascii_whitespace();
+    match parts.next() {
+        Some("OK") => {
+            let id = parts.next().ok_or("OK missing id")?.to_string();
+            let class: usize = parts
+                .next()
+                .ok_or("OK missing class")?
+                .parse()
+                .map_err(|_| "bad class")?;
+            let logits = parts
+                .map(|t| t.parse::<f32>().map_err(|_| format!("bad logit {t:?}")))
+                .collect::<Result<Vec<f32>, String>>()?;
+            Ok(Reply::Ok { id, class, logits })
+        }
+        Some("ERR") => {
+            let id = parts.next().ok_or("ERR missing id")?.to_string();
+            let code = parts.next().ok_or("ERR missing code")?.to_string();
+            Ok(Reply::Err { id, code })
+        }
+        other => Err(format!("unexpected reply {other:?}")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_full_infer_line() {
+        let req = parse_request("INFER gcn 42 id=c3-r7 deadline_ms=250").unwrap();
+        assert_eq!(
+            req,
+            Request::Infer {
+                model: "gcn".into(),
+                node: 42,
+                id: Some("c3-r7".into()),
+                deadline_ms: Some(250),
+            }
+        );
+        assert_eq!(req.deadline(), Some(Duration::from_millis(250)));
+    }
+
+    #[test]
+    fn parses_minimal_and_control_lines() {
+        assert_eq!(
+            parse_request("INFER gat 0").unwrap(),
+            Request::Infer {
+                model: "gat".into(),
+                node: 0,
+                id: None,
+                deadline_ms: None
+            }
+        );
+        assert_eq!(parse_request("PING").unwrap(), Request::Ping);
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
+    }
+
+    #[test]
+    fn rejects_malformed_lines() {
+        assert!(parse_request("").is_err());
+        assert!(parse_request("FROB x").is_err());
+        assert!(parse_request("INFER gcn").is_err());
+        assert!(parse_request("INFER gcn notanode").is_err());
+        assert!(parse_request("INFER gcn 1 id=").is_err());
+        assert!(parse_request("INFER gcn 1 deadline_ms=soon").is_err());
+        assert!(parse_request("INFER gcn 1 frobnicate=1").is_err());
+    }
+
+    #[test]
+    fn ok_reply_round_trips() {
+        let resp = InferResponse {
+            class: 2,
+            logits: vec![-0.5, 0.25, 1.75],
+        };
+        let line = format_ok(Some("c0-r1"), &resp);
+        match parse_reply(&line).unwrap() {
+            Reply::Ok { id, class, logits } => {
+                assert_eq!(id, "c0-r1");
+                assert_eq!(class, 2);
+                assert_eq!(logits, resp.logits);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn err_reply_round_trips_with_stable_code() {
+        let line = format_err(None, &ServeError::Overloaded);
+        assert!(line.starts_with("ERR - overloaded "), "{line}");
+        match parse_reply(&line).unwrap() {
+            Reply::Err { id, code } => {
+                assert_eq!(id, NO_ID);
+                assert_eq!(code, "overloaded");
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,160 @@
+//! Blocking TCP front-end over `std::net`: one acceptor thread, one thread
+//! per connection, one reply line per request line (in order).
+//!
+//! The server owns an `Arc<Engine>`; `SHUTDOWN` (or
+//! [`ServerHandle::shutdown`]) stops the acceptor, drains the engine, and
+//! answers `BYE`. Connection threads are detached — in-flight requests
+//! still get replies because engine shutdown drains the queue before
+//! joining its workers.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+use fg_telemetry::span;
+
+use crate::engine::{Engine, InferRequest};
+use crate::protocol::{self, Request};
+
+/// A running server; dropping it does **not** stop the acceptor — call
+/// [`shutdown`](Self::shutdown) or [`join`](Self::join).
+pub struct ServerHandle {
+    addr: SocketAddr,
+    engine: Arc<Engine>,
+    stop: Arc<AtomicBool>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// Address actually bound (resolves port 0).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The engine behind this server.
+    pub fn engine(&self) -> &Arc<Engine> {
+        &self.engine
+    }
+
+    /// Block until the acceptor exits (i.e. until a `SHUTDOWN` arrives or
+    /// [`shutdown`](Self::shutdown) is called from another thread).
+    pub fn join(mut self) {
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+    }
+
+    /// Stop accepting connections and gracefully drain the engine.
+    pub fn shutdown(mut self) {
+        request_stop(&self.stop, self.addr);
+        if let Some(h) = self.acceptor.take() {
+            let _ = h.join();
+        }
+        self.engine.shutdown();
+    }
+}
+
+/// Ask the acceptor to exit: set the flag, then poke the listener with a
+/// throwaway connection so the blocking `accept` wakes up.
+fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
+    stop.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect(addr);
+}
+
+/// Bind `addr` and serve `engine` until shut down. Pass port 0 to let the
+/// OS pick; read the result from [`ServerHandle::addr`].
+pub fn serve<A: ToSocketAddrs>(engine: Arc<Engine>, addr: A) -> std::io::Result<ServerHandle> {
+    let listener = TcpListener::bind(addr)?;
+    let addr = listener.local_addr()?;
+    let stop = Arc::new(AtomicBool::new(false));
+    let acceptor = {
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        std::thread::Builder::new()
+            .name("fgserve-acceptor".into())
+            .spawn(move || accept_loop(listener, engine, stop))
+            .expect("spawn acceptor")
+    };
+    Ok(ServerHandle {
+        addr,
+        engine,
+        stop,
+        acceptor: Some(acceptor),
+    })
+}
+
+fn accept_loop(listener: TcpListener, engine: Arc<Engine>, stop: Arc<AtomicBool>) {
+    let addr = listener.local_addr().expect("listener addr");
+    for conn in listener.incoming() {
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+        let Ok(stream) = conn else { continue };
+        // Request/reply lines are tiny; Nagle + delayed ACK would add tens
+        // of milliseconds per round trip.
+        let _ = stream.set_nodelay(true);
+        let engine = Arc::clone(&engine);
+        let stop = Arc::clone(&stop);
+        let _ = std::thread::Builder::new()
+            .name("fgserve-conn".into())
+            .spawn(move || {
+                if handle_connection(stream, &engine, &stop) == ConnOutcome::ShutdownRequested {
+                    request_stop(&stop, addr);
+                }
+            });
+    }
+}
+
+#[derive(PartialEq)]
+enum ConnOutcome {
+    Closed,
+    ShutdownRequested,
+}
+
+fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> ConnOutcome {
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return ConnOutcome::Closed,
+    };
+    let reader = BufReader::new(stream);
+    for line in reader.lines() {
+        let Ok(line) = line else { break };
+        if line.trim().is_empty() {
+            continue;
+        }
+        let _span = span!("serve/request");
+        let reply = match protocol::parse_request(&line) {
+            Err(msg) => protocol::format_bad_request(&msg),
+            Ok(Request::Ping) => "PONG".to_string(),
+            Ok(Request::Stats) => format!("STATS {}", engine.stats().to_wire_line()),
+            Ok(Request::Shutdown) => {
+                let _ = writeln!(writer, "BYE");
+                return ConnOutcome::ShutdownRequested;
+            }
+            Ok(req @ Request::Infer { .. }) => {
+                let deadline = req.deadline();
+                let Request::Infer { model, node, id, .. } = req else {
+                    unreachable!()
+                };
+                let result = engine.infer(InferRequest {
+                    model,
+                    node,
+                    deadline,
+                });
+                match result {
+                    Ok(resp) => protocol::format_ok(id.as_deref(), &resp),
+                    Err(err) => protocol::format_err(id.as_deref(), &err),
+                }
+            }
+        };
+        if writeln!(writer, "{reply}").is_err() || writer.flush().is_err() {
+            break;
+        }
+        if stop.load(Ordering::SeqCst) {
+            break;
+        }
+    }
+    ConnOutcome::Closed
+}

@@ -1,0 +1,250 @@
+//! Engine-local serving statistics: lock-free event counters plus an exact
+//! (ring-buffered) latency recorder with p50/p95/p99 quantiles.
+//!
+//! These are always on and engine-scoped, complementing the process-wide
+//! `fg-telemetry` registry (which can be compiled out): the `STATS` wire
+//! command and the `fgserve bench` report read from here.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+/// Latest-window latency samples (milliseconds). Exact quantiles over up to
+/// [`LatencyRecorder::WINDOW`] most recent samples; older samples are
+/// overwritten ring-buffer style so memory stays bounded.
+pub struct LatencyRecorder {
+    ring: Mutex<Ring>,
+}
+
+struct Ring {
+    samples: Vec<f64>,
+    next: usize,
+    total: u64,
+}
+
+/// Point-in-time quantile summary from a [`LatencyRecorder`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySnapshot {
+    /// Samples ever recorded (not just the retained window).
+    pub count: u64,
+    /// Median, milliseconds. `NaN` when no samples were recorded.
+    pub p50_ms: f64,
+    /// 95th percentile, milliseconds.
+    pub p95_ms: f64,
+    /// 99th percentile, milliseconds.
+    pub p99_ms: f64,
+    /// Mean over the retained window, milliseconds.
+    pub mean_ms: f64,
+    /// Maximum over the retained window, milliseconds.
+    pub max_ms: f64,
+}
+
+impl Default for LatencyRecorder {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl LatencyRecorder {
+    /// Retained sample window.
+    pub const WINDOW: usize = 1 << 16;
+
+    /// An empty recorder.
+    pub fn new() -> Self {
+        LatencyRecorder {
+            ring: Mutex::new(Ring {
+                samples: Vec::new(),
+                next: 0,
+                total: 0,
+            }),
+        }
+    }
+
+    /// Record one latency sample.
+    pub fn record(&self, latency: Duration) {
+        let ms = latency.as_secs_f64() * 1e3;
+        let mut ring = self.ring.lock().unwrap();
+        if ring.samples.len() < Self::WINDOW {
+            ring.samples.push(ms);
+        } else {
+            let slot = ring.next;
+            ring.samples[slot] = ms;
+            ring.next = (slot + 1) % Self::WINDOW;
+        }
+        ring.total += 1;
+    }
+
+    /// Exact nearest-rank quantiles over the retained window.
+    pub fn snapshot(&self) -> LatencySnapshot {
+        let ring = self.ring.lock().unwrap();
+        if ring.samples.is_empty() {
+            return LatencySnapshot {
+                count: 0,
+                p50_ms: f64::NAN,
+                p95_ms: f64::NAN,
+                p99_ms: f64::NAN,
+                mean_ms: f64::NAN,
+                max_ms: f64::NAN,
+            };
+        }
+        let mut sorted = ring.samples.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
+        let q = |p: f64| {
+            let rank = ((p * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+            sorted[rank - 1]
+        };
+        LatencySnapshot {
+            count: ring.total,
+            p50_ms: q(0.50),
+            p95_ms: q(0.95),
+            p99_ms: q(0.99),
+            mean_ms: sorted.iter().sum::<f64>() / sorted.len() as f64,
+            max_ms: *sorted.last().unwrap(),
+        }
+    }
+}
+
+/// Monotonic event counters for one engine instance.
+#[derive(Default)]
+pub struct ServeStats {
+    /// Requests accepted into the queue.
+    pub accepted: AtomicU64,
+    /// Requests answered successfully.
+    pub completed: AtomicU64,
+    /// Requests rejected at admission because the queue was full.
+    pub shed: AtomicU64,
+    /// Requests that expired before execution.
+    pub timed_out: AtomicU64,
+    /// Requests that failed inside inference.
+    pub failed: AtomicU64,
+    /// Batches executed.
+    pub batches: AtomicU64,
+    /// Batch executions that reused a cached compiled plan.
+    pub plan_hits: AtomicU64,
+    /// Batch executions that had to compile a fresh plan.
+    pub plan_misses: AtomicU64,
+    /// End-to-end latency of completed requests.
+    pub latency: LatencyRecorder,
+}
+
+/// Plain-value copy of [`ServeStats`] plus derived rates.
+#[derive(Debug, Clone, Copy)]
+pub struct StatsSnapshot {
+    /// See [`ServeStats::accepted`].
+    pub accepted: u64,
+    /// See [`ServeStats::completed`].
+    pub completed: u64,
+    /// See [`ServeStats::shed`].
+    pub shed: u64,
+    /// See [`ServeStats::timed_out`].
+    pub timed_out: u64,
+    /// See [`ServeStats::failed`].
+    pub failed: u64,
+    /// See [`ServeStats::batches`].
+    pub batches: u64,
+    /// See [`ServeStats::plan_hits`].
+    pub plan_hits: u64,
+    /// See [`ServeStats::plan_misses`].
+    pub plan_misses: u64,
+    /// Mean requests per executed batch (`NaN` before the first batch).
+    pub avg_batch: f64,
+    /// `plan_hits / (plan_hits + plan_misses)` (`NaN` before the first batch).
+    pub plan_hit_rate: f64,
+    /// Completed-request latency quantiles.
+    pub latency: LatencySnapshot,
+}
+
+impl ServeStats {
+    /// Consistent-enough point-in-time copy (individual loads are relaxed;
+    /// totals may be mid-update by at most one in-flight request).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let hits = self.plan_hits.load(Ordering::Relaxed);
+        let misses = self.plan_misses.load(Ordering::Relaxed);
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed,
+            shed: self.shed.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            plan_hits: hits,
+            plan_misses: misses,
+            avg_batch: completed as f64 / batches as f64,
+            plan_hit_rate: hits as f64 / (hits + misses) as f64,
+            latency: self.latency.snapshot(),
+        }
+    }
+}
+
+impl StatsSnapshot {
+    /// Render as a single `key=value` line for the `STATS` wire command.
+    /// NaN quantiles (no samples yet) render as `nan`.
+    pub fn to_wire_line(&self) -> String {
+        format!(
+            "accepted={} completed={} shed={} timed_out={} failed={} batches={} \
+             avg_batch={:.2} plan_hits={} plan_misses={} plan_hit_rate={:.4} \
+             p50_ms={:.3} p95_ms={:.3} p99_ms={:.3} mean_ms={:.3} max_ms={:.3}",
+            self.accepted,
+            self.completed,
+            self.shed,
+            self.timed_out,
+            self.failed,
+            self.batches,
+            self.avg_batch,
+            self.plan_hits,
+            self.plan_misses,
+            self.plan_hit_rate,
+            self.latency.p50_ms,
+            self.latency.p95_ms,
+            self.latency.p99_ms,
+            self.latency.mean_ms,
+            self.latency.max_ms,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_recorder_reports_nan() {
+        let snap = LatencyRecorder::new().snapshot();
+        assert_eq!(snap.count, 0);
+        assert!(snap.p50_ms.is_nan());
+        assert!(snap.max_ms.is_nan());
+    }
+
+    #[test]
+    fn quantiles_are_exact_nearest_rank() {
+        let rec = LatencyRecorder::new();
+        // 1..=100 ms
+        for i in 1..=100u64 {
+            rec.record(Duration::from_millis(i));
+        }
+        let snap = rec.snapshot();
+        assert_eq!(snap.count, 100);
+        assert!((snap.p50_ms - 50.0).abs() < 1e-9);
+        assert!((snap.p95_ms - 95.0).abs() < 1e-9);
+        assert!((snap.p99_ms - 99.0).abs() < 1e-9);
+        assert!((snap.max_ms - 100.0).abs() < 1e-9);
+        assert!((snap.mean_ms - 50.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn stats_snapshot_derives_rates() {
+        let stats = ServeStats::default();
+        stats.completed.store(30, Ordering::Relaxed);
+        stats.batches.store(10, Ordering::Relaxed);
+        stats.plan_hits.store(9, Ordering::Relaxed);
+        stats.plan_misses.store(1, Ordering::Relaxed);
+        let snap = stats.snapshot();
+        assert!((snap.avg_batch - 3.0).abs() < 1e-12);
+        assert!((snap.plan_hit_rate - 0.9).abs() < 1e-12);
+        let line = snap.to_wire_line();
+        assert!(line.contains("plan_hit_rate=0.9000"), "{line}");
+        assert!(line.contains("p50_ms=NaN") || line.contains("p50_ms=nan"), "{line}");
+    }
+}

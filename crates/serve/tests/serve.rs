@@ -1,0 +1,314 @@
+//! End-to-end tests for fg-serve: engine correctness under concurrency
+//! (zero lost / zero duplicated responses), typed overload shedding and
+//! timeouts, plan-cache reuse, and the TCP front-end.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+use fg_gnn::data::SbmTask;
+use fg_gnn::models::build_model;
+use fg_gnn::FeatgraphBackend;
+use fg_serve::{serve, Engine, InferRequest, ServeConfig, ServeError};
+
+fn make_task() -> SbmTask {
+    SbmTask::generate(400, 3, 8, 2, 7)
+}
+
+fn make_engine(cfg: ServeConfig) -> (Arc<Engine>, SbmTask) {
+    let task = make_task();
+    let engine = Arc::new(Engine::new(cfg));
+    let model = build_model("gcn", task.in_dim(), 8, task.num_classes, 3);
+    engine.register_model("gcn", model, task.graph.clone(), task.features.clone());
+    (engine, task)
+}
+
+/// Reference logits computed outside the serving stack.
+fn reference_logits(task: &SbmTask) -> Vec<Vec<f32>> {
+    let backend = FeatgraphBackend::cpu(1);
+    let model = build_model("gcn", task.in_dim(), 8, task.num_classes, 3);
+    let (logits, _, _) = fg_gnn::trainer::inference(&*model, task, &backend, None);
+    (0..task.graph.num_vertices())
+        .map(|v| logits.row(v).to_vec())
+        .collect()
+}
+
+#[test]
+fn stress_1k_requests_zero_lost_zero_duplicated() {
+    const CLIENTS: usize = 8;
+    const PER_CLIENT: usize = 125;
+    let (engine, task) = make_engine(ServeConfig {
+        max_batch: 16,
+        max_delay: Duration::from_millis(1),
+        queue_capacity: 4096,
+        workers: 3,
+        default_deadline: None,
+        ..ServeConfig::default()
+    });
+    let expected = reference_logits(&task);
+    let vertices = task.graph.num_vertices();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            let engine = Arc::clone(&engine);
+            let expected = expected.clone();
+            std::thread::spawn(move || {
+                let mut ok = 0usize;
+                for i in 0..PER_CLIENT {
+                    let node = (c * 131 + i * 17) % vertices;
+                    let resp = engine
+                        .infer(InferRequest {
+                            model: "gcn".into(),
+                            node,
+                            deadline: None,
+                        })
+                        .expect("infer failed under nominal load");
+                    // The logits row must be exactly the requested node's —
+                    // a crossed reply would return some other node's row.
+                    assert_eq!(
+                        resp.logits, expected[node],
+                        "client {c} request {i}: reply for wrong node"
+                    );
+                    ok += 1;
+                }
+                ok
+            })
+        })
+        .collect();
+    let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+    assert_eq!(total, CLIENTS * PER_CLIENT, "every request answered exactly once");
+
+    let stats = engine.stats();
+    assert_eq!(stats.completed, (CLIENTS * PER_CLIENT) as u64);
+    assert_eq!(stats.shed, 0);
+    assert_eq!(stats.timed_out, 0);
+    assert_eq!(stats.failed, 0);
+    assert!(stats.batches > 0);
+    assert!(
+        stats.batches < stats.completed,
+        "batching must coalesce ({} batches for {} requests)",
+        stats.batches,
+        stats.completed
+    );
+    assert!(stats.latency.p50_ms > 0.0);
+    engine.shutdown();
+}
+
+#[test]
+fn plan_cache_hits_on_repeated_workload() {
+    let (engine, _task) = make_engine(ServeConfig::default());
+    for round in 0..3 {
+        for node in 0..10 {
+            engine
+                .infer(InferRequest {
+                    model: "gcn".into(),
+                    node,
+                    deadline: None,
+                })
+                .unwrap_or_else(|e| panic!("round {round} node {node}: {e}"));
+        }
+    }
+    let stats = engine.stats();
+    assert_eq!(stats.plan_misses, 1, "exactly one compile for one (graph, model)");
+    assert!(
+        stats.plan_hits > 0,
+        "repeated workload must hit the plan cache (hits={})",
+        stats.plan_hits
+    );
+    assert!(stats.plan_hit_rate > 0.0);
+    assert_eq!(engine.plan_cache_len(), 1);
+}
+
+#[test]
+fn overload_sheds_with_typed_error_and_drains_on_shutdown() {
+    let (engine, _task) = make_engine(ServeConfig {
+        max_batch: 4,
+        max_delay: Duration::from_millis(1),
+        queue_capacity: 4,
+        workers: 1,
+        default_deadline: None,
+        exec_delay: Duration::from_millis(30),
+        ..ServeConfig::default()
+    });
+    // Burst far past capacity from one thread: pushes beyond the 4-slot
+    // queue must shed immediately with the typed error, never block.
+    let mut tickets = Vec::new();
+    let mut shed = 0usize;
+    for node in 0..64 {
+        match engine.submit(InferRequest {
+            model: "gcn".into(),
+            node,
+            deadline: None,
+        }) {
+            Ok(t) => tickets.push(t),
+            Err(ServeError::Overloaded) => shed += 1,
+            Err(other) => panic!("unexpected error {other:?}"),
+        }
+    }
+    assert!(shed > 0, "burst past capacity must shed");
+    assert_eq!(engine.stats().shed, shed as u64);
+    // Graceful drain: every accepted ticket still gets a real answer.
+    let accepted = tickets.len();
+    for t in tickets {
+        t.wait().expect("accepted request must complete");
+    }
+    engine.shutdown();
+    assert_eq!(engine.stats().completed, accepted as u64);
+}
+
+#[test]
+fn expired_deadline_yields_typed_timeout() {
+    let (engine, _task) = make_engine(ServeConfig {
+        max_batch: 64,
+        max_delay: Duration::from_millis(1),
+        workers: 1,
+        exec_delay: Duration::from_millis(40),
+        default_deadline: None,
+        ..ServeConfig::default()
+    });
+    // A 1 ms deadline cannot survive the 40 ms artificial batch delay.
+    let err = engine
+        .infer(InferRequest {
+            model: "gcn".into(),
+            node: 0,
+            deadline: Some(Duration::from_millis(1)),
+        })
+        .unwrap_err();
+    assert_eq!(err, ServeError::Timeout);
+    assert_eq!(engine.stats().timed_out, 1);
+}
+
+#[test]
+fn unknown_model_and_bad_node_fail_fast() {
+    let (engine, task) = make_engine(ServeConfig::default());
+    let err = engine
+        .infer(InferRequest {
+            model: "nope".into(),
+            node: 0,
+            deadline: None,
+        })
+        .unwrap_err();
+    assert_eq!(err, ServeError::UnknownModel("nope".into()));
+    let err = engine
+        .infer(InferRequest {
+            model: "gcn".into(),
+            node: task.graph.num_vertices(),
+            deadline: None,
+        })
+        .unwrap_err();
+    assert!(matches!(err, ServeError::BadRequest(_)));
+    // Neither consumed queue capacity.
+    assert_eq!(engine.stats().accepted, 0);
+}
+
+#[test]
+fn submit_after_shutdown_is_rejected() {
+    let (engine, _task) = make_engine(ServeConfig::default());
+    engine.shutdown();
+    let err = engine
+        .infer(InferRequest {
+            model: "gcn".into(),
+            node: 0,
+            deadline: None,
+        })
+        .unwrap_err();
+    assert_eq!(err, ServeError::ShuttingDown);
+}
+
+#[test]
+fn tcp_front_end_round_trips() {
+    let (engine, task) = make_engine(ServeConfig::default());
+    let expected = reference_logits(&task);
+    let handle = serve(engine, "127.0.0.1:0").expect("bind");
+    let addr = handle.addr();
+
+    let client = |lines: &[String]| -> Vec<String> {
+        let stream = TcpStream::connect(addr).unwrap();
+        let mut writer = stream.try_clone().unwrap();
+        let mut reader = BufReader::new(stream);
+        let mut replies = Vec::new();
+        for line in lines {
+            writeln!(writer, "{line}").unwrap();
+            let mut reply = String::new();
+            reader.read_line(&mut reply).unwrap();
+            replies.push(reply.trim_end().to_string());
+        }
+        replies
+    };
+
+    let replies = client(&[
+        "PING".into(),
+        "INFER gcn 5 id=a".into(),
+        "INFER gcn 5".into(),
+        "INFER nope 0 id=b".into(),
+        "INFER gcn 999999 id=c".into(),
+        "GARBAGE".into(),
+        "STATS".into(),
+    ]);
+    assert_eq!(replies[0], "PONG");
+    match fg_serve::protocol::parse_reply(&replies[1]).unwrap() {
+        fg_serve::protocol::Reply::Ok { id, logits, .. } => {
+            assert_eq!(id, "a");
+            assert_eq!(logits, expected[5], "wire logits match reference");
+        }
+        other => panic!("{other:?}"),
+    }
+    assert!(replies[2].starts_with("OK - "), "{}", replies[2]);
+    assert!(replies[3].starts_with("ERR b unknown-model"), "{}", replies[3]);
+    assert!(replies[4].starts_with("ERR c bad-request"), "{}", replies[4]);
+    assert!(replies[5].starts_with("ERR - bad-request"), "{}", replies[5]);
+    assert!(replies[6].starts_with("STATS "), "{}", replies[6]);
+    assert!(replies[6].contains("completed=2"), "{}", replies[6]);
+
+    handle.shutdown();
+}
+
+#[test]
+fn tcp_concurrent_clients_ids_never_cross() {
+    const CLIENTS: usize = 6;
+    const PER_CLIENT: usize = 40;
+    let (engine, task) = make_engine(ServeConfig {
+        max_batch: 8,
+        max_delay: Duration::from_millis(1),
+        ..ServeConfig::default()
+    });
+    let vertices = task.graph.num_vertices();
+    let handle = serve(engine, "127.0.0.1:0").expect("bind");
+    let addr = handle.addr();
+
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|c| {
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).unwrap();
+                let mut writer = stream.try_clone().unwrap();
+                let mut reader = BufReader::new(stream);
+                let mut seen: HashMap<String, usize> = HashMap::new();
+                for i in 0..PER_CLIENT {
+                    let id = format!("c{c}-r{i}");
+                    writeln!(writer, "INFER gcn {} id={id}", (c * 53 + i * 7) % vertices)
+                        .unwrap();
+                    let mut reply = String::new();
+                    reader.read_line(&mut reply).unwrap();
+                    match fg_serve::protocol::parse_reply(reply.trim_end()).unwrap() {
+                        fg_serve::protocol::Reply::Ok { id: got, .. } => {
+                            assert_eq!(got, id, "client {c}: reply id crossed");
+                            *seen.entry(got).or_default() += 1;
+                        }
+                        other => panic!("client {c}: {other:?}"),
+                    }
+                }
+                seen
+            })
+        })
+        .collect();
+    let mut total = 0usize;
+    for h in handles {
+        let seen = h.join().unwrap();
+        assert!(seen.values().all(|&n| n == 1), "duplicated reply id");
+        total += seen.len();
+    }
+    assert_eq!(total, CLIENTS * PER_CLIENT);
+    handle.shutdown();
+}

@@ -92,10 +92,29 @@ pub enum Counter {
     GpuAtomicConflicts,
     /// GPU simulator: block-wide barriers.
     GpuBarriers,
+    /// Kernel plans compiled (CPU/GPU SpMM + SDDMM). Plan reuse keeps this
+    /// flat while request/run counters climb.
+    KernelCompiles,
+    /// `available_parallelism` probes that errored and fell back to one
+    /// thread (recorded at most once per process; see
+    /// `featgraph::cpu`'s `auto` option constructors).
+    ParallelismFallbacks,
+    /// Inference requests accepted by the serving engine.
+    ServeRequests,
+    /// Batches executed by the serving engine.
+    ServeBatches,
+    /// Requests shed because the serving queue was at capacity.
+    ServeShed,
+    /// Requests that expired (deadline passed) before execution.
+    ServeTimeouts,
+    /// Serving plan-cache hits (a compiled backend was reused).
+    ServePlanHits,
+    /// Serving plan-cache misses (a backend had to be compiled).
+    ServePlanMisses,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 14] = [
+    pub const ALL: [Counter; 22] = [
         Counter::BytesMoved,
         Counter::EdgesProcessed,
         Counter::Partitions,
@@ -110,6 +129,14 @@ impl Counter {
         Counter::GpuAtomicOps,
         Counter::GpuAtomicConflicts,
         Counter::GpuBarriers,
+        Counter::KernelCompiles,
+        Counter::ParallelismFallbacks,
+        Counter::ServeRequests,
+        Counter::ServeBatches,
+        Counter::ServeShed,
+        Counter::ServeTimeouts,
+        Counter::ServePlanHits,
+        Counter::ServePlanMisses,
     ];
 
     pub fn name(self) -> &'static str {
@@ -128,6 +155,14 @@ impl Counter {
             Counter::GpuAtomicOps => "gpu_atomic_ops",
             Counter::GpuAtomicConflicts => "gpu_atomic_conflicts",
             Counter::GpuBarriers => "gpu_barriers",
+            Counter::KernelCompiles => "kernel_compiles",
+            Counter::ParallelismFallbacks => "parallelism_fallbacks",
+            Counter::ServeRequests => "serve_requests",
+            Counter::ServeBatches => "serve_batches",
+            Counter::ServeShed => "serve_shed",
+            Counter::ServeTimeouts => "serve_timeouts",
+            Counter::ServePlanHits => "serve_plan_hits",
+            Counter::ServePlanMisses => "serve_plan_misses",
         }
     }
 }
@@ -144,14 +179,18 @@ pub enum Gauge {
     AutotuneBestSeconds,
     /// Global-memory coalescing efficiency of the last GPU launch.
     GpuCoalescingEfficiency,
+    /// Depth of the serving engine's batching queue, updated on every
+    /// enqueue/dequeue.
+    ServeQueueDepth,
 }
 
 impl Gauge {
-    pub const ALL: [Gauge; 4] = [
+    pub const ALL: [Gauge; 5] = [
         Gauge::Loss,
         Gauge::ValAccuracy,
         Gauge::AutotuneBestSeconds,
         Gauge::GpuCoalescingEfficiency,
+        Gauge::ServeQueueDepth,
     ];
 
     pub fn name(self) -> &'static str {
@@ -160,6 +199,7 @@ impl Gauge {
             Gauge::ValAccuracy => "val_accuracy",
             Gauge::AutotuneBestSeconds => "autotune_best_seconds",
             Gauge::GpuCoalescingEfficiency => "gpu_coalescing_efficiency",
+            Gauge::ServeQueueDepth => "serve_queue_depth",
         }
     }
 }
@@ -174,18 +214,22 @@ pub enum Histogram {
     SpmmPartitionEdges,
     /// Edges per parallel chunk processed by the CPU SDDMM template.
     SddmmChunkEdges,
+    /// Requests coalesced into each executed serving batch.
+    ServeBatchSize,
 }
 
 impl Histogram {
-    pub const ALL: [Histogram; 2] = [
+    pub const ALL: [Histogram; 3] = [
         Histogram::SpmmPartitionEdges,
         Histogram::SddmmChunkEdges,
+        Histogram::ServeBatchSize,
     ];
 
     pub fn name(self) -> &'static str {
         match self {
             Histogram::SpmmPartitionEdges => "spmm_partition_edges",
             Histogram::SddmmChunkEdges => "sddmm_chunk_edges",
+            Histogram::ServeBatchSize => "serve_batch_size",
         }
     }
 }

@@ -6,9 +6,9 @@
 //! same mutex before toggling them.
 
 use fg_telemetry::{
-    add_sink, clear_sinks, counter_add, counter_value, flush, gauge_set, histogram_record,
-    histogram_snapshot, reset_metrics, set_enabled, span, ChromeTraceSink, Counter, Gauge,
-    Histogram, MemorySink, Sink, SpanRecord,
+    add_sink, clear_sinks, counter_add, counter_value, counters_snapshot, flush, gauge_set,
+    gauges_snapshot, histogram_record, histogram_snapshot, histograms_snapshot, reset_metrics,
+    set_enabled, span, ChromeTraceSink, Counter, Gauge, Histogram, MemorySink, Sink, SpanRecord,
 };
 use std::sync::{Arc, Mutex, MutexGuard};
 
@@ -494,4 +494,71 @@ fn runtime_disabled_records_nothing() {
 
     assert!(records.is_empty());
     assert_eq!(bytes, 0);
+}
+
+#[test]
+fn sixteen_thread_stress_is_exact_and_sorted() {
+    let _guard = session();
+
+    // 16 threads hammer every metric kind at once. Each thread's
+    // contribution is known exactly, so after the join the registry totals
+    // must equal the sums of the per-thread contributions — no lost updates
+    // under contention — and the snapshot APIs must stay deterministically
+    // sorted regardless of the thread schedule.
+    const THREADS: u64 = 16;
+    const ITERS: u64 = 5_000;
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            s.spawn(move || {
+                for i in 0..ITERS {
+                    counter_add(Counter::EdgesProcessed, 1);
+                    counter_add(Counter::BytesMoved, t + 1);
+                    histogram_record(Histogram::SpmmPartitionEdges, i + 1);
+                    gauge_set(Gauge::ServeQueueDepth, (t * ITERS + i) as f64);
+                }
+                counter_add(Counter::ServeRequests, 3);
+            });
+        }
+    });
+    // Gauges are last-write-wins (racy mid-flight but never torn); pin a
+    // final value so the assertion below is deterministic.
+    gauge_set(Gauge::ServeQueueDepth, 17.0);
+
+    let counters = counters_snapshot();
+    let gauges = gauges_snapshot();
+    let hists = histograms_snapshot();
+    let edges = counter_value(Counter::EdgesProcessed);
+    let bytes = counter_value(Counter::BytesMoved);
+    let reqs = counter_value(Counter::ServeRequests);
+    let summary = histogram_snapshot(Histogram::SpmmPartitionEdges).unwrap();
+    teardown();
+
+    // Totals: sum of per-thread contributions, exactly.
+    assert_eq!(edges, THREADS * ITERS);
+    assert_eq!(bytes, ITERS * (THREADS * (THREADS + 1) / 2));
+    assert_eq!(reqs, THREADS * 3);
+    assert_eq!(summary.count, THREADS * ITERS);
+    assert_eq!(summary.sum, THREADS * (ITERS * (ITERS + 1) / 2));
+    assert_eq!(summary.min, 1);
+    assert_eq!(summary.max, ITERS);
+    assert_eq!(summary.buckets.iter().sum::<u64>(), summary.count);
+
+    // Snapshots reflect the same totals and are sorted by name.
+    let counter_of = |name: &str| {
+        counters
+            .iter()
+            .find(|(n, _)| *n == name)
+            .unwrap_or_else(|| panic!("counter {name} missing from snapshot"))
+            .1
+    };
+    assert_eq!(counter_of("edges_processed"), THREADS * ITERS);
+    assert_eq!(counter_of("serve_requests"), THREADS * 3);
+    assert!(counters.windows(2).all(|w| w[0].0 < w[1].0), "counters sorted: {counters:?}");
+    assert!(gauges.windows(2).all(|w| w[0].0 < w[1].0), "gauges sorted: {gauges:?}");
+    assert!(hists.windows(2).all(|w| w[0].0 < w[1].0), "histograms sorted");
+    let (_, depth) = gauges
+        .iter()
+        .find(|(n, _)| *n == "serve_queue_depth")
+        .expect("gauge in snapshot");
+    assert_eq!(*depth, 17.0);
 }
