@@ -19,6 +19,7 @@
 //!   table5     sensitivity to graph sparsity vs MKL (Table V)
 //!   table6     end-to-end training/inference, naive vs FeatGraph backend (Table VI)
 //!   accuracy   backend-parity accuracy check (SS V-E)
+//!   fused      fused vs unfused SDDMM->softmax->SpMM GAT attention (fg-fuse)
 //!   traversal  Hilbert vs canonical SDDMM edge order (SS III-C1 ablation)
 //!   a100       V100 vs A100 device model comparison (newer-hardware future work)
 //!   tune       adaptive tuner vs exhaustive grid search (SS VII future work)
@@ -51,7 +52,7 @@ use fg_bench::cpu_kernels::{
 use fg_bench::gpu_kernels::{featgraph_gpu_ms, gpu_kernel_ms, FeatgraphGpuConfig, GpuSystem};
 use fg_bench::perf::{self, Report};
 use fg_bench::report::{fmt_ms, fmt_secs, header, speedup};
-use fg_bench::runner::{load, BenchConfig, KernelKind, Samples};
+use fg_bench::runner::{load, time_samples, BenchConfig, KernelKind, Samples};
 use fg_gnn::backend::GpuCostModel;
 use fg_gnn::data::SbmTask;
 use fg_gnn::models::build_model;
@@ -369,13 +370,14 @@ fn main() {
         "table5" => table5(&args, &mut rep),
         "table6" => table6(&args, &mut rep),
         "accuracy" => accuracy(&args),
+        "fused" => fused_bench(&args, &mut rep),
         "serve" => serve_bench(&args, &mut rep),
         "traversal" => traversal(&args, &mut rep),
         "a100" => a100(&args, &mut rep),
         "tune" => tune(&args),
         "all" => run_all(&args, &mut rep),
         _ => {
-            eprintln!("usage: fgbench <table2|table3|fig10|table4|fig11|fig12|fig13|fig14|fig15|table5|table6|accuracy|serve|all|compare> [--scale N] [--lengths l1,l2] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all] [--trace out.json] [--metrics] [--json report.json] [--bench-json]");
+            eprintln!("usage: fgbench <table2|table3|fig10|table4|fig11|fig12|fig13|fig14|fig15|table5|table6|accuracy|fused|serve|all|compare> [--scale N] [--lengths l1,l2] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all] [--trace out.json] [--metrics] [--json report.json] [--bench-json]");
             std::process::exit(2);
         }
     }
@@ -421,6 +423,7 @@ fn run_all(args: &Args, master: &mut Report) {
     sub("table5", &mut |r| table5(args, r));
     sub("table6", &mut |r| table6(args, r));
     sub("accuracy", &mut |_| accuracy(args));
+    sub("fused", &mut |r| fused_bench(args, r));
     sub("serve", &mut |r| serve_bench(args, r));
     sub("traversal", &mut |r| traversal(args, r));
     sub("tune", &mut |_| tune(args));
@@ -944,6 +947,63 @@ fn table6(args: &Args, rep: &mut Report) {
         rep.push_single(format!("table6/{model_name}/gpu_infer/naive"), "ms", g1);
         rep.push_single(format!("table6/{model_name}/gpu_infer/featgraph"), "ms", g2);
     }
+}
+
+/// Kernel-fusion benchmark (fg-fuse): one GAT attention layer,
+/// `out[v] = Σ softmax_v(LeakyReLU(sl[u]+sr[v])) · x[u]`, run as the fused
+/// single-sweep kernel vs the unfused three-pass composition
+/// (SDDMM score → edge softmax → weighted SpMM) on identical inputs.
+/// CPU rows are wall-clock; GPU rows are simulated V100 milliseconds (the
+/// unfused GPU row charges only its two kernels — its CPU-side softmax
+/// passes ride free, which biases the comparison *against* fusion).
+fn fused_bench(args: &Args, rep: &mut Report) {
+    use fg_gnn::backend::GraphBackend;
+    use fg_gnn::GnnGraph;
+
+    println!(
+        "\n=== fused: GAT attention, fused vs unfused SDDMM->softmax->SpMM (reddit, scale 1/{}) ===",
+        args.cfg.scale
+    );
+    let graph = load(Dataset::Reddit, args.cfg.scale);
+    rep.push_graph(Dataset::Reddit.name(), &graph);
+    let g = GnnGraph::new(graph);
+    let n = g.fwd().num_vertices();
+    let sl = fg_bench::runner::features(n, 1);
+    let sr = fg_bench::runner::features(n, 1);
+    let slope = 0.2f32;
+    println!(
+        "{:<6}{:>14}{:>14}{:>9}{:>14}{:>14}{:>9}",
+        "d", "cpu unf s", "cpu fused s", "speedup", "gpu unf ms", "gpu fused ms", "speedup"
+    );
+    for &d in &[32usize, 64, 128] {
+        let x = fg_bench::runner::features(n, d);
+        let cpu = FeatgraphBackend::cpu(args.threads);
+        let unf = time_samples(args.cfg.runs, || {
+            std::hint::black_box(cpu.unfused_attention(&g, &x, &sl, &sr, slope));
+        });
+        let fus = time_samples(args.cfg.runs, || {
+            std::hint::black_box(cpu.fused_attention(&g, &x, &sl, &sr, slope));
+        });
+        let gpu = FeatgraphBackend::gpu();
+        gpu.unfused_attention(&g, &x, &sl, &sr, slope);
+        let gpu_unf = gpu.take_gpu_ms();
+        gpu.fused_attention(&g, &x, &sl, &sr, slope);
+        let gpu_fus = gpu.take_gpu_ms();
+        println!(
+            "{d:<6}{:>14.4}{:>14.4}{:>9}{:>14.3}{:>14.3}{:>9}",
+            unf.mean(),
+            fus.mean(),
+            speedup(unf.mean(), fus.mean()),
+            gpu_unf,
+            gpu_fus,
+            speedup(gpu_unf, gpu_fus)
+        );
+        rep.push(format!("fused/cpu/d{d}/unfused"), "s", &unf);
+        rep.push(format!("fused/cpu/d{d}/fused"), "s", &fus);
+        rep.push_single(format!("fused/gpu/d{d}/unfused"), "ms", gpu_unf);
+        rep.push_single(format!("fused/gpu/d{d}/fused"), "ms", gpu_fus);
+    }
+    println!("(peak intermediate: unfused materializes two |E| edge tensors; fused keeps O(|V|) accumulators)");
 }
 
 /// Closed-loop serving benchmark through the fg-serve engine: concurrent

@@ -27,7 +27,7 @@ use std::fmt;
 use std::str::FromStr;
 
 use featgraph::cpu::sddmm::Traversal;
-use featgraph::{Fds, GpuBind, GpuFds, Reducer, Udf};
+use featgraph::{Fds, FusedOp, GpuBind, GpuFds, Reducer, Udf};
 use fg_graph::{generators, Graph};
 use rand::{Rng, SeedableRng};
 use rand_pcg::Pcg64Mcg;
@@ -39,6 +39,84 @@ pub enum KernelKind {
     Spmm,
     /// Edge-wise computation (Eq. (2)).
     Sddmm,
+    /// Fused SDDMM → (softmax) → SpMM chain (no `|E|`-sized intermediate).
+    Fused,
+}
+
+/// Score family of a fused case (`f=` descriptor segment).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FusedScoreKind {
+    /// `leaky_relu(sl[src] + sr[dst], 0.2)` — the GAT fast path.
+    Gat,
+    /// `dot(xs[src], xd[dst])` of width `d` — forces the generic
+    /// interpreter score path.
+    Dot { d: usize },
+}
+
+/// Fused-kernel configuration riding alongside the message UDF: which score
+/// the kernel evaluates per edge and whether it is softmax-normalized.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct FusedSpec {
+    /// Per-edge score shape.
+    pub score: FusedScoreKind,
+    /// Per-destination softmax normalization (requires `Sum` aggregation).
+    pub softmax: bool,
+}
+
+impl FusedSpec {
+    /// Score operand widths `(src_len, dst_len)`.
+    pub fn score_dims(&self) -> (usize, usize) {
+        match self.score {
+            FusedScoreKind::Gat => (1, 1),
+            FusedScoreKind::Dot { d } => (d, d),
+        }
+    }
+
+    /// Assemble the full fused operator from this spec plus the case's
+    /// message UDF and aggregation reducer.
+    pub fn build(&self, message: &UdfKind, agg: Reducer) -> FusedOp {
+        let score = match self.score {
+            FusedScoreKind::Gat => FusedOp::gat_attention(1, 0.2).score,
+            FusedScoreKind::Dot { d } => Udf::dot(d),
+        };
+        FusedOp {
+            score,
+            softmax: self.softmax,
+            message: message.build(),
+            agg,
+        }
+    }
+}
+
+impl fmt::Display for FusedSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.score {
+            FusedScoreKind::Gat => write!(f, "gat:{}", u8::from(self.softmax)),
+            FusedScoreKind::Dot { d } => write!(f, "dot:{d}:{}", u8::from(self.softmax)),
+        }
+    }
+}
+
+impl FromStr for FusedSpec {
+    type Err = ParseCaseError;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let parts: Vec<&str> = s.split(':').collect();
+        let sm = |v: &str| -> Result<bool, ParseCaseError> {
+            Ok(parse_num::<u8>(v, "fused softmax flag")? != 0)
+        };
+        match (parts.first().copied().unwrap_or(""), parts.len()) {
+            ("gat", 2) => Ok(FusedSpec { score: FusedScoreKind::Gat, softmax: sm(parts[1])? }),
+            ("dot", 3) => {
+                let d: usize = parse_num(parts[1], "fused dot width")?;
+                if d == 0 {
+                    return Err(bad("fused dot width must be >= 1"));
+                }
+                Ok(FusedSpec { score: FusedScoreKind::Dot { d }, softmax: sm(parts[2])? })
+            }
+            _ => Err(bad(format!("unknown fused spec `{s}`"))),
+        }
+    }
 }
 
 /// Deterministic recipe for the case's graph.
@@ -217,8 +295,10 @@ pub struct Case {
     pub graph: GraphSpec,
     /// Message/edge UDF.
     pub udf: UdfKind,
-    /// Aggregation (SpMM only; ignored for SDDMM).
+    /// Aggregation (SpMM and fused only; ignored for SDDMM).
     pub reducer: Reducer,
+    /// Fused-kernel configuration (`Some` iff `kernel == Fused`).
+    pub fused: Option<FusedSpec>,
     /// Template-level execution plan.
     pub plan: ExecPlan,
     /// Seed for the input tensors.
@@ -305,6 +385,7 @@ impl fmt::Display for Case {
         let kernel = match self.kernel {
             KernelKind::Spmm => "spmm",
             KernelKind::Sddmm => "sddmm",
+            KernelKind::Fused => "fused",
         };
         let red = match (self.kernel, self.reducer) {
             (KernelKind::Sddmm, _) => "none",
@@ -313,11 +394,11 @@ impl fmt::Display for Case {
             (_, Reducer::Min) => "min",
             (_, Reducer::Mean) => "mean",
         };
-        write!(
-            f,
-            "{kernel};g={};u={};r={red};p={};s={}",
-            self.graph, self.udf, self.plan, self.seed
-        )
+        write!(f, "{kernel};g={};u={};r={red}", self.graph, self.udf)?;
+        if let Some(spec) = &self.fused {
+            write!(f, ";f={spec}")?;
+        }
+        write!(f, ";p={};s={}", self.plan, self.seed)
     }
 }
 
@@ -474,9 +555,11 @@ impl FromStr for Case {
         let kernel = match segs.next().unwrap_or("") {
             "spmm" => KernelKind::Spmm,
             "sddmm" => KernelKind::Sddmm,
+            "fused" => KernelKind::Fused,
             other => return Err(bad(format!("unknown kernel `{other}`"))),
         };
         let (mut graph, mut udf, mut reducer, mut plan, mut seed) = (None, None, None, None, None);
+        let mut fused = None;
         for seg in segs {
             let (key, val) = seg
                 .split_once('=')
@@ -495,16 +578,25 @@ impl FromStr for Case {
                         other => return Err(bad(format!("reducer `{other}`"))),
                     })
                 }
+                "f" => fused = Some(val.parse::<FusedSpec>()?),
                 "p" => plan = Some(val.parse::<ExecPlan>()?),
                 "s" => seed = Some(parse_num(val, "seed")?),
                 other => return Err(bad(format!("unknown key `{other}`"))),
             }
+        }
+        match (kernel, fused.is_some()) {
+            (KernelKind::Fused, false) => return Err(bad("fused kernel is missing f=")),
+            (KernelKind::Spmm | KernelKind::Sddmm, true) => {
+                return Err(bad("f= only applies to the fused kernel"))
+            }
+            _ => {}
         }
         Ok(Case {
             kernel,
             graph: graph.ok_or_else(|| bad("missing g="))?,
             udf: udf.ok_or_else(|| bad("missing u="))?,
             reducer: reducer.ok_or_else(|| bad("missing r="))?,
+            fused,
             plan: plan.ok_or_else(|| bad("missing p="))?,
             seed: seed.ok_or_else(|| bad("missing s="))?,
         })
@@ -539,6 +631,26 @@ mod tests {
         roundtrip(
             "spmm;g=empty;u=src-mul-edge-scalar:2;r=min;p=t1.p1.ft1.rt1.tr0.hil0.rpb1.epb256.hyb0.tpb32.bindn;s=5",
         );
+        roundtrip(
+            "fused;g=uniform:20:4:3;u=copy-src:8;r=sum;f=gat:1;p=t2.p3.ft1.rt1.tr0.hil0.rpb2.epb256.hyb0.tpb64.bindn;s=77",
+        );
+        roundtrip(
+            "fused;g=adversarial:11:9;u=src-mul-edge:4;r=max;f=dot:2:0;p=t1.p1.ft1.rt1.tr0.hil0.rpb1.epb256.hyb0.tpb32.bindn;s=3",
+        );
+    }
+
+    #[test]
+    fn fused_spec_builds_the_expected_operator() {
+        let spec = FusedSpec { score: FusedScoreKind::Gat, softmax: true };
+        let op = spec.build(&UdfKind::CopySrc { d: 16 }, Reducer::Sum);
+        op.validate().unwrap();
+        assert_eq!(op.out_len(), 16);
+        assert!(op.softmax);
+        assert_eq!(spec.score_dims(), (1, 1));
+        let spec = FusedSpec { score: FusedScoreKind::Dot { d: 4 }, softmax: false };
+        let op = spec.build(&UdfKind::SrcMulEdgeScalar { d: 8 }, Reducer::Max);
+        op.validate().unwrap();
+        assert_eq!(spec.score_dims(), (4, 4));
     }
 
     #[test]
@@ -552,6 +664,11 @@ mod tests {
             "spmm;g=empty;u=copy-src:1;r=prod;p=t1;s=0",
             "spmm;g=empty;u=copy-src:1;r=sum;p=zz9;s=0",
             "spmm;g=explicit:4:0_1;u=copy-src:1;r=sum;p=t1;s=0",
+            // fused kernel requires f=, and f= requires the fused kernel
+            "fused;g=empty;u=copy-src:1;r=sum;p=t1;s=0",
+            "spmm;g=empty;u=copy-src:1;r=sum;f=gat:1;p=t1;s=0",
+            "fused;g=empty;u=copy-src:1;r=sum;f=warp:1;p=t1;s=0",
+            "fused;g=empty;u=copy-src:1;r=sum;f=dot:0:1;p=t1;s=0",
         ] {
             assert!(bad_desc.parse::<Case>().is_err(), "accepted: {bad_desc}");
         }

@@ -20,10 +20,14 @@ use std::panic::{catch_unwind, AssertUnwindSafe};
 
 use featgraph::cpu::sddmm::CpuSddmmOptions;
 use featgraph::cpu::spmm::CpuSpmmOptions;
+use featgraph::gpu::fused::GpuFusedOptions;
 use featgraph::gpu::sddmm::GpuSddmmOptions;
 use featgraph::gpu::spmm::{GpuSpmmOptions, HybridOptions};
-use featgraph::reference::{sddmm_reference, spmm_reference};
-use featgraph::{sddmm_with_options, spmm_with_options, GraphTensors, Reducer, Target, Udf};
+use featgraph::reference::{fused_reference, sddmm_reference, spmm_reference};
+use featgraph::{
+    fused_with_options, sddmm_with_options, spmm_with_options, FusedInputs, GraphTensors,
+    Reducer, Target, Udf,
+};
 use fg_gpusim::DeviceConfig;
 use fg_graph::Graph;
 use fg_tensor::Dense2;
@@ -59,6 +63,9 @@ struct CaseData {
     xd: Option<Dense2<f32>>,
     xe: Option<Dense2<f32>>,
     w: Option<Dense2<f32>>,
+    /// Fused-score operands (src-side, dst-side projections).
+    sa: Option<Dense2<f32>>,
+    sb: Option<Dense2<f32>>,
 }
 
 fn lattice(rng: &mut Pcg64Mcg) -> f32 {
@@ -88,7 +95,18 @@ fn materialize(case: &Case) -> CaseData {
         UdfKind::Mlp { d1, d2 } => Some(Dense2::from_fn(d1, d2, |_, _| lattice(&mut rng))),
         _ => None,
     };
-    CaseData { graph, udf, x, xd, xe, w }
+    // Drawn last so spmm/sddmm cases see the same tensor stream as before.
+    let (sa, sb) = match case.fused {
+        Some(spec) => {
+            let (ds, dd) = spec.score_dims();
+            (
+                Some(Dense2::from_fn(n, ds, |_, _| lattice(&mut rng))),
+                Some(Dense2::from_fn(n, dd, |_, _| lattice(&mut rng))),
+            )
+        }
+        None => (None, None),
+    };
+    CaseData { graph, udf, x, xd, xe, w, sa, sb }
 }
 
 /// Output canary: if a kernel silently skips rows the comparison sees this
@@ -127,7 +145,7 @@ fn run_protected(
 /// result means the case passed everywhere.
 pub fn run_case(case: &Case) -> Vec<ExecFailure> {
     let data = materialize(case);
-    let CaseData { ref graph, ref udf, ref x, ref xd, ref xe, ref w } = data;
+    let CaseData { ref graph, ref udf, ref x, ref xd, ref xe, ref w, ref sa, ref sb } = data;
     let params: Vec<&Dense2<f32>> = w.iter().collect();
     let inputs = GraphTensors {
         vertex: x,
@@ -135,18 +153,35 @@ pub fn run_case(case: &Case) -> Vec<ExecFailure> {
         edge: xe.as_ref(),
         params: &params,
     };
+    let fused_op = case.fused.map(|spec| spec.build(&case.udf, case.reducer));
+    let fused_inputs = fused_op.as_ref().map(|_| FusedInputs {
+        score: GraphTensors::src_dst(
+            sa.as_ref().expect("fused score src operand"),
+            sb.as_ref().expect("fused score dst operand"),
+        ),
+        message: inputs,
+    });
     let (n, m) = (graph.num_vertices(), graph.num_edges());
     let out_rows = match case.kernel {
-        KernelKind::Spmm => n,
+        KernelKind::Spmm | KernelKind::Fused => n,
         KernelKind::Sddmm => m,
     };
     let mut failures = Vec::new();
 
-    // Oracle first; a reference failure poisons the whole case.
+    // Oracle first; a reference failure poisons the whole case. For fused
+    // cases the oracle is the deliberately *unfused* composition
+    // (materialized scores → segment softmax → aggregation), so every fused
+    // executor is differentially checked against the unfused path.
     let mut want = Dense2::<f32>::zeros(out_rows, udf.out_len);
     let oracle = catch_unwind(AssertUnwindSafe(|| match case.kernel {
         KernelKind::Spmm => spmm_reference(graph, udf, case.reducer, &inputs, &mut want),
         KernelKind::Sddmm => sddmm_reference(graph, udf, &inputs, &mut want),
+        KernelKind::Fused => fused_reference(
+            graph,
+            fused_op.as_ref().expect("fused op"),
+            fused_inputs.as_ref().expect("fused inputs"),
+            &mut want,
+        ),
     }));
     match oracle {
         Ok(Ok(())) => {}
@@ -213,6 +248,27 @@ pub fn run_case(case: &Case) -> Vec<ExecFailure> {
                 let k = sddmm_with_options(graph, udf, &fds, Target::Gpu, None, Some(&gpu_opts))
                     .map_err(|e| e.to_string())?;
                 k.run(&inputs, out).map(|_| ()).map_err(|e| e.to_string())
+            }, &mut out);
+        }
+        KernelKind::Fused => {
+            let op = fused_op.as_ref().expect("fused op");
+            let finputs = fused_inputs.as_ref().expect("fused inputs");
+            let cpu_opts = CpuSpmmOptions::with_threads(plan.partitions, plan.threads);
+            run_protected("cpu-fused", &mut failures, want.as_slice(), tol, |out| {
+                let k = fused_with_options(graph, op, Target::Cpu, Some(&cpu_opts), None)
+                    .map_err(|e| e.to_string())?;
+                k.run(finputs, out).map(|_| ()).map_err(|e| e.to_string())
+            }, &mut out);
+
+            let gpu_opts = GpuFusedOptions {
+                device: DeviceConfig::v100(),
+                rows_per_block: plan.rows_per_block,
+                threads_per_block: plan.threads_per_block,
+            };
+            run_protected("gpu-fused", &mut failures, want.as_slice(), tol, |out| {
+                let k = fused_with_options(graph, op, Target::Gpu, None, Some(&gpu_opts))
+                    .map_err(|e| e.to_string())?;
+                k.run(finputs, out).map(|_| ()).map_err(|e| e.to_string())
             }, &mut out);
         }
     }
@@ -316,6 +372,7 @@ mod tests {
             graph: GraphSpec::Uniform { n: 12, deg: 3, seed: 1 },
             udf: UdfKind::CopySrc { d: 4 },
             reducer: Reducer::Sum,
+            fused: None,
             plan: ExecPlan::default(),
             seed: 7,
         }
@@ -338,6 +395,36 @@ mod tests {
         case.plan.partitions = 3;
         case.plan.threads = 2;
         case.plan.feature_tiles = 2;
+        let fails = run_case(&case);
+        assert!(fails.is_empty(), "{fails:?}");
+    }
+
+    #[test]
+    fn fused_cases_pass_both_fused_executors() {
+        use crate::case::{FusedScoreKind, FusedSpec};
+        // GAT fast path, softmax on, across a schedule that splits bands
+        let mut case = base_case();
+        case.kernel = KernelKind::Fused;
+        case.udf = UdfKind::CopySrc { d: 8 };
+        case.fused = Some(FusedSpec { score: FusedScoreKind::Gat, softmax: true });
+        case.plan.partitions = 3;
+        case.plan.threads = 2;
+        let fails = run_case(&case);
+        assert!(fails.is_empty(), "{fails:?}");
+        // generic score + generic message, no softmax, Max aggregation
+        case.udf = UdfKind::SrcMulEdgeScalar { d: 4 };
+        case.fused = Some(FusedSpec { score: FusedScoreKind::Dot { d: 2 }, softmax: false });
+        case.reducer = Reducer::Max;
+        let fails = run_case(&case);
+        assert!(fails.is_empty(), "{fails:?}");
+        // degenerate graphs must not bring the fused kernels down
+        case.graph = GraphSpec::Edgeless { n: 5 };
+        case.reducer = Reducer::Sum;
+        case.fused = Some(FusedSpec { score: FusedScoreKind::Gat, softmax: true });
+        case.udf = UdfKind::CopySrc { d: 2 };
+        let fails = run_case(&case);
+        assert!(fails.is_empty(), "{fails:?}");
+        case.graph = GraphSpec::Empty;
         let fails = run_case(&case);
         assert!(fails.is_empty(), "{fails:?}");
     }

@@ -4,7 +4,7 @@
 use rand::{Rng, SeedableRng};
 use rand_pcg::Pcg64Mcg;
 
-use crate::case::{Case, ExecPlan, GraphSpec, KernelKind, UdfKind};
+use crate::case::{Case, ExecPlan, FusedScoreKind, FusedSpec, GraphSpec, KernelKind, UdfKind};
 use crate::exec::{run_case, ExecFailure};
 use crate::shrink::shrink;
 use featgraph::{GpuBind, Reducer};
@@ -41,7 +41,13 @@ fn pick<T: Copy>(rng: &mut Pcg64Mcg, xs: &[T]) -> T {
 /// single-vertex, edgeless) appear at a fixed rate, and schedules
 /// oversample the interacting knobs (partitions × threads × tiles).
 pub fn gen_case(rng: &mut Pcg64Mcg) -> Case {
-    let kernel = if rng.gen_bool(0.6) { KernelKind::Spmm } else { KernelKind::Sddmm };
+    let kernel = if rng.gen_bool(0.6) {
+        KernelKind::Spmm
+    } else if rng.gen_bool(0.5) {
+        KernelKind::Sddmm
+    } else {
+        KernelKind::Fused
+    };
 
     let graph = match rng.gen_range(0..10u32) {
         0 => GraphSpec::Empty,
@@ -99,10 +105,39 @@ pub fn gen_case(rng: &mut Pcg64Mcg) -> Case {
             // Oversample dot: the attention baselines only join here.
             _ => UdfKind::Dot { d },
         },
+        // Fused messages are SpMM-style (no reduce-axis UDFs; the score
+        // already owns the per-edge scalar).
+        KernelKind::Fused => match rng.gen_range(0..8u32) {
+            0 => UdfKind::CopyEdge { d },
+            1 => UdfKind::SrcMulEdge { d },
+            2 => UdfKind::SrcMulEdgeScalar { d },
+            3 => UdfKind::SrcAddDst { d },
+            4 => UdfKind::Mlp {
+                d1: pick(rng, &[1usize, 2, 4, 8]),
+                d2: pick(rng, &[1usize, 2, 4]),
+            },
+            // Oversample copy-src: the GAT fast path only fires there.
+            _ => UdfKind::CopySrc { d },
+        },
     };
+
+    let fused = (kernel == KernelKind::Fused).then(|| FusedSpec {
+        score: if rng.gen_bool(0.7) {
+            FusedScoreKind::Gat
+        } else {
+            FusedScoreKind::Dot { d: pick(rng, &[1usize, 2, 4]) }
+        },
+        softmax: rng.gen_bool(0.7),
+    });
 
     let reducer = match (kernel, &udf) {
         (KernelKind::Sddmm, _) => Reducer::Sum, // unused placeholder
+        // Softmax normalization only composes with Sum (validated by the
+        // IR); plain weighted aggregation roams the full reducer space.
+        (KernelKind::Fused, _) => match fused {
+            Some(FusedSpec { softmax: true, .. }) => Reducer::Sum,
+            _ => pick(rng, &[Reducer::Sum, Reducer::Max, Reducer::Min, Reducer::Mean]),
+        },
         // Keep the baseline-eligible pairings common, but roam the full
         // reducer space: that is where the zero-in-degree audit lives.
         (_, UdfKind::Mlp { .. }) if rng.gen_bool(0.6) => Reducer::Max,
@@ -127,7 +162,7 @@ pub fn gen_case(rng: &mut Pcg64Mcg) -> Case {
         },
     };
 
-    Case { kernel, graph, udf, reducer, plan, seed: rng.gen() }
+    Case { kernel, graph, udf, reducer, fused, plan, seed: rng.gen() }
 }
 
 /// Upper bound on kernel re-executions while shrinking one failure.

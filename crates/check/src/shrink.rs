@@ -8,7 +8,7 @@
 //! schedule — and loops to a fixed point under a re-execution budget so a
 //! pathological case cannot stall the sweep.
 
-use crate::case::{Case, GraphSpec, UdfKind};
+use crate::case::{Case, FusedScoreKind, FusedSpec, GraphSpec, UdfKind};
 
 /// Greedy-shrink `case` under `still_fails`, re-running at most `budget`
 /// candidate cases. Returns the smallest failing case found (possibly the
@@ -92,6 +92,27 @@ fn proposals(case: &Case) -> Vec<Case> {
     // -- UDF: replace with a structurally simpler kind of compatible shape
     for u in simpler_udfs(&case.udf) {
         out.push(Case { udf: u, ..case.clone() });
+    }
+
+    // -- fused spec: drop the softmax, then simplify the score
+    if let Some(ref spec) = case.fused {
+        if spec.softmax {
+            out.push(Case {
+                fused: Some(FusedSpec { softmax: false, ..*spec }),
+                ..case.clone()
+            });
+        }
+        match spec.score {
+            FusedScoreKind::Dot { d } if d > 1 => out.push(Case {
+                fused: Some(FusedSpec { score: FusedScoreKind::Dot { d: d / 2 }, ..*spec }),
+                ..case.clone()
+            }),
+            FusedScoreKind::Dot { .. } => out.push(Case {
+                fused: Some(FusedSpec { score: FusedScoreKind::Gat, ..*spec }),
+                ..case.clone()
+            }),
+            FusedScoreKind::Gat => {}
+        }
     }
 
     // -- schedule: collapse each knob to its identity setting
@@ -182,6 +203,7 @@ mod tests {
             graph: GraphSpec::Uniform { n: 32, deg: 4, seed: 5 },
             udf: UdfKind::SrcMulEdge { d: 8 },
             reducer: Reducer::Max,
+            fused: None,
             plan: ExecPlan {
                 threads: 4,
                 partitions: 3,
@@ -205,6 +227,26 @@ mod tests {
         assert_eq!(small.plan.threads, 1);
         assert_eq!(small.plan.partitions, 1);
         assert_eq!(small.plan.feature_tiles, 1);
+    }
+
+    #[test]
+    fn fused_spec_shrinks_to_plain_gat_aggregation() {
+        let case = Case {
+            kernel: KernelKind::Fused,
+            udf: UdfKind::CopySrc { d: 8 },
+            reducer: Reducer::Sum,
+            fused: Some(FusedSpec {
+                score: FusedScoreKind::Dot { d: 4 },
+                softmax: true,
+            }),
+            ..big_case()
+        };
+        let small = shrink(&case, |_| true, 10_000);
+        assert_eq!(
+            small.fused,
+            Some(FusedSpec { score: FusedScoreKind::Gat, softmax: false }),
+            "softmax dropped, dot score halved down to the additive GAT score"
+        );
     }
 
     #[test]

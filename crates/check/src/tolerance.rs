@@ -79,14 +79,18 @@ impl Tolerance {
         }
     }
 
-    /// Pick the bound a case is entitled to.
+    /// Pick the bound a case is entitled to. Fused kernels are always
+    /// loose: the streaming softmax normalizes with `exp` and a reciprocal
+    /// (vs. the reference's per-element division), and the score is
+    /// recomputed rather than read back, so rounding differs even for
+    /// copy/add messages.
     pub fn for_case(case: &Case) -> Self {
         let loose_udf = matches!(
             case.udf,
             UdfKind::Mlp { .. } | UdfKind::Dot { .. } | UdfKind::MultiHeadDot { .. }
         );
         let loose_red = case.kernel == KernelKind::Spmm && case.reducer == Reducer::Mean;
-        if loose_udf || loose_red {
+        if loose_udf || loose_red || case.kernel == KernelKind::Fused {
             Self::loose()
         } else {
             Self::strict()

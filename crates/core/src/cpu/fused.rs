@@ -1,0 +1,637 @@
+//! CPU fused SDDMM → (softmax) → SpMM template.
+//!
+//! The unfused composition materializes an `|E| × d` edge tensor between the
+//! SDDMM and SpMM templates (three full passes over the edge set for an
+//! attention layer). This kernel walks each CSR partition and evaluates the
+//! edge score *inside* the aggregation loop, combining the scaled message
+//! directly into the destination row.
+//!
+//! The softmax variant streams a per-destination running max in a first
+//! (exp-free) pass, then recomputes each score in the aggregate pass,
+//! combining `exp(s - m[dst]) · message` unnormalized while accumulating the
+//! per-destination exp-sum, and closes with one `O(|V|·d)` row-scale by
+//! `1 / sum[dst]`. One `exp` per edge; peak intermediate state is two
+//! `|V|`-length f32 vectors — never the `|E| × d` normalized-score tensor.
+
+use fg_graph::{Graph, PartitionedCsr};
+use fg_ir::interp::{eval_expr, eval_udf, EdgeCtx};
+use fg_ir::{FusedOp, FusedPattern, KernelPattern, Reducer};
+use fg_tensor::Dense2;
+use fg_telemetry::{counter_add, histogram_record, span, Counter, Histogram};
+use rayon::prelude::*;
+
+use crate::cpu::spmm::{band_rows, band_slice, CpuSpmmOptions};
+use crate::error::KernelError;
+use crate::inputs::FusedInputs;
+use crate::util;
+use crate::RunStats;
+
+/// A compiled CPU fused-attention kernel.
+pub struct CpuFused {
+    op: FusedOp,
+    pattern: FusedPattern,
+    parts: PartitionedCsr,
+    degrees: Vec<u32>,
+    num_vertices: usize,
+    num_edges: usize,
+    pool: rayon::ThreadPool,
+}
+
+impl CpuFused {
+    /// Validate and build the execution plan. Reuses the SpMM template
+    /// options (1D source partitions + worker threads) — the traversal is
+    /// the same, only the per-edge work differs.
+    pub fn compile(
+        graph: &Graph,
+        op: &FusedOp,
+        opts: &CpuSpmmOptions,
+    ) -> Result<Self, KernelError> {
+        op.validate()?;
+        if opts.graph_partitions == 0 {
+            return Err(KernelError::BadSchedule(
+                "graph_partitions must be >= 1".into(),
+            ));
+        }
+        let parts = PartitionedCsr::build(graph, opts.graph_partitions);
+        counter_add(Counter::KernelCompiles, 1);
+        Ok(Self {
+            op: op.clone(),
+            pattern: FusedPattern::of(op),
+            parts,
+            degrees: (0..graph.num_vertices() as u32)
+                .map(|v| graph.in_degree(v) as u32)
+                .collect(),
+            num_vertices: graph.num_vertices(),
+            num_edges: graph.num_edges(),
+            pool: util::pool(opts.threads),
+        })
+    }
+
+    /// The recognized fused pattern (which fast path will run).
+    pub fn pattern(&self) -> FusedPattern {
+        self.pattern
+    }
+
+    /// Execute the kernel.
+    pub fn run(
+        &self,
+        inputs: &FusedInputs<'_, f32>,
+        out: &mut Dense2<f32>,
+    ) -> Result<RunStats, KernelError> {
+        inputs.validate(&self.op, self.num_vertices, self.num_edges, out)?;
+        let _run_span = span!(
+            "fused/run",
+            "pattern={} d={} parts={} softmax={}",
+            self.pattern.name(),
+            self.op.out_len(),
+            self.parts.num_partitions(),
+            self.op.softmax
+        );
+        counter_add(Counter::Partitions, self.parts.num_partitions() as u64);
+        if self.op.softmax {
+            self.run_softmax(inputs, out);
+        } else {
+            self.run_plain(inputs, out);
+        }
+        Ok(RunStats::default())
+    }
+
+    /// Softmax path: (A) stream a per-destination running max (exp-free),
+    /// (B) combine `exp(s - max) · message` unnormalized while accumulating
+    /// the per-destination exp-sum, (C) scale each output row by `1 / sum`.
+    fn run_softmax(&self, inputs: &FusedInputs<'_, f32>, out: &mut Dense2<f32>) {
+        let n = self.num_vertices;
+        let d = self.op.out_len();
+        let score = ScoreEval::new(&self.op, self.pattern, inputs);
+        let band = band_rows(n, self.pool.current_num_threads());
+
+        // O(|V|) accumulators: running score max and (in pass B) exp-sum.
+        let mut maxes = vec![f32::NEG_INFINITY; n];
+
+        for (pi, seg, eids, _) in self.parts.iter() {
+            let _span = span!("fused/max", "part={pi} edges={}", eids.len());
+            counter_add(Counter::EdgesProcessed, eids.len() as u64);
+            histogram_record(Histogram::SpmmPartitionEdges, eids.len() as u64);
+            // Per edge: the source-side score operand plus the running-max
+            // read/update (the destination operand is hoisted per row).
+            counter_add(Counter::BytesMoved, (eids.len() * 3 * 4) as u64);
+            let ne = self.parts.nonempty(pi);
+            self.pool.install(|| {
+                maxes.par_chunks_mut(band).enumerate().for_each(|(b, chunk)| {
+                    let dst0 = b * band;
+                    for &dst in band_slice(ne, dst0, chunk.len()) {
+                        let local = dst as usize - dst0;
+                        let t = score.dst_term(dst);
+                        let srcs = seg.row(dst);
+                        let base = seg.row_start(dst);
+                        if score.is_gat() {
+                            // leaky-relu is monotonic, so the segment's max
+                            // score is leaky(max sl[src] + t): the per-edge
+                            // work collapses to one load + compare.
+                            let mut z = f32::NEG_INFINITY;
+                            for &src in srcs {
+                                z = z.max(score.src_operand(src));
+                            }
+                            if z > f32::NEG_INFINITY {
+                                let v = score.leaky(z + t);
+                                if v > chunk[local] {
+                                    chunk[local] = v;
+                                }
+                            }
+                        } else {
+                            let mut mv = chunk[local];
+                            for (i, &src) in srcs.iter().enumerate() {
+                                let v = score.eval_with(src, dst, eids[base + i], t);
+                                if v > mv {
+                                    mv = v;
+                                }
+                            }
+                            chunk[local] = mv;
+                        }
+                    }
+                });
+            });
+        }
+
+        // Pass B: every weight is exp(s - max) ∈ (0, 1]; the row with the
+        // max contributes exactly 1, so any destination with an edge ends
+        // with sum >= 1 and the accumulation cannot overflow.
+        out.fill(0.0);
+        let mut sums = vec![0f32; n];
+        for (pi, seg, eids, _) in self.parts.iter() {
+            let _span = span!("fused/aggregate", "part={pi} edges={}", eids.len());
+            counter_add(Counter::EdgesProcessed, eids.len() as u64);
+            histogram_record(Histogram::SpmmPartitionEdges, eids.len() as u64);
+            // Per edge: score recompute + message row read + output combine
+            // + exp-sum update.
+            counter_add(Counter::BytesMoved, (eids.len() * (2 * d + 3) * 4) as u64);
+            let ne = self.parts.nonempty(pi);
+            let maxes = maxes.as_slice();
+            self.pool.install(|| {
+                out.as_mut_slice()
+                    .par_chunks_mut(band * d)
+                    .zip(sums.par_chunks_mut(band))
+                    .enumerate()
+                    .for_each(|(b, (chunk, schunk))| {
+                        let dst0 = b * band;
+                        let mut msg = MessageEval::new(&self.op, self.pattern, inputs);
+                        for &dst in band_slice(ne, dst0, schunk.len()) {
+                            let local = dst as usize - dst0;
+                            let mv = maxes[dst as usize];
+                            let t = score.dst_term(dst);
+                            let orow = &mut chunk[local * d..(local + 1) * d];
+                            let srcs = seg.row(dst);
+                            let base = seg.row_start(dst);
+                            let mut lsum = 0f32;
+                            for (i, &src) in srcs.iter().enumerate() {
+                                let eid = eids[base + i];
+                                let w = (score.eval_with(src, dst, eid, t) - mv).exp();
+                                lsum += w;
+                                // softmax implies Sum aggregation (validated)
+                                msg.combine_scaled(orow, src, dst, eid, w);
+                            }
+                            schunk[local] += lsum;
+                        }
+                    });
+            });
+        }
+
+        // Pass C: one O(|V|·d) row-scale closes the softmax normalization.
+        let _span = span!("fused/normalize", "rows={n}");
+        let sums = sums.as_slice();
+        self.pool.install(|| {
+            out.as_mut_slice()
+                .par_chunks_mut(d)
+                .enumerate()
+                .for_each(|(v, row)| {
+                    let s = sums[v];
+                    if s > 0.0 {
+                        let inv = 1.0 / s;
+                        for o in row {
+                            *o *= inv;
+                        }
+                    }
+                });
+        });
+    }
+
+    /// Non-softmax path: one pass, `out[v] = agg of score · message`.
+    fn run_plain(&self, inputs: &FusedInputs<'_, f32>, out: &mut Dense2<f32>) {
+        let d = self.op.out_len();
+        let agg = self.op.agg;
+        let score = ScoreEval::new(&self.op, self.pattern, inputs);
+        let band = band_rows(self.num_vertices, self.pool.current_num_threads());
+
+        out.fill(agg.identity());
+        for (pi, seg, eids, _) in self.parts.iter() {
+            let _span = span!("fused/aggregate", "part={pi} edges={}", eids.len());
+            counter_add(Counter::EdgesProcessed, eids.len() as u64);
+            histogram_record(Histogram::SpmmPartitionEdges, eids.len() as u64);
+            counter_add(Counter::BytesMoved, (eids.len() * (2 * d + 4) * 4) as u64);
+            let ne = self.parts.nonempty(pi);
+            self.pool.install(|| {
+                out.as_mut_slice()
+                    .par_chunks_mut(band * d)
+                    .enumerate()
+                    .for_each(|(b, chunk)| {
+                        let dst0 = b * band;
+                        let mut msg = MessageEval::new(&self.op, self.pattern, inputs);
+                        for &dst in band_slice(ne, dst0, chunk.len() / d) {
+                            let local = dst as usize - dst0;
+                            let t = score.dst_term(dst);
+                            let orow = &mut chunk[local * d..(local + 1) * d];
+                            let srcs = seg.row(dst);
+                            let base = seg.row_start(dst);
+                            for (i, &src) in srcs.iter().enumerate() {
+                                let eid = eids[base + i];
+                                let w = score.eval_with(src, dst, eid, t);
+                                msg.combine_agg(agg, orow, src, dst, eid, w);
+                            }
+                        }
+                    });
+            });
+        }
+
+        let degrees = &self.degrees;
+        self.pool.install(|| {
+            out.as_mut_slice()
+                .par_chunks_mut(d)
+                .enumerate()
+                .for_each(|(v, row)| {
+                    let deg = degrees[v] as usize;
+                    for o in row {
+                        *o = agg.finalize(*o, deg);
+                    }
+                });
+        });
+    }
+}
+
+/// Per-edge scalar score evaluation: monomorphized leaky-relu(sl+sr) for the
+/// GAT pattern, interpreter otherwise.
+struct ScoreEval<'a> {
+    op: &'a FusedOp,
+    inputs: &'a FusedInputs<'a, f32>,
+    /// `Some(slope)` enables the GAT fast path.
+    gat_slope: Option<f32>,
+}
+
+impl<'a> ScoreEval<'a> {
+    fn new(op: &'a FusedOp, pattern: FusedPattern, inputs: &'a FusedInputs<'a, f32>) -> Self {
+        let gat_slope = match pattern {
+            FusedPattern::GatAttention { slope } => Some(slope as f32),
+            FusedPattern::Generic => None,
+        };
+        Self {
+            op,
+            inputs,
+            gat_slope,
+        }
+    }
+
+    /// Whether the monomorphized GAT fast path is active.
+    #[inline]
+    fn is_gat(&self) -> bool {
+        self.gat_slope.is_some()
+    }
+
+    /// Source-side GAT score operand (`sl[src]`); only meaningful when
+    /// [`Self::is_gat`] holds.
+    #[inline]
+    fn src_operand(&self, src: u32) -> f32 {
+        self.inputs.score.vertex.at(src as usize, 0)
+    }
+
+    /// The GAT leaky-relu; only meaningful when [`Self::is_gat`] holds.
+    #[inline]
+    fn leaky(&self, v: f32) -> f32 {
+        let slope = self.gat_slope.unwrap_or(1.0);
+        if v > 0.0 { v } else { slope * v }
+    }
+
+    /// Loop-invariant destination-side score operand, hoisted out of the
+    /// per-edge loop on the GAT fast path (0.0 on the interpreter path,
+    /// where [`Self::eval_with`] ignores it).
+    #[inline]
+    fn dst_term(&self, dst: u32) -> f32 {
+        if self.gat_slope.is_some() {
+            self.inputs.score.dst_tensor().at(dst as usize, 0)
+        } else {
+            0.0
+        }
+    }
+
+    /// Score with the destination operand pre-fetched by [`Self::dst_term`].
+    #[inline]
+    fn eval_with(&self, src: u32, dst: u32, eid: u32, dst_term: f32) -> f32 {
+        if let Some(slope) = self.gat_slope {
+            let v = self.inputs.score.vertex.at(src as usize, 0) + dst_term;
+            return if v > 0.0 { v } else { slope * v };
+        }
+        self.eval_generic(src, dst, eid)
+    }
+
+    #[inline]
+    fn eval_generic(&self, src: u32, dst: u32, eid: u32) -> f32 {
+        let udf = &self.op.score;
+        let empty: [f32; 0] = [];
+        let ctx = EdgeCtx {
+            src: if udf.src_len > 0 { self.inputs.score.vertex.row(src as usize) } else { &empty },
+            dst: if udf.dst_len > 0 {
+                self.inputs.score.dst_tensor().row(dst as usize)
+            } else {
+                &empty
+            },
+            edge: match self.inputs.score.edge {
+                Some(e) if udf.edge_len > 0 => e.row(eid as usize),
+                _ => &empty,
+            },
+        };
+        match udf.reduce {
+            None => {
+                let mut v = eval_expr(&udf.body, &ctx, self.inputs.score.params, 0, 0);
+                if udf.post_relu {
+                    v = v.max(0.0);
+                }
+                v
+            }
+            Some(r) => {
+                let mut acc = r.op.identity::<f32>();
+                for k in 0..r.len {
+                    acc = r
+                        .op
+                        .combine(acc, eval_expr(&udf.body, &ctx, self.inputs.score.params, 0, k));
+                }
+                let mut v = r.op.finalize(acc, r.len);
+                if udf.post_relu {
+                    v = v.max(0.0);
+                }
+                v
+            }
+        }
+    }
+}
+
+/// Per-edge message evaluation and combine: direct source-row reads for the
+/// CopySrc message, interpreter (with per-band scratch) otherwise.
+struct MessageEval<'a> {
+    op: &'a FusedOp,
+    inputs: &'a FusedInputs<'a, f32>,
+    copy_src: bool,
+    scratch: Vec<f32>,
+}
+
+impl<'a> MessageEval<'a> {
+    fn new(op: &'a FusedOp, pattern: FusedPattern, inputs: &'a FusedInputs<'a, f32>) -> Self {
+        let copy_src = matches!(pattern, FusedPattern::GatAttention { .. })
+            || KernelPattern::of(&op.message) == KernelPattern::CopySrc;
+        Self {
+            op,
+            inputs,
+            copy_src,
+            scratch: vec![0f32; op.message.out_len],
+        }
+    }
+
+    fn eval_into_scratch(&mut self, src: u32, dst: u32, eid: u32) {
+        let udf = &self.op.message;
+        let empty: [f32; 0] = [];
+        let ctx = EdgeCtx {
+            src: if udf.src_len > 0 { self.inputs.message.vertex.row(src as usize) } else { &empty },
+            dst: if udf.dst_len > 0 {
+                self.inputs.message.dst_tensor().row(dst as usize)
+            } else {
+                &empty
+            },
+            edge: match self.inputs.message.edge {
+                Some(e) if udf.edge_len > 0 => e.row(eid as usize),
+                _ => &empty,
+            },
+        };
+        eval_udf(udf, &ctx, self.inputs.message.params, &mut self.scratch, |slot, v| *slot = v);
+    }
+
+    /// `out += w · message` (Sum aggregation; the softmax path).
+    #[inline]
+    fn combine_scaled(&mut self, out: &mut [f32], src: u32, dst: u32, eid: u32, w: f32) {
+        if self.copy_src {
+            let srow = self.inputs.message.vertex.row(src as usize);
+            for (o, &v) in out.iter_mut().zip(srow) {
+                *o += w * v;
+            }
+        } else {
+            self.eval_into_scratch(src, dst, eid);
+            for (o, &v) in out.iter_mut().zip(&self.scratch) {
+                *o += w * v;
+            }
+        }
+    }
+
+    /// `out = agg.combine(out, w · message)` (the non-softmax path).
+    #[inline]
+    fn combine_agg(&mut self, agg: Reducer, out: &mut [f32], src: u32, dst: u32, eid: u32, w: f32) {
+        let apply = |out: &mut [f32], msg: &[f32]| match agg {
+            Reducer::Sum | Reducer::Mean => {
+                for (o, &v) in out.iter_mut().zip(msg) {
+                    *o += w * v;
+                }
+            }
+            Reducer::Max => {
+                for (o, &v) in out.iter_mut().zip(msg) {
+                    let m = w * v;
+                    if m > *o {
+                        *o = m;
+                    }
+                }
+            }
+            Reducer::Min => {
+                for (o, &v) in out.iter_mut().zip(msg) {
+                    let m = w * v;
+                    if m < *o {
+                        *o = m;
+                    }
+                }
+            }
+        };
+        if self.copy_src {
+            apply(out, self.inputs.message.vertex.row(src as usize));
+        } else {
+            self.eval_into_scratch(src, dst, eid);
+            apply(out, &self.scratch);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inputs::GraphTensors;
+    use crate::reference::fused_reference;
+    use fg_graph::generators;
+    use fg_ir::Udf;
+
+    fn features(n: usize, d: usize, salt: usize) -> Dense2<f32> {
+        Dense2::from_fn(n, d, |v, i| {
+            ((v * 31 + i * 7 + salt * 13) % 23) as f32 * 0.25 - 2.0
+        })
+    }
+
+    fn check(g: &Graph, op: &FusedOp, inputs: &FusedInputs<'_, f32>, opts: &CpuSpmmOptions) {
+        let k = CpuFused::compile(g, op, opts).unwrap();
+        let mut out = Dense2::zeros(g.num_vertices(), op.out_len());
+        k.run(inputs, &mut out).unwrap();
+        let mut want = Dense2::zeros(g.num_vertices(), op.out_len());
+        fused_reference(g, op, inputs, &mut want).unwrap();
+        assert!(
+            out.approx_eq(&want, 1e-4),
+            "mismatch: max diff {} (pattern {}, opts {opts:?})",
+            out.max_abs_diff(&want),
+            k.pattern().name()
+        );
+    }
+
+    #[test]
+    fn gat_attention_matches_reference_across_schedules() {
+        let g = generators::uniform(200, 6, 5);
+        let d = 32;
+        let x = features(200, d, 0);
+        let sl = features(200, 1, 1);
+        let sr = features(200, 1, 2);
+        let op = FusedOp::gat_attention(d, 0.2);
+        assert_eq!(
+            FusedPattern::of(&op),
+            FusedPattern::GatAttention { slope: 0.2 }
+        );
+        let inputs = FusedInputs {
+            score: GraphTensors::src_dst(&sl, &sr),
+            message: GraphTensors::vertex_only(&x),
+        };
+        for parts in [1, 4, 7] {
+            for threads in [1, 3] {
+                check(&g, &op, &inputs, &CpuSpmmOptions::with_threads(parts, threads));
+            }
+        }
+    }
+
+    #[test]
+    fn generic_fused_softmax_message_udf() {
+        // src_mul_edge message forces the interpreter path but keeps softmax.
+        let g = generators::uniform(80, 5, 3);
+        let d = 8;
+        let x = features(80, d, 0);
+        let xe = features(g.num_edges(), d, 4);
+        let sl = features(80, 1, 1);
+        let sr = features(80, 1, 2);
+        let mut op = FusedOp::gat_attention(d, 0.2);
+        op.message = Udf::src_mul_edge(d);
+        assert_eq!(FusedPattern::of(&op), FusedPattern::Generic);
+        let inputs = FusedInputs {
+            score: GraphTensors::src_dst(&sl, &sr),
+            message: GraphTensors::with_edge(&x, &xe),
+        };
+        check(&g, &op, &inputs, &CpuSpmmOptions::with_threads(3, 2));
+    }
+
+    #[test]
+    fn plain_weighted_aggregation_without_softmax() {
+        // dot-score × copy-src message, every reducer.
+        let g = generators::uniform(100, 4, 9);
+        let d = 16;
+        let x = features(100, d, 0);
+        let p = features(100, d, 5);
+        let mut op = FusedOp {
+            score: Udf::dot(d),
+            softmax: false,
+            message: Udf::copy_src(d),
+            agg: Reducer::Sum,
+        };
+        let inputs = FusedInputs {
+            score: GraphTensors::vertex_only(&p),
+            message: GraphTensors::vertex_only(&x),
+        };
+        for agg in [Reducer::Sum, Reducer::Mean, Reducer::Max, Reducer::Min] {
+            op.agg = agg;
+            check(&g, &op, &inputs, &CpuSpmmOptions::with_threads(3, 2));
+        }
+    }
+
+    #[test]
+    fn zero_degree_and_single_edge_destinations() {
+        // vertex 0: no in-edges; vertex 1: exactly one in-edge (softmax
+        // weight must be exactly 1); vertex 2: duplicate edges.
+        let g = Graph::from_edges(3, &[(0, 1), (0, 2), (0, 2), (1, 2)]);
+        let x = features(3, 4, 0);
+        let sl = features(3, 1, 1);
+        let sr = features(3, 1, 2);
+        let op = FusedOp::gat_attention(4, 0.2);
+        let inputs = FusedInputs {
+            score: GraphTensors::src_dst(&sl, &sr),
+            message: GraphTensors::vertex_only(&x),
+        };
+        let k = CpuFused::compile(&g, &op, &CpuSpmmOptions::single_thread(2)).unwrap();
+        let mut out = Dense2::zeros(3, 4);
+        k.run(&inputs, &mut out).unwrap();
+        assert_eq!(out.row(0), &[0.0; 4], "zero-degree row stays zero");
+        assert_eq!(out.row(1), x.row(0), "single-edge softmax weight is 1");
+        let mut want = Dense2::zeros(3, 4);
+        fused_reference(&g, &op, &inputs, &mut want).unwrap();
+        assert!(out.approx_eq(&want, 1e-5));
+    }
+
+    #[test]
+    fn large_negative_scores_stay_finite() {
+        // Online softmax must not overflow exp() even when all scores are
+        // hugely negative.
+        let g = Graph::from_edges(2, &[(0, 1), (1, 1)]);
+        let x = features(2, 4, 0);
+        let sl = Dense2::from_fn(2, 1, |v, _| -1e30 - v as f32);
+        let sr = Dense2::zeros(2, 1);
+        let op = FusedOp::gat_attention(4, 0.2);
+        let inputs = FusedInputs {
+            score: GraphTensors::src_dst(&sl, &sr),
+            message: GraphTensors::vertex_only(&x),
+        };
+        let k = CpuFused::compile(&g, &op, &CpuSpmmOptions::single_thread(1)).unwrap();
+        let mut out = Dense2::zeros(2, 4);
+        k.run(&inputs, &mut out).unwrap();
+        assert!(out.as_slice().iter().all(|v| v.is_finite()));
+        let mut want = Dense2::zeros(2, 4);
+        fused_reference(&g, &op, &inputs, &mut want).unwrap();
+        assert!(out.approx_eq(&want, 1e-4));
+    }
+
+    #[test]
+    fn rejects_invalid_op_and_schedule() {
+        let g = generators::uniform(10, 2, 1);
+        let mut op = FusedOp::gat_attention(4, 0.2);
+        op.agg = Reducer::Max;
+        assert!(matches!(
+            CpuFused::compile(&g, &op, &CpuSpmmOptions::single_thread(1)),
+            Err(KernelError::Fused(_))
+        ));
+        let op = FusedOp::gat_attention(4, 0.2);
+        let opts = CpuSpmmOptions {
+            graph_partitions: 0,
+            ..CpuSpmmOptions::single_thread(1)
+        };
+        assert!(matches!(
+            CpuFused::compile(&g, &op, &opts),
+            Err(KernelError::BadSchedule(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_bad_inputs_at_run_time() {
+        let g = generators::uniform(10, 2, 1);
+        let op = FusedOp::gat_attention(8, 0.2);
+        let k = CpuFused::compile(&g, &op, &CpuSpmmOptions::single_thread(1)).unwrap();
+        let x = Dense2::zeros(10, 4); // message wants 8 cols
+        let sl = Dense2::zeros(10, 1);
+        let inputs = FusedInputs {
+            score: GraphTensors::src_dst(&sl, &sl),
+            message: GraphTensors::vertex_only(&x),
+        };
+        let mut out = Dense2::zeros(10, 8);
+        assert!(k.run(&inputs, &mut out).is_err());
+    }
+}

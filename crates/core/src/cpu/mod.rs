@@ -11,5 +11,6 @@
 //! * **Hilbert-curve edge traversal** for SDDMM locality over both endpoint
 //!   feature sets.
 
+pub mod fused;
 pub mod sddmm;
 pub mod spmm;

@@ -193,20 +193,25 @@ impl CpuSpmm {
                 counter_add(Counter::EdgesProcessed, eids.len() as u64);
                 histogram_record(Histogram::SpmmPartitionEdges, eids.len() as u64);
                 // Estimate: one source-row read + one output combine per
-                // edge, tile-width f32 elements each.
-                counter_add(Counter::BytesMoved, (eids.len() * tile.len() * 2 * 4) as u64);
+                // edge, tile-width f32 elements each — except the
+                // scalar-weight kernel, whose edge operand is one f32, not a
+                // tile-width row.
+                let per_edge_bytes = match kind {
+                    MsgKind::SrcMulEdgeScalar => tile.len() * 2 * 4 + 4,
+                    _ => tile.len() * 2 * 4,
+                };
+                counter_add(Counter::BytesMoved, (eids.len() * per_edge_bytes) as u64);
+                let ne = self.parts.nonempty(pi);
                 self.pool.install(|| {
                     out.as_mut_slice()
                         .par_chunks_mut(band_rows * d)
                         .enumerate()
                         .for_each(|(band, chunk)| {
                             let dst0 = band * band_rows;
-                            for (local, orow) in chunk.chunks_mut(d).enumerate() {
-                                let dst = (dst0 + local) as u32;
+                            for &dst in band_slice(ne, dst0, chunk.len() / d) {
+                                let local = dst as usize - dst0;
+                                let orow = &mut chunk[local * d..(local + 1) * d];
                                 let srcs = seg.row(dst);
-                                if srcs.is_empty() {
-                                    continue;
-                                }
                                 let base = seg.row_start(dst);
                                 let ot = &mut orow[tile.range()];
                                 match kind {
@@ -292,6 +297,7 @@ impl CpuSpmm {
                     Counter::BytesMoved,
                     (eids.len() * (2 * d1 + d1 * tile.len() + tile.len()) * 4) as u64,
                 );
+                let ne = self.parts.nonempty(pi);
                 self.pool.install(|| {
                     out.as_mut_slice()
                         .par_chunks_mut(band_rows * d2)
@@ -301,12 +307,10 @@ impl CpuSpmm {
                             // Per-thread scratch, reused across the band.
                             let mut tmp = vec![0.0f32; d1];
                             let mut acc = vec![0.0f32; tile.len()];
-                            for (local, orow) in chunk.chunks_mut(d2).enumerate() {
-                                let dst = (dst0 + local) as u32;
+                            for &dst in band_slice(ne, dst0, chunk.len() / d2) {
+                                let local = dst as usize - dst0;
+                                let orow = &mut chunk[local * d2..(local + 1) * d2];
                                 let srcs = seg.row(dst);
-                                if srcs.is_empty() {
-                                    continue;
-                                }
                                 let drow = xd.row(dst as usize);
                                 let ot = &mut orow[tile.range()];
                                 for &src in srcs {
@@ -357,14 +361,16 @@ impl CpuSpmm {
             counter_add(Counter::EdgesProcessed, eids.len() as u64);
             histogram_record(Histogram::SpmmPartitionEdges, eids.len() as u64);
             counter_add(Counter::BytesMoved, (eids.len() * d * 2 * 4) as u64);
+            let ne = self.parts.nonempty(pi);
             self.pool.install(|| {
                 out.as_mut_slice()
                     .par_chunks_mut(band_rows * d)
                     .enumerate()
                     .for_each(|(band, chunk)| {
                         let dst0 = band * band_rows;
-                        for (local, orow) in chunk.chunks_mut(d).enumerate() {
-                            let dst = (dst0 + local) as u32;
+                        for &dst in band_slice(ne, dst0, chunk.len() / d) {
+                            let local = dst as usize - dst0;
+                            let orow = &mut chunk[local * d..(local + 1) * d];
                             let srcs = seg.row(dst);
                             let base = seg.row_start(dst);
                             for (i, &src) in srcs.iter().enumerate() {
@@ -487,8 +493,17 @@ fn combine_rows2(agg: Reducer, op: ElemOp, out: &mut [f32], a: &[f32], b: &[f32]
 }
 
 /// Rows per parallel band: a few bands per thread for load balance.
-fn band_rows(n: usize, threads: usize) -> usize {
+pub(crate) fn band_rows(n: usize, threads: usize) -> usize {
     n.div_ceil(threads.max(1) * 4).max(1)
+}
+
+/// Sub-slice of a sorted nonempty-destination list falling inside the band
+/// `[dst0, dst0 + rows)`.
+#[inline]
+pub(crate) fn band_slice(nonempty: &[u32], dst0: usize, rows: usize) -> &[u32] {
+    let lo = nonempty.partition_point(|&v| (v as usize) < dst0);
+    let hi = lo + nonempty[lo..].partition_point(|&v| (v as usize) < dst0 + rows);
+    &nonempty[lo..hi]
 }
 
 #[cfg(test)]
@@ -650,6 +665,16 @@ mod tests {
             &Fds::default(),
             &CpuSpmmOptions::with_threads(2, 2),
         );
+    }
+
+    #[test]
+    fn band_slice_selects_the_band() {
+        let ne = [1u32, 4, 5, 9, 10];
+        assert_eq!(band_slice(&ne, 0, 5), &[1, 4]);
+        assert_eq!(band_slice(&ne, 5, 5), &[5, 9]);
+        assert_eq!(band_slice(&ne, 10, 5), &[10]);
+        assert!(band_slice(&ne, 11, 5).is_empty());
+        assert!(band_slice(&[], 0, 5).is_empty());
     }
 
     #[test]

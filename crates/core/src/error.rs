@@ -1,6 +1,6 @@
 //! Kernel compilation and execution errors.
 
-use fg_ir::UdfError;
+use fg_ir::{FusedError, UdfError};
 use fg_tensor::ShapeError;
 
 /// Errors surfaced by kernel compilation or execution.
@@ -8,6 +8,8 @@ use fg_tensor::ShapeError;
 pub enum KernelError {
     /// The UDF failed validation.
     Udf(UdfError),
+    /// A fused operator failed validation.
+    Fused(FusedError),
     /// An input/output tensor has the wrong shape.
     Shape {
         /// Which tensor ("vertex", "edge", "out", "param k").
@@ -39,6 +41,7 @@ impl std::fmt::Display for KernelError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             KernelError::Udf(e) => write!(f, "invalid UDF: {e}"),
+            KernelError::Fused(e) => write!(f, "invalid fused operator: {e}"),
             KernelError::Shape {
                 what,
                 expected,
@@ -70,6 +73,12 @@ impl From<UdfError> for KernelError {
 impl From<ShapeError> for KernelError {
     fn from(e: ShapeError) -> Self {
         KernelError::Tensor(e)
+    }
+}
+
+impl From<FusedError> for KernelError {
+    fn from(e: FusedError) -> Self {
+        KernelError::Fused(e)
     }
 }
 

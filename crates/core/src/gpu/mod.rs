@@ -11,5 +11,6 @@
 //!   `thread.x` (Fig. 7b) and a register-heavy serial dot per thread
 //!   (the Fig. 12 ablation).
 
+pub mod fused;
 pub mod sddmm;
 pub mod spmm;

@@ -79,6 +79,26 @@ impl<'a, S: Scalar> GraphTensors<'a, S> {
         out: &Dense2<S>,
         out_rows: usize,
     ) -> Result<(), KernelError> {
+        self.validate_operands(udf, num_vertices, num_edges)?;
+        if out.shape() != (out_rows, udf.out_len) {
+            return Err(KernelError::Shape {
+                what: "out".into(),
+                expected: (out_rows, udf.out_len),
+                got: out.shape(),
+            });
+        }
+        Ok(())
+    }
+
+    /// Operand-shape validation without an output tensor — used for UDFs
+    /// whose output is never materialized (the score half of a fused
+    /// operator).
+    pub fn validate_operands(
+        &self,
+        udf: &Udf,
+        num_vertices: usize,
+        num_edges: usize,
+    ) -> Result<(), KernelError> {
         let needs_src = udf.src_len > 0 && udf.body.reads_src();
         let needs_dst = udf.dst_len > 0 && udf.body.reads_dst();
         if needs_src || (needs_dst && self.vertex_dst.is_none()) {
@@ -128,14 +148,34 @@ impl<'a, S: Scalar> GraphTensors<'a, S> {
                 });
             }
         }
-        if out.shape() != (out_rows, udf.out_len) {
-            return Err(KernelError::Shape {
-                what: "out".into(),
-                expected: (out_rows, udf.out_len),
-                got: out.shape(),
-            });
-        }
         Ok(())
+    }
+}
+
+/// Inputs to a fused SDDMM → (softmax) → SpMM kernel: the score and message
+/// UDFs read *separate* operand bundles (a GAT score reads `|V| × 1`
+/// projections while the message reads the `|V| × d` features).
+#[derive(Clone, Copy)]
+pub struct FusedInputs<'a, S> {
+    /// Operands of the score UDF.
+    pub score: GraphTensors<'a, S>,
+    /// Operands of the message UDF.
+    pub message: GraphTensors<'a, S>,
+}
+
+impl<S: Scalar> FusedInputs<'_, S> {
+    /// Validate both operand bundles and the output (`|V| × message.out_len`).
+    pub fn validate(
+        &self,
+        op: &fg_ir::FusedOp,
+        num_vertices: usize,
+        num_edges: usize,
+        out: &Dense2<S>,
+    ) -> Result<(), KernelError> {
+        self.score
+            .validate_operands(&op.score, num_vertices, num_edges)?;
+        self.message
+            .validate(&op.message, num_vertices, num_edges, out, num_vertices)
     }
 }
 

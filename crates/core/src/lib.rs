@@ -51,11 +51,13 @@ pub mod reference;
 pub mod util;
 
 pub use error::KernelError;
-pub use inputs::GraphTensors;
+pub use inputs::{FusedInputs, GraphTensors};
 
 // Re-export the IR types a user needs to drive the API, so `featgraph` is a
 // one-stop dependency like the Python package in the paper.
-pub use fg_ir::{Fds, GpuBind, GpuFds, KernelPattern, Reducer, Udf};
+pub use fg_ir::{
+    Fds, FusedError, FusedOp, FusedPattern, GpuBind, GpuFds, KernelPattern, Reducer, Udf,
+};
 
 use fg_graph::Graph;
 use fg_tensor::Dense2;
@@ -109,6 +111,38 @@ impl SddmmKernel {
         match self {
             SddmmKernel::Cpu(k) => k.run(inputs, out),
             SddmmKernel::Gpu(k) => k.run(inputs, out),
+        }
+    }
+}
+
+/// A compiled fused SDDMM → (softmax) → SpMM kernel (attention layers
+/// without the `|E| × d` intermediate).
+pub enum FusedKernel {
+    /// CPU plan.
+    Cpu(cpu::fused::CpuFused),
+    /// GPU-simulator plan.
+    Gpu(gpu::fused::GpuFused),
+}
+
+impl FusedKernel {
+    /// Execute: aggregate score-weighted messages into `out`
+    /// (`|V| × op.out_len()`).
+    pub fn run(
+        &self,
+        inputs: &FusedInputs<'_, f32>,
+        out: &mut Dense2<f32>,
+    ) -> Result<RunStats, KernelError> {
+        match self {
+            FusedKernel::Cpu(k) => k.run(inputs, out),
+            FusedKernel::Gpu(k) => k.run(inputs, out),
+        }
+    }
+
+    /// The recognized fused pattern.
+    pub fn pattern(&self) -> FusedPattern {
+        match self {
+            FusedKernel::Cpu(k) => k.pattern(),
+            FusedKernel::Gpu(k) => k.pattern(),
         }
     }
 }
@@ -194,6 +228,50 @@ pub fn spmm_with_options(
                 fds,
                 opts,
             )?))
+        }
+    }
+}
+
+/// Build a fused SDDMM → (softmax) → SpMM kernel.
+///
+/// The unfused composition runs three kernels and materializes an `|E| × d`
+/// edge tensor between them; the fused kernel evaluates the score inside the
+/// aggregation loop, with streaming `O(|V|)` softmax accumulators.
+pub fn fused(graph: &Graph, op: &FusedOp, target: Target) -> Result<FusedKernel, KernelError> {
+    fused_with_options(graph, op, target, None, None)
+}
+
+/// [`fused`] with explicit template-level options. The CPU kernel reuses the
+/// SpMM template's options (same traversal, different per-edge work).
+pub fn fused_with_options(
+    graph: &Graph,
+    op: &FusedOp,
+    target: Target,
+    cpu_opts: Option<&cpu::spmm::CpuSpmmOptions>,
+    gpu_opts: Option<&gpu::fused::GpuFusedOptions>,
+) -> Result<FusedKernel, KernelError> {
+    match target {
+        Target::Cpu => {
+            let auto;
+            let opts = match cpu_opts {
+                Some(o) => o,
+                None => {
+                    auto = cpu::spmm::CpuSpmmOptions::auto(graph, &op.message, &Fds::default());
+                    &auto
+                }
+            };
+            Ok(FusedKernel::Cpu(cpu::fused::CpuFused::compile(graph, op, opts)?))
+        }
+        Target::Gpu => {
+            let default;
+            let opts = match gpu_opts {
+                Some(o) => o,
+                None => {
+                    default = gpu::fused::GpuFusedOptions::default();
+                    &default
+                }
+            };
+            Ok(FusedKernel::Gpu(gpu::fused::GpuFused::compile(graph, op, opts)?))
         }
     }
 }

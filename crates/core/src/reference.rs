@@ -6,11 +6,11 @@
 
 use fg_graph::Graph;
 use fg_ir::interp::{eval_udf, EdgeCtx};
-use fg_ir::{Reducer, Udf};
+use fg_ir::{FusedOp, Reducer, Udf};
 use fg_tensor::{Dense2, Scalar};
 
 use crate::error::KernelError;
-use crate::inputs::GraphTensors;
+use crate::inputs::{FusedInputs, GraphTensors};
 
 /// Reference generalized SpMM: for every vertex `v`,
 /// `out[v] = agg over incoming edges (u→v) of udf(u, v, eid)`.
@@ -77,6 +77,91 @@ pub fn sddmm_reference<S: Scalar>(
         let mut msg = vec![S::ZERO; udf.out_len];
         eval_udf(udf, &ctx, inputs.params, &mut msg, |slot, v| *slot = v);
         out.row_mut(eid as usize).copy_from_slice(&msg);
+    }
+    Ok(())
+}
+
+/// Reference fused SDDMM → (softmax) → SpMM — deliberately the *unfused*
+/// composition: materialize all `|E|` scores, normalize per destination,
+/// then aggregate scaled messages. The fused kernels are differential-tested
+/// against this.
+pub fn fused_reference(
+    graph: &Graph,
+    op: &FusedOp,
+    inputs: &FusedInputs<'_, f32>,
+    out: &mut Dense2<f32>,
+) -> Result<(), KernelError> {
+    op.validate()?;
+    inputs.validate(op, graph.num_vertices(), graph.num_edges(), out)?;
+    let empty: [f32; 0] = [];
+
+    // Pass 1: materialize the |E| raw scores (what the fused path avoids).
+    let sudf = &op.score;
+    let sxd = inputs.score.dst_tensor();
+    let mut scores = vec![0f32; graph.num_edges()];
+    for (src, dst, eid) in graph.edges() {
+        let ctx = EdgeCtx {
+            src: if sudf.src_len > 0 { inputs.score.vertex.row(src as usize) } else { &empty },
+            dst: if sudf.dst_len > 0 { sxd.row(dst as usize) } else { &empty },
+            edge: match inputs.score.edge {
+                Some(e) if sudf.edge_len > 0 => e.row(eid as usize),
+                _ => &empty,
+            },
+        };
+        let mut s = [0f32; 1];
+        eval_udf(sudf, &ctx, inputs.score.params, &mut s, |slot, v| *slot = v);
+        scores[eid as usize] = s[0];
+    }
+
+    // Pass 2: per-destination softmax. Canonical edge IDs are dst-major, so
+    // each destination's incoming edges are the contiguous indptr segment.
+    if op.softmax {
+        let indptr = graph.in_csr().indptr();
+        for v in 0..graph.num_vertices() {
+            let seg = &mut scores[indptr[v]..indptr[v + 1]];
+            if seg.is_empty() {
+                continue;
+            }
+            let max = seg.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+            let mut sum = 0.0;
+            for s in seg.iter_mut() {
+                *s = (*s - max).exp();
+                sum += *s;
+            }
+            if sum > 0.0 {
+                for s in seg.iter_mut() {
+                    *s /= sum;
+                }
+            }
+        }
+    }
+
+    // Pass 3: aggregate score-scaled messages.
+    let mudf = &op.message;
+    let mxd = inputs.message.dst_tensor();
+    out.fill(op.agg.identity());
+    let mut msg = vec![0f32; mudf.out_len];
+    for (src, dst, eid) in graph.edges() {
+        let ctx = EdgeCtx {
+            src: if mudf.src_len > 0 { inputs.message.vertex.row(src as usize) } else { &empty },
+            dst: if mudf.dst_len > 0 { mxd.row(dst as usize) } else { &empty },
+            edge: match inputs.message.edge {
+                Some(e) if mudf.edge_len > 0 => e.row(eid as usize),
+                _ => &empty,
+            },
+        };
+        eval_udf(mudf, &ctx, inputs.message.params, &mut msg, |slot, v| *slot = v);
+        let w = scores[eid as usize];
+        let row = out.row_mut(dst as usize);
+        for (o, &m) in row.iter_mut().zip(&msg) {
+            *o = op.agg.combine(*o, w * m);
+        }
+    }
+    for v in 0..graph.num_vertices() as u32 {
+        let deg = graph.in_degree(v);
+        for o in out.row_mut(v as usize) {
+            *o = op.agg.finalize(*o, deg);
+        }
     }
     Ok(())
 }

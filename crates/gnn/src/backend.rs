@@ -5,7 +5,10 @@ use std::sync::Mutex;
 
 use featgraph::cpu::sddmm::CpuSddmmOptions;
 use featgraph::cpu::spmm::CpuSpmmOptions;
-use featgraph::{Fds, GraphTensors, Reducer, SddmmKernel, SpmmKernel, Target, Udf};
+use featgraph::{
+    Fds, FusedInputs, FusedKernel, FusedOp, GraphTensors, Reducer, SddmmKernel, SpmmKernel,
+    Target, Udf,
+};
 use fg_gpusim::DeviceConfig;
 use fg_tensor::Dense2;
 
@@ -51,6 +54,56 @@ pub trait GraphBackend: Send + Sync {
     /// Sum edge rows into vertices: `Fwd` sums into destinations, `Rev`
     /// into sources.
     fn edge_sum(&self, g: &GnnGraph, dir: Dir, e: &Dense2<f32>) -> Dense2<f32>;
+
+    /// The unfused three-kernel GAT attention composition (SDDMM score,
+    /// edge softmax, weighted SpMM), materializing two `|E|` edge tensors.
+    /// Kept callable on every backend so benchmarks can compare it against
+    /// the fused path on equal inputs.
+    fn unfused_attention(
+        &self,
+        g: &GnnGraph,
+        x: &Dense2<f32>,
+        sl: &Dense2<f32>,
+        sr: &Dense2<f32>,
+        slope: f32,
+    ) -> Dense2<f32> {
+        let m = g.fwd().num_edges() as u64;
+        let mut e = self.sddmm_add(g, sl, sr);
+        for v in e.as_mut_slice() {
+            if *v < 0.0 {
+                *v *= slope;
+            }
+        }
+        // leaky-relu: read + write the |E| score tensor
+        self.charge_edgewise(m, 2 * m * 4);
+        let alpha = crate::tape::edge_softmax_forward(g, &e);
+        // edge softmax: max / exp-sum / normalize sweeps over the |E| tensor
+        self.charge_edgewise(3 * m, 5 * m * 4);
+        self.weighted_spmm(g, Dir::Fwd, x, Some(&alpha))
+    }
+
+    /// Charge the backend's device cost model for an edge-wise pass that the
+    /// trait-level code runs on the host (leaky-relu, edge softmax). A real
+    /// GPU backend would launch these as kernels; charging them keeps the
+    /// fused-vs-unfused comparison honest. No-op on CPU backends.
+    fn charge_edgewise(&self, _flops: u64, _bytes: u64) {}
+
+    /// The whole GAT attention chain in one call:
+    /// `out[v] = Σ_{u→v} softmax_v(LeakyReLU(sl[u] + sr[v])) · x[u]`
+    /// with the softmax normalized per destination.
+    ///
+    /// Defaults to [`Self::unfused_attention`]. Backends may override it
+    /// with a fused kernel that keeps only `O(|V|)` accumulators live.
+    fn fused_attention(
+        &self,
+        g: &GnnGraph,
+        x: &Dense2<f32>,
+        sl: &Dense2<f32>,
+        sr: &Dense2<f32>,
+        slope: f32,
+    ) -> Dense2<f32> {
+        self.unfused_attention(g, x, sl, sr, slope)
+    }
 
     /// Simulated GPU milliseconds accumulated since the last call (0 for
     /// CPU backends).
@@ -224,6 +277,10 @@ impl GraphBackend for NaiveBackend {
         }
     }
 
+    fn charge_edgewise(&self, flops: u64, bytes: u64) {
+        self.charge(flops, bytes);
+    }
+
     fn take_gpu_ms(&self) -> f64 {
         self.gpu.as_ref().map_or(0.0, GpuCostModel::take)
     }
@@ -242,11 +299,14 @@ enum PlanKey {
     CopyEdgeSum { dir: Dir, d: usize },
     Dot { d: usize },
     AddEdge { d: usize },
+    // slope stored as bits so the key stays Eq + Hash
+    FusedAttn { d: usize, slope_bits: u32 },
 }
 
 enum Plan {
     Spmm(SpmmKernel),
     Sddmm(SddmmKernel),
+    Fused(FusedKernel),
 }
 
 /// The fused backend: every op is one generalized SpMM or SDDMM kernel from
@@ -477,6 +537,52 @@ impl GraphBackend for FeatgraphBackend {
         self.run_spmm(g, dir, PlanKey::CopyEdgeSum { dir, d }, &udf, Reducer::Sum, &inputs, d)
     }
 
+    fn fused_attention(
+        &self,
+        g: &GnnGraph,
+        x: &Dense2<f32>,
+        sl: &Dense2<f32>,
+        sr: &Dense2<f32>,
+        slope: f32,
+    ) -> Dense2<f32> {
+        let d = x.cols();
+        let graph = g.fwd();
+        let mut plans = self.plans.lock().expect("plan cache");
+        let key = PlanKey::FusedAttn { d, slope_bits: slope.to_bits() };
+        let plan = plans.entry(key).or_insert_with(|| {
+            let op = FusedOp::gat_attention(d, slope as f64);
+            let cpu_opts = CpuSpmmOptions::with_threads(
+                CpuSpmmOptions::auto(graph, &op.message, &self.fds(d)).graph_partitions,
+                self.threads,
+            );
+            Plan::Fused(
+                featgraph::fused_with_options(graph, &op, self.target, Some(&cpu_opts), None)
+                    .expect("fused compile"),
+            )
+        });
+        let Plan::Fused(kernel) = plan else {
+            unreachable!("plan kind mismatch")
+        };
+        let inputs = FusedInputs {
+            score: GraphTensors::src_dst(sl, sr),
+            message: GraphTensors::vertex_only(x),
+        };
+        let mut out = Dense2::zeros(graph.num_vertices(), d);
+        let stats = kernel.run(&inputs, &mut out).expect("fused run");
+        if let Some(ms) = stats.gpu_time_ms {
+            *self.gpu_ms.lock().expect("gpu ms") += ms;
+        }
+        out
+    }
+
+    fn charge_edgewise(&self, flops: u64, bytes: u64) {
+        if self.target == Target::Gpu {
+            let model = GpuCostModel::new(DeviceConfig::v100());
+            model.charge(flops, bytes);
+            *self.gpu_ms.lock().expect("gpu ms") += model.take();
+        }
+    }
+
     fn take_gpu_ms(&self) -> f64 {
         let mut ms = self.gpu_ms.lock().expect("gpu ms");
         let v = *ms;
@@ -607,6 +713,42 @@ mod tests {
                 );
             }
         }
+    }
+
+    #[test]
+    fn all_backends_agree_on_fused_attention() {
+        let g = graph();
+        let x = feats(80, 12, 0);
+        let sl = feats(80, 1, 4);
+        let sr = feats(80, 1, 6);
+        // NaiveBackend keeps the trait's default (unfused) composition, so
+        // this pits the fused kernel against the three-kernel reference.
+        let reference = NaiveBackend::cpu().fused_attention(&g, &x, &sl, &sr, 0.2);
+        for b in backends() {
+            let got = b.fused_attention(&g, &x, &sl, &sr, 0.2);
+            assert!(
+                got.approx_eq(&reference, 1e-3),
+                "{}: diff {}",
+                b.name(),
+                got.max_abs_diff(&reference)
+            );
+        }
+    }
+
+    #[test]
+    fn fused_attention_plan_is_cached_and_charges_gpu_time() {
+        let g = graph();
+        let x = feats(80, 8, 1);
+        let sl = feats(80, 1, 2);
+        let sr = feats(80, 1, 3);
+        let b = FeatgraphBackend::gpu();
+        let first = b.fused_attention(&g, &x, &sl, &sr, 0.2);
+        assert!(b.take_gpu_ms() > 0.0);
+        let second = b.fused_attention(&g, &x, &sl, &sr, 0.2);
+        assert!(first.approx_eq(&second, 0.0));
+        // a different slope is a different plan, not a stale cache hit
+        let other = b.fused_attention(&g, &x, &sl, &sr, 0.5);
+        assert!(other.max_abs_diff(&first) > 0.0);
     }
 
     #[test]

@@ -222,10 +222,9 @@ impl Model for Gat {
                 let hw = tape.matmul(h, w);
                 let sl = tape.matmul(hw, al); // n×1 source scores
                 let sr = tape.matmul(hw, ar); // n×1 destination scores
-                let e = tape.sddmm_add(sl, sr); // SDDMM: per-edge score
-                let e = tape.leaky_relu(e, 0.2);
-                let alpha = tape.edge_softmax(e);
-                let out = tape.spmm(hw, Some(alpha)); // attention-weighted SpMM
+                // SDDMM score → edge softmax → attention-weighted SpMM;
+                // inference tapes run this as one fused kernel
+                let out = tape.gat_attention(hw, sl, sr, 0.2);
                 acc = Some(match acc {
                     None => out,
                     Some(prev) => tape.add(prev, out),

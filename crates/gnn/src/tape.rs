@@ -38,6 +38,9 @@ enum Op {
     SddmmAdd(Var, Var),
     /// Per-destination softmax over incoming-edge rows.
     EdgeSoftmax(Var),
+    /// Fused SDDMM→softmax→SpMM attention (inference tapes only; the
+    /// backward pass uses the unfused chain).
+    FusedAttention,
 }
 
 struct Node {
@@ -53,6 +56,7 @@ pub struct Tape<'g> {
     backend: &'g dyn GraphBackend,
     dense_gpu: Option<&'g GpuCostModel>,
     nodes: Vec<Node>,
+    inference: bool,
 }
 
 impl<'g> Tape<'g> {
@@ -68,6 +72,22 @@ impl<'g> Tape<'g> {
             backend,
             dense_gpu,
             nodes: Vec::new(),
+            inference: false,
+        }
+    }
+
+    /// New inference-only tape: [`Tape::gat_attention`] dispatches to the
+    /// backend's fused kernel (no `|E|`-sized intermediates), and calling
+    /// [`Tape::backward`] through such a node panics. Training tapes built
+    /// with [`Tape::new`] keep the unfused, differentiable chain.
+    pub fn for_inference(
+        graph: &'g GnnGraph,
+        backend: &'g dyn GraphBackend,
+        dense_gpu: Option<&'g GpuCostModel>,
+    ) -> Self {
+        Self {
+            inference: true,
+            ..Self::new(graph, backend, dense_gpu)
         }
     }
 
@@ -192,6 +212,29 @@ impl<'g> Tape<'g> {
         self.push(value, Op::EdgeSoftmax(e))
     }
 
+    /// The GAT attention chain: per-destination
+    /// `softmax(LeakyReLU(sl[src] + sr[dst]))`-weighted aggregation of
+    /// `hw`. On an inference tape this is one fused backend call; on a
+    /// training tape it builds the unfused SDDMM → leaky-ReLU →
+    /// edge-softmax → SpMM chain so every stage has a backward.
+    pub fn gat_attention(&mut self, hw: Var, sl: Var, sr: Var, slope: f32) -> Var {
+        if self.inference {
+            let value = self.backend.fused_attention(
+                self.graph,
+                self.value(hw),
+                self.value(sl),
+                self.value(sr),
+                slope,
+            );
+            self.push(value, Op::FusedAttention)
+        } else {
+            let e = self.sddmm_add(sl, sr);
+            let e = self.leaky_relu(e, slope);
+            let alpha = self.edge_softmax(e);
+            self.spmm(hw, Some(alpha))
+        }
+    }
+
     fn accumulate(&mut self, v: Var, g: Dense2<f32>) {
         let node = &mut self.nodes[v.0];
         match &mut node.grad {
@@ -310,13 +353,20 @@ impl<'g> Tape<'g> {
                     let gx = edge_softmax_backward(self.graph, &y, &g);
                     self.accumulate(e, gx);
                 }
+                Op::FusedAttention => {
+                    panic!(
+                        "fused attention has no backward; build training tapes \
+                         with Tape::new, not Tape::for_inference"
+                    );
+                }
             }
         }
     }
 }
 
-/// Segment softmax over contiguous per-destination edge ranges.
-fn edge_softmax_forward(g: &GnnGraph, e: &Dense2<f32>) -> Dense2<f32> {
+/// Segment softmax over contiguous per-destination edge ranges. Also the
+/// reference normalization the backends' default `fused_attention` uses.
+pub(crate) fn edge_softmax_forward(g: &GnnGraph, e: &Dense2<f32>) -> Dense2<f32> {
     let mut out = e.clone();
     let indptr = g.fwd().in_csr().indptr();
     let d = e.cols();
@@ -598,6 +648,125 @@ mod tests {
             );
         }
         let _ = backend;
+    }
+
+    #[test]
+    fn edge_softmax_single_edge_segments_get_weight_one() {
+        // v2 has two incoming edges, v3 exactly one; a single-edge segment
+        // must normalize to exactly 1.0 regardless of the raw score
+        let g = GnnGraph::new(fg_graph::Graph::from_edges(
+            4,
+            &[(0, 2), (1, 2), (0, 3)],
+        ));
+        let mut e = Dense2::zeros(3, 1);
+        e.set(0, 0, 5.0);
+        e.set(1, 0, -3.0);
+        e.set(2, 0, 123.456);
+        let y = edge_softmax_forward(&g, &e);
+        let indptr = g.fwd().in_csr().indptr();
+        let (lo3, hi3) = (indptr[3], indptr[4]);
+        assert_eq!(hi3 - lo3, 1, "v3 should have one incoming edge");
+        assert_eq!(y.at(lo3, 0), 1.0, "single-edge segment weight");
+        let (lo2, hi2) = (indptr[2], indptr[3]);
+        let sum: f32 = (lo2..hi2).map(|r| y.at(r, 0)).sum();
+        assert!((sum - 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edge_softmax_skips_zero_degree_destinations() {
+        // v0 and v1 have no incoming edges; their (empty) segments must not
+        // disturb the others or produce NaN anywhere
+        let g = GnnGraph::new(fg_graph::Graph::from_edges(3, &[(0, 2), (1, 2)]));
+        let e = Dense2::from_fn(2, 2, |r, c| (r + c) as f32);
+        let y = edge_softmax_forward(&g, &e);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        let indptr = g.fwd().in_csr().indptr();
+        assert_eq!(indptr[0], indptr[1], "v0 zero-degree");
+        assert_eq!(indptr[1], indptr[2], "v1 zero-degree");
+        for c in 0..2 {
+            let sum: f32 = (indptr[2]..indptr[3]).map(|r| y.at(r, c)).sum();
+            assert!((sum - 1.0).abs() < 1e-6, "col {c} sum {sum}");
+        }
+    }
+
+    #[test]
+    fn edge_softmax_survives_large_negative_scores() {
+        // max-subtraction keeps exp() in range even when every raw score is
+        // a huge negative number (attention masking produces these)
+        let g = GnnGraph::new(fg_graph::Graph::from_edges(2, &[(0, 1), (1, 1)]));
+        let mut e = Dense2::zeros(2, 1);
+        e.set(0, 0, -1e30);
+        e.set(1, 0, -1e30);
+        let y = edge_softmax_forward(&g, &e);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        assert!((y.at(0, 0) - 0.5).abs() < 1e-6);
+        assert!((y.at(1, 0) - 0.5).abs() < 1e-6);
+        // one edge much less masked than the other: it takes all the weight
+        e.set(1, 0, 0.0);
+        let y = edge_softmax_forward(&g, &e);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        assert!((y.at(1, 0) - 1.0).abs() < 1e-6);
+        assert!(y.at(0, 0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn edge_softmax_on_duplicate_edges_and_tied_scores() {
+        // the graph layer canonicalizes duplicate (src, dst) pairs away, so
+        // edge_softmax never sees a repeated edge in a segment...
+        let g = GnnGraph::new(fg_graph::Graph::from_edges(
+            3,
+            &[(0, 2), (0, 2), (1, 2)],
+        ));
+        assert_eq!(g.num_edges(), 2, "duplicate edge deduplicated");
+        // ...and tied scores within a segment split the weight evenly
+        let mut e = Dense2::zeros(2, 1);
+        e.set(0, 0, 1.0);
+        e.set(1, 0, 1.0);
+        let y = edge_softmax_forward(&g, &e);
+        let indptr = g.fwd().in_csr().indptr();
+        for r in indptr[2]..indptr[3] {
+            assert!((y.at(r, 0) - 0.5).abs() < 1e-6, "row {r}: {}", y.at(r, 0));
+        }
+    }
+
+    #[test]
+    fn inference_tape_gat_attention_matches_training_tape() {
+        let (g, backend) = setup();
+        let hw = feats(30, 4, 1);
+        let sl = feats(30, 1, 2);
+        let sr = feats(30, 1, 3);
+        let run = |inference: bool| -> Dense2<f32> {
+            let mut tape = if inference {
+                Tape::for_inference(&g, &backend, None)
+            } else {
+                Tape::new(&g, &backend, None)
+            };
+            let hwv = tape.leaf(hw.clone());
+            let slv = tape.leaf(sl.clone());
+            let srv = tape.leaf(sr.clone());
+            let out = tape.gat_attention(hwv, slv, srv, 0.2);
+            tape.value(out).clone()
+        };
+        let trained = run(false);
+        let fused = run(true);
+        assert!(
+            fused.approx_eq(&trained, 1e-4),
+            "diff {}",
+            fused.max_abs_diff(&trained)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "fused attention has no backward")]
+    fn backward_through_fused_attention_panics() {
+        let (g, backend) = setup();
+        let mut tape = Tape::for_inference(&g, &backend, None);
+        let hw = tape.leaf(feats(30, 4, 1));
+        let sl = tape.leaf(feats(30, 1, 2));
+        let sr = tape.leaf(feats(30, 1, 3));
+        let out = tape.gat_attention(hw, sl, sr, 0.2);
+        let seed = Dense2::zeros(30, 4);
+        tape.backward(out, seed);
     }
 
     #[test]

@@ -119,7 +119,7 @@ pub fn inference(
     }
     let _span = span!("train/inference");
     let t0 = Instant::now();
-    let mut tape = Tape::new(&task.graph, backend, dense_gpu);
+    let mut tape = Tape::for_inference(&task.graph, backend, dense_gpu);
     let x = tape.leaf(task.features.clone());
     let (logits_var, _) = model.forward(&mut tape, x);
     let seconds = t0.elapsed().as_secs_f64();
@@ -183,7 +183,7 @@ pub fn infer_batch(
         return Err(InferError::NodeOutOfRange { node, vertices });
     }
     let _span = span!("gnn/infer_batch", "nodes={}", nodes.len());
-    let mut tape = Tape::new(graph, backend, None);
+    let mut tape = Tape::for_inference(graph, backend, None);
     let x = tape.leaf(features.clone());
     let (logits_var, _) = model.forward(&mut tape, x);
     let logits = tape.value(logits_var);
@@ -290,6 +290,24 @@ mod tests {
             infer_batch(model.as_ref(), &task.graph, &short, &backend, &[0]),
             Err(InferError::FeatureRowsMismatch { rows: 10, vertices: 300 })
         ));
+    }
+
+    #[test]
+    fn gat_inference_fused_path_matches_training_forward() {
+        let task = small_task();
+        let backend = FeatgraphBackend::cpu(2);
+        let model = build_model("gat", task.in_dim(), 8, task.num_classes, 2);
+        // inference() builds an inference tape → fused attention kernel
+        let (fused_logits, _, _) = inference(model.as_ref(), &task, &backend, None);
+        // a training tape runs the unfused differentiable chain
+        let mut tape = Tape::new(&task.graph, &backend, None);
+        let x = tape.leaf(task.features.clone());
+        let (lv, _) = model.forward(&mut tape, x);
+        assert!(
+            fused_logits.approx_eq(tape.value(lv), 1e-3),
+            "fused inference diverged from training forward: diff {}",
+            fused_logits.max_abs_diff(tape.value(lv))
+        );
     }
 
     #[test]

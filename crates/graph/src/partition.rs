@@ -21,6 +21,10 @@ pub struct PartitionedCsr {
     segment_eids: Vec<Vec<EId>>,
     /// Source-ID range `[bounds[p], bounds[p+1])` of each partition.
     bounds: Vec<VId>,
+    /// Per-partition sorted destination IDs with ≥1 stored edge. High
+    /// partition counts leave most destination rows empty in each segment;
+    /// kernels iterate these lists instead of scanning all `|V|` rows.
+    nonempty: Vec<Vec<VId>>,
 }
 
 impl PartitionedCsr {
@@ -34,6 +38,7 @@ impl PartitionedCsr {
         let mut segments = Vec::with_capacity(parts);
         let mut segment_eids = Vec::with_capacity(parts);
         let mut bounds = Vec::with_capacity(parts + 1);
+        let mut nonempty = Vec::with_capacity(parts);
         let base = n / parts;
         let extra = n % parts;
         let mut lo = 0 as VId;
@@ -44,6 +49,12 @@ impl PartitionedCsr {
             let (seg, positions) = csr.slice_cols(lo, hi);
             // Positions in the dst-major CSR *are* canonical edge IDs.
             segment_eids.push(positions);
+            nonempty.push(
+                seg.iter_rows()
+                    .filter(|(_, cols, _)| !cols.is_empty())
+                    .map(|(dst, _, _)| dst)
+                    .collect(),
+            );
             segments.push(seg);
             bounds.push(hi);
             lo = hi;
@@ -52,6 +63,7 @@ impl PartitionedCsr {
             segments,
             segment_eids,
             bounds,
+            nonempty,
         }
     }
 
@@ -73,6 +85,14 @@ impl PartitionedCsr {
     /// Source-ID range of partition `p`.
     pub fn range(&self, p: usize) -> std::ops::Range<VId> {
         self.bounds[p]..self.bounds[p + 1]
+    }
+
+    /// Sorted destination IDs with at least one edge in partition `p`.
+    /// Kernels restrict their per-partition destination loop to this list —
+    /// scanning all `|V|` rows per partition×tile is `O(parts × tiles × |V|)`
+    /// pure overhead on high-partition-count runs.
+    pub fn nonempty(&self, p: usize) -> &[VId] {
+        &self.nonempty[p]
     }
 
     /// Total stored entries across all partitions (equals the graph's nnz).
@@ -165,6 +185,24 @@ mod tests {
             cursor = r.end;
         }
         assert_eq!(cursor as usize, g.num_vertices());
+    }
+
+    #[test]
+    fn nonempty_lists_match_segment_rows() {
+        let g = generators::uniform(120, 4, 7);
+        for parts in [1, 3, 8] {
+            let pc = PartitionedCsr::build(&g, parts);
+            for (p, seg, _, _) in pc.iter() {
+                let ne = pc.nonempty(p);
+                assert!(ne.windows(2).all(|w| w[0] < w[1]), "sorted, unique");
+                let want: Vec<VId> = seg
+                    .iter_rows()
+                    .filter(|(_, cols, _)| !cols.is_empty())
+                    .map(|(dst, _, _)| dst)
+                    .collect();
+                assert_eq!(ne, want.as_slice(), "parts={parts} p={p}");
+            }
+        }
     }
 
     #[test]

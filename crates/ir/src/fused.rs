@@ -1,0 +1,260 @@
+//! Fused SDDMM → (softmax) → SpMM operator descriptors.
+//!
+//! FeatGraph (§III) composes attention layers as a gSDDMM kernel that
+//! materializes an `|E| × d` edge tensor followed by a gSpMM kernel that
+//! aggregates it — two full passes over the edge set with the intermediate
+//! round-tripping through memory. A [`FusedOp`] describes the whole chain as
+//! one operator so the kernel crates can evaluate the edge score *inside*
+//! the aggregation loop and never allocate the edge tensor (the FusedMM
+//! observation). The optional per-destination softmax is handled with
+//! streaming max/sum accumulators of size `O(|V|)`.
+//!
+//! As with [`KernelPattern`], recognition is structural: the shapes our
+//! models emit (GAT's additive attention) lower to a monomorphized kernel,
+//! and anything else falls back to the interpreter — still fused, just
+//! slower per edge.
+
+use crate::pattern::KernelPattern;
+use crate::reducer::Reducer;
+use crate::udf::{Udf, UdfError};
+
+/// Validation errors for fused-operator construction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum FusedError {
+    /// The score UDF failed validation.
+    Score(UdfError),
+    /// The message UDF failed validation.
+    Message(UdfError),
+    /// The score must produce one scalar per edge (`out_len == 1`).
+    ScoreNotScalar {
+        /// Declared score output length.
+        out_len: usize,
+    },
+    /// Softmax normalization only composes with `Sum` aggregation (the
+    /// normalized weights already sum to one per destination).
+    SoftmaxNeedsSum {
+        /// The offending aggregation reducer.
+        agg: Reducer,
+    },
+}
+
+impl std::fmt::Display for FusedError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FusedError::Score(e) => write!(f, "score UDF: {e}"),
+            FusedError::Message(e) => write!(f, "message UDF: {e}"),
+            FusedError::ScoreNotScalar { out_len } => {
+                write!(f, "fused score must be scalar per edge, got out_len {out_len}")
+            }
+            FusedError::SoftmaxNeedsSum { agg } => {
+                write!(f, "fused softmax requires Sum aggregation, got {agg:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FusedError {}
+
+/// A fused SDDMM → (softmax) → SpMM operator.
+///
+/// Semantics, for each destination vertex `v` with incoming edges `e = (u, v)`:
+///
+/// ```text
+/// s_e   = score(src_u, dst_v, edge_e)                 # scalar per edge
+/// w_e   = softmax_v(s_e)          # if softmax, over v's incoming edges
+///       = s_e                     # otherwise
+/// out[v] = agg_e  w_e · message(src_u, dst_v, edge_e)
+/// ```
+///
+/// The score and message UDFs read from *separate* operand sets (a score is
+/// typically over `|V| × 1` projections, the message over `|V| × d`
+/// features), so the kernels take two [`GraphTensors`]-style input bundles.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FusedOp {
+    /// SDDMM-style edge score; must produce one scalar (`out_len == 1`).
+    pub score: Udf,
+    /// Normalize scores with a per-destination softmax before aggregating.
+    pub softmax: bool,
+    /// SpMM-style message whose output is scaled by the (normalized) score.
+    pub message: Udf,
+    /// Aggregation reducer combining scaled messages into the destination.
+    pub agg: Reducer,
+}
+
+impl FusedOp {
+    /// Validate both UDFs and the fusion-specific constraints.
+    pub fn validate(&self) -> Result<(), FusedError> {
+        self.score.validate().map_err(FusedError::Score)?;
+        self.message.validate().map_err(FusedError::Message)?;
+        if self.score.out_len != 1 {
+            return Err(FusedError::ScoreNotScalar {
+                out_len: self.score.out_len,
+            });
+        }
+        if self.softmax && self.agg != Reducer::Sum {
+            return Err(FusedError::SoftmaxNeedsSum { agg: self.agg });
+        }
+        Ok(())
+    }
+
+    /// Output feature length per destination vertex.
+    pub fn out_len(&self) -> usize {
+        self.message.out_len
+    }
+
+    /// GAT additive attention (Veličković et al.):
+    /// `out[v] = Σ softmax_v(leaky_relu(sl[u] + sr[v], slope)) · x[u]`
+    /// with `sl`, `sr` the per-vertex `|V| × 1` score projections and `x`
+    /// the `|V| × d` transformed features.
+    pub fn gat_attention(d: usize, slope: f64) -> Self {
+        use crate::expr::ScalarExpr;
+        let score_body = ScalarExpr::LeakyRelu(
+            Box::new(ScalarExpr::src_i().add(ScalarExpr::dst_i())),
+            slope,
+        );
+        FusedOp {
+            score: Udf {
+                out_len: 1,
+                src_len: 1,
+                dst_len: 1,
+                edge_len: 0,
+                reduce: None,
+                params: vec![],
+                body: score_body,
+                post_relu: false,
+            },
+            softmax: true,
+            message: Udf::copy_src(d),
+            agg: Reducer::Sum,
+        }
+    }
+
+    /// Fused arithmetic cost per edge (score + scale + message combine);
+    /// drives the GPU simulator's ALU accounting.
+    pub fn flops_per_edge(&self) -> usize {
+        self.score.flops_per_edge() + self.message.flops_per_edge() + self.message.out_len
+    }
+}
+
+/// Fused-operator patterns with monomorphized kernel implementations.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum FusedPattern {
+    /// `softmax_v(leaky_relu(sl[u] + sr[v], slope)) · x[u]`, summed — the
+    /// additive-attention shape every GAT layer emits. `slope == 1.0`
+    /// covers the un-activated `sl + sr` score too.
+    GatAttention {
+        /// Leaky-ReLU negative slope applied to the raw score.
+        slope: f64,
+    },
+    /// No specialization: the kernels evaluate both UDFs through the
+    /// interpreter per edge (still fused; no `|E|`-sized intermediates).
+    Generic,
+}
+
+impl FusedPattern {
+    /// Recognize the pattern of a fused operator.
+    pub fn of(op: &FusedOp) -> FusedPattern {
+        use crate::expr::{IdxExpr, ScalarExpr as E};
+        if !op.softmax || op.agg != Reducer::Sum || op.score.reduce.is_some() {
+            return FusedPattern::Generic;
+        }
+        if KernelPattern::of(&op.message) != KernelPattern::CopySrc {
+            return FusedPattern::Generic;
+        }
+        // With out_len == 1 the output index is always 0, so `Out` and
+        // `Const(0)` address the same element.
+        let scalar0 = |ix: &IdxExpr| matches!(ix, IdxExpr::Out | IdxExpr::Const(0));
+        let additive = |e: &E| match e {
+            E::Add(a, b) => matches!((a.as_ref(), b.as_ref()),
+                (E::Src(si), E::Dst(di)) if scalar0(si) && scalar0(di)),
+            _ => false,
+        };
+        match &op.score.body {
+            E::LeakyRelu(inner, slope) if additive(inner) => {
+                FusedPattern::GatAttention { slope: *slope }
+            }
+            body if additive(body) => FusedPattern::GatAttention { slope: 1.0 },
+            _ => FusedPattern::Generic,
+        }
+    }
+
+    /// Human-readable name (used in logs and bench output).
+    pub fn name(self) -> &'static str {
+        match self {
+            FusedPattern::GatAttention { .. } => "gat-attention",
+            FusedPattern::Generic => "fused-generic",
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::ScalarExpr;
+
+    #[test]
+    fn gat_attention_validates_and_lowers() {
+        let op = FusedOp::gat_attention(64, 0.2);
+        op.validate().unwrap();
+        assert_eq!(op.out_len(), 64);
+        assert_eq!(FusedPattern::of(&op), FusedPattern::GatAttention { slope: 0.2 });
+    }
+
+    #[test]
+    fn unactivated_additive_score_is_slope_one() {
+        let mut op = FusedOp::gat_attention(8, 0.2);
+        op.score.body = ScalarExpr::src_i().add(ScalarExpr::dst_i());
+        assert_eq!(FusedPattern::of(&op), FusedPattern::GatAttention { slope: 1.0 });
+    }
+
+    #[test]
+    fn non_scalar_score_is_rejected() {
+        let mut op = FusedOp::gat_attention(8, 0.2);
+        op.score.out_len = 4;
+        op.score.src_len = 4;
+        op.score.dst_len = 4;
+        assert_eq!(op.validate(), Err(FusedError::ScoreNotScalar { out_len: 4 }));
+    }
+
+    #[test]
+    fn softmax_with_non_sum_agg_is_rejected() {
+        let mut op = FusedOp::gat_attention(8, 0.2);
+        op.agg = Reducer::Max;
+        assert_eq!(op.validate(), Err(FusedError::SoftmaxNeedsSum { agg: Reducer::Max }));
+    }
+
+    #[test]
+    fn plain_weighted_agg_without_softmax_validates_with_any_reducer() {
+        let op = FusedOp {
+            score: Udf::dot(16),
+            softmax: false,
+            message: Udf::copy_src(16),
+            agg: Reducer::Max,
+        };
+        op.validate().unwrap();
+        assert_eq!(FusedPattern::of(&op), FusedPattern::Generic);
+    }
+
+    #[test]
+    fn non_copy_message_falls_back_to_generic() {
+        let mut op = FusedOp::gat_attention(8, 0.2);
+        op.message = Udf::src_mul_edge(8);
+        assert_eq!(FusedPattern::of(&op), FusedPattern::Generic);
+    }
+
+    #[test]
+    fn invalid_inner_udf_errors_are_attributed() {
+        let mut op = FusedOp::gat_attention(8, 0.2);
+        op.message.out_len = 0;
+        assert!(matches!(op.validate(), Err(FusedError::Message(UdfError::EmptyOutput))));
+        let mut op = FusedOp::gat_attention(8, 0.2);
+        op.score.src_len = 0;
+        assert!(matches!(op.validate(), Err(FusedError::Score(_))));
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(FusedPattern::GatAttention { slope: 0.2 }.name(), "gat-attention");
+        assert_eq!(FusedPattern::Generic.name(), "fused-generic");
+    }
+}

@@ -27,6 +27,7 @@
 pub mod display;
 pub mod expr;
 pub mod fds;
+pub mod fused;
 pub mod interp;
 pub mod pattern;
 pub mod reducer;
@@ -34,6 +35,7 @@ pub mod udf;
 
 pub use expr::{IdxExpr, ScalarExpr};
 pub use fds::{Fds, GpuBind, GpuFds};
+pub use fused::{FusedError, FusedOp, FusedPattern};
 pub use pattern::KernelPattern;
 pub use reducer::Reducer;
 pub use udf::{ParamShape, ReduceSpec, Udf, UdfError};

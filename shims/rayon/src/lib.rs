@@ -415,6 +415,14 @@ impl<'a, T: Send> ParChunksMut<'a, T> {
     pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
         ParChunksMutEnumerate { inner: self }
     }
+
+    /// rayon's indexed `zip`: pair this iterator's chunks with another
+    /// mutable-chunk iterator's, truncating to the shorter one. Chunk `i`
+    /// of both slices lands in the same closure call (and band), so two
+    /// arrays banded by the same key can be updated together.
+    pub fn zip<U: Send>(self, other: ParChunksMut<'a, U>) -> ParChunksMutZip<'a, T, U> {
+        ParChunksMutZip { a: self, b: other }
+    }
 }
 
 /// `enumerate` adapter over [`ParChunksMut`].
@@ -428,6 +436,63 @@ impl<T: Send> ParChunksMutEnumerate<'_, T> {
         F: Fn((usize, &mut [T])) + Sync,
     {
         self.inner.run(|i, c| f((i, c)));
+    }
+}
+
+/// `zip` of two [`ParChunksMut`] iterators (rayon's indexed zip).
+pub struct ParChunksMutZip<'a, T, U> {
+    a: ParChunksMut<'a, T>,
+    b: ParChunksMut<'a, U>,
+}
+
+impl<'a, T: Send, U: Send> ParChunksMutZip<'a, T, U> {
+    fn run<F>(self, f: F)
+    where
+        F: Fn(usize, &mut [T], &mut [U]) + Sync,
+    {
+        let (alen, asize) = (self.a.slice.len(), self.a.size);
+        let (blen, bsize) = (self.b.slice.len(), self.b.size);
+        let n_chunks = alen.div_ceil(asize).min(blen.div_ceil(bsize));
+        let pa = SendPtr(self.a.slice.as_mut_ptr());
+        let pb = SendPtr(self.b.slice.as_mut_ptr());
+        run_bands(n_chunks, |band| {
+            let (pa, pb) = (pa, pb);
+            for ci in band {
+                let (astart, bstart) = (ci * asize, ci * bsize);
+                let aend = (astart + asize).min(alen);
+                let bend = (bstart + bsize).min(blen);
+                // Safety: as in `ParChunksMut::run` — each chunk index is
+                // visited exactly once, so the ranges are disjoint per slice.
+                let ca = unsafe { std::slice::from_raw_parts_mut(pa.0.add(astart), aend - astart) };
+                let cb = unsafe { std::slice::from_raw_parts_mut(pb.0.add(bstart), bend - bstart) };
+                f(ci, ca, cb);
+            }
+        });
+    }
+
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((&mut [T], &mut [U])) + Sync,
+    {
+        self.run(|_, a, b| f((a, b)));
+    }
+
+    pub fn enumerate(self) -> ParChunksMutZipEnumerate<'a, T, U> {
+        ParChunksMutZipEnumerate { inner: self }
+    }
+}
+
+/// `enumerate` adapter over [`ParChunksMutZip`].
+pub struct ParChunksMutZipEnumerate<'a, T, U> {
+    inner: ParChunksMutZip<'a, T, U>,
+}
+
+impl<T: Send, U: Send> ParChunksMutZipEnumerate<'_, T, U> {
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, (&mut [T], &mut [U]))) + Sync,
+    {
+        self.inner.run(|i, a, b| f((i, (a, b))));
     }
 }
 
@@ -479,6 +544,36 @@ mod tests {
             total.fetch_add(c.iter().sum::<usize>(), Ordering::Relaxed);
         });
         assert_eq!(total.into_inner(), (0..57).sum::<usize>());
+    }
+
+    #[test]
+    fn zipped_chunks_pair_same_index_and_cover_ragged_tails() {
+        // 23 rows of width 4 zipped with a 23-long scalar array: chunk i of
+        // the wide slice must land with chunk i of the narrow one, including
+        // the short tail chunk.
+        let mut wide = vec![0usize; 23 * 4];
+        let mut narrow = [0usize; 23];
+        let pool = ThreadPoolBuilder::new().num_threads(3).build().unwrap();
+        pool.install(|| {
+            wide.par_chunks_mut(5 * 4)
+                .zip(narrow.par_chunks_mut(5))
+                .enumerate()
+                .for_each(|(ci, (w, n))| {
+                    assert_eq!(w.len(), n.len() * 4);
+                    for v in w.iter_mut() {
+                        *v = ci + 1;
+                    }
+                    for v in n.iter_mut() {
+                        *v = ci + 1;
+                    }
+                });
+        });
+        for (i, &v) in narrow.iter().enumerate() {
+            assert_eq!(v, i / 5 + 1);
+        }
+        for (i, &v) in wide.iter().enumerate() {
+            assert_eq!(v, i / (5 * 4) + 1);
+        }
     }
 
     #[test]
