@@ -1085,6 +1085,28 @@ fn serve_bench(args: &Args, rep: &mut Report) {
         stats.shed,
         stats.timed_out
     );
+    println!(
+        "queue depth max {}, batch size p50 {:.1} max {:.1}",
+        stats.queue_depth_max,
+        if stats.batch_size.p50_ms.is_finite() { stats.batch_size.p50_ms } else { 0.0 },
+        if stats.batch_size.max_ms.is_finite() { stats.batch_size.max_ms } else { 0.0 },
+    );
+    // Per-phase attribution via the same METRICS exposition the wire
+    // protocol serves, so the JSON report captures where latency went.
+    let metrics_text = engine.metrics_text();
+    if fg_serve::metrics::parse_exposition(&metrics_text).is_ok() {
+        for phase in fg_serve::Phase::ALL {
+            let name = phase.name();
+            for (q, label) in [("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")] {
+                let series =
+                    format!("fgserve_phase_latency_ms{{phase=\"{name}\",quantile=\"{q}\"}}");
+                if let Some(v) = fg_serve::metrics::sample(&metrics_text, &series) {
+                    rep.push_single(format!("serve/phase/{name}/{label}"), "ms", v);
+                }
+            }
+        }
+        println!("{}", stats.attribution_line());
+    }
     engine.shutdown();
 }
 

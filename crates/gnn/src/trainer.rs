@@ -182,7 +182,15 @@ pub fn infer_batch(
     if let Some(&node) = nodes.iter().find(|&&v| v >= vertices) {
         return Err(InferError::NodeOutOfRange { node, vertices });
     }
-    let _span = span!("gnn/infer_batch", "nodes={}", nodes.len());
+    // Runs on a serve worker thread: when the caller entered a TraceScope,
+    // this span (and the kernel spans beneath it) carries the request's
+    // trace id, completing the accept → kernel trace tree.
+    let _span = span!(
+        "gnn/infer_batch",
+        "nodes={} trace={:#x}",
+        nodes.len(),
+        fg_telemetry::current_trace_id()
+    );
     let mut tape = Tape::for_inference(graph, backend, None);
     let x = tape.leaf(features.clone());
     let (logits_var, _) = model.forward(&mut tape, x);

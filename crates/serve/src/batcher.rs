@@ -17,10 +17,22 @@
 //! the queue is empty.
 
 use std::collections::VecDeque;
-use std::sync::{Condvar, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::{Duration, Instant};
 
-use fg_telemetry::{gauge_set, Gauge};
+use fg_telemetry::{gauge_set, histogram_record, Gauge, Histogram};
+
+/// Observer of queue dynamics, called by the batcher with its lock held —
+/// implementations must be cheap and must not call back into the batcher.
+/// This is how always-on engine stats see depth/batch-size without the
+/// batcher depending on the stats types (or on telemetry being compiled
+/// in).
+pub trait QueueObserver: Send + Sync {
+    /// Queue depth changed (after a push or a batch take).
+    fn on_depth(&self, _depth: usize) {}
+    /// A batch of `size` items was dispatched.
+    fn on_batch(&self, _size: usize) {}
+}
 
 /// Dispatch and capacity knobs for a [`Batcher`].
 #[derive(Debug, Clone)]
@@ -69,12 +81,23 @@ pub struct Batcher<T> {
     state: Mutex<State<T>>,
     ready: Condvar,
     cfg: BatcherConfig,
+    observer: Option<Arc<dyn QueueObserver>>,
 }
 
 impl<T> Batcher<T> {
     /// Create an empty batcher. `max_batch` and `capacity` are clamped to
     /// at least 1.
     pub fn new(cfg: BatcherConfig) -> Self {
+        Self::build(cfg, None)
+    }
+
+    /// Like [`new`](Self::new), with a [`QueueObserver`] notified on every
+    /// depth change and batch dispatch.
+    pub fn with_observer(cfg: BatcherConfig, observer: Arc<dyn QueueObserver>) -> Self {
+        Self::build(cfg, Some(observer))
+    }
+
+    fn build(cfg: BatcherConfig, observer: Option<Arc<dyn QueueObserver>>) -> Self {
         let cfg = BatcherConfig {
             capacity: cfg.capacity.max(1),
             max_batch: cfg.max_batch.max(1),
@@ -87,6 +110,7 @@ impl<T> Batcher<T> {
             }),
             ready: Condvar::new(),
             cfg,
+            observer,
         }
     }
 
@@ -104,6 +128,9 @@ impl<T> Batcher<T> {
             item,
         });
         gauge_set(Gauge::ServeQueueDepth, st.queue.len() as f64);
+        if let Some(obs) = &self.observer {
+            obs.on_depth(st.queue.len());
+        }
         self.ready.notify_one();
         Ok(())
     }
@@ -140,6 +167,11 @@ impl<T> Batcher<T> {
         let n = st.queue.len().min(self.cfg.max_batch);
         let batch: Vec<T> = st.queue.drain(..n).map(|e| e.item).collect();
         gauge_set(Gauge::ServeQueueDepth, st.queue.len() as f64);
+        histogram_record(Histogram::ServeBatchSize, batch.len() as u64);
+        if let Some(obs) = &self.observer {
+            obs.on_depth(st.queue.len());
+            obs.on_batch(batch.len());
+        }
         if !st.queue.is_empty() {
             // Leftover items may already satisfy a trigger; hand them to
             // another waiting worker instead of letting them ride out a
@@ -269,6 +301,37 @@ mod tests {
         thread::sleep(Duration::from_millis(20));
         b.close();
         assert!(consumer.join().unwrap().is_none());
+    }
+
+    #[test]
+    fn observer_sees_depth_and_batch_sizes() {
+        use std::sync::atomic::{AtomicU64, Ordering};
+
+        #[derive(Default)]
+        struct Probe {
+            max_depth: AtomicU64,
+            batches: Mutex<Vec<usize>>,
+        }
+        impl QueueObserver for Probe {
+            fn on_depth(&self, depth: usize) {
+                self.max_depth.fetch_max(depth as u64, Ordering::Relaxed);
+            }
+            fn on_batch(&self, size: usize) {
+                self.batches.lock().unwrap().push(size);
+            }
+        }
+
+        let probe = Arc::new(Probe::default());
+        let b = Batcher::with_observer(cfg(64, 3, 0), Arc::clone(&probe) as _);
+        for i in 0..5u32 {
+            b.push(i).unwrap();
+        }
+        assert_eq!(probe.max_depth.load(Ordering::Relaxed), 5);
+        let mut seen = 0;
+        while seen < 5 {
+            seen += b.next_batch().unwrap().len();
+        }
+        assert_eq!(*probe.batches.lock().unwrap(), vec![3, 2]);
     }
 
     #[test]

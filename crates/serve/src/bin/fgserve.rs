@@ -1,13 +1,17 @@
 //! `fgserve` — TCP front-end and benchmark driver for the fg-serve engine.
 //!
 //! ```text
-//! fgserve serve [--addr 127.0.0.1:7878] [dataset/engine knobs]
-//! fgserve bench [--addr HOST:PORT] --clients 8 --requests 500 [checks]
+//! fgserve serve   [--addr 127.0.0.1:7878] [dataset/engine knobs]
+//!                 [--trace-sample N] [--slow-ms N] [--trace FILE]
+//! fgserve bench   [--addr HOST:PORT] --clients 8 --requests 500 [checks]
+//! fgserve metrics --addr HOST:PORT [--require SERIES]...
 //! ```
 //!
 //! `bench` without `--addr` spins up an embedded server on a loopback
 //! ephemeral port, benchmarks it, and shuts it down — that is what CI's
-//! serve-smoke job runs.
+//! serve-smoke job runs. `metrics` scrapes one `METRICS` exposition,
+//! validates that it parses, and (with `--require`) asserts named series
+//! are present with a nonzero value — CI's metrics-smoke job.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -18,7 +22,7 @@ use std::time::{Duration, Instant};
 use fg_gnn::data::SbmTask;
 use fg_gnn::models::build_model;
 use fg_serve::stats::LatencyRecorder;
-use fg_serve::{protocol, Engine, ServeConfig};
+use fg_serve::{metrics, protocol, Engine, ServeConfig};
 
 struct Opts {
     addr: Option<String>,
@@ -42,6 +46,10 @@ struct Opts {
     expect_no_shed: bool,
     expect_shed: bool,
     expect_plan_hits: bool,
+    trace_sample: u64,
+    slow_ms: Option<f64>,
+    trace_file: Option<String>,
+    require: Vec<String>,
 }
 
 impl Default for Opts {
@@ -68,20 +76,32 @@ impl Default for Opts {
             expect_no_shed: false,
             expect_shed: false,
             expect_plan_hits: false,
+            trace_sample: 0,
+            slow_ms: None,
+            trace_file: None,
+            require: Vec::new(),
         }
     }
 }
 
 const USAGE: &str = "usage:
-  fgserve serve [--addr HOST:PORT] [--model gcn|graphsage|gat|all] [--vertices N]
-                [--classes N] [--avg-deg N] [--noise N] [--hidden N] [--seed N]
-                [--batch N] [--delay-ms N] [--queue N] [--workers N]
-                [--kernel-threads N] [--deadline-ms N] [--exec-delay-ms N]
-  fgserve bench [--addr HOST:PORT] [--clients N] [--requests N] [--runs N]
-                [--model NAME] [dataset/engine knobs as above when embedded]
-                [--expect-no-shed] [--expect-shed] [--expect-plan-hits]
+  fgserve serve   [--addr HOST:PORT] [--model gcn|graphsage|gat|all] [--vertices N]
+                  [--classes N] [--avg-deg N] [--noise N] [--hidden N] [--seed N]
+                  [--batch N] [--delay-ms N] [--queue N] [--workers N]
+                  [--kernel-threads N] [--deadline-ms N] [--exec-delay-ms N]
+                  [--trace-sample N] [--slow-ms N] [--trace FILE]
+  fgserve bench   [--addr HOST:PORT] [--clients N] [--requests N] [--runs N]
+                  [--model NAME] [dataset/engine knobs as above when embedded]
+                  [--expect-no-shed] [--expect-shed] [--expect-plan-hits]
+  fgserve metrics --addr HOST:PORT [--require SERIES]...
 
-bench without --addr benchmarks an embedded server on an ephemeral port.";
+bench without --addr benchmarks an embedded server on an ephemeral port.
+--trace-sample N head-samples 1 in N requests for end-to-end tracing
+  (1 = every request); --trace FILE writes the sampled spans as a Chrome
+  trace_event file at shutdown (needs the telemetry feature).
+--slow-ms N logs a phase breakdown of requests slower than N ms (SLOWLOG).
+metrics scrapes one METRICS exposition and fails unless it parses and every
+  --require SERIES prefix matches at least one nonzero sample.";
 
 fn parse_opts(args: &[String]) -> Result<Opts, String> {
     let mut o = Opts::default();
@@ -119,6 +139,16 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--expect-no-shed" => o.expect_no_shed = true,
             "--expect-shed" => o.expect_shed = true,
             "--expect-plan-hits" => o.expect_plan_hits = true,
+            "--trace-sample" => o.trace_sample = num(arg, &value(arg, &mut it)?)? as u64,
+            "--slow-ms" => {
+                let v = value(arg, &mut it)?;
+                o.slow_ms = Some(
+                    v.parse()
+                        .map_err(|_| format!("{arg}: bad number {v:?}"))?,
+                );
+            }
+            "--trace" => o.trace_file = Some(value(arg, &mut it)?),
+            "--require" => o.require.push(value(arg, &mut it)?),
             other => return Err(format!("unknown flag {other}")),
         }
     }
@@ -138,6 +168,8 @@ fn build_engine(o: &Opts) -> Arc<Engine> {
         kernel_threads: o.kernel_threads,
         default_deadline: (o.deadline_ms > 0).then(|| Duration::from_millis(o.deadline_ms)),
         exec_delay: Duration::from_millis(o.exec_delay_ms),
+        trace_sample: o.trace_sample,
+        slow_ms: o.slow_ms,
     }));
     for name in &o.models {
         let task = SbmTask::generate(o.vertices, o.classes, o.avg_deg, o.noise, o.seed);
@@ -147,7 +179,36 @@ fn build_engine(o: &Opts) -> Arc<Engine> {
     engine
 }
 
+/// Turn telemetry on and install a Chrome-trace sink when `--trace FILE`
+/// was given. Returns the sink so shutdown can report write failures.
+#[cfg(feature = "telemetry")]
+fn trace_sink_setup(o: &Opts) -> Option<Arc<fg_telemetry::ChromeTraceSink>> {
+    let path = o.trace_file.as_ref()?;
+    fg_telemetry::set_enabled(true);
+    let sink = Arc::new(fg_telemetry::ChromeTraceSink::new(path.clone()));
+    fg_telemetry::add_sink(sink.clone());
+    Some(sink)
+}
+
+#[cfg(feature = "telemetry")]
+fn trace_sink_finish(o: &Opts, sink: Option<Arc<fg_telemetry::ChromeTraceSink>>) {
+    let (Some(path), Some(sink)) = (o.trace_file.as_ref(), sink) else {
+        return;
+    };
+    fg_telemetry::flush();
+    match sink.write_error() {
+        Some(err) => eprintln!("fgserve: failed to write trace to {path}: {err}"),
+        None => eprintln!("fgserve: trace written to {path}"),
+    }
+}
+
 fn cmd_serve(o: &Opts) -> ExitCode {
+    #[cfg(not(feature = "telemetry"))]
+    if o.trace_file.is_some() {
+        eprintln!("fgserve: --trace requires the telemetry feature (compiled out); ignoring");
+    }
+    #[cfg(feature = "telemetry")]
+    let sink = trace_sink_setup(o);
     let engine = build_engine(o);
     let addr = o.addr.clone().unwrap_or_else(|| "127.0.0.1:7878".into());
     let handle = match fg_serve::serve(engine, addr.as_str()) {
@@ -158,12 +219,16 @@ fn cmd_serve(o: &Opts) -> ExitCode {
         }
     };
     println!(
-        "fgserve: listening on {} models=[{}]",
+        "fgserve: listening on {} models=[{}] trace_sample={} slow_ms={}",
         handle.addr(),
-        o.models.join(",")
+        o.models.join(","),
+        o.trace_sample,
+        o.slow_ms.map_or("off".into(), |t| format!("{t}")),
     );
     let _ = std::io::stdout().flush();
     handle.join();
+    #[cfg(feature = "telemetry")]
+    trace_sink_finish(o, sink);
     ExitCode::SUCCESS
 }
 
@@ -236,6 +301,131 @@ fn stats_field(stats: &str, key: &str) -> Option<u64> {
         .split_ascii_whitespace()
         .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
         .and_then(|v| v.parse().ok())
+}
+
+/// Pull `key=<f64>` out of a STATS line.
+fn stats_field_f64(stats: &str, key: &str) -> Option<f64> {
+    stats
+        .split_ascii_whitespace()
+        .find_map(|tok| tok.strip_prefix(&format!("{key}=")))
+        .and_then(|v| v.parse().ok())
+}
+
+/// Scrape one `METRICS` exposition: send the command, read until the
+/// OpenMetrics `# EOF` terminator line.
+fn fetch_metrics(addr: &str) -> Option<String> {
+    let stream = TcpStream::connect(addr).ok()?;
+    let _ = stream.set_nodelay(true);
+    let mut writer = stream.try_clone().ok()?;
+    let mut reader = BufReader::new(stream);
+    writeln!(writer, "METRICS").ok()?;
+    let mut text = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        if reader.read_line(&mut line).ok()? == 0 {
+            return None; // connection dropped before the terminator
+        }
+        text.push_str(&line);
+        if line.trim_end() == "# EOF" {
+            return Some(text);
+        }
+    }
+}
+
+/// Per-phase quantile table plus the p99 attribution line, computed from a
+/// scraped exposition. Returns the lines to print (empty when no phase has
+/// samples).
+fn phase_report(samples: &[metrics::Sample]) -> Vec<String> {
+    let lookup = |series: &str| -> Option<f64> {
+        samples.iter().find(|s| s.series == series).map(|s| s.value)
+    };
+    let phases = ["queue_wait", "batch_form", "plan_compile", "execute", "serialize"];
+    let mut rows = Vec::new();
+    let mut p99s: Vec<(&str, f64)> = Vec::new();
+    for phase in phases {
+        let q = |q: &str| {
+            lookup(&format!(
+                "fgserve_phase_latency_ms{{phase=\"{phase}\",quantile=\"{q}\"}}"
+            ))
+        };
+        let count = lookup(&format!(
+            "fgserve_phase_latency_ms_count{{phase=\"{phase}\"}}"
+        ))
+        .unwrap_or(0.0);
+        if count == 0.0 {
+            continue;
+        }
+        let (p50, p95, p99) = (
+            q("0.5").unwrap_or(0.0),
+            q("0.95").unwrap_or(0.0),
+            q("0.99").unwrap_or(0.0),
+        );
+        rows.push(format!(
+            "    {phase:<13} p50 {p50:>8.3}  p95 {p95:>8.3}  p99 {p99:>8.3}  (n={count})"
+        ));
+        p99s.push((phase, p99));
+    }
+    if rows.is_empty() {
+        return rows;
+    }
+    let total: f64 = p99s.iter().map(|&(_, v)| v).sum();
+    if total > 0.0 {
+        p99s.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let attribution: Vec<String> = p99s
+            .iter()
+            .map(|(phase, v)| format!("{phase} {:.0}%", v / total * 100.0))
+            .collect();
+        rows.push(format!("  p99 attribution: {}", attribution.join("  ")));
+    }
+    rows.insert(0, "  phase latency ms:".into());
+    rows
+}
+
+fn cmd_metrics(o: &Opts) -> ExitCode {
+    let Some(addr) = o.addr.as_deref() else {
+        eprintln!("fgserve metrics: --addr is required");
+        return ExitCode::FAILURE;
+    };
+    let Some(text) = fetch_metrics(addr) else {
+        eprintln!("fgserve metrics: failed to scrape METRICS from {addr}");
+        return ExitCode::FAILURE;
+    };
+    let samples = match metrics::parse_exposition(&text) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("fgserve metrics: exposition does not parse: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!(
+        "fgserve metrics: {} samples from {addr}",
+        samples.len()
+    );
+    let mut failures = Vec::new();
+    for series in &o.require {
+        let hit = samples
+            .iter()
+            .find(|s| s.series.starts_with(series.as_str()) && s.value != 0.0);
+        match hit {
+            Some(s) => println!("  require {series}: {} = {}", s.series, s.value),
+            None => failures.push(format!(
+                "no nonzero sample matching required series {series:?}"
+            )),
+        }
+    }
+    for line in phase_report(&samples) {
+        println!("{line}");
+    }
+    if failures.is_empty() {
+        println!("fgserve metrics: PASS");
+        ExitCode::SUCCESS
+    } else {
+        for f in &failures {
+            eprintln!("fgserve metrics: FAIL: {f}");
+        }
+        ExitCode::FAILURE
+    }
 }
 
 fn cmd_bench(o: &Opts) -> ExitCode {
@@ -318,6 +508,20 @@ fn cmd_bench(o: &Opts) -> ExitCode {
         let stats = fetch_stats(&addr);
         if let Some(stats) = &stats {
             println!("  server {stats}");
+            // Queue/batch observability (fed by the batcher's observer).
+            let depth_max = stats_field(stats, "queue_depth_max").unwrap_or(0);
+            let batch_p50 = stats_field_f64(stats, "batch_p50").unwrap_or(0.0);
+            let batch_max = stats_field_f64(stats, "batch_max").unwrap_or(0.0);
+            println!(
+                "  queue depth max {depth_max}   batch size p50 {batch_p50:.1} max {batch_max:.1}"
+            );
+        }
+        if let Some(text) = fetch_metrics(&addr) {
+            if let Ok(samples) = metrics::parse_exposition(&text) {
+                for line in phase_report(&samples) {
+                    println!("{line}");
+                }
+            }
         }
         total_shed += tally.shed;
 
@@ -376,6 +580,7 @@ fn main() -> ExitCode {
     match cmd {
         "serve" => cmd_serve(&opts),
         "bench" => cmd_bench(&opts),
+        "metrics" => cmd_metrics(&opts),
         _ => {
             eprintln!("{USAGE}");
             ExitCode::FAILURE

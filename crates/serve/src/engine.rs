@@ -25,13 +25,18 @@ use std::time::{Duration, Instant};
 
 use fg_gnn::models::Model;
 use fg_gnn::{infer_batch, FeatgraphBackend, GnnGraph};
-use fg_telemetry::{counter_add, histogram_record, span, Counter, Histogram};
+use fg_telemetry::{
+    counter_add, emit_span, span, timestamp_ns, Counter, TraceContext, TraceSampler, TraceScope,
+};
 use fg_tensor::Dense2;
 
 use crate::batcher::{Batcher, BatcherConfig, PushError};
 use crate::oneshot::Oneshot;
 use crate::plan_cache::{PlanCache, PlanKey};
-use crate::stats::{ServeStats, StatsSnapshot};
+use crate::stats::{Phase, ServeStats, SlowEntry, SlowLog, StatsSnapshot};
+
+/// Slow-request log retention (newest entries win).
+const SLOW_LOG_CAPACITY: usize = 128;
 
 /// Engine configuration. Defaults suit an interactive low-latency setup.
 #[derive(Debug, Clone)]
@@ -52,6 +57,14 @@ pub struct ServeConfig {
     /// Artificial extra latency per batch execution — overload/timeout
     /// testing knob, zero in production.
     pub exec_delay: Duration,
+    /// Head-sample 1 in N requests for end-to-end tracing (`0` disables
+    /// sampling; `1` traces everything). Sampled requests carry their trace
+    /// id through every `fg-telemetry` span they touch.
+    pub trace_sample: u64,
+    /// Slow-request threshold: completed requests whose serve-side latency
+    /// meets or exceeds this many milliseconds get a phase breakdown in the
+    /// slow log. `None` disables the log.
+    pub slow_ms: Option<f64>,
 }
 
 impl Default for ServeConfig {
@@ -64,6 +77,8 @@ impl Default for ServeConfig {
             kernel_threads: 1,
             default_deadline: Some(Duration::from_millis(500)),
             exec_delay: Duration::ZERO,
+            trace_sample: 0,
+            slow_ms: None,
         }
     }
 }
@@ -138,7 +153,11 @@ pub struct InferResponse {
 struct Job {
     req: InferRequest,
     accepted: Instant,
+    /// Wall-clock accept timestamp on the telemetry clock (0 when telemetry
+    /// is disabled) — lets the worker emit the cross-thread queue-wait span.
+    accept_ns: u64,
     deadline: Option<Instant>,
+    trace: TraceContext,
     reply: Arc<Oneshot<Result<InferResponse, ServeError>>>,
 }
 
@@ -170,7 +189,9 @@ struct Shared {
     models: RwLock<HashMap<String, Arc<ModelEntry>>>,
     batcher: Batcher<Job>,
     plans: PlanCache,
-    stats: ServeStats,
+    stats: Arc<ServeStats>,
+    sampler: TraceSampler,
+    slow_log: SlowLog,
     next_graph_id: AtomicU64,
 }
 
@@ -184,16 +205,22 @@ impl Engine {
     /// Start an engine with `cfg.workers` batch-execution threads.
     pub fn new(cfg: ServeConfig) -> Self {
         let workers = cfg.workers.max(1);
+        let stats = Arc::new(ServeStats::default());
         let shared = Arc::new(Shared {
-            batcher: Batcher::new(BatcherConfig {
-                capacity: cfg.queue_capacity,
-                max_batch: cfg.max_batch,
-                max_delay: cfg.max_delay,
-            }),
+            batcher: Batcher::with_observer(
+                BatcherConfig {
+                    capacity: cfg.queue_capacity,
+                    max_batch: cfg.max_batch,
+                    max_delay: cfg.max_delay,
+                },
+                Arc::clone(&stats) as _,
+            ),
+            sampler: TraceSampler::new(cfg.trace_sample),
+            slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
             cfg,
             models: RwLock::new(HashMap::new()),
             plans: PlanCache::new(),
-            stats: ServeStats::default(),
+            stats,
             next_graph_id: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -244,9 +271,30 @@ impl Engine {
         names
     }
 
+    /// Mint a [`TraceContext`] for one incoming request, honoring the
+    /// configured 1-in-N sampling rate. Front-ends that want their own
+    /// accept-side span to share the request's trace id call this before
+    /// [`submit_traced`](Self::submit_traced); [`submit`](Self::submit)
+    /// mints internally.
+    pub fn mint_trace(&self) -> TraceContext {
+        self.shared.sampler.mint()
+    }
+
     /// Admit a request. Fails fast (without queueing) on unknown model,
     /// out-of-range node, full queue, or shutdown.
     pub fn submit(&self, req: InferRequest) -> Result<Ticket, ServeError> {
+        let trace = self.mint_trace();
+        self.submit_traced(req, trace)
+    }
+
+    /// [`submit`](Self::submit) with a caller-minted [`TraceContext`]
+    /// (from [`mint_trace`](Self::mint_trace)) so front-end spans and
+    /// worker-side spans land in the same trace tree.
+    pub fn submit_traced(
+        &self,
+        req: InferRequest,
+        trace: TraceContext,
+    ) -> Result<Ticket, ServeError> {
         counter_add(Counter::ServeRequests, 1);
         let entry = self
             .shared
@@ -272,7 +320,9 @@ impl Engine {
         let job = Job {
             req,
             accepted: now,
+            accept_ns: if trace.sampled { timestamp_ns() } else { 0 },
             deadline,
+            trace,
             reply: Arc::clone(&reply),
         };
         match self.shared.batcher.push(job) {
@@ -297,6 +347,31 @@ impl Engine {
     /// Point-in-time statistics.
     pub fn stats(&self) -> StatsSnapshot {
         self.shared.stats.snapshot()
+    }
+
+    /// Record one serialize-phase sample. The engine never sees reply
+    /// serialization (it happens on the front-end's connection thread), so
+    /// the front-end feeds the phase recorder through this.
+    pub fn record_serialize(&self, dur: Duration) {
+        self.shared.stats.record_phase(Phase::Serialize, dur);
+    }
+
+    /// Retained slow-request entries, oldest first, capped at `limit`
+    /// newest when given. Empty unless [`ServeConfig::slow_ms`] is set.
+    pub fn slow_requests(&self, limit: Option<usize>) -> Vec<SlowEntry> {
+        self.shared.slow_log.entries(limit)
+    }
+
+    /// Slow requests ever logged (including entries since evicted).
+    pub fn slow_total(&self) -> u64 {
+        self.shared.slow_log.total()
+    }
+
+    /// Full Prometheus-style text exposition: the engine's always-on serve
+    /// series plus (when compiled in and enabled) the process-wide
+    /// `fg-telemetry` registry, terminated by `# EOF`.
+    pub fn metrics_text(&self) -> String {
+        crate::metrics::render(&self.stats(), self.plan_cache_len())
     }
 
     /// Compiled-plan cache entries currently held.
@@ -328,10 +403,31 @@ fn worker_loop(shared: Arc<Shared>) {
 }
 
 fn execute_batch(shared: &Shared, jobs: Vec<Job>) {
+    let pulled = Instant::now();
+    let pulled_ns = timestamp_ns();
+    // A batch may mix jobs from several traces; parent the batch span under
+    // the first sampled one so at least one trace tree shows batch context.
+    let batch_trace = jobs
+        .iter()
+        .find(|j| j.trace.sampled)
+        .map_or(TraceContext::NONE, |j| j.trace);
+    let _batch_scope = TraceScope::enter(batch_trace);
     let _span = span!("serve/batch", "jobs={}", jobs.len());
     counter_add(Counter::ServeBatches, 1);
-    histogram_record(Histogram::ServeBatchSize, jobs.len() as u64);
     shared.stats.batches.fetch_add(1, Ordering::Relaxed);
+    // Queue wait elapsed on another thread; emit it as an externally-timed
+    // span per sampled job so the trace tree covers accept → pull.
+    for job in &jobs {
+        if job.trace.sampled && job.accept_ns != 0 && pulled_ns > job.accept_ns {
+            emit_span(
+                "serve/queue_wait",
+                Some(format!("node={}", job.req.node)),
+                job.accept_ns,
+                pulled_ns - job.accept_ns,
+                job.trace.trace_id,
+            );
+        }
+    }
     if !shared.cfg.exec_delay.is_zero() {
         std::thread::sleep(shared.cfg.exec_delay);
     }
@@ -353,6 +449,16 @@ fn execute_batch(shared: &Shared, jobs: Vec<Job>) {
         groups.entry(job.req.model.clone()).or_default().push(job);
     }
     for (model_name, group) in groups {
+        let group_start = Instant::now();
+        // Phase accounting sees the group through this batch's clock:
+        // batch_form covers pull → this group's start (deadline filtering,
+        // grouping, earlier groups in the same batch).
+        let batch_form = group_start.duration_since(pulled);
+        let group_trace = group
+            .iter()
+            .find(|j| j.trace.sampled)
+            .map_or(TraceContext::NONE, |j| j.trace);
+        let _group_scope = TraceScope::enter(group_trace);
         let entry = shared.models.read().unwrap().get(&model_name).cloned();
         let Some(entry) = entry else {
             // Model was unregistered between submit and execution.
@@ -363,9 +469,14 @@ fn execute_batch(shared: &Shared, jobs: Vec<Job>) {
             continue;
         };
         let key = PlanKey::cpu(entry.graph_id, &model_name, shared.cfg.kernel_threads);
-        let (backend, hit) = shared
-            .plans
-            .get_or_insert(&key, || FeatgraphBackend::cpu(shared.cfg.kernel_threads));
+        let mut compile = Duration::ZERO;
+        let (backend, hit) = shared.plans.get_or_insert(&key, || {
+            let _compile_span = span!("serve/plan_compile", "model={model_name}");
+            let t0 = Instant::now();
+            let backend = FeatgraphBackend::cpu(shared.cfg.kernel_threads);
+            compile = t0.elapsed();
+            backend
+        });
         let slot = if hit {
             &shared.stats.plan_hits
         } else {
@@ -374,6 +485,7 @@ fn execute_batch(shared: &Shared, jobs: Vec<Job>) {
         slot.fetch_add(1, Ordering::Relaxed);
 
         let nodes: Vec<usize> = group.iter().map(|j| j.req.node).collect();
+        let exec_start = Instant::now();
         let result = {
             let _infer_span = span!("serve/infer", "model={model_name} nodes={}", nodes.len());
             infer_batch(
@@ -384,6 +496,7 @@ fn execute_batch(shared: &Shared, jobs: Vec<Job>) {
                 &nodes,
             )
         };
+        let execute = exec_start.elapsed();
         match result {
             Ok(rows) => {
                 for (job, logits) in group.into_iter().zip(rows) {
@@ -392,8 +505,33 @@ fn execute_batch(shared: &Shared, jobs: Vec<Job>) {
                         .enumerate()
                         .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
                         .map_or(0, |(i, _)| i);
+                    let total = job.accepted.elapsed();
+                    // Every job in the group waited through the whole
+                    // compile and forward pass, so each gets the full
+                    // durations: per-request phases then sum to its own
+                    // end-to-end latency.
+                    let queue_wait = pulled.duration_since(job.accepted);
+                    shared.stats.record_phase(Phase::QueueWait, queue_wait);
+                    shared.stats.record_phase(Phase::BatchForm, batch_form);
+                    shared.stats.record_phase(Phase::PlanCompile, compile);
+                    shared.stats.record_phase(Phase::Execute, execute);
                     shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                    shared.stats.latency.record(job.accepted.elapsed());
+                    shared.stats.latency.record(total);
+                    let total_ms = total.as_secs_f64() * 1e3;
+                    if shared.cfg.slow_ms.is_some_and(|t| total_ms >= t) {
+                        shared.slow_log.push(SlowEntry {
+                            seq: 0,
+                            trace_id: job.trace.trace_id,
+                            sampled: job.trace.sampled,
+                            model: model_name.clone(),
+                            node: job.req.node,
+                            total_ms,
+                            queue_ms: queue_wait.as_secs_f64() * 1e3,
+                            batch_ms: batch_form.as_secs_f64() * 1e3,
+                            compile_ms: compile.as_secs_f64() * 1e3,
+                            execute_ms: execute.as_secs_f64() * 1e3,
+                        });
+                    }
                     job.reply.send(Ok(InferResponse { class, logits }));
                 }
             }

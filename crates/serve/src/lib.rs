@@ -24,24 +24,35 @@
 //! * [`engine`] — admission control, per-request deadlines, worker pool,
 //!   graceful drain, typed [`engine::ServeError`]s.
 //! * [`plan_cache`] — `(graph id, model, options)` → compiled backend.
-//! * [`stats`] — always-on p50/p95/p99 latency and event counters
-//!   (`fg-telemetry` counters/gauges/histograms ride along when the
-//!   `telemetry` feature is on).
+//! * [`stats`] — always-on p50/p95/p99 latency, **per-phase**
+//!   (queue-wait / batch-form / plan-compile / execute / serialize)
+//!   quantiles, queue-depth/batch-size distributions, event counters, and
+//!   the slow-request log (`fg-telemetry` counters/gauges/histograms ride
+//!   along when the `telemetry` feature is on).
+//! * [`metrics`] — Prometheus-style text exposition behind the `METRICS`
+//!   wire command (always-on `fgserve_*` series plus the telemetry
+//!   registry).
 //! * [`protocol`] / [`server`] — line-oriented TCP front-end for the
 //!   `fgserve` binary.
+//!
+//! Observability: every request gets a trace id from a 1-in-N
+//! [`fg_telemetry::TraceSampler`] ([`engine::ServeConfig::trace_sample`]);
+//! sampled requests thread that id through the front-end, batcher, worker,
+//! and kernel spans, producing one coherent Chrome-trace tree per request.
 
 #![warn(missing_docs)]
 
 pub mod batcher;
 pub mod engine;
+pub mod metrics;
 pub mod oneshot;
 pub mod plan_cache;
 pub mod protocol;
 pub mod server;
 pub mod stats;
 
-pub use batcher::{Batcher, BatcherConfig, PushError};
+pub use batcher::{Batcher, BatcherConfig, PushError, QueueObserver};
 pub use engine::{Engine, InferRequest, InferResponse, ServeConfig, ServeError, Ticket};
 pub use plan_cache::{PlanCache, PlanKey};
 pub use server::{serve, ServerHandle};
-pub use stats::{LatencySnapshot, StatsSnapshot};
+pub use stats::{LatencySnapshot, Phase, SlowEntry, StatsSnapshot};

@@ -1,0 +1,220 @@
+//! Prometheus-style text exposition for the serving engine, backing the
+//! `METRICS` wire command.
+//!
+//! Two layers compose here:
+//!
+//! * **Always-on engine series** (`fgserve_*`), rendered from the engine's
+//!   own [`StatsSnapshot`] — counters, queue-depth gauges, and
+//!   summary-style quantile series for request latency, batch size, and
+//!   every serve [`Phase`]. These exist even when `fg-telemetry` is
+//!   compiled out, so `METRICS` always answers.
+//! * **The process-wide telemetry registry** (`featgraph_*`), appended via
+//!   [`fg_telemetry::prometheus_write`] — empty when compiled out or
+//!   runtime-disabled.
+//!
+//! The exposition is terminated by the OpenMetrics `# EOF` marker, which
+//! doubles as the framing sentinel on the line-oriented wire protocol:
+//! clients read until they see it.
+
+use crate::stats::{LatencySnapshot, Phase, StatsSnapshot};
+
+/// One parsed sample: series identity (`name{labels}` exactly as exposed)
+/// and its value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Metric name including any label set, e.g.
+    /// `fgserve_phase_latency_ms{phase="execute",quantile="0.99"}`.
+    pub series: String,
+    /// Sample value.
+    pub value: f64,
+}
+
+fn write_summary(out: &mut String, name: &str, labels: &str, snap: &LatencySnapshot) {
+    use std::fmt::Write;
+    let sep = if labels.is_empty() { "" } else { "," };
+    if snap.count > 0 {
+        for (q, v) in [
+            ("0.5", snap.p50_ms),
+            ("0.95", snap.p95_ms),
+            ("0.99", snap.p99_ms),
+        ] {
+            let _ = writeln!(out, "{name}{{{labels}{sep}quantile=\"{q}\"}} {v}");
+        }
+        let _ = writeln!(out, "{name}_max{{{labels}}} {}", snap.max_ms);
+    }
+    let _ = writeln!(out, "{name}_count{{{labels}}} {}", snap.count);
+}
+
+/// Render the full exposition for one engine snapshot. `plan_cache_entries`
+/// is the live compiled-plan cache size (a gauge the snapshot doesn't
+/// carry).
+pub fn render(stats: &StatsSnapshot, plan_cache_entries: usize) -> String {
+    use std::fmt::Write;
+    let mut out = String::with_capacity(4096);
+    for (name, value) in [
+        ("fgserve_requests_accepted_total", stats.accepted),
+        ("fgserve_requests_completed_total", stats.completed),
+        ("fgserve_requests_shed_total", stats.shed),
+        ("fgserve_requests_timed_out_total", stats.timed_out),
+        ("fgserve_requests_failed_total", stats.failed),
+        ("fgserve_batches_total", stats.batches),
+        ("fgserve_plan_cache_hits_total", stats.plan_hits),
+        ("fgserve_plan_cache_misses_total", stats.plan_misses),
+    ] {
+        let _ = writeln!(out, "# TYPE {} counter", name.trim_end_matches("_total"));
+        let _ = writeln!(out, "{name} {value}");
+    }
+    for (name, value) in [
+        ("fgserve_queue_depth", stats.queue_depth),
+        ("fgserve_queue_depth_max", stats.queue_depth_max),
+        ("fgserve_plan_cache_entries", plan_cache_entries as u64),
+    ] {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
+    }
+
+    let _ = writeln!(out, "# TYPE fgserve_request_latency_ms summary");
+    write_summary(&mut out, "fgserve_request_latency_ms", "", &stats.latency);
+    let _ = writeln!(out, "# TYPE fgserve_batch_size summary");
+    write_summary(&mut out, "fgserve_batch_size", "", &stats.batch_size);
+    let _ = writeln!(out, "# TYPE fgserve_phase_latency_ms summary");
+    for phase in Phase::ALL {
+        write_summary(
+            &mut out,
+            "fgserve_phase_latency_ms",
+            &format!("phase=\"{}\"", phase.name()),
+            stats.phase(phase),
+        );
+    }
+
+    fg_telemetry::prometheus_write(&mut out);
+    out.push_str("# EOF\n");
+    out
+}
+
+/// Strictly parse a text exposition: every line must be a `#` comment or a
+/// `series value` sample with a finite-or-NaN-free parseable value, and the
+/// last line must be `# EOF`. Returns the samples in exposition order.
+pub fn parse_exposition(text: &str) -> Result<Vec<Sample>, String> {
+    let mut samples = Vec::new();
+    let mut saw_eof = false;
+    for (lineno, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        if saw_eof {
+            return Err(format!("line {}: content after # EOF", lineno + 1));
+        }
+        if let Some(comment) = line.strip_prefix('#') {
+            if comment.trim() == "EOF" {
+                saw_eof = true;
+            }
+            continue;
+        }
+        // `name{labels} value` — the value is everything after the last
+        // space outside braces; since label values here never contain
+        // spaces, splitting on the final space is exact.
+        let (series, value) = line
+            .rsplit_once(' ')
+            .ok_or_else(|| format!("line {}: no value in {line:?}", lineno + 1))?;
+        let value: f64 = value
+            .parse()
+            .map_err(|_| format!("line {}: unparseable value in {line:?}", lineno + 1))?;
+        if value.is_nan() {
+            return Err(format!("line {}: NaN sample in {line:?}", lineno + 1));
+        }
+        if series.is_empty() || !series.chars().next().unwrap().is_ascii_alphabetic() {
+            return Err(format!("line {}: bad series name in {line:?}", lineno + 1));
+        }
+        samples.push(Sample {
+            series: series.to_string(),
+            value,
+        });
+    }
+    if !saw_eof {
+        return Err("exposition not terminated by # EOF".into());
+    }
+    Ok(samples)
+}
+
+/// First sample whose series identity matches `series` exactly.
+pub fn sample(text: &str, series: &str) -> Option<f64> {
+    parse_exposition(text)
+        .ok()?
+        .into_iter()
+        .find(|s| s.series == series)
+        .map(|s| s.value)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::ServeStats;
+    use std::sync::atomic::Ordering;
+    use std::time::Duration;
+
+    #[test]
+    fn empty_engine_exposition_parses_and_has_always_on_series() {
+        let stats = ServeStats::default();
+        let text = render(&stats.snapshot(), 0);
+        let samples = parse_exposition(&text).expect("parseable");
+        assert!(text.ends_with("# EOF\n"));
+        let count = |name: &str| {
+            samples
+                .iter()
+                .find(|s| s.series == name)
+                .unwrap_or_else(|| panic!("{name} missing"))
+                .value
+        };
+        assert_eq!(count("fgserve_requests_accepted_total"), 0.0);
+        assert_eq!(count("fgserve_plan_cache_entries"), 0.0);
+        assert_eq!(
+            count("fgserve_phase_latency_ms_count{phase=\"queue_wait\"}"),
+            0.0
+        );
+        // No quantile series (and no NaN) when the window is empty.
+        assert!(!text.contains("NaN"), "{text}");
+        assert!(!text.contains("quantile"), "{text}");
+    }
+
+    #[test]
+    fn populated_phase_series_expose_quantiles() {
+        let stats = ServeStats::default();
+        stats.completed.store(4, Ordering::Relaxed);
+        for _ in 0..10 {
+            stats.record_phase(Phase::Execute, Duration::from_millis(8));
+        }
+        let text = render(&stats.snapshot(), 3);
+        assert_eq!(
+            sample(
+                &text,
+                "fgserve_phase_latency_ms{phase=\"execute\",quantile=\"0.99\"}"
+            ),
+            Some(8.0)
+        );
+        assert_eq!(
+            sample(&text, "fgserve_phase_latency_ms_count{phase=\"execute\"}"),
+            Some(10.0)
+        );
+        assert_eq!(sample(&text, "fgserve_plan_cache_entries"), Some(3.0));
+    }
+
+    #[test]
+    fn parser_rejects_malformed_expositions() {
+        assert!(parse_exposition("fgserve_x 1\n").is_err(), "missing EOF");
+        assert!(
+            parse_exposition("fgserve_x notanumber\n# EOF\n").is_err(),
+            "bad value"
+        );
+        assert!(
+            parse_exposition("fgserve_x NaN\n# EOF\n").is_err(),
+            "NaN sample"
+        );
+        assert!(
+            parse_exposition("# EOF\nfgserve_x 1\n").is_err(),
+            "content after EOF"
+        );
+        assert!(parse_exposition("# hello\n# EOF\n").is_ok(), "comments ok");
+    }
+}

@@ -5,19 +5,28 @@
 //! ```text
 //! INFER <model> <node> [id=<token>] [deadline_ms=<n>]
 //! STATS
+//! METRICS
+//! SLOWLOG [<n>]
 //! PING
 //! SHUTDOWN
 //! ```
 //!
-//! Responses (one line per request, in request order per connection):
+//! Responses (one reply per request, in request order per connection;
+//! single-line except where noted):
 //!
 //! ```text
 //! OK <id> <class> <logit0> <logit1> ...
 //! ERR <id> <code> [detail ...]
 //! STATS <key>=<value> ...
+//! <prometheus exposition, multi-line, terminated by "# EOF">
+//! SLOWLOG <n> (followed by n "SLOW <key>=<value> ..." lines)
 //! PONG
 //! BYE
 //! ```
+//!
+//! `METRICS` is the only reply without a fixed line count: clients read
+//! until the OpenMetrics `# EOF` terminator line. `SLOWLOG` declares its
+//! line count up front in the header.
 //!
 //! `<id>` is an opaque client token echoed back verbatim (`-` when the
 //! request carried none) — it is how `fgserve bench` proves that no
@@ -49,6 +58,13 @@ pub enum Request {
     },
     /// `STATS`
     Stats,
+    /// `METRICS` — Prometheus-style exposition, read until `# EOF`.
+    Metrics,
+    /// `SLOWLOG [<n>]` — newest `n` slow-request entries (all when omitted).
+    SlowLog {
+        /// Maximum entries to return.
+        limit: Option<usize>,
+    },
     /// `PING`
     Ping,
     /// `SHUTDOWN`
@@ -73,6 +89,14 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
     match verb {
         "PING" => Ok(Request::Ping),
         "STATS" => Ok(Request::Stats),
+        "METRICS" => Ok(Request::Metrics),
+        "SLOWLOG" => {
+            let limit = match parts.next() {
+                None => None,
+                Some(tok) => Some(tok.parse().map_err(|_| format!("bad SLOWLOG limit {tok:?}"))?),
+            };
+            Ok(Request::SlowLog { limit })
+        }
         "SHUTDOWN" => Ok(Request::Shutdown),
         "INFER" => {
             let model = parts
@@ -207,6 +231,15 @@ mod tests {
         );
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(
+            parse_request("SLOWLOG").unwrap(),
+            Request::SlowLog { limit: None }
+        );
+        assert_eq!(
+            parse_request("SLOWLOG 10").unwrap(),
+            Request::SlowLog { limit: Some(10) }
+        );
         assert_eq!(parse_request("SHUTDOWN").unwrap(), Request::Shutdown);
     }
 
@@ -219,6 +252,7 @@ mod tests {
         assert!(parse_request("INFER gcn 1 id=").is_err());
         assert!(parse_request("INFER gcn 1 deadline_ms=soon").is_err());
         assert!(parse_request("INFER gcn 1 frobnicate=1").is_err());
+        assert!(parse_request("SLOWLOG many").is_err());
     }
 
     #[test]

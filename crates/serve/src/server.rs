@@ -1,5 +1,7 @@
 //! Blocking TCP front-end over `std::net`: one acceptor thread, one thread
-//! per connection, one reply line per request line (in order).
+//! per connection, one reply per request line (in order; `METRICS` and
+//! `SLOWLOG` replies span multiple lines with explicit terminators/counts,
+//! everything else is a single line).
 //!
 //! The server owns an `Arc<Engine>`; `SHUTDOWN` (or
 //! [`ServerHandle::shutdown`]) stops the acceptor, drains the engine, and
@@ -12,8 +14,9 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
+use std::time::Instant;
 
-use fg_telemetry::span;
+use fg_telemetry::{span, TraceScope};
 
 use crate::engine::{Engine, InferRequest};
 use crate::protocol::{self, Request};
@@ -113,6 +116,11 @@ enum ConnOutcome {
     ShutdownRequested,
 }
 
+fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
+    writeln!(writer, "{line}")?;
+    writer.flush()
+}
+
 fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> ConnOutcome {
     let mut writer = match stream.try_clone() {
         Ok(w) => w,
@@ -124,11 +132,32 @@ fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> C
         if line.trim().is_empty() {
             continue;
         }
-        let _span = span!("serve/request");
-        let reply = match protocol::parse_request(&line) {
-            Err(msg) => protocol::format_bad_request(&msg),
-            Ok(Request::Ping) => "PONG".to_string(),
-            Ok(Request::Stats) => format!("STATS {}", engine.stats().to_wire_line()),
+        let written = match protocol::parse_request(&line) {
+            Err(msg) => write_line(&mut writer, &protocol::format_bad_request(&msg)),
+            Ok(Request::Ping) => write_line(&mut writer, "PONG"),
+            Ok(Request::Stats) => {
+                let _span = span!("serve/request", "verb=STATS");
+                write_line(&mut writer, &format!("STATS {}", engine.stats().to_wire_line()))
+            }
+            Ok(Request::Metrics) => {
+                // Multi-line reply; the exposition already ends with the
+                // "# EOF" terminator line clients read up to.
+                let text = engine.metrics_text();
+                writer
+                    .write_all(text.as_bytes())
+                    .and_then(|_| writer.flush())
+            }
+            Ok(Request::SlowLog { limit }) => {
+                let entries = engine.slow_requests(limit);
+                let mut out = format!("SLOWLOG {}\n", entries.len());
+                for entry in &entries {
+                    out.push_str(&entry.to_wire_line());
+                    out.push('\n');
+                }
+                writer
+                    .write_all(out.as_bytes())
+                    .and_then(|_| writer.flush())
+            }
             Ok(Request::Shutdown) => {
                 let _ = writeln!(writer, "BYE");
                 return ConnOutcome::ShutdownRequested;
@@ -138,18 +167,37 @@ fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> C
                 let Request::Infer { model, node, id, .. } = req else {
                     unreachable!()
                 };
-                let result = engine.infer(InferRequest {
-                    model,
-                    node,
-                    deadline,
-                });
-                match result {
+                // Mint the trace before submitting so this front-end span
+                // and every engine/kernel span below it share one trace id.
+                let trace = engine.mint_trace();
+                let _scope = TraceScope::enter(trace);
+                let _span = span!(
+                    "serve/request",
+                    "model={model} node={node} trace={:#x}",
+                    trace.trace_id
+                );
+                let result = engine
+                    .submit_traced(
+                        InferRequest {
+                            model,
+                            node,
+                            deadline,
+                        },
+                        trace,
+                    )
+                    .and_then(|ticket| ticket.wait());
+                // Serialize phase: reply formatting plus the socket write.
+                let ser_start = Instant::now();
+                let reply = match result {
                     Ok(resp) => protocol::format_ok(id.as_deref(), &resp),
                     Err(err) => protocol::format_err(id.as_deref(), &err),
-                }
+                };
+                let written = write_line(&mut writer, &reply);
+                engine.record_serialize(ser_start.elapsed());
+                written
             }
         };
-        if writeln!(writer, "{reply}").is_err() || writer.flush().is_err() {
+        if written.is_err() {
             break;
         }
         if stop.load(Ordering::SeqCst) {

@@ -1,13 +1,20 @@
-//! Engine-local serving statistics: lock-free event counters plus an exact
-//! (ring-buffered) latency recorder with p50/p95/p99 quantiles.
+//! Engine-local serving statistics: lock-free event counters, an exact
+//! (ring-buffered) latency recorder with p50/p95/p99 quantiles, always-on
+//! **per-phase** latency accounting (queue-wait / batch-form / plan-compile
+//! / execute / serialize), a queue-depth gauge, a batch-size distribution,
+//! and a bounded slow-request log.
 //!
 //! These are always on and engine-scoped, complementing the process-wide
-//! `fg-telemetry` registry (which can be compiled out): the `STATS` wire
-//! command and the `fgserve bench` report read from here.
+//! `fg-telemetry` registry (which can be compiled out): the `STATS` /
+//! `METRICS` / `SLOWLOG` wire commands and the `fgserve bench` report read
+//! from here.
 
+use std::collections::VecDeque;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 use std::time::Duration;
+
+use crate::batcher::QueueObserver;
 
 /// Latest-window latency samples (milliseconds). Exact quantiles over up to
 /// [`LatencyRecorder::WINDOW`] most recent samples; older samples are
@@ -39,6 +46,17 @@ pub struct LatencySnapshot {
     pub max_ms: f64,
 }
 
+impl LatencySnapshot {
+    const EMPTY: LatencySnapshot = LatencySnapshot {
+        count: 0,
+        p50_ms: f64::NAN,
+        p95_ms: f64::NAN,
+        p99_ms: f64::NAN,
+        mean_ms: f64::NAN,
+        max_ms: f64::NAN,
+    };
+}
+
 impl Default for LatencyRecorder {
     fn default() -> Self {
         Self::new()
@@ -62,13 +80,18 @@ impl LatencyRecorder {
 
     /// Record one latency sample.
     pub fn record(&self, latency: Duration) {
-        let ms = latency.as_secs_f64() * 1e3;
+        self.record_value(latency.as_secs_f64() * 1e3);
+    }
+
+    /// Record one raw sample (the recorder is unit-agnostic: latencies go
+    /// in as milliseconds, batch sizes as counts).
+    pub fn record_value(&self, value: f64) {
         let mut ring = self.ring.lock().unwrap();
         if ring.samples.len() < Self::WINDOW {
-            ring.samples.push(ms);
+            ring.samples.push(value);
         } else {
             let slot = ring.next;
-            ring.samples[slot] = ms;
+            ring.samples[slot] = value;
             ring.next = (slot + 1) % Self::WINDOW;
         }
         ring.total += 1;
@@ -78,14 +101,7 @@ impl LatencyRecorder {
     pub fn snapshot(&self) -> LatencySnapshot {
         let ring = self.ring.lock().unwrap();
         if ring.samples.is_empty() {
-            return LatencySnapshot {
-                count: 0,
-                p50_ms: f64::NAN,
-                p95_ms: f64::NAN,
-                p99_ms: f64::NAN,
-                mean_ms: f64::NAN,
-                max_ms: f64::NAN,
-            };
+            return LatencySnapshot::EMPTY;
         }
         let mut sorted = ring.samples.clone();
         sorted.sort_by(|a, b| a.partial_cmp(b).unwrap());
@@ -104,8 +120,141 @@ impl LatencyRecorder {
     }
 }
 
-/// Monotonic event counters for one engine instance.
-#[derive(Default)]
+/// One serve-side phase of a request's life. Every completed request
+/// contributes one sample per phase (serialize is recorded by the TCP
+/// front-end; embedded callers that never serialize leave it empty).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Phase {
+    /// Accepted into the queue → the worker pulled its batch.
+    QueueWait,
+    /// Batch pulled → this request's model group started executing
+    /// (deadline filtering, grouping, and earlier groups in the batch).
+    BatchForm,
+    /// Compiling a backend on a plan-cache miss (zero on a hit).
+    PlanCompile,
+    /// The group's batched forward pass.
+    Execute,
+    /// Formatting and writing the reply line (front-end only).
+    Serialize,
+}
+
+impl Phase {
+    /// Number of phases.
+    pub const COUNT: usize = 5;
+
+    /// Every phase, in pipeline order.
+    pub const ALL: [Phase; Phase::COUNT] = [
+        Phase::QueueWait,
+        Phase::BatchForm,
+        Phase::PlanCompile,
+        Phase::Execute,
+        Phase::Serialize,
+    ];
+
+    /// Stable snake_case name used in wire lines and metric labels.
+    pub fn name(self) -> &'static str {
+        match self {
+            Phase::QueueWait => "queue_wait",
+            Phase::BatchForm => "batch_form",
+            Phase::PlanCompile => "plan_compile",
+            Phase::Execute => "execute",
+            Phase::Serialize => "serialize",
+        }
+    }
+}
+
+/// One entry in the slow-request log: the full phase breakdown of a request
+/// whose serve-side latency crossed the configured threshold.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SlowEntry {
+    /// Monotonic sequence number (1-based) of this slow request.
+    pub seq: u64,
+    /// Trace id minted for the request (nonzero even when unsampled).
+    pub trace_id: u64,
+    /// Whether the request was trace-sampled (its spans carry the id).
+    pub sampled: bool,
+    /// Target model.
+    pub model: String,
+    /// Requested node.
+    pub node: usize,
+    /// End-to-end serve-side latency (accept → reply ready), milliseconds.
+    pub total_ms: f64,
+    /// Queue-wait phase, milliseconds.
+    pub queue_ms: f64,
+    /// Batch-formation phase, milliseconds.
+    pub batch_ms: f64,
+    /// Plan-compile phase, milliseconds (zero on a plan-cache hit).
+    pub compile_ms: f64,
+    /// Execute phase, milliseconds.
+    pub execute_ms: f64,
+}
+
+impl SlowEntry {
+    /// Render as one `SLOW key=value ...` wire line.
+    pub fn to_wire_line(&self) -> String {
+        format!(
+            "SLOW seq={} trace={:#x} sampled={} model={} node={} total_ms={:.3} \
+             queue_ms={:.3} batch_ms={:.3} compile_ms={:.3} execute_ms={:.3}",
+            self.seq,
+            self.trace_id,
+            self.sampled,
+            self.model,
+            self.node,
+            self.total_ms,
+            self.queue_ms,
+            self.batch_ms,
+            self.compile_ms,
+            self.execute_ms,
+        )
+    }
+}
+
+/// Bounded ring of [`SlowEntry`]s, newest last. Capacity-bounded so a
+/// pathological workload cannot grow the log without limit.
+pub struct SlowLog {
+    cap: usize,
+    next_seq: AtomicU64,
+    entries: Mutex<VecDeque<SlowEntry>>,
+}
+
+impl SlowLog {
+    /// A log retaining at most `cap` most recent entries.
+    pub fn new(cap: usize) -> Self {
+        SlowLog {
+            cap: cap.max(1),
+            next_seq: AtomicU64::new(1),
+            entries: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Append `entry` (its `seq` is assigned here), evicting the oldest
+    /// entry when full. Returns the assigned sequence number.
+    pub fn push(&self, mut entry: SlowEntry) -> u64 {
+        let seq = self.next_seq.fetch_add(1, Ordering::Relaxed);
+        entry.seq = seq;
+        let mut entries = self.entries.lock().unwrap();
+        if entries.len() == self.cap {
+            entries.pop_front();
+        }
+        entries.push_back(entry);
+        seq
+    }
+
+    /// Slow requests ever seen (including evicted ones).
+    pub fn total(&self) -> u64 {
+        self.next_seq.load(Ordering::Relaxed) - 1
+    }
+
+    /// Retained entries, oldest first, capped at `limit` newest when given.
+    pub fn entries(&self, limit: Option<usize>) -> Vec<SlowEntry> {
+        let entries = self.entries.lock().unwrap();
+        let n = limit.unwrap_or(entries.len()).min(entries.len());
+        entries.iter().skip(entries.len() - n).cloned().collect()
+    }
+}
+
+/// Monotonic event counters plus latency/phase/batch recorders for one
+/// engine instance.
 pub struct ServeStats {
     /// Requests accepted into the queue.
     pub accepted: AtomicU64,
@@ -125,6 +274,78 @@ pub struct ServeStats {
     pub plan_misses: AtomicU64,
     /// End-to-end latency of completed requests.
     pub latency: LatencyRecorder,
+    /// Per-phase latency recorders, indexed by [`Phase`] discriminant.
+    pub phases: [LatencyRecorder; Phase::COUNT],
+    /// Requests per dispatched batch (fed by the batcher).
+    pub batch_sizes: LatencyRecorder,
+    /// Items queued right now (fed by the batcher).
+    pub queue_depth: AtomicU64,
+    /// High-water mark of the queue depth.
+    pub queue_depth_max: AtomicU64,
+}
+
+impl Default for ServeStats {
+    fn default() -> Self {
+        ServeStats {
+            accepted: AtomicU64::new(0),
+            completed: AtomicU64::new(0),
+            shed: AtomicU64::new(0),
+            timed_out: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
+            plan_hits: AtomicU64::new(0),
+            plan_misses: AtomicU64::new(0),
+            latency: LatencyRecorder::new(),
+            phases: std::array::from_fn(|_| LatencyRecorder::new()),
+            batch_sizes: LatencyRecorder::new(),
+            queue_depth: AtomicU64::new(0),
+            queue_depth_max: AtomicU64::new(0),
+        }
+    }
+}
+
+impl ServeStats {
+    /// Record one sample for `phase`.
+    pub fn record_phase(&self, phase: Phase, latency: Duration) {
+        self.phases[phase as usize].record(latency);
+    }
+
+    /// Consistent-enough point-in-time copy (individual loads are relaxed;
+    /// totals may be mid-update by at most one in-flight request).
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let completed = self.completed.load(Ordering::Relaxed);
+        let batches = self.batches.load(Ordering::Relaxed);
+        let hits = self.plan_hits.load(Ordering::Relaxed);
+        let misses = self.plan_misses.load(Ordering::Relaxed);
+        StatsSnapshot {
+            accepted: self.accepted.load(Ordering::Relaxed),
+            completed,
+            shed: self.shed.load(Ordering::Relaxed),
+            timed_out: self.timed_out.load(Ordering::Relaxed),
+            failed: self.failed.load(Ordering::Relaxed),
+            batches,
+            plan_hits: hits,
+            plan_misses: misses,
+            avg_batch: completed as f64 / batches as f64,
+            plan_hit_rate: hits as f64 / (hits + misses) as f64,
+            latency: self.latency.snapshot(),
+            phases: std::array::from_fn(|i| self.phases[i].snapshot()),
+            batch_size: self.batch_sizes.snapshot(),
+            queue_depth: self.queue_depth.load(Ordering::Relaxed),
+            queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl QueueObserver for ServeStats {
+    fn on_depth(&self, depth: usize) {
+        self.queue_depth.store(depth as u64, Ordering::Relaxed);
+        self.queue_depth_max.fetch_max(depth as u64, Ordering::Relaxed);
+    }
+
+    fn on_batch(&self, size: usize) {
+        self.batch_sizes.record_value(size as f64);
+    }
 }
 
 /// Plain-value copy of [`ServeStats`] plus derived rates.
@@ -152,56 +373,105 @@ pub struct StatsSnapshot {
     pub plan_hit_rate: f64,
     /// Completed-request latency quantiles.
     pub latency: LatencySnapshot,
+    /// Per-phase latency quantiles, indexed by [`Phase`] discriminant.
+    pub phases: [LatencySnapshot; Phase::COUNT],
+    /// Requests-per-batch distribution (values are counts, not ms).
+    pub batch_size: LatencySnapshot,
+    /// Current batching-queue depth.
+    pub queue_depth: u64,
+    /// High-water mark of the batching-queue depth.
+    pub queue_depth_max: u64,
 }
 
-impl ServeStats {
-    /// Consistent-enough point-in-time copy (individual loads are relaxed;
-    /// totals may be mid-update by at most one in-flight request).
-    pub fn snapshot(&self) -> StatsSnapshot {
-        let completed = self.completed.load(Ordering::Relaxed);
-        let batches = self.batches.load(Ordering::Relaxed);
-        let hits = self.plan_hits.load(Ordering::Relaxed);
-        let misses = self.plan_misses.load(Ordering::Relaxed);
-        StatsSnapshot {
-            accepted: self.accepted.load(Ordering::Relaxed),
-            completed,
-            shed: self.shed.load(Ordering::Relaxed),
-            timed_out: self.timed_out.load(Ordering::Relaxed),
-            failed: self.failed.load(Ordering::Relaxed),
-            batches,
-            plan_hits: hits,
-            plan_misses: misses,
-            avg_batch: completed as f64 / batches as f64,
-            plan_hit_rate: hits as f64 / (hits + misses) as f64,
-            latency: self.latency.snapshot(),
-        }
+/// Render a possibly-NaN statistic as a parseable number: `NaN`/`±inf`
+/// (empty windows, zero denominators) become `0`. Emptiness stays
+/// distinguishable via the adjacent `samples=`/count fields.
+fn finite(v: f64) -> f64 {
+    if v.is_finite() {
+        v
+    } else {
+        0.0
     }
 }
 
 impl StatsSnapshot {
+    /// The snapshot for `phase`.
+    pub fn phase(&self, phase: Phase) -> &LatencySnapshot {
+        &self.phases[phase as usize]
+    }
+
+    /// Tail-latency attribution: each phase's share (0..=1) of the summed
+    /// per-phase p99s — "p99 is 71% queue wait". Empty phases contribute 0.
+    /// Returns an empty vector when no phase has samples yet.
+    pub fn tail_attribution(&self) -> Vec<(Phase, f64)> {
+        let p99 = |p: Phase| finite(self.phase(p).p99_ms).max(0.0);
+        let total: f64 = Phase::ALL.iter().map(|&p| p99(p)).sum();
+        if total <= 0.0 {
+            return Vec::new();
+        }
+        Phase::ALL.iter().map(|&p| (p, p99(p) / total)).collect()
+    }
+
+    /// One-line human summary of [`tail_attribution`](Self::tail_attribution).
+    pub fn attribution_line(&self) -> String {
+        let attr = self.tail_attribution();
+        if attr.is_empty() {
+            return "p99 attribution: no phase samples yet".into();
+        }
+        let mut parts: Vec<(Phase, f64)> = attr;
+        parts.sort_by(|a, b| b.1.partial_cmp(&a.1).unwrap());
+        let body: Vec<String> = parts
+            .iter()
+            .map(|(p, share)| format!("{} {:.0}%", p.name(), share * 100.0))
+            .collect();
+        format!("p99 attribution: {}", body.join("  "))
+    }
+
     /// Render as a single `key=value` line for the `STATS` wire command.
-    /// NaN quantiles (no samples yet) render as `nan`.
+    /// Every value is a parseable number: quantiles over an empty window
+    /// render as `0.000` with `samples=0` marking the emptiness (naive
+    /// consumers choke on literal `NaN`).
     pub fn to_wire_line(&self) -> String {
-        format!(
+        use std::fmt::Write;
+        let mut line = format!(
             "accepted={} completed={} shed={} timed_out={} failed={} batches={} \
              avg_batch={:.2} plan_hits={} plan_misses={} plan_hit_rate={:.4} \
-             p50_ms={:.3} p95_ms={:.3} p99_ms={:.3} mean_ms={:.3} max_ms={:.3}",
+             samples={} p50_ms={:.3} p95_ms={:.3} p99_ms={:.3} mean_ms={:.3} max_ms={:.3} \
+             queue_depth={} queue_depth_max={} batch_samples={} batch_p50={:.1} batch_max={:.1}",
             self.accepted,
             self.completed,
             self.shed,
             self.timed_out,
             self.failed,
             self.batches,
-            self.avg_batch,
+            finite(self.avg_batch),
             self.plan_hits,
             self.plan_misses,
-            self.plan_hit_rate,
-            self.latency.p50_ms,
-            self.latency.p95_ms,
-            self.latency.p99_ms,
-            self.latency.mean_ms,
-            self.latency.max_ms,
-        )
+            finite(self.plan_hit_rate),
+            self.latency.count,
+            finite(self.latency.p50_ms),
+            finite(self.latency.p95_ms),
+            finite(self.latency.p99_ms),
+            finite(self.latency.mean_ms),
+            finite(self.latency.max_ms),
+            self.queue_depth,
+            self.queue_depth_max,
+            self.batch_size.count,
+            finite(self.batch_size.p50_ms),
+            finite(self.batch_size.max_ms),
+        );
+        for phase in Phase::ALL {
+            let snap = self.phase(phase);
+            let _ = write!(
+                line,
+                " {0}_p50_ms={1:.3} {0}_p95_ms={2:.3} {0}_p99_ms={3:.3}",
+                phase.name(),
+                finite(snap.p50_ms),
+                finite(snap.p95_ms),
+                finite(snap.p99_ms),
+            );
+        }
+        line
     }
 }
 
@@ -245,6 +515,95 @@ mod tests {
         assert!((snap.plan_hit_rate - 0.9).abs() < 1e-12);
         let line = snap.to_wire_line();
         assert!(line.contains("plan_hit_rate=0.9000"), "{line}");
-        assert!(line.contains("p50_ms=NaN") || line.contains("p50_ms=nan"), "{line}");
+    }
+
+    #[test]
+    fn empty_window_renders_parseable_zeros_with_sample_count() {
+        let snap = ServeStats::default().snapshot();
+        let line = snap.to_wire_line();
+        // Regression: quantiles over an empty window used to render as
+        // literal `NaN`, which naive `key=<number>` consumers cannot parse.
+        assert!(!line.contains("NaN") && !line.contains("nan"), "{line}");
+        assert!(line.contains("samples=0"), "{line}");
+        assert!(line.contains("p50_ms=0.000"), "{line}");
+        assert!(line.contains("queue_wait_p99_ms=0.000"), "{line}");
+        // Every value must parse as f64.
+        for tok in line.split_ascii_whitespace() {
+            let (key, value) = tok.split_once('=').expect("key=value token");
+            assert!(
+                value.parse::<f64>().is_ok(),
+                "unparseable {key}={value} in {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn phase_recorders_and_attribution() {
+        let stats = ServeStats::default();
+        for _ in 0..50 {
+            stats.record_phase(Phase::QueueWait, Duration::from_millis(70));
+            stats.record_phase(Phase::Execute, Duration::from_millis(20));
+            stats.record_phase(Phase::Serialize, Duration::from_millis(10));
+        }
+        let snap = stats.snapshot();
+        assert_eq!(snap.phase(Phase::QueueWait).count, 50);
+        assert!((snap.phase(Phase::Execute).p99_ms - 20.0).abs() < 1e-9);
+        let attr = snap.tail_attribution();
+        let share: f64 = attr.iter().map(|&(_, s)| s).sum();
+        assert!((share - 1.0).abs() < 1e-9, "shares sum to 1, got {share}");
+        let queue_share = attr
+            .iter()
+            .find(|&&(p, _)| p == Phase::QueueWait)
+            .unwrap()
+            .1;
+        assert!((queue_share - 0.7).abs() < 1e-9, "{queue_share}");
+        assert!(snap.attribution_line().contains("queue_wait 70%"));
+        let line = snap.to_wire_line();
+        assert!(line.contains("queue_wait_p50_ms=70.000"), "{line}");
+        assert!(line.contains("execute_p99_ms=20.000"), "{line}");
+    }
+
+    #[test]
+    fn slow_log_bounds_and_orders_entries() {
+        let log = SlowLog::new(3);
+        for node in 0..5usize {
+            log.push(SlowEntry {
+                seq: 0,
+                trace_id: 0xabc,
+                sampled: false,
+                model: "gcn".into(),
+                node,
+                total_ms: 12.5,
+                queue_ms: 9.0,
+                batch_ms: 0.5,
+                compile_ms: 0.0,
+                execute_ms: 3.0,
+            });
+        }
+        assert_eq!(log.total(), 5);
+        let entries = log.entries(None);
+        assert_eq!(entries.len(), 3, "bounded at capacity");
+        assert_eq!(entries[0].seq, 3, "oldest retained entry");
+        assert_eq!(entries[2].seq, 5, "newest last");
+        let last_two = log.entries(Some(2));
+        assert_eq!(last_two[0].seq, 4);
+        let line = entries[2].to_wire_line();
+        assert!(line.starts_with("SLOW seq=5 trace=0xabc"), "{line}");
+        assert!(line.contains("queue_ms=9.000"), "{line}");
+    }
+
+    #[test]
+    fn queue_observer_tracks_depth_and_batches() {
+        let stats = ServeStats::default();
+        stats.on_depth(3);
+        stats.on_depth(9);
+        stats.on_depth(1);
+        stats.on_batch(8);
+        stats.on_batch(2);
+        let snap = stats.snapshot();
+        assert_eq!(snap.queue_depth, 1);
+        assert_eq!(snap.queue_depth_max, 9);
+        assert_eq!(snap.batch_size.count, 2);
+        assert!((snap.batch_size.max_ms - 8.0).abs() < 1e-12);
     }
 }

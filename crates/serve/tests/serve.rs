@@ -312,3 +312,181 @@ fn tcp_concurrent_clients_ids_never_cross() {
     assert_eq!(total, CLIENTS * PER_CLIENT);
     handle.shutdown();
 }
+
+/// One line-oriented exchange: send `line`, read one reply line.
+fn wire_client(addr: std::net::SocketAddr) -> (TcpStream, BufReader<TcpStream>) {
+    let stream = TcpStream::connect(addr).unwrap();
+    let writer = stream.try_clone().unwrap();
+    (writer, BufReader::new(stream))
+}
+
+fn send_recv(writer: &mut TcpStream, reader: &mut BufReader<TcpStream>, line: &str) -> String {
+    writeln!(writer, "{line}").unwrap();
+    let mut reply = String::new();
+    reader.read_line(&mut reply).unwrap();
+    reply.trim_end().to_string()
+}
+
+#[test]
+fn metrics_wire_command_exposes_phase_series_that_sum_to_e2e() {
+    let (engine, task) = make_engine(ServeConfig::default());
+    let handle = serve(engine, "127.0.0.1:0").expect("bind");
+    let addr = handle.addr();
+    let vertices = task.graph.num_vertices();
+
+    let (mut writer, mut reader) = wire_client(addr);
+    for i in 0..30 {
+        let reply = send_recv(
+            &mut writer,
+            &mut reader,
+            &format!("INFER gcn {} id=m{i}", (i * 13) % vertices),
+        );
+        assert!(reply.starts_with("OK "), "{reply}");
+    }
+
+    // METRICS is multi-line: read until the OpenMetrics terminator.
+    writeln!(writer, "METRICS").unwrap();
+    let mut text = String::new();
+    let mut line = String::new();
+    loop {
+        line.clear();
+        assert_ne!(reader.read_line(&mut line).unwrap(), 0, "EOF before # EOF");
+        text.push_str(&line);
+        if line.trim_end() == "# EOF" {
+            break;
+        }
+    }
+    let lookup = |series: &str| fg_serve::metrics::sample(&text, series);
+    fg_serve::metrics::parse_exposition(&text).expect("exposition parses");
+    assert_eq!(lookup("fgserve_requests_completed_total"), Some(30.0));
+    assert!(lookup("fgserve_plan_cache_hits_total").unwrap() > 0.0);
+    assert_eq!(lookup("fgserve_plan_cache_entries"), Some(1.0));
+    for phase in ["queue_wait", "batch_form", "plan_compile", "execute"] {
+        assert_eq!(
+            lookup(&format!(
+                "fgserve_phase_latency_ms_count{{phase=\"{phase}\"}}"
+            )),
+            Some(30.0),
+            "phase {phase} must have one sample per completed request"
+        );
+    }
+    assert!(
+        lookup("fgserve_phase_latency_ms_count{phase=\"serialize\"}").unwrap() > 0.0,
+        "front-end must feed the serialize phase"
+    );
+
+    // Engine-side phases (queue wait → execute; serialize happens after
+    // the e2e latency is stamped) must account for the end-to-end mean.
+    let stats = handle.engine().stats();
+    let phase_sum: f64 = [
+        fg_serve::Phase::QueueWait,
+        fg_serve::Phase::BatchForm,
+        fg_serve::Phase::PlanCompile,
+        fg_serve::Phase::Execute,
+    ]
+    .iter()
+    .map(|&p| stats.phase(p).mean_ms)
+    .sum();
+    let e2e = stats.latency.mean_ms;
+    assert!(
+        (phase_sum - e2e).abs() <= e2e * 0.20 + 0.25,
+        "phase means must sum to ~e2e mean: phases {phase_sum:.3} ms vs e2e {e2e:.3} ms"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn slow_log_captures_phase_breakdown_over_wire() {
+    let (engine, _task) = make_engine(ServeConfig {
+        // Threshold 0: every completed request is logged with its phases.
+        slow_ms: Some(0.0),
+        ..ServeConfig::default()
+    });
+    let handle = serve(engine, "127.0.0.1:0").expect("bind");
+    let (mut writer, mut reader) = wire_client(handle.addr());
+    for i in 0..5 {
+        let reply = send_recv(&mut writer, &mut reader, &format!("INFER gcn {i} id=s{i}"));
+        assert!(reply.starts_with("OK "), "{reply}");
+    }
+
+    let header = send_recv(&mut writer, &mut reader, "SLOWLOG 3");
+    let n: usize = header
+        .strip_prefix("SLOWLOG ")
+        .expect("SLOWLOG header")
+        .parse()
+        .unwrap();
+    assert_eq!(n, 3, "limit honored: {header}");
+    for _ in 0..n {
+        let mut entry = String::new();
+        reader.read_line(&mut entry).unwrap();
+        let entry = entry.trim_end();
+        assert!(entry.starts_with("SLOW seq="), "{entry}");
+        assert!(entry.contains("model=gcn"), "{entry}");
+        for key in ["total_ms=", "queue_ms=", "batch_ms=", "compile_ms=", "execute_ms="] {
+            let value = entry
+                .split_ascii_whitespace()
+                .find_map(|tok| tok.strip_prefix(key))
+                .unwrap_or_else(|| panic!("missing {key} in {entry}"));
+            value.parse::<f64>().unwrap_or_else(|_| panic!("bad {key}{value}"));
+        }
+    }
+
+    let entries = handle.engine().slow_requests(None);
+    assert_eq!(entries.len(), 5, "threshold 0 logs every completed request");
+    assert!(handle.engine().slow_total() >= 5);
+    assert!(entries.iter().all(|e| e.trace_id != 0), "trace ids minted");
+    handle.shutdown();
+}
+
+#[cfg(feature = "telemetry")]
+#[test]
+fn sampled_request_yields_one_coherent_trace_tree() {
+    use fg_telemetry::{SpanRecord, Sink};
+    use std::sync::Mutex;
+
+    struct Collect(Mutex<Vec<(String, u64)>>);
+    impl Sink for Collect {
+        fn on_span(&self, record: &SpanRecord) {
+            self.0
+                .lock()
+                .unwrap()
+                .push((record.name.to_string(), record.trace_id));
+        }
+    }
+
+    let sink = Arc::new(Collect(Mutex::new(Vec::new())));
+    fg_telemetry::set_enabled(true);
+    fg_telemetry::add_sink(sink.clone());
+
+    let (engine, _task) = make_engine(ServeConfig {
+        trace_sample: 1, // sample every request
+        ..ServeConfig::default()
+    });
+    let handle = serve(engine, "127.0.0.1:0").expect("bind");
+    let (mut writer, mut reader) = wire_client(handle.addr());
+    let reply = send_recv(&mut writer, &mut reader, "INFER gcn 3 id=t0");
+    assert!(reply.starts_with("OK "), "{reply}");
+    handle.shutdown();
+
+    let spans = sink.0.lock().unwrap().clone();
+    let trace_id = spans
+        .iter()
+        .find(|(name, trace)| name == "serve/request" && *trace != 0)
+        .map(|&(_, trace)| trace)
+        .expect("front-end span carries the minted trace id");
+    // Front-end, cross-thread queue wait, worker batch, kernel entry: one
+    // tree under one id.
+    for name in [
+        "serve/request",
+        "serve/queue_wait",
+        "serve/batch",
+        "serve/infer",
+        "gnn/infer_batch",
+    ] {
+        assert!(
+            spans.iter().any(|(n, t)| n == name && *t == trace_id),
+            "span {name} missing from trace {trace_id:#x}; got {spans:?}"
+        );
+    }
+}

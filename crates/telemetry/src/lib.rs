@@ -53,8 +53,10 @@
 //!   <https://ui.perfetto.dev>. Spans become complete `"X"` events (one
 //!   lane per OS thread); the counter registry is emitted as `"C"` events.
 
+use std::sync::atomic::{AtomicU64, Ordering};
+
 #[cfg(feature = "enabled")]
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::AtomicBool;
 
 // ---------------------------------------------------------------------------
 // Typed counter / gauge registry (the enum layer is shared by both builds so
@@ -309,6 +311,128 @@ fn histogram_bucket(value: u64) -> usize {
 }
 
 // ---------------------------------------------------------------------------
+// Request-scoped trace context (both builds: the context and sampler are
+// plain data so callers can mint/carry trace ids even when span recording
+// is compiled out — e.g. for slow-request logs).
+// ---------------------------------------------------------------------------
+
+/// Identity and sampling decision for one traced request.
+///
+/// Minted at a system edge (e.g. the `fgserve` TCP front-end) by a
+/// [`TraceSampler`] and carried alongside the request through queues and
+/// worker pools. Entering a [`TraceScope`] on a thread makes every span
+/// opened on that thread (while the scope is live) carry `trace_id`, so one
+/// request yields one coherent trace tree across threads.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct TraceContext {
+    /// Nonzero process-unique trace identifier.
+    pub trace_id: u64,
+    /// Whether spans should be attributed to this trace. Unsampled requests
+    /// keep their id (useful for logs) but never tag spans.
+    pub sampled: bool,
+}
+
+impl TraceContext {
+    /// An unsampled context with no identity.
+    pub const NONE: TraceContext = TraceContext {
+        trace_id: 0,
+        sampled: false,
+    };
+}
+
+/// Deterministic head sampler: every `1/every`-th minted context is
+/// sampled (`every == 0` disables sampling entirely). Ids are unique per
+/// sampler and scrambled so they look random in trace viewers while staying
+/// reproducible run-to-run.
+pub struct TraceSampler {
+    every: u64,
+    count: AtomicU64,
+}
+
+impl TraceSampler {
+    /// Sample one in `every` requests (0 = never).
+    pub fn new(every: u64) -> Self {
+        TraceSampler {
+            every,
+            count: AtomicU64::new(0),
+        }
+    }
+
+    /// Mint the next context. The first mint is sampled (when `every > 0`)
+    /// so short smoke runs always produce at least one trace.
+    pub fn mint(&self) -> TraceContext {
+        let n = self.count.fetch_add(1, Ordering::Relaxed);
+        TraceContext {
+            trace_id: splitmix64(n).max(1),
+            sampled: self.every > 0 && n.is_multiple_of(self.every),
+        }
+    }
+}
+
+/// SplitMix64 finalizer: bijective scramble of the sequence counter.
+fn splitmix64(x: u64) -> u64 {
+    let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// Trace id attributed to spans opened on the current thread (0 = none).
+#[inline]
+pub fn current_trace_id() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        live::current_trace()
+    }
+    #[cfg(not(feature = "enabled"))]
+    {
+        0
+    }
+}
+
+/// Timestamp on the process telemetry clock, for [`emit_span`]. Zero when
+/// telemetry is compiled out or disabled.
+#[inline]
+pub fn timestamp_ns() -> u64 {
+    #[cfg(feature = "enabled")]
+    {
+        if enabled() {
+            return live::now_ns();
+        }
+    }
+    0
+}
+
+/// Record an externally-timed span (one whose start and end were observed
+/// on different threads, e.g. queue wait between a producer and a worker).
+/// The span is attributed to the calling thread's lane and to `trace_id`.
+/// No-op when telemetry is disabled.
+pub fn emit_span(
+    name: &'static str,
+    args: Option<String>,
+    start_ns: u64,
+    dur_ns: u64,
+    trace_id: u64,
+) {
+    #[cfg(feature = "enabled")]
+    {
+        if enabled() {
+            live::dispatch_span(&live::SpanRecord {
+                name,
+                args,
+                tid: live::thread_id(),
+                start_ns,
+                dur_ns,
+                depth: 0,
+                trace_id,
+            });
+            return;
+        }
+    }
+    let _ = (name, args, start_ns, dur_ns, trace_id);
+}
+
+// ---------------------------------------------------------------------------
 // Runtime enable flag (both builds; the disabled build hardwires `false`).
 // ---------------------------------------------------------------------------
 
@@ -410,6 +534,41 @@ mod live {
     thread_local! {
         static TID: Cell<u64> = const { Cell::new(0) };
         static DEPTH: Cell<u32> = const { Cell::new(0) };
+        static TRACE: Cell<u64> = const { Cell::new(0) };
+    }
+
+    pub(super) fn current_trace() -> u64 {
+        TRACE.with(|t| t.get())
+    }
+
+    /// RAII guard making spans opened on this thread carry a trace id.
+    /// Inert unless telemetry is enabled *and* the context is sampled.
+    /// Scopes nest: dropping restores the previous thread trace id.
+    pub struct TraceScope {
+        prev: Option<u64>,
+    }
+
+    impl TraceScope {
+        /// Enter `ctx` on the current thread.
+        pub fn enter(ctx: super::TraceContext) -> Self {
+            if !enabled() || !ctx.sampled {
+                return TraceScope { prev: None };
+            }
+            let prev = TRACE.with(|t| {
+                let p = t.get();
+                t.set(ctx.trace_id);
+                p
+            });
+            TraceScope { prev: Some(prev) }
+        }
+    }
+
+    impl Drop for TraceScope {
+        fn drop(&mut self) {
+            if let Some(prev) = self.prev {
+                TRACE.with(|t| t.set(prev));
+            }
+        }
     }
 
     pub(super) fn thread_id() -> u64 {
@@ -442,6 +601,9 @@ mod live {
         pub dur_ns: u64,
         /// Nesting depth on its thread at entry (0 = top level).
         pub depth: u32,
+        /// Trace id from the [`TraceScope`] live at span entry (0 =
+        /// untraced).
+        pub trace_id: u64,
     }
 
     /// Receiver for telemetry events. Implementations must be `Send + Sync`;
@@ -510,6 +672,7 @@ mod live {
         args: Option<String>,
         start_ns: u64,
         depth: u32,
+        trace_id: u64,
     }
 
     impl SpanGuard {
@@ -528,6 +691,7 @@ mod live {
                 args,
                 start_ns: now_ns(),
                 depth,
+                trace_id: current_trace(),
             }))
         }
     }
@@ -544,13 +708,14 @@ mod live {
                 start_ns: span.start_ns,
                 dur_ns: end_ns.saturating_sub(span.start_ns),
                 depth: span.depth,
+                trace_id: span.trace_id,
             });
         }
     }
 }
 
 #[cfg(feature = "enabled")]
-pub use live::{add_sink, clear_sinks, flush, Sink, SpanGuard, SpanRecord};
+pub use live::{add_sink, clear_sinks, flush, Sink, SpanGuard, SpanRecord, TraceScope};
 
 /// Add `delta` to a counter. One relaxed atomic load when disabled.
 #[inline]
@@ -714,10 +879,21 @@ mod stub {
     /// No-op in this build; the live version flushes registered sinks.
     #[inline(always)]
     pub fn flush() {}
+
+    /// Inert trace scope; the live version tags spans with a trace id.
+    pub struct TraceScope;
+
+    impl TraceScope {
+        /// No-op in this build.
+        #[inline(always)]
+        pub fn enter(_ctx: crate::TraceContext) -> Self {
+            TraceScope
+        }
+    }
 }
 
 #[cfg(not(feature = "enabled"))]
-pub use stub::{flush, SpanGuard};
+pub use stub::{flush, SpanGuard, TraceScope};
 
 /// Open a timed span that ends when the returned guard drops.
 ///
@@ -750,12 +926,19 @@ mod sinks;
 #[cfg(feature = "enabled")]
 pub use sinks::{ChromeTraceSink, JsonLinesSink, MemorySink, SpanStats};
 
+mod export;
+
+pub use export::{prometheus_exposition, prometheus_write};
+
+// Serialize tests (across modules) that touch the global registry/flag.
+#[cfg(test)]
+pub(crate) static TEST_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
 #[cfg(test)]
 mod tests {
     use super::*;
 
-    // Serialize tests that toggle the global flag.
-    static LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+    use super::TEST_LOCK as LOCK;
 
     #[test]
     fn disabled_spans_and_counters_do_nothing() {

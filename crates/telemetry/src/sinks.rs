@@ -111,6 +111,9 @@ impl Sink for JsonLinesSink {
             escape_json(args, &mut line);
             line.push('"');
         }
+        if record.trace_id != 0 {
+            line.push_str(&format!(",\"trace\":\"{:#x}\"", record.trace_id));
+        }
         line.push_str(&format!(
             ",\"tid\":{},\"start_ns\":{},\"dur_ns\":{},\"depth\":{}}}\n",
             record.tid, record.start_ns, record.dur_ns, record.depth
@@ -195,6 +198,9 @@ impl ChromeTraceSink {
             ));
             out.push_str(",\"args\":{\"depth\":");
             out.push_str(&record.depth.to_string());
+            if record.trace_id != 0 {
+                out.push_str(&format!(",\"trace_id\":\"{:#x}\"", record.trace_id));
+            }
             if let Some(args) = &record.args {
                 out.push_str(",\"detail\":\"");
                 escape_json(args, &mut out);
