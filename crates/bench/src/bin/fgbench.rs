@@ -20,6 +20,7 @@
 //!   table6     end-to-end training/inference, naive vs FeatGraph backend (Table VI)
 //!   accuracy   backend-parity accuracy check (SS V-E)
 //!   fused      fused vs unfused SDDMM->softmax->SpMM GAT attention (fg-fuse)
+//!   mem        whole-stack accounted memory footprint vs OS RSS (fg-mem)
 //!   traversal  Hilbert vs canonical SDDMM edge order (SS III-C1 ablation)
 //!   a100       V100 vs A100 device model comparison (newer-hardware future work)
 //!   tune       adaptive tuner vs exhaustive grid search (SS VII future work)
@@ -372,12 +373,13 @@ fn main() {
         "accuracy" => accuracy(&args),
         "fused" => fused_bench(&args, &mut rep),
         "serve" => serve_bench(&args, &mut rep),
+        "mem" => mem_bench(&args, &mut rep),
         "traversal" => traversal(&args, &mut rep),
         "a100" => a100(&args, &mut rep),
         "tune" => tune(&args),
         "all" => run_all(&args, &mut rep),
         _ => {
-            eprintln!("usage: fgbench <table2|table3|fig10|table4|fig11|fig12|fig13|fig14|fig15|table5|table6|accuracy|fused|serve|all|compare> [--scale N] [--lengths l1,l2] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all] [--trace out.json] [--metrics] [--json report.json] [--bench-json]");
+            eprintln!("usage: fgbench <table2|table3|fig10|table4|fig11|fig12|fig13|fig14|fig15|table5|table6|accuracy|fused|serve|mem|all|compare> [--scale N] [--lengths l1,l2] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all] [--trace out.json] [--metrics] [--json report.json] [--bench-json]");
             std::process::exit(2);
         }
     }
@@ -425,6 +427,7 @@ fn run_all(args: &Args, master: &mut Report) {
     sub("accuracy", &mut |_| accuracy(args));
     sub("fused", &mut |r| fused_bench(args, r));
     sub("serve", &mut |r| serve_bench(args, r));
+    sub("mem", &mut |r| mem_bench(args, r));
     sub("traversal", &mut |r| traversal(args, r));
     sub("tune", &mut |_| tune(args));
     sub("a100", &mut |r| a100(args, r));
@@ -1106,6 +1109,79 @@ fn serve_bench(args: &Args, rep: &mut Report) {
             }
         }
         println!("{}", stats.attribution_line());
+    }
+    engine.shutdown();
+}
+
+/// Whole-stack accounted-memory scenario: stand up the serving stack at
+/// the requested scale (dataset -> models -> engine), push traffic through
+/// it so tape/batch scratch and plan-cache cost materialize, then print
+/// the per-component accounted table next to the OS RSS reading. The
+/// accountant is reset first so the table reflects this scenario alone.
+fn mem_bench(args: &Args, rep: &mut Report) {
+    use fg_serve::{Engine, InferRequest, ServeConfig};
+    use std::sync::Arc;
+
+    fg_telemetry::reset_mem();
+    let n = (30_000 / args.cfg.scale).max(500);
+    println!("\n=== mem: whole-stack accounted footprint, {n}-vertex graph, gcn+gat ===");
+    let engine = Arc::new(Engine::new(ServeConfig {
+        kernel_threads: args.threads,
+        default_deadline: None,
+        ..ServeConfig::default()
+    }));
+    let task = {
+        let _mem = fg_telemetry::MemScope::enter(fg_telemetry::MemComponent::Features);
+        SbmTask::generate(n, 4, 16, 4, 33)
+    };
+    let vertices = task.graph.num_vertices();
+    for name in ["gcn", "gat"] {
+        let model = build_model(name, task.in_dim(), 32, task.num_classes, 1);
+        // The per-model feature clone is a Features allocation too.
+        let _mem = fg_telemetry::MemScope::enter(fg_telemetry::MemComponent::Features);
+        engine.register_model(name, model, task.graph.clone(), task.features.clone());
+    }
+    for i in 0..64usize {
+        let model = if i % 2 == 0 { "gcn" } else { "gat" };
+        engine
+            .infer(InferRequest {
+                model: model.into(),
+                node: (i * 997) % vertices,
+                deadline: None,
+            })
+            .expect("mem infer");
+    }
+    let mem = engine.memory_report();
+    println!("{:<22} {:>14} {:>14}", "component", "current B", "peak B");
+    for c in &mem.components {
+        println!("{:<22} {:>14} {:>14}", c.component.name(), c.current, c.peak);
+        rep.push_single(format!("mem/{}/peak", c.component.name()), "B", c.peak as f64);
+    }
+    println!("{:<22} {:>14} {:>14}", "total", mem.total_current, mem.total_peak);
+    rep.push_single("mem/total/peak".into(), "B", mem.total_peak as f64);
+    println!(
+        "plan cache: {} entries, {} B accounted, {} evictions",
+        mem.plan_cache_entries, mem.plan_cache_bytes, mem.plan_cache_evictions
+    );
+    match mem.rss {
+        Some(rss) => {
+            println!(
+                "{:<22} {:>14} {:>14}  (OS VmRSS/VmHWM)",
+                "rss", rss.current_bytes, rss.peak_bytes
+            );
+            rep.push_single("mem/rss/peak".into(), "B", rss.peak_bytes as f64);
+            if mem.total_peak > 0 && rss.peak_bytes > 0 {
+                println!(
+                    "accounted peak / RSS peak: {:.1}% (remainder: code, stacks, Vec-backed \
+                     structures outside the accountant)",
+                    mem.total_peak as f64 / rss.peak_bytes as f64 * 100.0
+                );
+            }
+        }
+        None => println!("rss: /proc/self/status not readable on this platform"),
+    }
+    if mem.total_peak == 0 {
+        println!("(accounting compiled out: build with the telemetry feature for nonzero rows)");
     }
     engine.shutdown();
 }

@@ -536,6 +536,10 @@ pub struct Report {
     pub histograms: Vec<HistRow>,
     /// Per-kernel GPU roofline attribution.
     pub roofline: Vec<RooflineRow>,
+    /// Peak accounted memory footprint: `<component>_peak_bytes` rows from
+    /// the fg-telemetry accountant plus `total_peak_bytes` and (on Linux)
+    /// `rss_peak_bytes`. All zeros when accounting is compiled out.
+    pub memory: Vec<(String, u64)>,
 }
 
 impl Report {
@@ -552,6 +556,7 @@ impl Report {
             gauges: Vec::new(),
             histograms: Vec::new(),
             roofline: Vec::new(),
+            memory: Vec::new(),
         }
     }
 
@@ -598,6 +603,20 @@ impl Report {
             })
             .collect();
         self.roofline = fg_gpusim::kernel_rollups().iter().map(RooflineRow::of).collect();
+        self.snapshot_memory();
+    }
+
+    /// Capture the accountant's per-component peak footprint (and the OS
+    /// RSS peak when readable) into the report.
+    pub fn snapshot_memory(&mut self) {
+        self.memory = fg_telemetry::mem_snapshot()
+            .into_iter()
+            .map(|c| (format!("{}_peak_bytes", c.component.name()), c.peak))
+            .collect();
+        self.memory.push(("total_peak_bytes".into(), fg_telemetry::mem_total_peak()));
+        if let Some(rss) = fg_telemetry::read_rss() {
+            self.memory.push(("rss_peak_bytes".into(), rss.peak_bytes));
+        }
     }
 
     /// Serialize to pretty-printed JSON.
@@ -701,6 +720,10 @@ impl Report {
             ),
             ("histograms".into(), Json::Arr(histograms)),
             ("roofline".into(), Json::Arr(roofline)),
+            (
+                "memory".into(),
+                Json::Obj(self.memory.iter().map(|(k, v)| (k.clone(), uint(*v))).collect()),
+            ),
         ])
         .render()
     }
@@ -791,6 +814,11 @@ impl Report {
             .into_iter()
             .filter_map(|(k, v)| v.as_u64().map(|v| (k, v)))
             .collect();
+        // Missing in pre-memory reports; parses to an empty table.
+        let memory = pairs("memory")
+            .into_iter()
+            .filter_map(|(k, v)| v.as_u64().map(|v| (k, v)))
+            .collect();
         let gauges = pairs("gauges")
             .into_iter()
             .filter_map(|(k, v)| v.as_f64().map(|v| (k, v)))
@@ -853,6 +881,7 @@ impl Report {
             gauges,
             histograms,
             roofline,
+            memory,
         })
     }
 
@@ -895,6 +924,14 @@ impl Report {
             match self.roofline.iter_mut().find(|m| m.kernel == r.kernel) {
                 Some(m) => *m = r.clone(),
                 None => self.roofline.push(r.clone()),
+            }
+        }
+        for (name, v) in &sub.memory {
+            // Peaks are process-wide watermarks; keep the max across
+            // sub-reports.
+            match self.memory.iter_mut().find(|(n, _)| n == name) {
+                Some((_, mv)) => *mv = (*mv).max(*v),
+                None => self.memory.push((name.clone(), *v)),
             }
         }
         self.counters.sort_by(|a, b| a.0.cmp(&b.0));

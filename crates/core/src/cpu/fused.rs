@@ -72,6 +72,12 @@ impl CpuFused {
         self.pattern
     }
 
+    /// Heap bytes held by the compiled plan (partitioned CSR + degree
+    /// array).
+    pub fn mem_bytes(&self) -> u64 {
+        self.parts.mem_bytes() + (self.degrees.len() * std::mem::size_of::<u32>()) as u64
+    }
+
     /// Execute the kernel.
     pub fn run(
         &self,

@@ -97,6 +97,11 @@ impl CpuSddmm {
         self.pattern
     }
 
+    /// Heap bytes held by the compiled plan (the materialized edge order).
+    pub fn mem_bytes(&self) -> u64 {
+        self.order.mem_bytes()
+    }
+
     /// Execute the kernel: `out[eid] = udf(src, dst, eid)` for every edge.
     pub fn run(
         &self,

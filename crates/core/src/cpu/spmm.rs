@@ -122,6 +122,12 @@ impl CpuSpmm {
         self.pattern
     }
 
+    /// Heap bytes held by the compiled plan (partitioned CSR + degree
+    /// array); feeds the serve engine's byte-bounded plan cache.
+    pub fn mem_bytes(&self) -> u64 {
+        self.parts.mem_bytes() + (self.degrees.len() * std::mem::size_of::<u32>()) as u64
+    }
+
     /// Execute the kernel.
     pub fn run(
         &self,

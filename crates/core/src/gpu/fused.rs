@@ -87,6 +87,11 @@ impl GpuFused {
         self.pattern
     }
 
+    /// Heap bytes held by the compiled plan (CSR copy + degree array).
+    pub fn mem_bytes(&self) -> u64 {
+        self.csr.mem_bytes() + (self.degrees.len() * std::mem::size_of::<u32>()) as u64
+    }
+
     /// Execute on the simulator; `RunStats::gpu_time_ms` sums the launches.
     pub fn run(
         &self,

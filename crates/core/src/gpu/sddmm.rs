@@ -78,6 +78,11 @@ impl GpuSddmm {
         self.pattern
     }
 
+    /// Heap bytes held by the compiled plan (the gathered edge list).
+    pub fn mem_bytes(&self) -> u64 {
+        (self.edges.len() * std::mem::size_of::<(VId, VId)>()) as u64
+    }
+
     /// Execute on the simulator.
     pub fn run(
         &self,

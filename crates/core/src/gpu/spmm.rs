@@ -131,6 +131,12 @@ impl GpuSpmm {
         self.pattern
     }
 
+    /// Heap bytes held by the compiled plan (CSR copy + degree arrays).
+    pub fn mem_bytes(&self) -> u64 {
+        self.csr.mem_bytes()
+            + ((self.degrees.len() + self.out_degrees.len()) * std::mem::size_of::<u32>()) as u64
+    }
+
     /// Execute on the simulator; `RunStats::gpu_time_ms` carries the
     /// simulated time.
     pub fn run(

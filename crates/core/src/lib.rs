@@ -91,6 +91,14 @@ impl SpmmKernel {
             SpmmKernel::Gpu(k) => k.run(inputs, out),
         }
     }
+
+    /// Heap bytes held by the compiled plan.
+    pub fn mem_bytes(&self) -> u64 {
+        match self {
+            SpmmKernel::Cpu(k) => k.mem_bytes(),
+            SpmmKernel::Gpu(k) => k.mem_bytes(),
+        }
+    }
 }
 
 /// A compiled generalized-SDDMM kernel (edge-wise computation, Eq. (2)).
@@ -111,6 +119,14 @@ impl SddmmKernel {
         match self {
             SddmmKernel::Cpu(k) => k.run(inputs, out),
             SddmmKernel::Gpu(k) => k.run(inputs, out),
+        }
+    }
+
+    /// Heap bytes held by the compiled plan.
+    pub fn mem_bytes(&self) -> u64 {
+        match self {
+            SddmmKernel::Cpu(k) => k.mem_bytes(),
+            SddmmKernel::Gpu(k) => k.mem_bytes(),
         }
     }
 }
@@ -143,6 +159,14 @@ impl FusedKernel {
         match self {
             FusedKernel::Cpu(k) => k.pattern(),
             FusedKernel::Gpu(k) => k.pattern(),
+        }
+    }
+
+    /// Heap bytes held by the compiled plan.
+    pub fn mem_bytes(&self) -> u64 {
+        match self {
+            FusedKernel::Cpu(k) => k.mem_bytes(),
+            FusedKernel::Gpu(k) => k.mem_bytes(),
         }
     }
 }

@@ -309,6 +309,16 @@ enum Plan {
     Fused(FusedKernel),
 }
 
+impl Plan {
+    fn mem_bytes(&self) -> u64 {
+        match self {
+            Plan::Spmm(k) => k.mem_bytes(),
+            Plan::Sddmm(k) => k.mem_bytes(),
+            Plan::Fused(k) => k.mem_bytes(),
+        }
+    }
+}
+
 /// The fused backend: every op is one generalized SpMM or SDDMM kernel from
 /// the `featgraph` crate, no `|E| × d` intermediates. Kernel plans (graph
 /// partitioning, Hilbert orders, thread pools) are compiled once per
@@ -339,6 +349,18 @@ impl FeatgraphBackend {
             plans: Mutex::new(HashMap::new()),
             gpu_ms: Mutex::new(0.0),
         }
+    }
+
+    /// Total heap bytes held by this backend's compiled kernel plans
+    /// (partitioned CSRs, edge orders, degree arrays). This is the cost
+    /// figure the serve engine's byte-bounded plan cache charges per entry.
+    pub fn plan_mem_bytes(&self) -> u64 {
+        self.plans
+            .lock()
+            .expect("plan cache")
+            .values()
+            .map(Plan::mem_bytes)
+            .sum()
     }
 
     fn fds(&self, d: usize) -> Fds {

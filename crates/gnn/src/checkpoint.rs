@@ -138,12 +138,19 @@ pub fn load<R: Read>(model: &mut dyn Model, reader: R) -> Result<(), CheckpointE
                 file: (file_rows, file_cols),
                 model: (rows, cols),
             })?;
+        // The staging vec is a plain allocation the tensor accountant can't
+        // see; charge it explicitly for the time it is live.
+        let _staging = fg_telemetry::MemCharge::new(
+            fg_telemetry::MemComponent::CheckpointBuffers,
+            (numel * 4) as u64,
+        );
         let mut bytes = vec![0u8; numel * 4];
         r.read_exact(&mut bytes)?;
         let flat = bytes
             .chunks_exact(4)
             .map(|b| f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
             .collect();
+        let _mem = fg_telemetry::MemScope::enter(fg_telemetry::MemComponent::ModelParams);
         p.value = Dense2::from_vec(rows, cols, flat).expect("shape checked");
     }
     // A well-formed checkpoint ends exactly at the last payload byte.

@@ -71,6 +71,15 @@ impl GnnGraph {
         &self.rev_eids
     }
 
+    /// Total heap footprint of the topology in bytes: both orientations,
+    /// the edge-ID map, and the degree array.
+    pub fn mem_bytes(&self) -> u64 {
+        self.fwd.mem_bytes()
+            + self.rev.mem_bytes()
+            + (self.rev_eids.len() * std::mem::size_of::<EId>()) as u64
+            + (self.in_degrees.len() * std::mem::size_of::<u32>()) as u64
+    }
+
     /// Permute a forward-edge-ordered tensor into reverse canonical order.
     pub fn edge_rows_to_rev(&self, fwd_rows: &Dense2<f32>) -> Dense2<f32> {
         assert_eq!(fwd_rows.rows(), self.num_edges(), "edge tensor rows");

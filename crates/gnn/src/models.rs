@@ -246,6 +246,7 @@ impl Model for Gat {
 
 /// Convenience constructor by name.
 pub fn build_model(name: &str, in_dim: usize, hidden: usize, classes: usize, seed: u64) -> Box<dyn Model> {
+    let _mem = fg_telemetry::MemScope::enter(fg_telemetry::MemComponent::ModelParams);
     match name {
         "gcn" | "GCN" => Box::new(Gcn::new(in_dim, hidden, classes, seed)),
         "graphsage" | "GraphSage" | "sage" => {

@@ -59,6 +59,9 @@ pub fn train(
     }
     for epoch in 1..=epochs {
         let _epoch_span = span!("train/epoch", "epoch={epoch}/{epochs}");
+        // Per-epoch tensor traffic (leaf clone, layer activations, grads)
+        // is attributed to the tape, not the caller's ambient scope.
+        let _mem = fg_telemetry::MemScope::enter(fg_telemetry::MemComponent::TapeActivations);
         let t0 = Instant::now();
         let mut tape = Tape::new(&task.graph, backend, dense_gpu);
         let x = tape.leaf(task.features.clone());
@@ -118,6 +121,7 @@ pub fn inference(
         let _ = m.take();
     }
     let _span = span!("train/inference");
+    let _mem = fg_telemetry::MemScope::enter(fg_telemetry::MemComponent::TapeActivations);
     let t0 = Instant::now();
     let mut tape = Tape::for_inference(&task.graph, backend, dense_gpu);
     let x = tape.leaf(task.features.clone());
@@ -191,6 +195,10 @@ pub fn infer_batch(
         nodes.len(),
         fg_telemetry::current_trace_id()
     );
+    // Attribute tape traffic to TapeActivations only when no caller set a
+    // scope — fg-serve wraps this call in a ServeBatch scope, which wins.
+    let _mem = (fg_telemetry::current_component() == fg_telemetry::MemComponent::Scratch)
+        .then(|| fg_telemetry::MemScope::enter(fg_telemetry::MemComponent::TapeActivations));
     let mut tape = Tape::for_inference(graph, backend, None);
     let x = tape.leaf(features.clone());
     let (logits_var, _) = model.forward(&mut tape, x);

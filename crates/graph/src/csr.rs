@@ -239,6 +239,13 @@ impl Csr {
         self.indptr.len() * std::mem::size_of::<usize>()
             + self.indices.len() * std::mem::size_of::<VId>()
     }
+
+    /// Total heap footprint in bytes (currently identical to
+    /// [`Csr::index_bytes`]; kept separate so footprint reporting survives
+    /// future payload fields).
+    pub fn mem_bytes(&self) -> u64 {
+        self.index_bytes() as u64
+    }
 }
 
 #[cfg(test)]

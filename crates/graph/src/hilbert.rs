@@ -103,6 +103,11 @@ impl EdgeOrder {
     pub fn is_empty(&self) -> bool {
         self.visits.is_empty()
     }
+
+    /// Heap footprint of the visit list in bytes.
+    pub fn mem_bytes(&self) -> u64 {
+        (self.visits.len() * std::mem::size_of::<(VId, VId, EId)>()) as u64
+    }
 }
 
 /// Measure the locality of an edge order: the mean absolute jump in source

@@ -134,6 +134,14 @@ impl Graph {
         self.edges().map(|(s, d, _)| (s, d)).collect()
     }
 
+    /// Total heap footprint of the topology in bytes: both CSR orientations
+    /// plus the edge-ID map.
+    pub fn mem_bytes(&self) -> u64 {
+        self.in_csr.mem_bytes()
+            + self.out_csr.mem_bytes()
+            + (self.out_eids.len() * std::mem::size_of::<EId>()) as u64
+    }
+
     /// Average degree `|E| / |V|`.
     pub fn avg_degree(&self) -> f64 {
         if self.num_vertices() == 0 {

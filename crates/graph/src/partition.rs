@@ -100,6 +100,25 @@ impl PartitionedCsr {
         self.segments.iter().map(Csr::nnz).sum()
     }
 
+    /// Total heap footprint in bytes: every segment CSR, its parallel edge-ID
+    /// array, the bounds, and the nonempty-destination lists. This is the
+    /// per-plan cost figure used by the serve engine's byte-bounded plan
+    /// cache.
+    pub fn mem_bytes(&self) -> u64 {
+        let segs: u64 = self.segments.iter().map(Csr::mem_bytes).sum();
+        let eids: u64 = self
+            .segment_eids
+            .iter()
+            .map(|v| (v.len() * std::mem::size_of::<EId>()) as u64)
+            .sum();
+        let nonempty: u64 = self
+            .nonempty
+            .iter()
+            .map(|v| (v.len() * std::mem::size_of::<VId>()) as u64)
+            .sum();
+        segs + eids + nonempty + (self.bounds.len() * std::mem::size_of::<VId>()) as u64
+    }
+
     /// Iterate `(partition_index, segment, eids, src_range)`.
     pub fn iter(
         &self,

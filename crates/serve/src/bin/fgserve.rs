@@ -40,12 +40,15 @@ struct Opts {
     kernel_threads: usize,
     deadline_ms: u64,
     exec_delay_ms: u64,
+    plan_cache_bytes: u64,
+    mem_budget: u64,
     clients: usize,
     requests: usize,
     runs: usize,
     expect_no_shed: bool,
     expect_shed: bool,
     expect_plan_hits: bool,
+    expect_mem_shed: bool,
     trace_sample: u64,
     slow_ms: Option<f64>,
     trace_file: Option<String>,
@@ -70,12 +73,15 @@ impl Default for Opts {
             kernel_threads: 1,
             deadline_ms: 500,
             exec_delay_ms: 0,
+            plan_cache_bytes: 0,
+            mem_budget: 0,
             clients: 8,
             requests: 500,
             runs: 1,
             expect_no_shed: false,
             expect_shed: false,
             expect_plan_hits: false,
+            expect_mem_shed: false,
             trace_sample: 0,
             slow_ms: None,
             trace_file: None,
@@ -89,13 +95,18 @@ const USAGE: &str = "usage:
                   [--classes N] [--avg-deg N] [--noise N] [--hidden N] [--seed N]
                   [--batch N] [--delay-ms N] [--queue N] [--workers N]
                   [--kernel-threads N] [--deadline-ms N] [--exec-delay-ms N]
+                  [--plan-cache-bytes N] [--mem-budget N]
                   [--trace-sample N] [--slow-ms N] [--trace FILE]
   fgserve bench   [--addr HOST:PORT] [--clients N] [--requests N] [--runs N]
                   [--model NAME] [dataset/engine knobs as above when embedded]
                   [--expect-no-shed] [--expect-shed] [--expect-plan-hits]
+                  [--expect-mem-shed]
   fgserve metrics --addr HOST:PORT [--require SERIES]...
 
 bench without --addr benchmarks an embedded server on an ephemeral port.
+--plan-cache-bytes N bounds the compiled-plan cache (LRU eviction; 0 = off).
+--mem-budget N sheds new requests with error over-memory-budget while the
+  accounted footprint exceeds N bytes (0 = off; needs accounting compiled in).
 --trace-sample N head-samples 1 in N requests for end-to-end tracing
   (1 = every request); --trace FILE writes the sampled spans as a Chrome
   trace_event file at shutdown (needs the telemetry feature).
@@ -133,12 +144,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--kernel-threads" => o.kernel_threads = num(arg, &value(arg, &mut it)?)?,
             "--deadline-ms" => o.deadline_ms = num(arg, &value(arg, &mut it)?)? as u64,
             "--exec-delay-ms" => o.exec_delay_ms = num(arg, &value(arg, &mut it)?)? as u64,
+            "--plan-cache-bytes" => o.plan_cache_bytes = num(arg, &value(arg, &mut it)?)? as u64,
+            "--mem-budget" => o.mem_budget = num(arg, &value(arg, &mut it)?)? as u64,
             "--clients" => o.clients = num(arg, &value(arg, &mut it)?)?,
             "--requests" => o.requests = num(arg, &value(arg, &mut it)?)?,
             "--runs" => o.runs = num(arg, &value(arg, &mut it)?)?,
             "--expect-no-shed" => o.expect_no_shed = true,
             "--expect-shed" => o.expect_shed = true,
             "--expect-plan-hits" => o.expect_plan_hits = true,
+            "--expect-mem-shed" => o.expect_mem_shed = true,
             "--trace-sample" => o.trace_sample = num(arg, &value(arg, &mut it)?)? as u64,
             "--slow-ms" => {
                 let v = value(arg, &mut it)?;
@@ -170,9 +184,16 @@ fn build_engine(o: &Opts) -> Arc<Engine> {
         exec_delay: Duration::from_millis(o.exec_delay_ms),
         trace_sample: o.trace_sample,
         slow_ms: o.slow_ms,
+        plan_cache_bytes: o.plan_cache_bytes,
+        mem_budget: o.mem_budget,
     }));
     for name in &o.models {
-        let task = SbmTask::generate(o.vertices, o.classes, o.avg_deg, o.noise, o.seed);
+        // Attribute the dataset build: graph + feature tensors land in the
+        // Features component; build_model scopes its own params.
+        let task = {
+            let _mem = fg_telemetry::MemScope::enter(fg_telemetry::MemComponent::Features);
+            SbmTask::generate(o.vertices, o.classes, o.avg_deg, o.noise, o.seed)
+        };
         let model = build_model(name, task.in_dim(), o.hidden, task.num_classes, o.seed);
         engine.register_model(name, model, task.graph, task.features);
     }
@@ -237,6 +258,7 @@ fn cmd_serve(o: &Opts) -> ExitCode {
 struct RunTally {
     completed: u64,
     shed: u64,
+    mem_shed: u64,
     timed_out: u64,
     other_err: u64,
     mismatched: u64,
@@ -275,6 +297,7 @@ fn bench_client(addr: &str, model: &str, client: usize, n: usize, vertices: usiz
             }
             Ok(protocol::Reply::Err { id: got, code }) if got == id => match code.as_str() {
                 "overloaded" => tally.shed += 1,
+                "over-memory-budget" => tally.mem_shed += 1,
                 "timeout" => tally.timed_out += 1,
                 _ => tally.other_err += 1,
             },
@@ -449,6 +472,7 @@ fn cmd_bench(o: &Opts) -> ExitCode {
     let model = o.models[0].clone();
     let mut failures: Vec<String> = Vec::new();
     let mut total_shed = 0u64;
+    let mut total_mem_shed = 0u64;
 
     for run in 1..=o.runs.max(1) {
         let per_client = o.requests / o.clients.max(1);
@@ -470,6 +494,7 @@ fn cmd_bench(o: &Opts) -> ExitCode {
                 Ok((t, lat)) => {
                     tally.completed += t.completed;
                     tally.shed += t.shed;
+                    tally.mem_shed += t.mem_shed;
                     tally.timed_out += t.timed_out;
                     tally.other_err += t.other_err;
                     tally.mismatched += t.mismatched;
@@ -482,8 +507,12 @@ fn cmd_bench(o: &Opts) -> ExitCode {
             }
         }
         let wall = t0.elapsed().as_secs_f64();
-        let answered =
-            tally.completed + tally.shed + tally.timed_out + tally.other_err + tally.mismatched;
+        let answered = tally.completed
+            + tally.shed
+            + tally.mem_shed
+            + tally.timed_out
+            + tally.other_err
+            + tally.mismatched;
         tally.lost = (o.requests as u64).saturating_sub(answered);
         let lat = recorder.snapshot();
         println!(
@@ -493,9 +522,9 @@ fn cmd_bench(o: &Opts) -> ExitCode {
             o.requests
         );
         println!(
-            "  completed {}/{}  shed {}  timeout {}  failed {}  mismatched {}  lost {}",
-            tally.completed, o.requests, tally.shed, tally.timed_out, tally.other_err,
-            tally.mismatched, tally.lost
+            "  completed {}/{}  shed {}  mem_shed {}  timeout {}  failed {}  mismatched {}  lost {}",
+            tally.completed, o.requests, tally.shed, tally.mem_shed, tally.timed_out,
+            tally.other_err, tally.mismatched, tally.lost
         );
         println!(
             "  wall {wall:.3} s   throughput {:.1} req/s",
@@ -524,6 +553,7 @@ fn cmd_bench(o: &Opts) -> ExitCode {
             }
         }
         total_shed += tally.shed;
+        total_mem_shed += tally.mem_shed;
 
         if tally.lost > 0 || tally.mismatched > 0 {
             failures.push(format!(
@@ -546,6 +576,9 @@ fn cmd_bench(o: &Opts) -> ExitCode {
     }
     if o.expect_shed && total_shed == 0 {
         failures.push("expected overload sheds, saw none".into());
+    }
+    if o.expect_mem_shed && total_mem_shed == 0 {
+        failures.push("expected over-memory-budget sheds, saw none".into());
     }
     if let Some(h) = embedded {
         h.shutdown();

@@ -26,7 +26,8 @@ use std::time::{Duration, Instant};
 use fg_gnn::models::Model;
 use fg_gnn::{infer_batch, FeatgraphBackend, GnnGraph};
 use fg_telemetry::{
-    counter_add, emit_span, span, timestamp_ns, Counter, TraceContext, TraceSampler, TraceScope,
+    counter_add, emit_span, span, timestamp_ns, Counter, MemCharge, MemComponent, MemScope,
+    TraceContext, TraceSampler, TraceScope,
 };
 use fg_tensor::Dense2;
 
@@ -65,6 +66,16 @@ pub struct ServeConfig {
     /// meets or exceeds this many milliseconds get a phase breakdown in the
     /// slow log. `None` disables the log.
     pub slow_ms: Option<f64>,
+    /// Byte bound on the compiled-plan cache; least-recently-used entries
+    /// are evicted once the summed plan cost exceeds it. `0` = unbounded.
+    pub plan_cache_bytes: u64,
+    /// Whole-process accounted-memory budget: while the accountant's
+    /// tracked total exceeds this, new requests are shed with
+    /// [`ServeError::OverMemoryBudget`] instead of allocating. `0` =
+    /// unlimited. Requires memory accounting to be compiled in (the
+    /// `fg-telemetry/enabled` feature); with accounting compiled out the
+    /// tracked total reads 0 and the gate never trips.
+    pub mem_budget: u64,
 }
 
 impl Default for ServeConfig {
@@ -79,6 +90,8 @@ impl Default for ServeConfig {
             exec_delay: Duration::ZERO,
             trace_sample: 0,
             slow_ms: None,
+            plan_cache_bytes: 0,
+            mem_budget: 0,
         }
     }
 }
@@ -88,6 +101,9 @@ impl Default for ServeConfig {
 pub enum ServeError {
     /// Admission queue full; request shed without queueing.
     Overloaded,
+    /// Accounted memory exceeds [`ServeConfig::mem_budget`]; request shed
+    /// before allocating anything.
+    OverMemoryBudget,
     /// Deadline expired before the request executed.
     Timeout,
     /// No model registered under that name.
@@ -105,6 +121,7 @@ impl ServeError {
     pub fn code(&self) -> &'static str {
         match self {
             ServeError::Overloaded => "overloaded",
+            ServeError::OverMemoryBudget => "over-memory-budget",
             ServeError::Timeout => "timeout",
             ServeError::UnknownModel(_) => "unknown-model",
             ServeError::BadRequest(_) => "bad-request",
@@ -118,6 +135,9 @@ impl std::fmt::Display for ServeError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             ServeError::Overloaded => write!(f, "queue full, request shed"),
+            ServeError::OverMemoryBudget => {
+                write!(f, "accounted memory over budget, request shed")
+            }
             ServeError::Timeout => write!(f, "deadline expired before execution"),
             ServeError::UnknownModel(m) => write!(f, "unknown model {m:?}"),
             ServeError::BadRequest(msg) => write!(f, "bad request: {msg}"),
@@ -182,6 +202,10 @@ pub struct ModelEntry {
     graph: GnnGraph,
     features: Dense2<f32>,
     model: Box<dyn Model>,
+    /// Accounting guard for the `Vec`-backed graph topology (the tensor
+    /// accountant only sees aligned buffers); credited when the entry drops
+    /// — replacement, unregistration, or engine shutdown alike.
+    _graph_charge: MemCharge,
 }
 
 struct Shared {
@@ -205,6 +229,7 @@ impl Engine {
     /// Start an engine with `cfg.workers` batch-execution threads.
     pub fn new(cfg: ServeConfig) -> Self {
         let workers = cfg.workers.max(1);
+        let plan_cache_bytes = cfg.plan_cache_bytes;
         let stats = Arc::new(ServeStats::default());
         let shared = Arc::new(Shared {
             batcher: Batcher::with_observer(
@@ -219,7 +244,7 @@ impl Engine {
             slow_log: SlowLog::new(SLOW_LOG_CAPACITY),
             cfg,
             models: RwLock::new(HashMap::new()),
-            plans: PlanCache::new(),
+            plans: PlanCache::bounded(plan_cache_bytes),
             stats,
             next_graph_id: AtomicU64::new(0),
         });
@@ -249,17 +274,34 @@ impl Engine {
         features: Dense2<f32>,
     ) -> u64 {
         let graph_id = self.shared.next_graph_id.fetch_add(1, Ordering::Relaxed);
+        let graph_charge = MemCharge::new(MemComponent::GraphTopology, graph.mem_bytes());
         let entry = Arc::new(ModelEntry {
             graph_id,
             graph,
             features,
             model,
+            _graph_charge: graph_charge,
         });
-        self.shared
+        let replaced = self
+            .shared
             .models
             .write()
             .unwrap()
             .insert(name.to_string(), entry);
+        if let Some(old) = replaced {
+            // Surface what used to be a silent drop: the old entry's graph,
+            // features, and parameters are released (once in-flight batches
+            // holding its Arc finish).
+            self.shared
+                .stats
+                .models_replaced
+                .fetch_add(1, Ordering::Relaxed);
+            eprintln!(
+                "fgserve: model {name:?} replaced (old graph id {}, new graph id {graph_id}); \
+                 previous entry released",
+                old.graph_id
+            );
+        }
         graph_id
     }
 
@@ -296,6 +338,15 @@ impl Engine {
         trace: TraceContext,
     ) -> Result<Ticket, ServeError> {
         counter_add(Counter::ServeRequests, 1);
+        // Memory-budget admission gate: shed before this request allocates
+        // anything (no job, no oneshot, no queue slot) while the accounted
+        // footprint is over budget.
+        let budget = self.shared.cfg.mem_budget;
+        if budget > 0 && fg_telemetry::mem_total_current() > budget {
+            counter_add(Counter::ServeMemShed, 1);
+            self.shared.stats.mem_shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::OverMemoryBudget);
+        }
         let entry = self
             .shared
             .models
@@ -368,15 +419,35 @@ impl Engine {
     }
 
     /// Full Prometheus-style text exposition: the engine's always-on serve
-    /// series plus (when compiled in and enabled) the process-wide
-    /// `fg-telemetry` registry, terminated by `# EOF`.
+    /// series, the memory-accounting series, plus (when compiled in and
+    /// enabled) the process-wide `fg-telemetry` registry, terminated by
+    /// `# EOF`.
     pub fn metrics_text(&self) -> String {
-        crate::metrics::render(&self.stats(), self.plan_cache_len())
+        crate::metrics::render(&self.stats(), &self.memory_report())
     }
 
     /// Compiled-plan cache entries currently held.
     pub fn plan_cache_len(&self) -> usize {
         self.shared.plans.len()
+    }
+
+    /// Point-in-time memory breakdown backing the `MEMORY` wire command and
+    /// the `fgserve_mem_*` metric series.
+    pub fn memory_report(&self) -> MemoryReport {
+        MemoryReport {
+            components: fg_telemetry::mem_snapshot(),
+            total_current: fg_telemetry::mem_total_current(),
+            total_peak: fg_telemetry::mem_total_peak(),
+            plan_cache_entries: self.shared.plans.len() as u64,
+            plan_cache_bytes: self.shared.plans.total_bytes(),
+            plan_cache_capacity: self.shared.plans.capacity(),
+            plan_cache_evictions: self.shared.plans.evictions(),
+            mem_budget: self.shared.cfg.mem_budget,
+            mem_shed: self.shared.stats.mem_shed.load(Ordering::Relaxed),
+            models_registered: self.shared.models.read().unwrap().len() as u64,
+            models_replaced: self.shared.stats.models_replaced.load(Ordering::Relaxed),
+            rss: fg_telemetry::read_rss(),
+        }
     }
 
     /// Stop accepting work, drain the queue, and join the workers.
@@ -393,6 +464,84 @@ impl Engine {
 impl Drop for Engine {
     fn drop(&mut self) {
         self.shutdown();
+    }
+}
+
+/// Whole-process memory breakdown: per-component accounted watermarks,
+/// plan-cache occupancy, admission-gate state, and the OS resident-set
+/// cross-check. Produced by [`Engine::memory_report`], rendered by the
+/// `MEMORY` wire command and the `fgserve_mem_*` metric series.
+#[derive(Debug, Clone)]
+pub struct MemoryReport {
+    /// Current/peak accounted bytes per component, in
+    /// [`MemComponent::ALL`] order (all zeros with accounting compiled out).
+    pub components: Vec<fg_telemetry::MemComponentSnapshot>,
+    /// Accounted bytes currently live across every component.
+    pub total_current: u64,
+    /// High-water mark of `total_current`.
+    pub total_peak: u64,
+    /// Compiled-plan cache entries currently held.
+    pub plan_cache_entries: u64,
+    /// Summed plan cost of the cached entries in bytes.
+    pub plan_cache_bytes: u64,
+    /// Plan-cache byte bound (`0` = unbounded).
+    pub plan_cache_capacity: u64,
+    /// Plan-cache entries evicted to stay under the bound.
+    pub plan_cache_evictions: u64,
+    /// Admission-gate budget in bytes (`0` = unlimited).
+    pub mem_budget: u64,
+    /// Requests shed by the memory-budget gate.
+    pub mem_shed: u64,
+    /// Models currently registered.
+    pub models_registered: u64,
+    /// Registrations that replaced (and released) a previous entry.
+    pub models_replaced: u64,
+    /// OS resident-set reading (`None` off Linux).
+    pub rss: Option<fg_telemetry::RssReading>,
+}
+
+impl MemoryReport {
+    /// Render as `key=value ...` payload lines for the `MEMORY` wire reply:
+    /// one `component=<name> current=<b> peak=<b>` line per component, then
+    /// one `total` summary line, one `plan_cache` line, and (on Linux) one
+    /// `rss` line.
+    pub fn to_wire_lines(&self) -> Vec<String> {
+        let mut lines: Vec<String> = self
+            .components
+            .iter()
+            .map(|c| {
+                format!(
+                    "component={} current={} peak={}",
+                    c.component.name(),
+                    c.current,
+                    c.peak
+                )
+            })
+            .collect();
+        lines.push(format!(
+            "total current={} peak={} budget={} mem_shed={} models_registered={} \
+             models_replaced={}",
+            self.total_current,
+            self.total_peak,
+            self.mem_budget,
+            self.mem_shed,
+            self.models_registered,
+            self.models_replaced,
+        ));
+        lines.push(format!(
+            "plan_cache entries={} bytes={} capacity={} evictions={}",
+            self.plan_cache_entries,
+            self.plan_cache_bytes,
+            self.plan_cache_capacity,
+            self.plan_cache_evictions,
+        ));
+        if let Some(rss) = self.rss {
+            lines.push(format!(
+                "rss current={} peak={}",
+                rss.current_bytes, rss.peak_bytes
+            ));
+        }
+        lines
     }
 }
 
@@ -488,6 +637,8 @@ fn execute_batch(shared: &Shared, jobs: Vec<Job>) {
         let exec_start = Instant::now();
         let result = {
             let _infer_span = span!("serve/infer", "model={model_name} nodes={}", nodes.len());
+            // Attribute the batch's tape/scratch allocations to the serve path.
+            let _mem = MemScope::enter(MemComponent::ServeBatch);
             infer_batch(
                 entry.model.as_ref(),
                 &entry.graph,
@@ -497,6 +648,9 @@ fn execute_batch(shared: &Shared, jobs: Vec<Job>) {
             )
         };
         let execute = exec_start.elapsed();
+        // Plans compile lazily per feature dim, so re-report the backend's
+        // plan bytes after every batch; this also drives LRU eviction.
+        shared.plans.note_cost(&key, backend.plan_mem_bytes());
         match result {
             Ok(rows) => {
                 for (job, logits) in group.into_iter().zip(rows) {

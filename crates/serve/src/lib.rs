@@ -23,7 +23,9 @@
 //!   overload shedding.
 //! * [`engine`] — admission control, per-request deadlines, worker pool,
 //!   graceful drain, typed [`engine::ServeError`]s.
-//! * [`plan_cache`] — `(graph id, model, options)` → compiled backend.
+//! * [`plan_cache`] — `(graph id, model, options)` → compiled backend,
+//!   optionally **byte-bounded** with LRU eviction
+//!   ([`engine::ServeConfig::plan_cache_bytes`]).
 //! * [`stats`] — always-on p50/p95/p99 latency, **per-phase**
 //!   (queue-wait / batch-form / plan-compile / execute / serialize)
 //!   quantiles, queue-depth/batch-size distributions, event counters, and
@@ -39,6 +41,14 @@
 //! [`fg_telemetry::TraceSampler`] ([`engine::ServeConfig::trace_sample`]);
 //! sampled requests thread that id through the front-end, batcher, worker,
 //! and kernel spans, producing one coherent Chrome-trace tree per request.
+//!
+//! Memory: the engine rides on `fg-telemetry`'s byte-level accountant —
+//! graph topology, features, model params, batch scratch, and plan-cache
+//! cost are attributed per component, surfaced via the `MEMORY` wire
+//! command and `fgserve_mem_*` metric series
+//! ([`engine::Engine::memory_report`]), and optionally enforced by the
+//! [`engine::ServeConfig::mem_budget`] admission gate, which sheds with
+//! [`engine::ServeError::OverMemoryBudget`] before allocating.
 
 #![warn(missing_docs)]
 
@@ -52,7 +62,9 @@ pub mod server;
 pub mod stats;
 
 pub use batcher::{Batcher, BatcherConfig, PushError, QueueObserver};
-pub use engine::{Engine, InferRequest, InferResponse, ServeConfig, ServeError, Ticket};
+pub use engine::{
+    Engine, InferRequest, InferResponse, MemoryReport, ServeConfig, ServeError, Ticket,
+};
 pub use plan_cache::{PlanCache, PlanKey};
 pub use server::{serve, ServerHandle};
 pub use stats::{LatencySnapshot, Phase, SlowEntry, StatsSnapshot};

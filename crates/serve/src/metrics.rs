@@ -16,6 +16,7 @@
 //! doubles as the framing sentinel on the line-oriented wire protocol:
 //! clients read until they see it.
 
+use crate::engine::MemoryReport;
 use crate::stats::{LatencySnapshot, Phase, StatsSnapshot};
 
 /// One parsed sample: series identity (`name{labels}` exactly as exposed)
@@ -45,21 +46,24 @@ fn write_summary(out: &mut String, name: &str, labels: &str, snap: &LatencySnaps
     let _ = writeln!(out, "{name}_count{{{labels}}} {}", snap.count);
 }
 
-/// Render the full exposition for one engine snapshot. `plan_cache_entries`
-/// is the live compiled-plan cache size (a gauge the snapshot doesn't
-/// carry).
-pub fn render(stats: &StatsSnapshot, plan_cache_entries: usize) -> String {
+/// Render the full exposition for one engine snapshot. `mem` carries the
+/// live gauges the snapshot doesn't: the accounted-memory breakdown and the
+/// plan-cache occupancy.
+pub fn render(stats: &StatsSnapshot, mem: &MemoryReport) -> String {
     use std::fmt::Write;
     let mut out = String::with_capacity(4096);
     for (name, value) in [
         ("fgserve_requests_accepted_total", stats.accepted),
         ("fgserve_requests_completed_total", stats.completed),
         ("fgserve_requests_shed_total", stats.shed),
+        ("fgserve_requests_mem_shed_total", stats.mem_shed),
         ("fgserve_requests_timed_out_total", stats.timed_out),
         ("fgserve_requests_failed_total", stats.failed),
         ("fgserve_batches_total", stats.batches),
         ("fgserve_plan_cache_hits_total", stats.plan_hits),
         ("fgserve_plan_cache_misses_total", stats.plan_misses),
+        ("fgserve_plan_cache_evictions_total", mem.plan_cache_evictions),
+        ("fgserve_models_replaced_total", stats.models_replaced),
     ] {
         let _ = writeln!(out, "# TYPE {} counter", name.trim_end_matches("_total"));
         let _ = writeln!(out, "{name} {value}");
@@ -67,10 +71,41 @@ pub fn render(stats: &StatsSnapshot, plan_cache_entries: usize) -> String {
     for (name, value) in [
         ("fgserve_queue_depth", stats.queue_depth),
         ("fgserve_queue_depth_max", stats.queue_depth_max),
-        ("fgserve_plan_cache_entries", plan_cache_entries as u64),
+        ("fgserve_plan_cache_entries", mem.plan_cache_entries),
+        ("fgserve_plan_cache_bytes", mem.plan_cache_bytes),
+        ("fgserve_plan_cache_capacity_bytes", mem.plan_cache_capacity),
+        ("fgserve_mem_total_bytes", mem.total_current),
+        ("fgserve_mem_total_peak_bytes", mem.total_peak),
+        ("fgserve_mem_budget_bytes", mem.mem_budget),
+        ("fgserve_models_registered", mem.models_registered),
     ] {
         let _ = writeln!(out, "# TYPE {name} gauge");
         let _ = writeln!(out, "{name} {value}");
+    }
+    let _ = writeln!(out, "# TYPE fgserve_mem_component_bytes gauge");
+    let _ = writeln!(out, "# TYPE fgserve_mem_component_peak_bytes gauge");
+    for c in &mem.components {
+        let _ = writeln!(
+            out,
+            "fgserve_mem_component_bytes{{component=\"{}\"}} {}",
+            c.component.name(),
+            c.current
+        );
+        let _ = writeln!(
+            out,
+            "fgserve_mem_component_peak_bytes{{component=\"{}\"}} {}",
+            c.component.name(),
+            c.peak
+        );
+    }
+    if let Some(rss) = mem.rss {
+        for (name, value) in [
+            ("fgserve_mem_rss_bytes", rss.current_bytes),
+            ("fgserve_mem_rss_peak_bytes", rss.peak_bytes),
+        ] {
+            let _ = writeln!(out, "# TYPE {name} gauge");
+            let _ = writeln!(out, "{name} {value}");
+        }
     }
 
     let _ = writeln!(out, "# TYPE fgserve_request_latency_ms summary");
@@ -154,10 +189,27 @@ mod tests {
     use std::sync::atomic::Ordering;
     use std::time::Duration;
 
+    fn mem_with_entries(entries: u64) -> MemoryReport {
+        MemoryReport {
+            components: fg_telemetry::mem_snapshot(),
+            total_current: 0,
+            total_peak: 0,
+            plan_cache_entries: entries,
+            plan_cache_bytes: 0,
+            plan_cache_capacity: 0,
+            plan_cache_evictions: 0,
+            mem_budget: 0,
+            mem_shed: 0,
+            models_registered: 0,
+            models_replaced: 0,
+            rss: fg_telemetry::read_rss(),
+        }
+    }
+
     #[test]
     fn empty_engine_exposition_parses_and_has_always_on_series() {
         let stats = ServeStats::default();
-        let text = render(&stats.snapshot(), 0);
+        let text = render(&stats.snapshot(), &mem_with_entries(0));
         let samples = parse_exposition(&text).expect("parseable");
         assert!(text.ends_with("# EOF\n"));
         let count = |name: &str| {
@@ -169,6 +221,11 @@ mod tests {
         };
         assert_eq!(count("fgserve_requests_accepted_total"), 0.0);
         assert_eq!(count("fgserve_plan_cache_entries"), 0.0);
+        assert_eq!(count("fgserve_mem_total_bytes"), 0.0);
+        // Component series exist for every component (values depend on
+        // whether accounting is compiled in, so only presence is asserted).
+        let _ = count("fgserve_mem_component_bytes{component=\"plan_cache\"}");
+        let _ = count("fgserve_mem_component_peak_bytes{component=\"serve_batch\"}");
         assert_eq!(
             count("fgserve_phase_latency_ms_count{phase=\"queue_wait\"}"),
             0.0
@@ -185,7 +242,7 @@ mod tests {
         for _ in 0..10 {
             stats.record_phase(Phase::Execute, Duration::from_millis(8));
         }
-        let text = render(&stats.snapshot(), 3);
+        let text = render(&stats.snapshot(), &mem_with_entries(3));
         assert_eq!(
             sample(
                 &text,
@@ -216,5 +273,49 @@ mod tests {
             "content after EOF"
         );
         assert!(parse_exposition("# hello\n# EOF\n").is_ok(), "comments ok");
+    }
+
+    #[test]
+    fn parser_keeps_escaped_label_values_in_series_identity() {
+        // Prometheus label values may contain escaped quotes and backslashes;
+        // the series identity must be preserved byte-for-byte.
+        let text = "m{path=\"a\\\"b\\\\c\"} 4\n# EOF\n";
+        let samples = parse_exposition(text).expect("parseable");
+        assert_eq!(samples.len(), 1);
+        assert_eq!(samples[0].series, "m{path=\"a\\\"b\\\\c\"}");
+        assert_eq!(samples[0].value, 4.0);
+    }
+
+    #[test]
+    fn parser_accepts_negative_and_exponent_form_numbers() {
+        let text = "m_neg -12.5\nm_exp 1.5e3\nm_negexp -2E-2\nm_inf inf\n# EOF\n";
+        let samples = parse_exposition(text).expect("parseable");
+        assert_eq!(samples[0].value, -12.5);
+        assert_eq!(samples[1].value, 1500.0);
+        assert_eq!(samples[2].value, -0.02);
+        assert!(samples[3].value.is_infinite());
+    }
+
+    #[test]
+    fn parser_returns_duplicate_series_in_order_and_sample_picks_first() {
+        let text = "dup 1\nother 5\ndup 2\n# EOF\n";
+        let samples = parse_exposition(text).expect("parseable");
+        let dups: Vec<f64> = samples
+            .iter()
+            .filter(|s| s.series == "dup")
+            .map(|s| s.value)
+            .collect();
+        assert_eq!(dups, vec![1.0, 2.0], "duplicates kept in exposition order");
+        assert_eq!(sample(text, "dup"), Some(1.0), "sample() takes the first");
+    }
+
+    #[test]
+    fn parser_rejects_missing_eof_even_with_trailing_comment() {
+        assert!(parse_exposition("").is_err(), "empty input");
+        assert!(
+            parse_exposition("m 1\n# almost EOF but not\n").is_err(),
+            "comment that is not # EOF does not terminate"
+        );
+        assert!(parse_exposition("m 1\n#EOF\n").is_ok(), "no-space # EOF ok");
     }
 }

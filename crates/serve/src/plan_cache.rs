@@ -10,12 +10,23 @@
 //! thread count — and through those, the Fds chosen by the autotuner).
 //! A cache hit means a batch executes entirely against already-compiled
 //! kernels; a miss pays compilation on first touch.
+//!
+//! The cache is **byte-bounded**: each entry carries a cost (the backend's
+//! [`plan_mem_bytes`](FeatgraphBackend::plan_mem_bytes), reported by the
+//! engine after each batch via [`PlanCache::note_cost`] since plans compile
+//! lazily per feature dim), and when the summed cost exceeds the configured
+//! capacity the least-recently-used entries are evicted until it fits.
+//! `capacity == 0` means unbounded — the pre-bounded behavior. Eviction
+//! drops the cache's `Arc`; an in-flight batch still executing against an
+//! evicted backend keeps it alive until the batch finishes. Total cost is
+//! mirrored into the memory accountant's `PlanCache` component.
 
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use fg_gnn::FeatgraphBackend;
-use fg_telemetry::{counter_add, Counter};
+use fg_telemetry::{counter_add, mem_charge, mem_credit, Counter, MemComponent};
 
 /// Identity of a compiled-plan cache entry.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -42,16 +53,46 @@ impl PlanKey {
     }
 }
 
+struct Entry {
+    backend: Arc<FeatgraphBackend>,
+    /// Last reported plan bytes; 0 until the first `note_cost`.
+    cost: u64,
+    /// Recency stamp (larger = more recently used).
+    stamp: u64,
+}
+
+#[derive(Default)]
+struct Inner {
+    entries: HashMap<PlanKey, Entry>,
+    /// Sum of entry costs (mirrored into the `PlanCache` mem component).
+    total_bytes: u64,
+    /// Monotone use counter backing the LRU stamps.
+    tick: u64,
+}
+
 /// See the [module docs](self).
 #[derive(Default)]
 pub struct PlanCache {
-    map: Mutex<HashMap<PlanKey, Arc<FeatgraphBackend>>>,
+    inner: Mutex<Inner>,
+    /// Byte bound; 0 = unbounded.
+    capacity: u64,
+    evictions: AtomicU64,
 }
 
 impl PlanCache {
-    /// An empty cache.
+    /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// An empty cache evicting least-recently-used entries once the summed
+    /// plan cost exceeds `capacity_bytes` (`0` = unbounded).
+    pub fn bounded(capacity_bytes: u64) -> Self {
+        PlanCache {
+            inner: Mutex::new(Inner::default()),
+            capacity: capacity_bytes,
+            evictions: AtomicU64::new(0),
+        }
     }
 
     /// Fetch the backend for `key`, building (and retaining) it on first
@@ -62,25 +103,102 @@ impl PlanCache {
         key: &PlanKey,
         build: impl FnOnce() -> FeatgraphBackend,
     ) -> (Arc<FeatgraphBackend>, bool) {
-        let mut map = self.map.lock().unwrap();
-        if let Some(backend) = map.get(key) {
+        let mut inner = self.inner.lock().unwrap();
+        inner.tick += 1;
+        let stamp = inner.tick;
+        if let Some(entry) = inner.entries.get_mut(key) {
+            entry.stamp = stamp;
             counter_add(Counter::ServePlanHits, 1);
-            return (Arc::clone(backend), true);
+            return (Arc::clone(&entry.backend), true);
         }
         counter_add(Counter::ServePlanMisses, 1);
         let backend = Arc::new(build());
-        map.insert(key.clone(), Arc::clone(&backend));
+        inner.entries.insert(
+            key.clone(),
+            Entry {
+                backend: Arc::clone(&backend),
+                cost: 0,
+                stamp,
+            },
+        );
         (backend, false)
+    }
+
+    /// Report the current plan bytes of `key`'s backend (plans grow lazily
+    /// as new feature dims execute), then evict LRU entries while the cache
+    /// is over capacity. No-op for a key already evicted.
+    pub fn note_cost(&self, key: &PlanKey, bytes: u64) {
+        let mut inner = self.inner.lock().unwrap();
+        let Some(entry) = inner.entries.get_mut(key) else {
+            return;
+        };
+        let old = entry.cost;
+        entry.cost = bytes;
+        if bytes >= old {
+            mem_charge(MemComponent::PlanCache, bytes - old);
+        } else {
+            mem_credit(MemComponent::PlanCache, old - bytes);
+        }
+        inner.total_bytes = inner.total_bytes + bytes - old;
+        self.enforce(&mut inner);
+    }
+
+    /// Evict least-recently-used entries until `total_bytes <= capacity`.
+    /// A single entry larger than the capacity is itself evicted, leaving
+    /// the cache empty (the next batch recompiles).
+    fn enforce(&self, inner: &mut Inner) {
+        if self.capacity == 0 {
+            return;
+        }
+        while inner.total_bytes > self.capacity {
+            let Some(victim) = inner
+                .entries
+                .iter()
+                .min_by_key(|(_, e)| e.stamp)
+                .map(|(k, _)| k.clone())
+            else {
+                break;
+            };
+            let entry = inner.entries.remove(&victim).expect("victim present");
+            inner.total_bytes -= entry.cost;
+            mem_credit(MemComponent::PlanCache, entry.cost);
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+            counter_add(Counter::ServePlanEvictions, 1);
+        }
     }
 
     /// Number of cached entries.
     pub fn len(&self) -> usize {
-        self.map.lock().unwrap().len()
+        self.inner.lock().unwrap().entries.len()
     }
 
     /// True when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
         self.len() == 0
+    }
+
+    /// Summed plan cost of the cached entries in bytes.
+    pub fn total_bytes(&self) -> u64 {
+        self.inner.lock().unwrap().total_bytes
+    }
+
+    /// Configured byte bound (`0` = unbounded).
+    pub fn capacity(&self) -> u64 {
+        self.capacity
+    }
+
+    /// Entries evicted to stay under the byte bound since construction.
+    pub fn evictions(&self) -> u64 {
+        self.evictions.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for PlanCache {
+    fn drop(&mut self) {
+        // Balance the accountant for whatever is still cached.
+        let inner = self.inner.get_mut().unwrap();
+        mem_credit(MemComponent::PlanCache, inner.total_bytes);
+        inner.total_bytes = 0;
     }
 }
 
@@ -108,5 +226,76 @@ mod tests {
         let (_, h3) = cache.get_or_insert(&PlanKey::cpu(2, "gcn", 1), || FeatgraphBackend::cpu(1));
         assert!(!h1 && !h2 && !h3);
         assert_eq!(cache.len(), 3);
+    }
+
+    #[test]
+    fn unbounded_cache_never_evicts() {
+        let cache = PlanCache::new();
+        for i in 0..8 {
+            let key = PlanKey::cpu(i, "gcn", 1);
+            let _ = cache.get_or_insert(&key, || FeatgraphBackend::cpu(1));
+            cache.note_cost(&key, 1 << 30);
+        }
+        assert_eq!(cache.len(), 8);
+        assert_eq!(cache.evictions(), 0);
+        assert_eq!(cache.total_bytes(), 8 << 30);
+    }
+
+    #[test]
+    fn churn_stays_under_byte_bound_and_evicts_lru() {
+        let cache = PlanCache::bounded(2500);
+        for i in 0..10 {
+            let key = PlanKey::cpu(i, "gcn", 1);
+            let _ = cache.get_or_insert(&key, || FeatgraphBackend::cpu(1));
+            cache.note_cost(&key, 1000);
+            assert!(
+                cache.total_bytes() <= 2500,
+                "over bound after key {i}: {}",
+                cache.total_bytes()
+            );
+        }
+        assert!(cache.evictions() >= 8, "evictions {}", cache.evictions());
+        assert_eq!(cache.len(), 2, "2×1000 fits under 2500, 3×1000 does not");
+        // The survivors are the most recently used keys.
+        let (_, hit) = cache.get_or_insert(&PlanKey::cpu(9, "gcn", 1), || {
+            panic!("most recent key must survive")
+        });
+        assert!(hit);
+        let (_, hit) = cache.get_or_insert(&PlanKey::cpu(0, "gcn", 1), || FeatgraphBackend::cpu(1));
+        assert!(!hit, "oldest key was evicted");
+    }
+
+    #[test]
+    fn touching_an_entry_protects_it_from_eviction() {
+        let cache = PlanCache::bounded(2000);
+        let hot = PlanKey::cpu(0, "hot", 1);
+        let _ = cache.get_or_insert(&hot, || FeatgraphBackend::cpu(1));
+        cache.note_cost(&hot, 900);
+        for i in 1..6 {
+            // Re-touch the hot key before each insertion so it is never LRU.
+            let (_, hit) = cache.get_or_insert(&hot, || panic!("hot key evicted"));
+            assert!(hit);
+            let key = PlanKey::cpu(i, "cold", 1);
+            let _ = cache.get_or_insert(&key, || FeatgraphBackend::cpu(1));
+            cache.note_cost(&key, 900);
+        }
+        let (_, hit) = cache.get_or_insert(&hot, || panic!("hot key evicted"));
+        assert!(hit);
+        assert!(cache.evictions() > 0);
+    }
+
+    #[test]
+    fn oversized_single_entry_evicts_to_empty() {
+        let cache = PlanCache::bounded(100);
+        let key = PlanKey::cpu(1, "big", 1);
+        let (backend, _) = cache.get_or_insert(&key, || FeatgraphBackend::cpu(1));
+        cache.note_cost(&key, 1_000_000);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.total_bytes(), 0);
+        assert_eq!(cache.evictions(), 1);
+        // The in-flight handle is unaffected; a late note_cost is a no-op.
+        cache.note_cost(&key, 2_000_000);
+        assert_eq!(cache.total_bytes(), 0);
+        drop(backend);
     }
 }

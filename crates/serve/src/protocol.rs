@@ -6,6 +6,7 @@
 //! INFER <model> <node> [id=<token>] [deadline_ms=<n>]
 //! STATS
 //! METRICS
+//! MEMORY
 //! SLOWLOG [<n>]
 //! PING
 //! SHUTDOWN
@@ -19,21 +20,25 @@
 //! ERR <id> <code> [detail ...]
 //! STATS <key>=<value> ...
 //! <prometheus exposition, multi-line, terminated by "# EOF">
+//! MEMORY <n> (followed by n "MEM <key>=<value> ..." lines)
 //! SLOWLOG <n> (followed by n "SLOW <key>=<value> ..." lines)
 //! PONG
 //! BYE
 //! ```
 //!
 //! `METRICS` is the only reply without a fixed line count: clients read
-//! until the OpenMetrics `# EOF` terminator line. `SLOWLOG` declares its
-//! line count up front in the header.
+//! until the OpenMetrics `# EOF` terminator line. `MEMORY` and `SLOWLOG`
+//! declare their line counts up front in the header. `MEMORY` reports the
+//! accounted per-component footprint (one `MEM component=...` line per
+//! component, then `MEM total ...`, `MEM plan_cache ...`, and on Linux
+//! `MEM rss ...` summary lines).
 //!
 //! `<id>` is an opaque client token echoed back verbatim (`-` when the
 //! request carried none) — it is how `fgserve bench` proves that no
 //! response was lost, duplicated, or crossed between requests. Error codes
 //! are the stable strings from [`ServeError::code`]: `overloaded`,
-//! `timeout`, `unknown-model`, `bad-request`, `shutting-down`,
-//! `infer-failed`.
+//! `over-memory-budget`, `timeout`, `unknown-model`, `bad-request`,
+//! `shutting-down`, `infer-failed`.
 
 use std::time::Duration;
 
@@ -60,6 +65,8 @@ pub enum Request {
     Stats,
     /// `METRICS` — Prometheus-style exposition, read until `# EOF`.
     Metrics,
+    /// `MEMORY` — per-component accounted-footprint breakdown.
+    Memory,
     /// `SLOWLOG [<n>]` — newest `n` slow-request entries (all when omitted).
     SlowLog {
         /// Maximum entries to return.
@@ -90,6 +97,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "PING" => Ok(Request::Ping),
         "STATS" => Ok(Request::Stats),
         "METRICS" => Ok(Request::Metrics),
+        "MEMORY" => Ok(Request::Memory),
         "SLOWLOG" => {
             let limit = match parts.next() {
                 None => None,
@@ -232,6 +240,7 @@ mod tests {
         assert_eq!(parse_request("PING").unwrap(), Request::Ping);
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
         assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(parse_request("MEMORY").unwrap(), Request::Memory);
         assert_eq!(
             parse_request("SLOWLOG").unwrap(),
             Request::SlowLog { limit: None }

@@ -1,7 +1,7 @@
 //! Blocking TCP front-end over `std::net`: one acceptor thread, one thread
-//! per connection, one reply per request line (in order; `METRICS` and
-//! `SLOWLOG` replies span multiple lines with explicit terminators/counts,
-//! everything else is a single line).
+//! per connection, one reply per request line (in order; `METRICS`,
+//! `MEMORY`, and `SLOWLOG` replies span multiple lines with explicit
+//! terminators/counts, everything else is a single line).
 //!
 //! The server owns an `Arc<Engine>`; `SHUTDOWN` (or
 //! [`ServerHandle::shutdown`]) stops the acceptor, drains the engine, and
@@ -145,6 +145,19 @@ fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> C
                 let text = engine.metrics_text();
                 writer
                     .write_all(text.as_bytes())
+                    .and_then(|_| writer.flush())
+            }
+            Ok(Request::Memory) => {
+                let _span = span!("serve/request", "verb=MEMORY");
+                let lines = engine.memory_report().to_wire_lines();
+                let mut out = format!("MEMORY {}\n", lines.len());
+                for line in &lines {
+                    out.push_str("MEM ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                writer
+                    .write_all(out.as_bytes())
                     .and_then(|_| writer.flush())
             }
             Ok(Request::SlowLog { limit }) => {

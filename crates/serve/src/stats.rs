@@ -262,6 +262,8 @@ pub struct ServeStats {
     pub completed: AtomicU64,
     /// Requests rejected at admission because the queue was full.
     pub shed: AtomicU64,
+    /// Requests rejected at admission by the memory-budget gate.
+    pub mem_shed: AtomicU64,
     /// Requests that expired before execution.
     pub timed_out: AtomicU64,
     /// Requests that failed inside inference.
@@ -282,6 +284,8 @@ pub struct ServeStats {
     pub queue_depth: AtomicU64,
     /// High-water mark of the queue depth.
     pub queue_depth_max: AtomicU64,
+    /// Model registrations that replaced (and released) a previous entry.
+    pub models_replaced: AtomicU64,
 }
 
 impl Default for ServeStats {
@@ -290,6 +294,7 @@ impl Default for ServeStats {
             accepted: AtomicU64::new(0),
             completed: AtomicU64::new(0),
             shed: AtomicU64::new(0),
+            mem_shed: AtomicU64::new(0),
             timed_out: AtomicU64::new(0),
             failed: AtomicU64::new(0),
             batches: AtomicU64::new(0),
@@ -300,6 +305,7 @@ impl Default for ServeStats {
             batch_sizes: LatencyRecorder::new(),
             queue_depth: AtomicU64::new(0),
             queue_depth_max: AtomicU64::new(0),
+            models_replaced: AtomicU64::new(0),
         }
     }
 }
@@ -321,6 +327,7 @@ impl ServeStats {
             accepted: self.accepted.load(Ordering::Relaxed),
             completed,
             shed: self.shed.load(Ordering::Relaxed),
+            mem_shed: self.mem_shed.load(Ordering::Relaxed),
             timed_out: self.timed_out.load(Ordering::Relaxed),
             failed: self.failed.load(Ordering::Relaxed),
             batches,
@@ -333,6 +340,7 @@ impl ServeStats {
             batch_size: self.batch_sizes.snapshot(),
             queue_depth: self.queue_depth.load(Ordering::Relaxed),
             queue_depth_max: self.queue_depth_max.load(Ordering::Relaxed),
+            models_replaced: self.models_replaced.load(Ordering::Relaxed),
         }
     }
 }
@@ -357,6 +365,8 @@ pub struct StatsSnapshot {
     pub completed: u64,
     /// See [`ServeStats::shed`].
     pub shed: u64,
+    /// See [`ServeStats::mem_shed`].
+    pub mem_shed: u64,
     /// See [`ServeStats::timed_out`].
     pub timed_out: u64,
     /// See [`ServeStats::failed`].
@@ -381,6 +391,8 @@ pub struct StatsSnapshot {
     pub queue_depth: u64,
     /// High-water mark of the batching-queue depth.
     pub queue_depth_max: u64,
+    /// See [`ServeStats::models_replaced`].
+    pub models_replaced: u64,
 }
 
 /// Render a possibly-NaN statistic as a parseable number: `NaN`/`±inf`
@@ -434,13 +446,15 @@ impl StatsSnapshot {
     pub fn to_wire_line(&self) -> String {
         use std::fmt::Write;
         let mut line = format!(
-            "accepted={} completed={} shed={} timed_out={} failed={} batches={} \
+            "accepted={} completed={} shed={} mem_shed={} timed_out={} failed={} batches={} \
              avg_batch={:.2} plan_hits={} plan_misses={} plan_hit_rate={:.4} \
              samples={} p50_ms={:.3} p95_ms={:.3} p99_ms={:.3} mean_ms={:.3} max_ms={:.3} \
-             queue_depth={} queue_depth_max={} batch_samples={} batch_p50={:.1} batch_max={:.1}",
+             queue_depth={} queue_depth_max={} batch_samples={} batch_p50={:.1} batch_max={:.1} \
+             models_replaced={}",
             self.accepted,
             self.completed,
             self.shed,
+            self.mem_shed,
             self.timed_out,
             self.failed,
             self.batches,
@@ -459,6 +473,7 @@ impl StatsSnapshot {
             self.batch_size.count,
             finite(self.batch_size.p50_ms),
             finite(self.batch_size.max_ms),
+            self.models_replaced,
         );
         for phase in Phase::ALL {
             let snap = self.phase(phase);

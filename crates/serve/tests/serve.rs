@@ -439,6 +439,73 @@ fn slow_log_captures_phase_breakdown_over_wire() {
     handle.shutdown();
 }
 
+#[test]
+fn memory_wire_command_reports_per_component_breakdown() {
+    let (engine, task) = make_engine(ServeConfig::default());
+    let handle = serve(engine, "127.0.0.1:0").expect("bind");
+    let vertices = task.graph.num_vertices();
+
+    let (mut writer, mut reader) = wire_client(handle.addr());
+    for i in 0..8 {
+        let reply = send_recv(&mut writer, &mut reader, &format!("INFER gcn {}", i % vertices));
+        assert!(reply.starts_with("OK "), "{reply}");
+    }
+
+    let header = send_recv(&mut writer, &mut reader, "MEMORY");
+    let n: usize = header
+        .strip_prefix("MEMORY ")
+        .expect("MEMORY header")
+        .parse()
+        .unwrap();
+    assert!(n > 0, "breakdown must not be empty: {header}");
+    let mut lines = Vec::with_capacity(n);
+    for _ in 0..n {
+        let mut entry = String::new();
+        reader.read_line(&mut entry).unwrap();
+        let entry = entry.trim_end().to_string();
+        assert!(entry.starts_with("MEM "), "{entry}");
+        lines.push(entry);
+    }
+    for component in ["graph_topology", "serve_batch", "plan_cache"] {
+        let line = lines
+            .iter()
+            .find(|l| l.contains(&format!("component={component}")))
+            .unwrap_or_else(|| panic!("missing component {component}"));
+        for key in ["current=", "peak="] {
+            let value = line
+                .split_ascii_whitespace()
+                .find_map(|tok| tok.strip_prefix(key))
+                .unwrap_or_else(|| panic!("missing {key} in {line}"));
+            value.parse::<u64>().unwrap_or_else(|_| panic!("bad {key}{value}"));
+        }
+    }
+    let total = lines
+        .iter()
+        .find(|l| l.starts_with("MEM total "))
+        .expect("total line");
+    assert!(total.contains("mem_shed=0"), "{total}");
+    let cache = lines
+        .iter()
+        .find(|l| l.starts_with("MEM plan_cache "))
+        .expect("plan_cache summary line");
+    assert!(cache.contains("entries=1"), "one plan compiled: {cache}");
+
+    // With accounting compiled in, the registered graph must be charged.
+    #[cfg(feature = "telemetry")]
+    {
+        let report = handle.engine().memory_report();
+        let topo = report
+            .components
+            .iter()
+            .find(|c| c.component.name() == "graph_topology")
+            .expect("graph_topology snapshot");
+        assert!(topo.current > 0, "registered graph topology must be charged");
+        assert!(report.total_peak >= report.total_current);
+    }
+
+    handle.shutdown();
+}
+
 #[cfg(feature = "telemetry")]
 #[test]
 fn sampled_request_yields_one_coherent_trace_tree() {

@@ -113,10 +113,14 @@ pub enum Counter {
     ServePlanHits,
     /// Serving plan-cache misses (a backend had to be compiled).
     ServePlanMisses,
+    /// Serving plan-cache entries evicted to stay under the byte bound.
+    ServePlanEvictions,
+    /// Serving requests shed by the memory-budget admission gate.
+    ServeMemShed,
 }
 
 impl Counter {
-    pub const ALL: [Counter; 22] = [
+    pub const ALL: [Counter; 24] = [
         Counter::BytesMoved,
         Counter::EdgesProcessed,
         Counter::Partitions,
@@ -139,6 +143,8 @@ impl Counter {
         Counter::ServeTimeouts,
         Counter::ServePlanHits,
         Counter::ServePlanMisses,
+        Counter::ServePlanEvictions,
+        Counter::ServeMemShed,
     ];
 
     pub fn name(self) -> &'static str {
@@ -165,6 +171,8 @@ impl Counter {
             Counter::ServeTimeouts => "serve_timeouts",
             Counter::ServePlanHits => "serve_plan_hits",
             Counter::ServePlanMisses => "serve_plan_misses",
+            Counter::ServePlanEvictions => "serve_plan_evictions",
+            Counter::ServeMemShed => "serve_mem_shed",
         }
     }
 }
@@ -929,6 +937,14 @@ pub use sinks::{ChromeTraceSink, JsonLinesSink, MemorySink, SpanStats};
 mod export;
 
 pub use export::{prometheus_exposition, prometheus_write};
+
+mod mem;
+
+pub use mem::{
+    accountant, current_component, mem_charge, mem_credit, mem_current, mem_peak, mem_snapshot,
+    mem_total_current, mem_total_peak, parse_proc_status, read_rss, reset_mem, MemAccountant,
+    MemCharge, MemComponent, MemComponentSnapshot, MemScope, RssReading,
+};
 
 // Serialize tests (across modules) that touch the global registry/flag.
 #[cfg(test)]

@@ -10,6 +10,8 @@ use std::marker::PhantomData;
 use std::ops::{Deref, DerefMut};
 use std::ptr::NonNull;
 
+use fg_telemetry::{mem_charge, mem_credit, MemComponent};
+
 /// Alignment (bytes) used for all tensor storage: one x86 cache line.
 pub const CACHE_LINE: usize = 64;
 
@@ -21,6 +23,10 @@ pub const CACHE_LINE: usize = 64;
 pub struct AlignedVec<T> {
     ptr: NonNull<T>,
     len: usize,
+    // Memory-accounting attribution captured at allocation time (the
+    // thread's ambient `MemScope`); the matching credit in `Drop` must go
+    // to the same component regardless of where the buffer ends up.
+    component: MemComponent,
     _marker: PhantomData<T>,
 }
 
@@ -35,10 +41,12 @@ impl<T: Copy + Default> AlignedVec<T> {
     /// all-zero bit pattern is a valid `0.0`, so zero-init is also
     /// value-initialization.
     pub fn zeroed(len: usize) -> Self {
+        let component = fg_telemetry::current_component();
         if len == 0 {
             return Self {
                 ptr: NonNull::dangling(),
                 len: 0,
+                component,
                 _marker: PhantomData,
             };
         }
@@ -48,9 +56,11 @@ impl<T: Copy + Default> AlignedVec<T> {
         let Some(ptr) = NonNull::new(raw.cast::<T>()) else {
             handle_alloc_error(layout)
         };
+        mem_charge(component, layout.size() as u64);
         Self {
             ptr,
             len,
+            component,
             _marker: PhantomData,
         }
     }
@@ -80,6 +90,13 @@ impl<T: Copy + Default> AlignedVec<T> {
     #[inline(always)]
     pub fn is_empty(&self) -> bool {
         self.len == 0
+    }
+
+    /// Heap bytes held by this buffer (the figure charged to the memory
+    /// accountant at allocation).
+    #[inline(always)]
+    pub fn mem_bytes(&self) -> u64 {
+        (std::mem::size_of::<T>() * self.len) as u64
     }
 
     /// Immutable view of the whole buffer.
@@ -112,6 +129,7 @@ impl<T> Drop for AlignedVec<T> {
             CACHE_LINE.max(std::mem::align_of::<T>()),
         )
         .expect("invalid layout");
+        mem_credit(self.component, layout.size() as u64);
         // Safety: allocated with the identical layout in `zeroed`.
         unsafe { dealloc(self.ptr.as_ptr().cast(), layout) }
     }
@@ -190,6 +208,26 @@ mod tests {
         let mut v: AlignedVec<f32> = AlignedVec::zeroed(4);
         v[2] = 7.0;
         assert_eq!(v.as_slice(), &[0.0, 0.0, 7.0, 0.0]);
+    }
+
+    #[test]
+    fn allocation_accounting_charges_and_credits() {
+        use fg_telemetry::{mem_current, MemComponent, MemScope};
+        // CheckpointBuffers is unused elsewhere in this crate's tests, and
+        // the scope is thread-local, so this is race-free under the
+        // parallel test runner.
+        let scope = MemComponent::CheckpointBuffers;
+        let before = mem_current(scope);
+        {
+            let _attrib = MemScope::enter(scope);
+            let v: AlignedVec<f32> = AlignedVec::zeroed(256);
+            assert_eq!(v.mem_bytes(), 1024);
+            // Accounting is live only when fg-telemetry's `enabled` feature
+            // is unified into this build (e.g. workspace-wide tests).
+            let during = mem_current(scope);
+            assert!(during == before + 1024 || during == before, "{during}");
+        }
+        assert_eq!(mem_current(scope), before, "credit balances charge");
     }
 
     #[test]

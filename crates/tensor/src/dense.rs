@@ -109,6 +109,12 @@ impl<S: Scalar> Dense2<S> {
         self.data.as_mut_slice()
     }
 
+    /// Heap bytes held by the backing storage.
+    #[inline(always)]
+    pub fn mem_bytes(&self) -> u64 {
+        self.data.mem_bytes()
+    }
+
     /// Row `r` as a slice (a vertex/edge feature vector).
     #[inline(always)]
     pub fn row(&self, r: usize) -> &[S] {
@@ -339,6 +345,12 @@ impl<S: Scalar> Dense3<S> {
     #[inline(always)]
     pub fn as_mut_slice(&mut self) -> &mut [S] {
         self.data.as_mut_slice()
+    }
+
+    /// Heap bytes held by the backing storage.
+    #[inline(always)]
+    pub fn mem_bytes(&self) -> u64 {
+        self.data.mem_bytes()
     }
 
     /// Reinterpret as a `(d0, d1*d2)` matrix (copying).
