@@ -20,6 +20,8 @@
 //!   table6     end-to-end training/inference, naive vs FeatGraph backend (Table VI)
 //!   accuracy   backend-parity accuracy check (SS V-E)
 //!   fused      fused vs unfused SDDMM->softmax->SpMM GAT attention (fg-fuse)
+//!   sample     sampled (INFER_SEEDS) vs full-graph serving under a
+//!              power-law seed-popularity workload (fg-serve sampling)
 //!   mem        whole-stack accounted memory footprint vs OS RSS (fg-mem)
 //!   traversal  Hilbert vs canonical SDDMM edge order (SS III-C1 ablation)
 //!   a100       V100 vs A100 device model comparison (newer-hardware future work)
@@ -373,13 +375,14 @@ fn main() {
         "accuracy" => accuracy(&args),
         "fused" => fused_bench(&args, &mut rep),
         "serve" => serve_bench(&args, &mut rep),
+        "sample" => sample_bench(&args, &mut rep),
         "mem" => mem_bench(&args, &mut rep),
         "traversal" => traversal(&args, &mut rep),
         "a100" => a100(&args, &mut rep),
         "tune" => tune(&args),
         "all" => run_all(&args, &mut rep),
         _ => {
-            eprintln!("usage: fgbench <table2|table3|fig10|table4|fig11|fig12|fig13|fig14|fig15|table5|table6|accuracy|fused|serve|mem|all|compare> [--scale N] [--lengths l1,l2] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all] [--trace out.json] [--metrics] [--json report.json] [--bench-json]");
+            eprintln!("usage: fgbench <table2|table3|fig10|table4|fig11|fig12|fig13|fig14|fig15|table5|table6|accuracy|fused|serve|sample|mem|all|compare> [--scale N] [--lengths l1,l2] [--runs N] [--threads N] [--kernel gcn|mlp|attention|all] [--trace out.json] [--metrics] [--json report.json] [--bench-json]");
             std::process::exit(2);
         }
     }
@@ -427,6 +430,7 @@ fn run_all(args: &Args, master: &mut Report) {
     sub("accuracy", &mut |_| accuracy(args));
     sub("fused", &mut |r| fused_bench(args, r));
     sub("serve", &mut |r| serve_bench(args, r));
+    sub("sample", &mut |r| sample_bench(args, r));
     sub("mem", &mut |r| mem_bench(args, r));
     sub("traversal", &mut |r| traversal(args, r));
     sub("tune", &mut |_| tune(args));
@@ -1109,6 +1113,185 @@ fn serve_bench(args: &Args, rep: &mut Report) {
             }
         }
         println!("{}", stats.attribution_line());
+    }
+    engine.shutdown();
+}
+
+/// Sampled-vs-full serving scenario: the same power-law (head-heavy) seed
+/// workload is answered twice by the engine — once with full-graph
+/// inference (`INFER`) and once through the minibatch sampler
+/// (`INFER_SEEDS`, fanout-capped 2-hop neighborhoods) — and the table
+/// reports per-request latency for both paths plus the sampled subgraph
+/// sizes. A full-fanout parity pass asserts the sampled path is bitwise
+/// identical to full-graph inference before any numbers are printed.
+fn sample_bench(args: &Args, rep: &mut Report) {
+    use fg_serve::{Engine, InferRequest, InferSeedsRequest, ServeConfig};
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const CLIENTS: usize = 8;
+    const FANOUTS: [usize; 2] = [10, 10];
+    let n = (30_000 / args.cfg.scale).max(500);
+    let requests = (4_000 / args.cfg.scale).max(400);
+    let per_client = (requests / CLIENTS).max(1);
+    println!(
+        "\n=== sample: sampled (fanout {FANOUTS:?}) vs full-graph serving, {CLIENTS} clients \
+         x {per_client} requests/model, {n}-vertex graph, power-law seed popularity ==="
+    );
+    let engine = Arc::new(Engine::new(ServeConfig {
+        kernel_threads: args.threads,
+        default_deadline: None,
+        ..ServeConfig::default()
+    }));
+    let task = SbmTask::generate(n, 4, 16, 4, 33);
+    let vertices = task.graph.num_vertices();
+    for name in ["gcn", "graphsage", "gat"] {
+        let model = build_model(name, task.in_dim(), 32, task.num_classes, 1);
+        engine.register_model(name, model, task.graph.clone(), task.features.clone());
+    }
+
+    // Power-law popularity: squaring a uniform draw concentrates requests
+    // on a small head of hot vertices, the regime sampled serving targets.
+    let popular = |c: usize, i: usize, vertices: usize| -> usize {
+        let mut x = (c as u64)
+            .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            .wrapping_add((i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9));
+        x ^= x >> 30;
+        x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        x ^= x >> 27;
+        let u = x as f64 / u64::MAX as f64;
+        ((vertices as f64 * u * u) as usize).min(vertices - 1)
+    };
+
+    // Parity gate: full-fanout sampled answers must equal the full-graph
+    // path bitwise on a probe set before the timed passes run.
+    for name in ["gcn", "graphsage", "gat"] {
+        let probes: Vec<usize> = (0..8).map(|i| popular(0, i, vertices)).collect();
+        let sampled = engine
+            .infer_seeds(InferSeedsRequest {
+                model: name.into(),
+                seeds: probes.clone(),
+                fanouts: None, // full fanout, DEFAULT_SAMPLE_HOPS hops
+                sample_seed: 0,
+                deadline: None,
+            })
+            .expect("parity infer_seeds");
+        for (&node, got) in probes.iter().zip(&sampled.results) {
+            let full = engine
+                .infer(InferRequest { model: name.into(), node, deadline: None })
+                .expect("parity infer");
+            assert_eq!(
+                full.logits, got.logits,
+                "{name}: full-fanout sampled logits diverged on node {node}"
+            );
+        }
+    }
+    println!("parity: full-fanout sampled == full-graph, bitwise, all models");
+
+    println!(
+        "{:<10} {:>12} {:>12} {:>12} {:>12} {:>9} {:>9} {:>9}",
+        "model", "full p50", "full p99", "sampled p50", "sampled p99", "speedup", "|V_sub|", "|E_sub|"
+    );
+    for name in ["gcn", "graphsage", "gat"] {
+        let run = |sampled: bool| -> (Vec<f64>, f64, f64, f64) {
+            let t0 = Instant::now();
+            let handles: Vec<_> = (0..CLIENTS)
+                .map(|c| {
+                    let engine = Arc::clone(&engine);
+                    std::thread::spawn(move || {
+                        let mut lat = Vec::with_capacity(per_client);
+                        let (mut sv, mut se) = (0u64, 0u64);
+                        for i in 0..per_client {
+                            let node = popular(c, i, vertices);
+                            let t = Instant::now();
+                            if sampled {
+                                let resp = engine
+                                    .infer_seeds(InferSeedsRequest {
+                                        model: name.into(),
+                                        seeds: vec![node],
+                                        fanouts: Some(FANOUTS.to_vec()),
+                                        sample_seed: (c * per_client + i) as u64,
+                                        deadline: None,
+                                    })
+                                    .expect("sampled infer");
+                                sv += resp.sub_vertices as u64;
+                                se += resp.sub_edges as u64;
+                            } else {
+                                engine
+                                    .infer(InferRequest {
+                                        model: name.into(),
+                                        node,
+                                        deadline: None,
+                                    })
+                                    .expect("full infer");
+                            }
+                            lat.push(t.elapsed().as_secs_f64());
+                        }
+                        (lat, sv, se)
+                    })
+                })
+                .collect();
+            let mut lat = Vec::new();
+            let (mut sv, mut se) = (0u64, 0u64);
+            for h in handles {
+                let (l, v, e) = h.join().expect("sample client");
+                lat.extend(l);
+                sv += v;
+                se += e;
+            }
+            let wall = t0.elapsed().as_secs_f64();
+            let count = lat.len().max(1) as f64;
+            (lat, wall, sv as f64 / count, se as f64 / count)
+        };
+        let (mut full_lat, full_wall, _, _) = run(false);
+        let (mut samp_lat, samp_wall, avg_v, avg_e) = run(true);
+        let q = |lat: &[f64], p: f64| {
+            lat[((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len()) - 1]
+        };
+        rep.push(
+            format!("sample/{name}/full_latency"),
+            "s",
+            &Samples::from_secs(full_lat.clone()),
+        );
+        rep.push(
+            format!("sample/{name}/sampled_latency"),
+            "s",
+            &Samples::from_secs(samp_lat.clone()),
+        );
+        rep.push_single(format!("sample/{name}/full_wall"), "s", full_wall);
+        rep.push_single(format!("sample/{name}/sampled_wall"), "s", samp_wall);
+        rep.push_single(format!("sample/{name}/avg_sub_vertices"), "", avg_v);
+        rep.push_single(format!("sample/{name}/avg_sub_edges"), "", avg_e);
+        full_lat.sort_by(f64::total_cmp);
+        samp_lat.sort_by(f64::total_cmp);
+        println!(
+            "{name:<10} {:>12} {:>12} {:>12} {:>12} {:>8.2}x {:>9.0} {:>9.0}",
+            fmt_secs(Some(q(&full_lat, 0.50))),
+            fmt_secs(Some(q(&full_lat, 0.99))),
+            fmt_secs(Some(q(&samp_lat, 0.50))),
+            fmt_secs(Some(q(&samp_lat, 0.99))),
+            q(&full_lat, 0.50) / q(&samp_lat, 0.50),
+            avg_v,
+            avg_e,
+        );
+    }
+    let stats = engine.stats();
+    println!(
+        "engine: {} batches, plan hit rate {:.1}% ({} hits / {} misses), sample phase n={}",
+        stats.batches,
+        stats.plan_hit_rate * 100.0,
+        stats.plan_hits,
+        stats.plan_misses,
+        stats.phase(fg_serve::Phase::Sample).count,
+    );
+    let metrics_text = engine.metrics_text();
+    if fg_serve::metrics::parse_exposition(&metrics_text).is_ok() {
+        for (q, label) in [("0.5", "p50"), ("0.95", "p95"), ("0.99", "p99")] {
+            let series = format!("fgserve_phase_latency_ms{{phase=\"sample\",quantile=\"{q}\"}}");
+            if let Some(v) = fg_serve::metrics::sample(&metrics_text, &series) {
+                rep.push_single(format!("sample/phase/sample/{label}"), "ms", v);
+            }
+        }
     }
     engine.shutdown();
 }

@@ -2,27 +2,33 @@
 //!
 //! ```text
 //! fgcheck [--seed N] [--cases K] [--shrink-budget N] [--verbose]
+//! fgcheck --sampler [--seed N] [--cases K]
 //! fgcheck --case '<descriptor>'
-//! fgcheck --seed 0 --cases 200        # the deterministic CI smoke sweep
+//! fgcheck --seed 0 --cases 200            # the deterministic CI smoke sweep
+//! fgcheck --sampler --seed 0 --cases 200  # the sampler CI smoke sweep
 //! ```
 //!
 //! Sweep mode generates `K` seeded cases, runs each across every applicable
 //! executor against the naive reference, shrinks any failure, and prints a
 //! replayable `fgcheck --case '...'` one-liner per failure. Exit status is
-//! nonzero iff any case failed.
+//! nonzero iff any case failed. `--sampler` sweeps the neighbor-sampler
+//! property family instead (determinism, reindex round-trip, fanout cap,
+//! full-fanout bit-identity).
 //!
 //! Replay mode (`--case`) re-runs one descriptor (as printed by a failing
-//! sweep) with per-executor detail.
+//! sweep) with per-executor detail; descriptors starting with `sampler;`
+//! route to the sampler family automatically.
 
 use std::process::ExitCode;
 
-use fg_check::{run_case, shrink, sweep, Case};
+use fg_check::{run_case, run_sampler_case, sampler_sweep, shrink, sweep, Case, SamplerCase};
 
 struct Args {
     seed: u64,
     cases: usize,
     case: Option<String>,
     shrink_budget: usize,
+    sampler: bool,
     verbose: bool,
 }
 
@@ -32,6 +38,7 @@ fn parse_args() -> Args {
         cases: 200,
         case: None,
         shrink_budget: fg_check::runner::SHRINK_BUDGET,
+        sampler: false,
         verbose: false,
     };
     let mut args = std::env::args().skip(1);
@@ -42,15 +49,20 @@ fn parse_args() -> Args {
             "--cases" => out.cases = val().parse().expect("cases"),
             "--case" => out.case = Some(val()),
             "--shrink-budget" => out.shrink_budget = val().parse().expect("shrink budget"),
+            "--sampler" => out.sampler = true,
             "--verbose" | "-v" => out.verbose = true,
             "--help" | "-h" => {
                 println!(
                     "fgcheck — differential kernel fuzzer\n\n\
                      usage: fgcheck [--seed N] [--cases K] [--shrink-budget N] [--verbose]\n\
+                     \x20      fgcheck --sampler [--seed N] [--cases K]\n\
                      \x20      fgcheck --case '<descriptor>'\n\n\
                      Runs every FeatGraph executor (optimized CPU/GPU templates and the\n\
                      ligra/gunrock/sparselib baselines) against the naive reference on\n\
-                     seeded adversarial cases; shrinks and prints any divergence."
+                     seeded adversarial cases; shrinks and prints any divergence.\n\
+                     --sampler sweeps the neighbor-sampler property family instead\n\
+                     (determinism, reindex round-trip, fanout cap, full-fanout\n\
+                     bit-identity); sampler descriptors replay via --case too."
                 );
                 std::process::exit(0);
             }
@@ -63,7 +75,57 @@ fn parse_args() -> Args {
     out
 }
 
+fn replay_sampler(desc: &str) -> ExitCode {
+    let case: SamplerCase = match desc.parse() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("replaying: {case}");
+    let reports = run_sampler_case(&case);
+    if reports.is_empty() {
+        println!("PASS: all sampler properties hold");
+        return ExitCode::SUCCESS;
+    }
+    for r in &reports {
+        println!("FAIL {r}");
+    }
+    ExitCode::FAILURE
+}
+
+fn sampler_main(seed: u64, cases: usize, verbose: bool) -> ExitCode {
+    println!("fgcheck: sweeping {cases} sampler cases from seed {seed}");
+    let report = sampler_sweep(seed, cases, |i, rep| {
+        if verbose && (i + 1) % 50 == 0 {
+            println!("  ... {}/{} cases, {} failures", i + 1, cases, rep.failures.len());
+        }
+    });
+    println!(
+        "swept {} sampler cases: {} failure(s)",
+        report.total,
+        report.failures.len()
+    );
+    if report.failures.is_empty() {
+        println!("PASS");
+        return ExitCode::SUCCESS;
+    }
+    for (i, f) in report.failures.iter().enumerate() {
+        println!("--- failure {} -------------------------------------", i + 1);
+        println!("  case: {}", f.case);
+        for r in &f.reports {
+            println!("    {r}");
+        }
+        println!("  replay: fgcheck --case '{}'", f.case);
+    }
+    ExitCode::FAILURE
+}
+
 fn replay(desc: &str, shrink_budget: usize) -> ExitCode {
+    if desc.starts_with("sampler") {
+        return replay_sampler(desc);
+    }
     let case: Case = match desc.parse() {
         Ok(c) => c,
         Err(e) => {
@@ -92,6 +154,10 @@ fn main() -> ExitCode {
 
     if let Some(desc) = &args.case {
         return replay(desc, args.shrink_budget);
+    }
+
+    if args.sampler {
+        return sampler_main(args.seed, args.cases, args.verbose);
     }
 
     println!(

@@ -28,15 +28,23 @@
 //! reproduces on any machine with one command. The deterministic smoke
 //! sweep (`fgcheck --seed 0 --cases 200`) runs in CI; see the README
 //! "Correctness" section.
+//!
+//! A second case family ([`sampler`], `fgcheck --sampler`) checks the
+//! seeded neighbor sampler the serving tier builds on: determinism,
+//! reindex round-trips, fanout caps, and full-fanout bit-identity with
+//! full-graph inference. Sampler descriptors start with `sampler;` and
+//! replay through the same `--case` flag.
 
 pub mod case;
 pub mod exec;
 pub mod runner;
+pub mod sampler;
 pub mod shrink;
 pub mod tolerance;
 
 pub use case::{Case, ExecPlan, GraphSpec, KernelKind, UdfKind};
 pub use exec::{run_case, ExecFailure};
 pub use runner::{gen_case, sweep, Failure, Sweep};
+pub use sampler::{run_sampler_case, sampler_sweep, SamplerCase, SamplerSweep};
 pub use shrink::shrink;
 pub use tolerance::{compare_slices, ulp_diff, Mismatch, Tolerance};

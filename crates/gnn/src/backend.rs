@@ -326,6 +326,11 @@ impl Plan {
 pub struct FeatgraphBackend {
     target: Target,
     threads: usize,
+    /// When set, skip the per-plan `CpuSpmmOptions::auto` probe and
+    /// partition every SpMM/fused plan this many ways. Sampled serving
+    /// reuses a schedule tuned once per subgraph shape bucket, so each
+    /// per-request backend compiles without re-running the cost model.
+    partitions_hint: Option<usize>,
     plans: Mutex<HashMap<PlanKey, Plan>>,
     gpu_ms: Mutex<f64>,
 }
@@ -336,8 +341,20 @@ impl FeatgraphBackend {
         Self {
             target: Target::Cpu,
             threads: threads.max(1),
+            partitions_hint: None,
             plans: Mutex::new(HashMap::new()),
             gpu_ms: Mutex::new(0.0),
+        }
+    }
+
+    /// CPU backend that partitions every plan `partitions` ways instead of
+    /// auto-tuning per plan. Partition count does not change results —
+    /// the CPU SpMM accumulates each destination row in ascending-source
+    /// order across partitions — only locality.
+    pub fn cpu_with_partitions(threads: usize, partitions: usize) -> Self {
+        Self {
+            partitions_hint: Some(partitions.max(1)),
+            ..Self::cpu(threads)
         }
     }
 
@@ -346,6 +363,7 @@ impl FeatgraphBackend {
         Self {
             target: Target::Gpu,
             threads: 1,
+            partitions_hint: None,
             plans: Mutex::new(HashMap::new()),
             gpu_ms: Mutex::new(0.0),
         }
@@ -377,6 +395,16 @@ impl FeatgraphBackend {
         }
     }
 
+    /// The partition count `CpuSpmmOptions::auto` would pick for a copy-src
+    /// SpMM of feature length `d` on `graph` — the schedule decision worth
+    /// caching across same-shaped subgraphs (the tuning probe walks the
+    /// cost model; the answer depends only on topology and `d`).
+    pub fn auto_partitions(graph: &fg_graph::Graph, d: usize) -> usize {
+        let udf = Udf::copy_src(d);
+        let fds = Fds::cpu_tiled((d / 64).max(1));
+        CpuSpmmOptions::auto(graph, &udf, &fds).graph_partitions
+    }
+
     #[allow(clippy::too_many_arguments)]
     fn run_spmm(
         &self,
@@ -392,10 +420,10 @@ impl FeatgraphBackend {
         let mut plans = self.plans.lock().expect("plan cache");
         let plan = plans.entry(key).or_insert_with(|| {
             let fds = self.fds(out_cols);
-            let cpu_opts = CpuSpmmOptions::with_threads(
-                CpuSpmmOptions::auto(graph, udf, &fds).graph_partitions,
-                self.threads,
-            );
+            let partitions = self
+                .partitions_hint
+                .unwrap_or_else(|| CpuSpmmOptions::auto(graph, udf, &fds).graph_partitions);
+            let cpu_opts = CpuSpmmOptions::with_threads(partitions, self.threads);
             Plan::Spmm(
                 featgraph::spmm_with_options(
                     graph,
@@ -573,10 +601,10 @@ impl GraphBackend for FeatgraphBackend {
         let key = PlanKey::FusedAttn { d, slope_bits: slope.to_bits() };
         let plan = plans.entry(key).or_insert_with(|| {
             let op = FusedOp::gat_attention(d, slope as f64);
-            let cpu_opts = CpuSpmmOptions::with_threads(
-                CpuSpmmOptions::auto(graph, &op.message, &self.fds(d)).graph_partitions,
-                self.threads,
-            );
+            let partitions = self.partitions_hint.unwrap_or_else(|| {
+                CpuSpmmOptions::auto(graph, &op.message, &self.fds(d)).graph_partitions
+            });
+            let cpu_opts = CpuSpmmOptions::with_threads(partitions, self.threads);
             Plan::Fused(
                 featgraph::fused_with_options(graph, &op, self.target, Some(&cpu_opts), None)
                     .expect("fused compile"),

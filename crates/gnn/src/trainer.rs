@@ -148,6 +148,10 @@ pub enum InferError {
         /// Vertex count of the graph.
         vertices: usize,
     },
+    /// A sampled-inference request named no seed vertices.
+    NoSeeds,
+    /// A sampled-inference request named no hops (empty fanout list).
+    NoHops,
 }
 
 impl std::fmt::Display for InferError {
@@ -159,6 +163,8 @@ impl std::fmt::Display for InferError {
             InferError::FeatureRowsMismatch { rows, vertices } => {
                 write!(f, "feature matrix has {rows} rows, graph has {vertices} vertices")
             }
+            InferError::NoSeeds => write!(f, "no seed vertices supplied"),
+            InferError::NoHops => write!(f, "sampling fanouts must name at least one hop"),
         }
     }
 }

@@ -2,6 +2,83 @@
 
 use crate::VId;
 
+/// A violated CSR invariant, reported by [`Csr::try_new`].
+///
+/// Carries enough context to point at the offending row/entry; the
+/// [`std::fmt::Display`] rendering is the message the panicking
+/// [`Csr::new`] path raises for the same violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CsrError {
+    /// `indptr.len() != num_rows + 1` (this also covers an empty `indptr`,
+    /// which previously panicked on the `indptr[0]` read).
+    IndptrLength {
+        /// Expected length (`num_rows + 1`).
+        expected: usize,
+        /// Actual length supplied.
+        got: usize,
+    },
+    /// `indptr[0] != 0`.
+    IndptrStart {
+        /// The first entry found.
+        got: usize,
+    },
+    /// `indptr` decreases somewhere.
+    IndptrNotMonotone {
+        /// First row `r` with `indptr[r] > indptr[r + 1]`.
+        row: usize,
+    },
+    /// `indptr[num_rows] != indices.len()`.
+    NnzMismatch {
+        /// Final `indptr` entry.
+        indptr_end: usize,
+        /// `indices.len()`.
+        nnz: usize,
+    },
+    /// A row's column indices are not strictly increasing.
+    ColumnsNotIncreasing {
+        /// Offending row.
+        row: usize,
+    },
+    /// A column index is `>= num_cols`.
+    ColumnOutOfBounds {
+        /// Offending row.
+        row: usize,
+        /// Offending column value.
+        col: VId,
+        /// Column bound.
+        num_cols: usize,
+    },
+}
+
+impl std::fmt::Display for CsrError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            CsrError::IndptrLength { expected, got } => write!(
+                f,
+                "indptr length must be num_rows+1 (expected {expected}, got {got})"
+            ),
+            CsrError::IndptrStart { got } => {
+                write!(f, "indptr must start at 0 (got {got})")
+            }
+            CsrError::IndptrNotMonotone { row } => {
+                write!(f, "indptr must be monotone (drops after row {row})")
+            }
+            CsrError::NnzMismatch { indptr_end, nnz } => write!(
+                f,
+                "indptr end must equal nnz (indptr end {indptr_end}, nnz {nnz})"
+            ),
+            CsrError::ColumnsNotIncreasing { row } => {
+                write!(f, "row {row} columns must be strictly increasing")
+            }
+            CsrError::ColumnOutOfBounds { row, col, num_cols } => {
+                write!(f, "row {row} column out of bounds ({col} >= {num_cols})")
+            }
+        }
+    }
+}
+
+impl std::error::Error for CsrError {}
+
 /// A compressed-sparse-row matrix over vertex IDs (pattern only — GNN
 /// adjacency values, when needed, ride alongside as edge feature tensors).
 ///
@@ -22,37 +99,69 @@ impl Csr {
     /// Construct from raw parts, validating every invariant.
     ///
     /// # Panics
-    /// Panics with a descriptive message if any invariant is violated — CSR
-    /// construction happens once per graph, so the O(nnz) check is cheap
-    /// relative to any kernel that will run on it.
+    /// Panics with a descriptive message if any invariant is violated — use
+    /// this only when the parts come from code that upholds the invariants
+    /// by construction (generators, transposes, the sampler). Anything
+    /// arriving from outside the process (checkpoints, the wire, user
+    /// files) must go through [`Csr::try_new`] instead, so malformed input
+    /// surfaces as a typed error rather than a crash.
     pub fn new(num_rows: usize, num_cols: usize, indptr: Vec<usize>, indices: Vec<VId>) -> Self {
-        assert_eq!(indptr.len(), num_rows + 1, "indptr length must be num_rows+1");
-        assert_eq!(indptr[0], 0, "indptr must start at 0");
-        assert!(
-            indptr.windows(2).all(|w| w[0] <= w[1]),
-            "indptr must be monotone"
-        );
-        assert_eq!(
-            *indptr.last().unwrap(),
-            indices.len(),
-            "indptr end must equal nnz"
-        );
+        match Self::try_new(num_rows, num_cols, indptr, indices) {
+            Ok(csr) => csr,
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Construct from raw parts, returning a typed error on the first
+    /// violated invariant instead of panicking.
+    ///
+    /// CSR construction happens once per graph, so the O(nnz) check is
+    /// cheap relative to any kernel that will run on it.
+    pub fn try_new(
+        num_rows: usize,
+        num_cols: usize,
+        indptr: Vec<usize>,
+        indices: Vec<VId>,
+    ) -> Result<Self, CsrError> {
+        if indptr.len() != num_rows + 1 {
+            return Err(CsrError::IndptrLength {
+                expected: num_rows + 1,
+                got: indptr.len(),
+            });
+        }
+        if indptr[0] != 0 {
+            return Err(CsrError::IndptrStart { got: indptr[0] });
+        }
+        if let Some(row) = indptr.windows(2).position(|w| w[0] > w[1]) {
+            return Err(CsrError::IndptrNotMonotone { row });
+        }
+        if indptr[num_rows] != indices.len() {
+            return Err(CsrError::NnzMismatch {
+                indptr_end: indptr[num_rows],
+                nnz: indices.len(),
+            });
+        }
         for r in 0..num_rows {
             let row = &indices[indptr[r]..indptr[r + 1]];
-            assert!(
-                row.windows(2).all(|w| w[0] < w[1]),
-                "row {r} columns must be strictly increasing"
-            );
+            if !row.windows(2).all(|w| w[0] < w[1]) {
+                return Err(CsrError::ColumnsNotIncreasing { row: r });
+            }
             if let Some(&last) = row.last() {
-                assert!((last as usize) < num_cols, "row {r} column out of bounds");
+                if last as usize >= num_cols {
+                    return Err(CsrError::ColumnOutOfBounds {
+                        row: r,
+                        col: last,
+                        num_cols,
+                    });
+                }
             }
         }
-        Self {
+        Ok(Self {
             num_rows,
             num_cols,
             indptr,
             indices,
-        }
+        })
     }
 
     /// An empty matrix with no stored entries.
@@ -287,6 +396,87 @@ mod tests {
     #[should_panic(expected = "out of bounds")]
     fn rejects_out_of_range_column() {
         let _ = Csr::new(1, 2, vec![0, 1], vec![5]);
+    }
+
+    #[test]
+    fn try_new_rejects_empty_indptr() {
+        // Regression: this used to panic on the `indptr[0]` read instead of
+        // reporting the length violation.
+        assert_eq!(
+            Csr::try_new(2, 2, vec![], vec![]),
+            Err(CsrError::IndptrLength {
+                expected: 3,
+                got: 0
+            })
+        );
+        assert_eq!(
+            Csr::try_new(0, 0, vec![], vec![]),
+            Err(CsrError::IndptrLength {
+                expected: 1,
+                got: 0
+            })
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_non_monotone_indptr() {
+        assert_eq!(
+            Csr::try_new(2, 2, vec![0, 2, 1], vec![0, 1]),
+            Err(CsrError::IndptrNotMonotone { row: 1 })
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_nnz_mismatch() {
+        assert_eq!(
+            Csr::try_new(2, 2, vec![0, 1, 2], vec![0, 1, 0]),
+            Err(CsrError::NnzMismatch {
+                indptr_end: 2,
+                nnz: 3
+            })
+        );
+    }
+
+    #[test]
+    fn try_new_rejects_bad_start_and_columns() {
+        assert_eq!(
+            Csr::try_new(1, 2, vec![1, 1], vec![]),
+            Err(CsrError::IndptrStart { got: 1 })
+        );
+        assert_eq!(
+            Csr::try_new(1, 3, vec![0, 2], vec![1, 1]),
+            Err(CsrError::ColumnsNotIncreasing { row: 0 })
+        );
+        assert_eq!(
+            Csr::try_new(1, 2, vec![0, 1], vec![5]),
+            Err(CsrError::ColumnOutOfBounds {
+                row: 0,
+                col: 5,
+                num_cols: 2
+            })
+        );
+    }
+
+    #[test]
+    fn try_new_accepts_valid_parts() {
+        let m = Csr::try_new(3, 4, vec![0, 2, 2, 4], vec![1, 3, 0, 2]).unwrap();
+        assert_eq!(m, sample());
+    }
+
+    #[test]
+    fn error_display_matches_panic_vocabulary() {
+        // The should_panic tests above key on these substrings; Display is
+        // the single source of both.
+        let e = CsrError::IndptrNotMonotone { row: 0 };
+        assert!(e.to_string().contains("monotone"));
+        let e = CsrError::ColumnsNotIncreasing { row: 3 };
+        assert!(e.to_string().contains("strictly increasing"));
+        let e = CsrError::ColumnOutOfBounds {
+            row: 1,
+            col: 9,
+            num_cols: 4,
+        };
+        assert!(e.to_string().contains("out of bounds"));
     }
 
     #[test]

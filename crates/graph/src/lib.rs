@@ -32,12 +32,14 @@ pub mod generators;
 pub mod hilbert;
 pub mod partition;
 pub mod reorder;
+pub mod sampling;
 pub mod stats;
 
 pub use coo::Coo;
-pub use csr::Csr;
+pub use csr::{Csr, CsrError};
 pub use datasets::{Dataset, DatasetSpec};
 pub use partition::PartitionedCsr;
+pub use sampling::{sample_subgraph, SampleConfig, SampleError, SampledSubgraph, FULL_FANOUT};
 
 /// Vertex identifier. `u32` keeps the index arrays compact — the paper's
 /// largest graph (reddit, 233 K vertices / 114.8 M edges) fits comfortably.
@@ -76,6 +78,24 @@ impl Graph {
     /// Build directly from edges `(src, dst)` over `n` vertices.
     pub fn from_edges(n: usize, edges: &[(VId, VId)]) -> Self {
         Self::from_coo(Coo::from_edges(n, edges))
+    }
+
+    /// Build from an already-validated destination-major CSR (must be
+    /// square); derives the source-major view. This is how the sampler
+    /// turns an induced sub-CSR into a full [`Graph`] without a round trip
+    /// through an edge list.
+    pub fn from_csr(in_csr: Csr) -> Self {
+        assert_eq!(
+            in_csr.num_rows(),
+            in_csr.num_cols(),
+            "adjacency CSR must be square"
+        );
+        let (out_csr, out_eids) = in_csr.transpose_with_positions();
+        Self {
+            in_csr,
+            out_csr,
+            out_eids,
+        }
     }
 
     /// Number of vertices.

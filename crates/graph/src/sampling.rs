@@ -1,0 +1,497 @@
+//! Seeded neighbor sampling: slice a fanout-bounded L-hop neighborhood out
+//! of the destination-major CSR and reindex it into a compact subgraph.
+//!
+//! This is the minibatch structure DGL-style serving pipelines run models
+//! on: starting from the request's seed vertices, walk `in_csr` rows layer
+//! by layer, keeping at most `fanouts[l]` in-neighbors per vertex at hop
+//! `l`, then relabel the visited vertices into a dense local ID space. The
+//! resulting [`SampledSubgraph`] carries the local→global map and per-layer
+//! frontier boundaries so callers can gather feature rows and scatter seed
+//! outputs back.
+//!
+//! Determinism: neighbor draws use a counter-based RNG keyed on
+//! `(seed, layer, vertex)`, so the sampled edge set is a pure function of
+//! the config and the graph — independent of frontier iteration order,
+//! thread count, or how seeds are batched.
+//!
+//! Bit-identity under full fanout: every vertex discovered before the last
+//! hop keeps *all* of its in-edges, and local IDs are assigned in ascending
+//! global order, so each subgraph row lists the same sources in the same
+//! order as the full graph. CPU SpMM accumulates each destination row in
+//! ascending-source order regardless of partitioning, which makes
+//! full-fanout sampled inference bitwise equal to full-graph inference on
+//! the same seeds (the last-hop leaves get empty rows, but nothing a seed
+//! output depends on reads them).
+
+use crate::csr::Csr;
+use crate::{Graph, VId};
+
+/// Fanout value meaning "keep every in-neighbor" at that hop.
+pub const FULL_FANOUT: usize = usize::MAX;
+
+/// What to sample: per-hop fanout caps, the draw mode, and the RNG seed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SampleConfig {
+    /// Per-hop in-neighbor caps, outermost first: `fanouts[0]` bounds the
+    /// seeds' own in-edges (the model's *last* aggregation layer),
+    /// `fanouts[1]` the 1-hop frontier, and so on. Length = hop count.
+    pub fanouts: Vec<usize>,
+    /// Draw with replacement (duplicates collapse — CSR rows are sets), or
+    /// without (a uniform `k`-subset of the row).
+    pub replace: bool,
+    /// RNG seed; same seed + same graph + same seeds ⇒ identical subgraph.
+    pub seed: u64,
+}
+
+impl SampleConfig {
+    /// Cap each hop `l` at `fanouts[l]` in-neighbors, drawn without
+    /// replacement.
+    pub fn new(fanouts: Vec<usize>, seed: u64) -> Self {
+        Self {
+            fanouts,
+            replace: false,
+            seed,
+        }
+    }
+
+    /// Keep every in-neighbor for `hops` hops (no sampling, exact
+    /// neighborhood).
+    pub fn full(hops: usize, seed: u64) -> Self {
+        Self::new(vec![FULL_FANOUT; hops], seed)
+    }
+
+    /// Number of hops this config expands.
+    pub fn hops(&self) -> usize {
+        self.fanouts.len()
+    }
+}
+
+/// A sampling request that cannot be served.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum SampleError {
+    /// A seed vertex is outside the graph.
+    SeedOutOfRange {
+        /// The offending seed.
+        seed: VId,
+        /// Vertex count of the graph.
+        vertices: usize,
+    },
+    /// No seeds were supplied.
+    NoSeeds,
+    /// `fanouts` is empty — a 0-hop sample has no edges to run a GNN on.
+    NoHops,
+}
+
+impl std::fmt::Display for SampleError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SampleError::SeedOutOfRange { seed, vertices } => {
+                write!(f, "seed {seed} out of range (graph has {vertices} vertices)")
+            }
+            SampleError::NoSeeds => write!(f, "no seed vertices supplied"),
+            SampleError::NoHops => write!(f, "fanouts must name at least one hop"),
+        }
+    }
+}
+
+impl std::error::Error for SampleError {}
+
+/// A fanout-bounded neighborhood of some seed vertices, reindexed into a
+/// dense local ID space.
+#[derive(Debug, Clone)]
+pub struct SampledSubgraph {
+    graph: Graph,
+    locals: Vec<VId>,
+    seed_locals: Vec<VId>,
+    frontier_sizes: Vec<usize>,
+}
+
+impl SampledSubgraph {
+    /// The induced subgraph over local vertex IDs (both CSR orientations).
+    pub fn graph(&self) -> &Graph {
+        &self.graph
+    }
+
+    /// Local→global vertex map, ascending in global ID.
+    pub fn locals(&self) -> &[VId] {
+        &self.locals
+    }
+
+    /// Global ID of local vertex `l`.
+    pub fn global_of(&self, l: VId) -> VId {
+        self.locals[l as usize]
+    }
+
+    /// Local ID of global vertex `g`, if it was sampled.
+    pub fn local_of(&self, g: VId) -> Option<VId> {
+        self.locals.binary_search(&g).ok().map(|i| i as VId)
+    }
+
+    /// Local IDs of the request's seeds, aligned with the input seed slice
+    /// (duplicate seeds map to the same local).
+    pub fn seed_locals(&self) -> &[VId] {
+        &self.seed_locals
+    }
+
+    /// Vertices first discovered at each hop: `frontier_sizes[0]` is the
+    /// distinct seed count, `frontier_sizes[l]` the vertices newly reached
+    /// at hop `l`. Sums to [`SampledSubgraph::num_vertices`].
+    pub fn frontier_sizes(&self) -> &[usize] {
+        &self.frontier_sizes
+    }
+
+    /// Vertex count of the subgraph.
+    pub fn num_vertices(&self) -> usize {
+        self.graph.num_vertices()
+    }
+
+    /// Edge count of the subgraph.
+    pub fn num_edges(&self) -> usize {
+        self.graph.num_edges()
+    }
+
+    /// Total heap footprint in bytes: subgraph topology plus the index
+    /// maps. This is what serving charges to the `sampling` memory
+    /// component for the lifetime of a request.
+    pub fn mem_bytes(&self) -> u64 {
+        self.graph.mem_bytes()
+            + (self.locals.len() * std::mem::size_of::<VId>()) as u64
+            + (self.seed_locals.len() * std::mem::size_of::<VId>()) as u64
+            + (self.frontier_sizes.len() * std::mem::size_of::<usize>()) as u64
+    }
+}
+
+/// Counter-based RNG: one independent stream per `(seed, layer, vertex)`
+/// key, so draws do not depend on traversal order. splitmix64 finalization
+/// is enough mixing for uniform neighbor picks.
+struct KeyedRng {
+    state: u64,
+}
+
+#[inline(always)]
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = x;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+impl KeyedRng {
+    fn new(seed: u64, layer: usize, vertex: VId) -> Self {
+        let key = seed
+            ^ splitmix64((layer as u64).wrapping_shl(32) | vertex as u64)
+                .wrapping_mul(0xA24B_AED4_963E_E407);
+        Self {
+            state: splitmix64(key),
+        }
+    }
+
+    #[inline(always)]
+    fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        splitmix64(self.state)
+    }
+
+    /// Uniform draw from `0..n` (Lemire multiply-shift; the tiny modulo
+    /// bias at graph-row sizes is irrelevant for sampling).
+    #[inline(always)]
+    fn gen_range(&mut self, n: usize) -> usize {
+        ((self.next_u64() as u128 * n as u128) >> 64) as usize
+    }
+}
+
+/// Sample up to `fanout` entries of `row` into `out` (global IDs,
+/// unsorted, possibly duplicated when `replace`).
+fn sample_row(row: &[VId], fanout: usize, replace: bool, rng: &mut KeyedRng, out: &mut Vec<VId>) {
+    if fanout >= row.len() {
+        out.extend_from_slice(row);
+        return;
+    }
+    if replace {
+        for _ in 0..fanout {
+            out.push(row[rng.gen_range(row.len())]);
+        }
+    } else {
+        // Partial Fisher–Yates: the first `fanout` positions of a uniform
+        // shuffle are a uniform subset.
+        let mut pool: Vec<VId> = row.to_vec();
+        for i in 0..fanout {
+            let j = i + rng.gen_range(pool.len() - i);
+            pool.swap(i, j);
+            out.push(pool[i]);
+        }
+    }
+}
+
+/// Expand a fanout-bounded neighborhood of `seeds` over the
+/// destination-major adjacency of `graph` and reindex it into a
+/// [`SampledSubgraph`].
+///
+/// Each vertex is expanded exactly once, at the hop it is first
+/// discovered; vertices first reached on the final hop become leaves with
+/// empty rows (their features still feed the hop above).
+pub fn sample_subgraph(
+    graph: &Graph,
+    seeds: &[VId],
+    cfg: &SampleConfig,
+) -> Result<SampledSubgraph, SampleError> {
+    let n = graph.num_vertices();
+    if seeds.is_empty() {
+        return Err(SampleError::NoSeeds);
+    }
+    if cfg.fanouts.is_empty() {
+        return Err(SampleError::NoHops);
+    }
+    for &s in seeds {
+        if (s as usize) >= n {
+            return Err(SampleError::SeedOutOfRange { seed: s, vertices: n });
+        }
+    }
+    let hops = cfg.fanouts.len();
+
+    // Hop each vertex was first reached at. Keyed by global ID: the map
+    // must stay proportional to the subgraph, not O(|V|) per request.
+    let mut discovered: std::collections::HashMap<VId, usize> = std::collections::HashMap::new();
+    let mut frontier: Vec<VId> = Vec::new();
+    for &s in seeds {
+        if let std::collections::hash_map::Entry::Vacant(e) = discovered.entry(s) {
+            e.insert(0);
+            frontier.push(s);
+        }
+    }
+    let mut frontier_sizes = vec![frontier.len()];
+
+    // Sampled in-edges per expanded destination, in global IDs.
+    let mut rows: Vec<(VId, Vec<VId>)> = Vec::new();
+    let mut scratch: Vec<VId> = Vec::new();
+
+    for (hop, &fanout) in cfg.fanouts.iter().enumerate() {
+        let mut next: Vec<VId> = Vec::new();
+        for &v in &frontier {
+            scratch.clear();
+            let row = graph.in_csr().row(v);
+            if !row.is_empty() && fanout > 0 {
+                let mut rng = KeyedRng::new(cfg.seed, hop, v);
+                sample_row(row, fanout, cfg.replace, &mut rng, &mut scratch);
+            }
+            // Dedup (with-replacement draws repeat) and fix the row order.
+            scratch.sort_unstable();
+            scratch.dedup();
+            for &u in &scratch {
+                if let std::collections::hash_map::Entry::Vacant(e) = discovered.entry(u) {
+                    e.insert(hop + 1);
+                    next.push(u);
+                }
+            }
+            rows.push((v, std::mem::take(&mut scratch)));
+        }
+        frontier_sizes.push(next.len());
+        frontier = next;
+    }
+    // The last frontier was recorded but never expanded: its members are
+    // leaves. frontier_sizes has hops+1 entries, one per discovery depth.
+    debug_assert_eq!(frontier_sizes.len(), hops + 1);
+
+    // Assign locals in ascending global order (bit-identity depends on
+    // this: per-row source order must match the full graph's).
+    let mut locals: Vec<VId> = discovered.keys().copied().collect();
+    locals.sort_unstable();
+    let local_of = |g: VId| -> VId {
+        locals.binary_search(&g).expect("sampled vertex in locals") as VId
+    };
+
+    // Build the destination-major CSR over local IDs. Rows were produced
+    // per expanded vertex; leaves keep empty rows.
+    let sub_n = locals.len();
+    let mut local_rows: Vec<Vec<VId>> = vec![Vec::new(); sub_n];
+    for (dst, srcs) in rows {
+        let l = local_of(dst) as usize;
+        let row: &mut Vec<VId> = &mut local_rows[l];
+        debug_assert!(row.is_empty(), "vertex expanded twice");
+        row.extend(srcs.iter().map(|&u| local_of(u)));
+        // Globals were sorted and the local map is order-preserving, so the
+        // row is already strictly increasing.
+    }
+    let mut indptr = Vec::with_capacity(sub_n + 1);
+    indptr.push(0usize);
+    let mut indices: Vec<VId> = Vec::new();
+    for row in &local_rows {
+        indices.extend_from_slice(row);
+        indptr.push(indices.len());
+    }
+    // Subgraph ingest goes through the fallible constructor: the sampler
+    // upholds the invariants, but a violation here must name itself rather
+    // than crash a serving worker with an index panic.
+    let in_csr = match Csr::try_new(sub_n, sub_n, indptr, indices) {
+        Ok(c) => c,
+        Err(e) => unreachable!("sampler produced invalid CSR: {e}"),
+    };
+    let graph = Graph::from_csr(in_csr);
+
+    let seed_locals: Vec<VId> = seeds.iter().map(|&s| local_of(s)).collect();
+    Ok(SampledSubgraph {
+        graph,
+        locals,
+        seed_locals,
+        frontier_sizes,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generators;
+
+    fn line_graph() -> Graph {
+        // 0 -> 1 -> 2 -> 3 -> 4
+        Graph::from_edges(5, &[(0, 1), (1, 2), (2, 3), (3, 4)])
+    }
+
+    #[test]
+    fn full_fanout_two_hops_takes_exact_neighborhood() {
+        let g = line_graph();
+        let sub = sample_subgraph(&g, &[4], &SampleConfig::full(2, 7)).unwrap();
+        // 4's 2-hop in-neighborhood: {4, 3, 2}
+        assert_eq!(sub.locals(), &[2, 3, 4]);
+        assert_eq!(sub.frontier_sizes(), &[1, 1, 1]);
+        assert_eq!(sub.num_edges(), 2); // 3->4, 2->3 (2 is a leaf)
+        let l4 = sub.local_of(4).unwrap();
+        let l3 = sub.local_of(3).unwrap();
+        let l2 = sub.local_of(2).unwrap();
+        assert_eq!(sub.graph().in_csr().row(l4), &[l3]);
+        assert_eq!(sub.graph().in_csr().row(l3), &[l2]);
+        assert_eq!(sub.graph().in_csr().row(l2), &[] as &[VId]);
+        assert_eq!(sub.seed_locals(), &[l4]);
+    }
+
+    #[test]
+    fn same_seed_gives_identical_subgraph() {
+        let g = generators::uniform(300, 8, 11);
+        let cfg = SampleConfig::new(vec![3, 2], 42);
+        let a = sample_subgraph(&g, &[5, 17, 100], &cfg).unwrap();
+        let b = sample_subgraph(&g, &[5, 17, 100], &cfg).unwrap();
+        assert_eq!(a.locals(), b.locals());
+        assert_eq!(a.graph().in_csr(), b.graph().in_csr());
+        assert_eq!(a.seed_locals(), b.seed_locals());
+        let c = sample_subgraph(&g, &[5, 17, 100], &SampleConfig::new(vec![3, 2], 43)).unwrap();
+        // Different seed: overwhelmingly likely to pick a different set.
+        assert!(
+            a.locals() != c.locals() || a.graph().in_csr() != c.graph().in_csr(),
+            "seed change had no effect"
+        );
+    }
+
+    #[test]
+    fn draw_order_independence_across_seed_batches() {
+        // The same vertex discovered at the same hop must sample the same
+        // row regardless of what else is in the batch.
+        let g = generators::uniform(200, 10, 3);
+        let cfg = SampleConfig::new(vec![4], 9);
+        let solo = sample_subgraph(&g, &[50], &cfg).unwrap();
+        let batch = sample_subgraph(&g, &[50, 51, 52], &cfg).unwrap();
+        let solo_row: Vec<VId> = solo
+            .graph()
+            .in_csr()
+            .row(solo.local_of(50).unwrap())
+            .iter()
+            .map(|&l| solo.global_of(l))
+            .collect();
+        let batch_row: Vec<VId> = batch
+            .graph()
+            .in_csr()
+            .row(batch.local_of(50).unwrap())
+            .iter()
+            .map(|&l| batch.global_of(l))
+            .collect();
+        assert_eq!(solo_row, batch_row);
+    }
+
+    #[test]
+    fn fanout_cap_is_respected() {
+        let g = generators::uniform(100, 20, 5);
+        for replace in [false, true] {
+            let cfg = SampleConfig {
+                fanouts: vec![3, 2],
+                replace,
+                seed: 1,
+            };
+            let sub = sample_subgraph(&g, &[0, 7, 99], &cfg).unwrap();
+            let csr = sub.graph().in_csr();
+            for l in 0..sub.num_vertices() as VId {
+                assert!(
+                    csr.row(l).len() <= 3,
+                    "row {l} exceeds outer fanout: {}",
+                    csr.row(l).len()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn without_replacement_full_cap_keeps_every_edge() {
+        let g = generators::uniform(80, 6, 2);
+        let sub = sample_subgraph(&g, &[10], &SampleConfig::full(1, 0)).unwrap();
+        let row: Vec<VId> = sub
+            .graph()
+            .in_csr()
+            .row(sub.local_of(10).unwrap())
+            .iter()
+            .map(|&l| sub.global_of(l))
+            .collect();
+        assert_eq!(row, g.in_csr().row(10));
+    }
+
+    #[test]
+    fn reindex_round_trips() {
+        let g = generators::uniform(150, 7, 4);
+        let sub = sample_subgraph(&g, &[3, 30, 90], &SampleConfig::new(vec![5, 5], 2)).unwrap();
+        for l in 0..sub.num_vertices() as VId {
+            assert_eq!(sub.local_of(sub.global_of(l)), Some(l));
+        }
+        // Locals ascend in global ID.
+        assert!(sub.locals().windows(2).all(|w| w[0] < w[1]));
+    }
+
+    #[test]
+    fn duplicate_seeds_share_locals() {
+        let g = line_graph();
+        let sub = sample_subgraph(&g, &[2, 2, 4], &SampleConfig::full(1, 0)).unwrap();
+        assert_eq!(sub.seed_locals().len(), 3);
+        assert_eq!(sub.seed_locals()[0], sub.seed_locals()[1]);
+        assert_eq!(sub.frontier_sizes()[0], 2); // distinct seeds
+    }
+
+    #[test]
+    fn zero_fanout_keeps_seeds_only() {
+        let g = line_graph();
+        let sub = sample_subgraph(&g, &[3], &SampleConfig::new(vec![0], 0)).unwrap();
+        assert_eq!(sub.num_vertices(), 1);
+        assert_eq!(sub.num_edges(), 0);
+    }
+
+    #[test]
+    fn rejects_bad_requests() {
+        let g = line_graph();
+        assert!(matches!(
+            sample_subgraph(&g, &[9], &SampleConfig::full(1, 0)),
+            Err(SampleError::SeedOutOfRange { seed: 9, vertices: 5 })
+        ));
+        assert!(matches!(
+            sample_subgraph(&g, &[], &SampleConfig::full(1, 0)),
+            Err(SampleError::NoSeeds)
+        ));
+        assert!(matches!(
+            sample_subgraph(&g, &[0], &SampleConfig::new(vec![], 0)),
+            Err(SampleError::NoHops)
+        ));
+    }
+
+    #[test]
+    fn mem_bytes_counts_maps_and_topology() {
+        let g = generators::uniform(100, 5, 8);
+        let sub = sample_subgraph(&g, &[1, 2], &SampleConfig::new(vec![4, 4], 3)).unwrap();
+        assert!(sub.mem_bytes() >= sub.graph().mem_bytes());
+        assert!(sub.mem_bytes() > 0);
+    }
+}

@@ -45,6 +45,9 @@ struct Opts {
     clients: usize,
     requests: usize,
     runs: usize,
+    seeds_per_request: usize,
+    fanout: Option<String>,
+    sample_seed: u64,
     expect_no_shed: bool,
     expect_shed: bool,
     expect_plan_hits: bool,
@@ -78,6 +81,9 @@ impl Default for Opts {
             clients: 8,
             requests: 500,
             runs: 1,
+            seeds_per_request: 0,
+            fanout: None,
+            sample_seed: 0,
             expect_no_shed: false,
             expect_shed: false,
             expect_plan_hits: false,
@@ -99,11 +105,17 @@ const USAGE: &str = "usage:
                   [--trace-sample N] [--slow-ms N] [--trace FILE]
   fgserve bench   [--addr HOST:PORT] [--clients N] [--requests N] [--runs N]
                   [--model NAME] [dataset/engine knobs as above when embedded]
+                  [--seeds-per-request N] [--fanout F0,F1] [--sample-seed N]
                   [--expect-no-shed] [--expect-shed] [--expect-plan-hits]
                   [--expect-mem-shed]
   fgserve metrics --addr HOST:PORT [--require SERIES]...
 
 bench without --addr benchmarks an embedded server on an ephemeral port.
+--seeds-per-request N > 0 switches the bench clients to INFER_SEEDS: each
+  request carries N seeds drawn from a power-law popularity distribution
+  (a small head of hot vertices gets most of the traffic), with --fanout
+  per-hop caps (full fanout when omitted) and a fresh sampler seed per
+  request offset by --sample-seed.
 --plan-cache-bytes N bounds the compiled-plan cache (LRU eviction; 0 = off).
 --mem-budget N sheds new requests with error over-memory-budget while the
   accounted footprint exceeds N bytes (0 = off; needs accounting compiled in).
@@ -149,6 +161,15 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--clients" => o.clients = num(arg, &value(arg, &mut it)?)?,
             "--requests" => o.requests = num(arg, &value(arg, &mut it)?)?,
             "--runs" => o.runs = num(arg, &value(arg, &mut it)?)?,
+            "--seeds-per-request" => o.seeds_per_request = num(arg, &value(arg, &mut it)?)?,
+            "--fanout" => {
+                let v = value(arg, &mut it)?;
+                for tok in v.split(',') {
+                    num(arg, tok)?;
+                }
+                o.fanout = Some(v);
+            }
+            "--sample-seed" => o.sample_seed = num(arg, &value(arg, &mut it)?)? as u64,
             "--expect-no-shed" => o.expect_no_shed = true,
             "--expect-shed" => o.expect_shed = true,
             "--expect-plan-hits" => o.expect_plan_hits = true,
@@ -265,9 +286,43 @@ struct RunTally {
     lost: u64,
 }
 
-fn bench_client(addr: &str, model: &str, client: usize, n: usize, vertices: usize)
-    -> std::io::Result<(RunTally, Vec<Duration>)>
-{
+/// Deterministic pseudo-random stream, distinct per (client, request, slot).
+fn bench_hash(client: usize, i: usize, j: usize) -> u64 {
+    let mut x = (client as u64)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
+        .wrapping_add((i as u64).wrapping_mul(0xBF58_476D_1CE4_E5B9))
+        .wrapping_add((j as u64).wrapping_mul(0x94D0_49BB_1331_11EB));
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x ^= x >> 27;
+    x
+}
+
+/// Power-law seed popularity: squaring the uniform draw concentrates mass
+/// near vertex 0, so a small head of hot vertices receives most requests —
+/// the regime where bucketed plan keys and repeated-neighborhood sampling
+/// pay off.
+fn popular_vertex(client: usize, i: usize, j: usize, vertices: usize) -> usize {
+    let u = bench_hash(client, i, j) as f64 / u64::MAX as f64;
+    ((vertices as f64 * u * u) as usize).min(vertices - 1)
+}
+
+/// Knobs for the seeded (`INFER_SEEDS`) bench mode; `None` = plain `INFER`.
+#[derive(Clone)]
+struct SeedsMode {
+    seeds_per_request: usize,
+    fanout: Option<String>,
+    sample_seed: u64,
+}
+
+fn bench_client(
+    addr: &str,
+    model: &str,
+    client: usize,
+    n: usize,
+    vertices: usize,
+    seeds_mode: Option<SeedsMode>,
+) -> std::io::Result<(RunTally, Vec<Duration>)> {
     let stream = TcpStream::connect(addr)?;
     stream.set_nodelay(true)?;
     let mut writer = stream.try_clone()?;
@@ -276,13 +331,68 @@ fn bench_client(addr: &str, model: &str, client: usize, n: usize, vertices: usiz
     let mut latencies = Vec::with_capacity(n);
     let mut line = String::new();
     for i in 0..n {
+        let id = format!("c{client}-r{i}");
+        let t0 = Instant::now();
+        if let Some(mode) = &seeds_mode {
+            let seeds: Vec<String> = (0..mode.seeds_per_request)
+                .map(|j| popular_vertex(client, i, j, vertices).to_string())
+                .collect();
+            let fanout = mode
+                .fanout
+                .as_deref()
+                .map_or(String::new(), |f| format!(" fanout={f}"));
+            // Fresh sampler seed per request: every request samples a
+            // different subgraph, exercising the shape-bucketed plan keys.
+            let sample_seed = mode.sample_seed.wrapping_add(bench_hash(client, i, 99));
+            writeln!(
+                writer,
+                "INFER_SEEDS {model} {}{fanout} sample_seed={sample_seed} id={id}",
+                seeds.join(",")
+            )?;
+            line.clear();
+            if reader.read_line(&mut line)? == 0 {
+                tally.lost += (n - i) as u64;
+                break;
+            }
+            if let Ok(header) = protocol::parse_seeds_header(line.trim_end()) {
+                let mut payload_ok = header.id == id;
+                for _ in 0..header.count {
+                    line.clear();
+                    if reader.read_line(&mut line)? == 0 {
+                        payload_ok = false;
+                        break;
+                    }
+                    if protocol::parse_seed_line(line.trim_end()).is_err() {
+                        payload_ok = false;
+                    }
+                }
+                let elapsed = t0.elapsed();
+                if payload_ok && header.count == mode.seeds_per_request {
+                    tally.completed += 1;
+                    latencies.push(elapsed);
+                } else {
+                    tally.mismatched += 1;
+                }
+            } else {
+                match protocol::parse_reply(line.trim_end()) {
+                    Ok(protocol::Reply::Err { id: got, code }) if got == id => {
+                        match code.as_str() {
+                            "overloaded" => tally.shed += 1,
+                            "over-memory-budget" => tally.mem_shed += 1,
+                            "timeout" => tally.timed_out += 1,
+                            _ => tally.other_err += 1,
+                        }
+                    }
+                    _ => tally.mismatched += 1,
+                }
+            }
+            continue;
+        }
         // Deterministic pseudo-random node pick, distinct stream per client.
         let node = (client
             .wrapping_mul(2654435761)
             .wrapping_add(i.wrapping_mul(40503)))
             % vertices;
-        let id = format!("c{client}-r{i}");
-        let t0 = Instant::now();
         writeln!(writer, "INFER {model} {node} id={id}")?;
         line.clear();
         if reader.read_line(&mut line)? == 0 {
@@ -363,7 +473,14 @@ fn phase_report(samples: &[metrics::Sample]) -> Vec<String> {
     let lookup = |series: &str| -> Option<f64> {
         samples.iter().find(|s| s.series == series).map(|s| s.value)
     };
-    let phases = ["queue_wait", "batch_form", "plan_compile", "execute", "serialize"];
+    let phases = [
+        "queue_wait",
+        "batch_form",
+        "sample",
+        "plan_compile",
+        "execute",
+        "serialize",
+    ];
     let mut rows = Vec::new();
     let mut p99s: Vec<(&str, f64)> = Vec::new();
     for phase in phases {
@@ -478,13 +595,19 @@ fn cmd_bench(o: &Opts) -> ExitCode {
         let per_client = o.requests / o.clients.max(1);
         let remainder = o.requests % o.clients.max(1);
         let t0 = Instant::now();
+        let seeds_mode = (o.seeds_per_request > 0).then(|| SeedsMode {
+            seeds_per_request: o.seeds_per_request,
+            fanout: o.fanout.clone(),
+            sample_seed: o.sample_seed,
+        });
         let handles: Vec<_> = (0..o.clients.max(1))
             .map(|c| {
                 let addr = addr.clone();
                 let model = model.clone();
                 let n = per_client + usize::from(c < remainder);
                 let vertices = o.vertices;
-                std::thread::spawn(move || bench_client(&addr, &model, c, n, vertices))
+                let seeds_mode = seeds_mode.clone();
+                std::thread::spawn(move || bench_client(&addr, &model, c, n, vertices, seeds_mode))
             })
             .collect();
         let mut tally = RunTally::default();

@@ -1,6 +1,6 @@
 //! The serving engine: admission control, request coalescing, a worker
-//! pool executing batched full-graph inference, and the compiled-plan
-//! cache.
+//! pool executing batched full-graph inference and per-request sampled
+//! inference, and the compiled-plan cache.
 //!
 //! Data path: [`Engine::submit`] validates a request, stamps its deadline,
 //! and pushes it into the bounded [`Batcher`]; when the queue is full the
@@ -13,6 +13,17 @@
 //! compiled kernel plans alive across batches: every batch after the first
 //! is a plan-cache hit and skips kernel compilation entirely.
 //!
+//! **Sampled serving** ([`Engine::submit_seeds`]) rides the same queue:
+//! each seeded request expands a fanout-bounded neighborhood of its seed
+//! vertices ([`fg_graph::sample_subgraph`]), gathers the visited feature
+//! rows, and runs the model on the induced subgraph — cost proportional to
+//! the neighborhood, not the graph. Every request samples a different
+//! subgraph, so plans cannot be cached per graph; instead the cache key
+//! buckets the subgraph's `|V|`/`|E|` into powers of two
+//! ([`PlanKey::cpu_sampled`]) and caches the tuned **schedule** (partition
+//! count) for the bucket — repeated seed queries with different seed sets
+//! hit the cache and skip the autotune probe.
+//!
 //! Shutdown is graceful: [`Engine::shutdown`] closes the batcher (new
 //! submits fail with [`ServeError::ShuttingDown`]), lets workers drain the
 //! queue, and joins them. Dropping the engine does the same.
@@ -24,7 +35,9 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fg_gnn::models::Model;
+use fg_gnn::sampled::{gather_rows, prepare_seeds};
 use fg_gnn::{infer_batch, FeatgraphBackend, GnnGraph};
+use fg_graph::{SampleConfig, FULL_FANOUT};
 use fg_telemetry::{
     counter_add, emit_span, span, timestamp_ns, Counter, MemCharge, MemComponent, MemScope,
     TraceContext, TraceSampler, TraceScope,
@@ -38,6 +51,15 @@ use crate::stats::{Phase, ServeStats, SlowEntry, SlowLog, StatsSnapshot};
 
 /// Slow-request log retention (newest entries win).
 const SLOW_LOG_CAPACITY: usize = 128;
+
+/// Hops sampled when a seeded request names no fanouts: every built-in
+/// model is 2-layer, so a 2-hop neighborhood feeds every aggregation.
+pub const DEFAULT_SAMPLE_HOPS: usize = 2;
+
+/// Nominal byte cost of a cached sampled schedule (the entry is a handful
+/// of words; what matters is that it is charged at insert so the byte bound
+/// sees cold bursts).
+const SAMPLED_SCHEDULE_COST: u64 = 64;
 
 /// Engine configuration. Defaults suit an interactive low-latency setup.
 #[derive(Debug, Clone)]
@@ -170,15 +192,85 @@ pub struct InferResponse {
     pub logits: Vec<f32>,
 }
 
+/// A seeded (sampled-subgraph) inference request: answer `seeds` by running
+/// the model on a fanout-bounded neighborhood instead of the full graph.
+#[derive(Debug, Clone)]
+pub struct InferSeedsRequest {
+    /// Registered model name.
+    pub model: String,
+    /// Seed vertices whose logits are wanted (duplicates allowed; each seed
+    /// gets its own reply row, in input order).
+    pub seeds: Vec<usize>,
+    /// Per-hop in-neighbor caps, seed-side first. `None` = full fanout over
+    /// [`DEFAULT_SAMPLE_HOPS`] hops, which reproduces full-graph logits for
+    /// the seeds bit-for-bit.
+    pub fanouts: Option<Vec<usize>>,
+    /// RNG seed for the neighbor sampler (same value + same seeds = same
+    /// subgraph).
+    pub sample_seed: u64,
+    /// Per-request deadline; falls back to
+    /// [`ServeConfig::default_deadline`] when `None`.
+    pub deadline: Option<Duration>,
+}
+
+/// A successful seeded reply: one [`InferResponse`] per requested seed, in
+/// request order, plus the size of the subgraph that produced them.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedsResponse {
+    /// Per-seed results, in request order.
+    pub results: Vec<InferResponse>,
+    /// Vertices in the sampled subgraph.
+    pub sub_vertices: usize,
+    /// Edges in the sampled subgraph.
+    pub sub_edges: usize,
+}
+
+enum Payload {
+    Node {
+        node: usize,
+        reply: Arc<Oneshot<Result<InferResponse, ServeError>>>,
+    },
+    Seeds {
+        seeds: Vec<usize>,
+        fanouts: Vec<usize>,
+        sample_seed: u64,
+        reply: Arc<Oneshot<Result<SeedsResponse, ServeError>>>,
+    },
+}
+
+impl Payload {
+    /// Short description for span details.
+    fn desc(&self) -> String {
+        match self {
+            Payload::Node { node, .. } => format!("node={node}"),
+            Payload::Seeds { seeds, .. } => format!("seeds={}", seeds.len()),
+        }
+    }
+}
+
 struct Job {
-    req: InferRequest,
+    model: String,
+    payload: Payload,
     accepted: Instant,
     /// Wall-clock accept timestamp on the telemetry clock (0 when telemetry
     /// is disabled) — lets the worker emit the cross-thread queue-wait span.
     accept_ns: u64,
     deadline: Option<Instant>,
     trace: TraceContext,
-    reply: Arc<Oneshot<Result<InferResponse, ServeError>>>,
+}
+
+impl Job {
+    /// Answer the request with `err`, whatever its payload shape.
+    fn fail(self, err: ServeError) {
+        match self.payload {
+            Payload::Node { reply, .. } => {
+                reply.send(Err(err));
+            }
+            Payload::Seeds { reply, .. } => {
+                reply.send(Err(err));
+            }
+        }
+    }
 }
 
 /// Handle to one in-flight request; [`Ticket::wait`] blocks for the reply.
@@ -193,6 +285,29 @@ impl Ticket {
     pub fn wait(self) -> Result<InferResponse, ServeError> {
         self.reply.recv()
     }
+}
+
+/// Handle to one in-flight seeded request; [`SeedsTicket::wait`] blocks for
+/// the reply. Same reply guarantee as [`Ticket`].
+pub struct SeedsTicket {
+    reply: Arc<Oneshot<Result<SeedsResponse, ServeError>>>,
+}
+
+impl SeedsTicket {
+    /// Block until the worker pool answers.
+    pub fn wait(self) -> Result<SeedsResponse, ServeError> {
+        self.reply.recv()
+    }
+}
+
+/// A compiled-plan cache entry: full-graph workloads cache the backend
+/// itself (its plan table holds the compiled kernels); sampled workloads
+/// cache the tuned schedule for a subgraph shape bucket (the backend is
+/// rebuilt per request around it — plan compilation against a small
+/// subgraph is cheap, the autotune probe is what's worth reusing).
+enum CachedPlan {
+    Full(FeatgraphBackend),
+    Sampled { partitions: usize },
 }
 
 /// One servable model: the graph it runs on, its input features, and the
@@ -212,7 +327,7 @@ struct Shared {
     cfg: ServeConfig,
     models: RwLock<HashMap<String, Arc<ModelEntry>>>,
     batcher: Batcher<Job>,
-    plans: PlanCache,
+    plans: PlanCache<CachedPlan>,
     stats: Arc<ServeStats>,
     sampler: TraceSampler,
     slow_log: SlowLog,
@@ -369,17 +484,99 @@ impl Engine {
             .map(|d| now + d);
         let reply = Arc::new(Oneshot::new());
         let job = Job {
-            req,
+            model: req.model,
+            payload: Payload::Node {
+                node: req.node,
+                reply: Arc::clone(&reply),
+            },
             accepted: now,
             accept_ns: if trace.sampled { timestamp_ns() } else { 0 },
             deadline,
             trace,
-            reply: Arc::clone(&reply),
         };
+        match self.push_job(job) {
+            Ok(()) => Ok(Ticket { reply }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Admit a seeded (sampled-subgraph) request. Same admission gates as
+    /// [`submit`](Self::submit); additionally rejects empty seed sets,
+    /// out-of-range seeds, and empty fanout lists before queueing.
+    pub fn submit_seeds(&self, req: InferSeedsRequest) -> Result<SeedsTicket, ServeError> {
+        let trace = self.mint_trace();
+        self.submit_seeds_traced(req, trace)
+    }
+
+    /// [`submit_seeds`](Self::submit_seeds) with a caller-minted
+    /// [`TraceContext`].
+    pub fn submit_seeds_traced(
+        &self,
+        req: InferSeedsRequest,
+        trace: TraceContext,
+    ) -> Result<SeedsTicket, ServeError> {
+        counter_add(Counter::ServeRequests, 1);
+        let budget = self.shared.cfg.mem_budget;
+        if budget > 0 && fg_telemetry::mem_total_current() > budget {
+            counter_add(Counter::ServeMemShed, 1);
+            self.shared.stats.mem_shed.fetch_add(1, Ordering::Relaxed);
+            return Err(ServeError::OverMemoryBudget);
+        }
+        let entry = self
+            .shared
+            .models
+            .read()
+            .unwrap()
+            .get(&req.model)
+            .cloned()
+            .ok_or_else(|| ServeError::UnknownModel(req.model.clone()))?;
+        if req.seeds.is_empty() {
+            return Err(ServeError::BadRequest("no seed vertices".into()));
+        }
+        let vertices = entry.graph.num_vertices();
+        if let Some(&node) = req.seeds.iter().find(|&&s| s >= vertices) {
+            return Err(ServeError::BadRequest(format!(
+                "seed {node} out of range (graph has {vertices} vertices)"
+            )));
+        }
+        let fanouts = match req.fanouts {
+            Some(f) if f.is_empty() => {
+                return Err(ServeError::BadRequest("empty fanout list".into()));
+            }
+            Some(f) => f,
+            None => vec![FULL_FANOUT; DEFAULT_SAMPLE_HOPS],
+        };
+        let now = Instant::now();
+        let deadline = req
+            .deadline
+            .or(self.shared.cfg.default_deadline)
+            .map(|d| now + d);
+        let reply = Arc::new(Oneshot::new());
+        let job = Job {
+            model: req.model,
+            payload: Payload::Seeds {
+                seeds: req.seeds,
+                fanouts,
+                sample_seed: req.sample_seed,
+                reply: Arc::clone(&reply),
+            },
+            accepted: now,
+            accept_ns: if trace.sampled { timestamp_ns() } else { 0 },
+            deadline,
+            trace,
+        };
+        match self.push_job(job) {
+            Ok(()) => Ok(SeedsTicket { reply }),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Queue one validated job, updating accept/shed accounting.
+    fn push_job(&self, job: Job) -> Result<(), ServeError> {
         match self.shared.batcher.push(job) {
             Ok(()) => {
                 self.shared.stats.accepted.fetch_add(1, Ordering::Relaxed);
-                Ok(Ticket { reply })
+                Ok(())
             }
             Err(PushError::Overloaded(_)) => {
                 counter_add(Counter::ServeShed, 1);
@@ -393,6 +590,11 @@ impl Engine {
     /// Convenience: [`submit`](Self::submit) then block for the reply.
     pub fn infer(&self, req: InferRequest) -> Result<InferResponse, ServeError> {
         self.submit(req)?.wait()
+    }
+
+    /// Convenience: [`submit_seeds`](Self::submit_seeds) then block.
+    pub fn infer_seeds(&self, req: InferSeedsRequest) -> Result<SeedsResponse, ServeError> {
+        self.submit_seeds(req)?.wait()
     }
 
     /// Point-in-time statistics.
@@ -570,7 +772,7 @@ fn execute_batch(shared: &Shared, jobs: Vec<Job>) {
         if job.trace.sampled && job.accept_ns != 0 && pulled_ns > job.accept_ns {
             emit_span(
                 "serve/queue_wait",
-                Some(format!("node={}", job.req.node)),
+                Some(job.payload.desc()),
                 job.accept_ns,
                 pulled_ns - job.accept_ns,
                 job.trace.trace_id,
@@ -589,13 +791,22 @@ fn execute_batch(shared: &Shared, jobs: Vec<Job>) {
     for job in expired {
         counter_add(Counter::ServeTimeouts, 1);
         shared.stats.timed_out.fetch_add(1, Ordering::Relaxed);
-        job.reply.send(Err(ServeError::Timeout));
+        // A timed-out request still gets its terminal phase on the books:
+        // everything it did was wait in the queue. Without this, shed-by-
+        // deadline traffic was invisible to per-phase attribution (the
+        // timeout counter moved but no queue_wait samples arrived with it).
+        shared
+            .stats
+            .record_phase(Phase::QueueWait, now.duration_since(job.accepted));
+        job.fail(ServeError::Timeout);
     }
 
-    // Group by model so each group is one forward pass.
+    // Group by model so full-graph requests of a group share one forward
+    // pass (seeded requests in the group run per-request on their own
+    // subgraph afterwards).
     let mut groups: HashMap<String, Vec<Job>> = HashMap::new();
     for job in live {
-        groups.entry(job.req.model.clone()).or_default().push(job);
+        groups.entry(job.model.clone()).or_default().push(job);
     }
     for (model_name, group) in groups {
         let group_start = Instant::now();
@@ -613,89 +824,281 @@ fn execute_batch(shared: &Shared, jobs: Vec<Job>) {
             // Model was unregistered between submit and execution.
             for job in group {
                 shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                job.reply.send(Err(ServeError::UnknownModel(model_name.clone())));
+                job.fail(ServeError::UnknownModel(model_name.clone()));
             }
             continue;
         };
-        let key = PlanKey::cpu(entry.graph_id, &model_name, shared.cfg.kernel_threads);
-        let mut compile = Duration::ZERO;
-        let (backend, hit) = shared.plans.get_or_insert(&key, || {
-            let _compile_span = span!("serve/plan_compile", "model={model_name}");
-            let t0 = Instant::now();
-            let backend = FeatgraphBackend::cpu(shared.cfg.kernel_threads);
-            compile = t0.elapsed();
-            backend
-        });
-        let slot = if hit {
-            &shared.stats.plan_hits
-        } else {
-            &shared.stats.plan_misses
-        };
-        slot.fetch_add(1, Ordering::Relaxed);
+        let (node_jobs, seed_jobs): (Vec<Job>, Vec<Job>) = group
+            .into_iter()
+            .partition(|j| matches!(j.payload, Payload::Node { .. }));
+        if !node_jobs.is_empty() {
+            execute_node_group(shared, &model_name, &entry, node_jobs, pulled, batch_form);
+        }
+        for job in seed_jobs {
+            execute_seeds_job(shared, &model_name, &entry, job, pulled, batch_form);
+        }
+    }
+}
 
-        let nodes: Vec<usize> = group.iter().map(|j| j.req.node).collect();
-        let exec_start = Instant::now();
-        let result = {
-            let _infer_span = span!("serve/infer", "model={model_name} nodes={}", nodes.len());
-            // Attribute the batch's tape/scratch allocations to the serve path.
-            let _mem = MemScope::enter(MemComponent::ServeBatch);
-            infer_batch(
-                entry.model.as_ref(),
-                &entry.graph,
-                &entry.features,
-                backend.as_ref(),
-                &nodes,
-            )
-        };
-        let execute = exec_start.elapsed();
-        // Plans compile lazily per feature dim, so re-report the backend's
-        // plan bytes after every batch; this also drives LRU eviction.
-        shared.plans.note_cost(&key, backend.plan_mem_bytes());
-        match result {
-            Ok(rows) => {
-                for (job, logits) in group.into_iter().zip(rows) {
-                    let class = logits
-                        .iter()
-                        .enumerate()
-                        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
-                        .map_or(0, |(i, _)| i);
-                    let total = job.accepted.elapsed();
-                    // Every job in the group waited through the whole
-                    // compile and forward pass, so each gets the full
-                    // durations: per-request phases then sum to its own
-                    // end-to-end latency.
-                    let queue_wait = pulled.duration_since(job.accepted);
-                    shared.stats.record_phase(Phase::QueueWait, queue_wait);
-                    shared.stats.record_phase(Phase::BatchForm, batch_form);
-                    shared.stats.record_phase(Phase::PlanCompile, compile);
-                    shared.stats.record_phase(Phase::Execute, execute);
-                    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
-                    shared.stats.latency.record(total);
-                    let total_ms = total.as_secs_f64() * 1e3;
-                    if shared.cfg.slow_ms.is_some_and(|t| total_ms >= t) {
-                        shared.slow_log.push(SlowEntry {
-                            seq: 0,
-                            trace_id: job.trace.trace_id,
-                            sampled: job.trace.sampled,
-                            model: model_name.clone(),
-                            node: job.req.node,
-                            total_ms,
-                            queue_ms: queue_wait.as_secs_f64() * 1e3,
-                            batch_ms: batch_form.as_secs_f64() * 1e3,
-                            compile_ms: compile.as_secs_f64() * 1e3,
-                            execute_ms: execute.as_secs_f64() * 1e3,
-                        });
-                    }
-                    job.reply.send(Ok(InferResponse { class, logits }));
+/// One batched full-graph forward pass answering every node job in the
+/// group.
+fn execute_node_group(
+    shared: &Shared,
+    model_name: &str,
+    entry: &ModelEntry,
+    group: Vec<Job>,
+    pulled: Instant,
+    batch_form: Duration,
+) {
+    let key = PlanKey::cpu(entry.graph_id, model_name, shared.cfg.kernel_threads);
+    let mut compile = Duration::ZERO;
+    let (plan, hit) = shared.plans.get_or_insert(&key, || {
+        let _compile_span = span!("serve/plan_compile", "model={model_name}");
+        let t0 = Instant::now();
+        let backend = FeatgraphBackend::cpu(shared.cfg.kernel_threads);
+        compile = t0.elapsed();
+        // Plans compile lazily per feature dim; the real cost lands via
+        // note_cost after each batch.
+        (CachedPlan::Full(backend), 0)
+    });
+    let slot = if hit {
+        &shared.stats.plan_hits
+    } else {
+        &shared.stats.plan_misses
+    };
+    slot.fetch_add(1, Ordering::Relaxed);
+    let CachedPlan::Full(backend) = &*plan else {
+        // Full-graph and sampled keys live in disjoint options namespaces.
+        unreachable!("full-graph plan key resolved to a sampled schedule");
+    };
+
+    let nodes: Vec<usize> = group
+        .iter()
+        .map(|j| match j.payload {
+            Payload::Node { node, .. } => node,
+            Payload::Seeds { .. } => unreachable!("seeds job in node group"),
+        })
+        .collect();
+    let exec_start = Instant::now();
+    let result = {
+        let _infer_span = span!("serve/infer", "model={model_name} nodes={}", nodes.len());
+        // Attribute the batch's tape/scratch allocations to the serve path.
+        let _mem = MemScope::enter(MemComponent::ServeBatch);
+        infer_batch(
+            entry.model.as_ref(),
+            &entry.graph,
+            &entry.features,
+            backend,
+            &nodes,
+        )
+    };
+    let execute = exec_start.elapsed();
+    // Plans compile lazily per feature dim, so re-report the backend's
+    // plan bytes after every batch; this also drives LRU eviction.
+    shared.plans.note_cost(&key, backend.plan_mem_bytes());
+    match result {
+        Ok(rows) => {
+            for (job, logits) in group.into_iter().zip(rows) {
+                let class = argmax(&logits);
+                let total = job.accepted.elapsed();
+                // Every job in the group waited through the whole
+                // compile and forward pass, so each gets the full
+                // durations: per-request phases then sum to its own
+                // end-to-end latency.
+                let queue_wait = pulled.duration_since(job.accepted);
+                shared.stats.record_phase(Phase::QueueWait, queue_wait);
+                shared.stats.record_phase(Phase::BatchForm, batch_form);
+                shared.stats.record_phase(Phase::PlanCompile, compile);
+                shared.stats.record_phase(Phase::Execute, execute);
+                shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                shared.stats.latency.record(total);
+                let total_ms = total.as_secs_f64() * 1e3;
+                if shared.cfg.slow_ms.is_some_and(|t| total_ms >= t) {
+                    shared.slow_log.push(SlowEntry {
+                        seq: 0,
+                        trace_id: job.trace.trace_id,
+                        sampled: job.trace.sampled,
+                        model: model_name.to_string(),
+                        node: nodes_first(&job),
+                        total_ms,
+                        queue_ms: queue_wait.as_secs_f64() * 1e3,
+                        batch_ms: batch_form.as_secs_f64() * 1e3,
+                        sample_ms: 0.0,
+                        compile_ms: compile.as_secs_f64() * 1e3,
+                        execute_ms: execute.as_secs_f64() * 1e3,
+                    });
                 }
-            }
-            Err(err) => {
-                let msg = err.to_string();
-                for job in group {
-                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
-                    job.reply.send(Err(ServeError::Infer(msg.clone())));
+                match job.payload {
+                    Payload::Node { reply, .. } => {
+                        reply.send(Ok(InferResponse { class, logits }));
+                    }
+                    Payload::Seeds { .. } => unreachable!("seeds job in node group"),
                 }
             }
         }
+        Err(err) => {
+            let msg = err.to_string();
+            for job in group {
+                shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                job.fail(ServeError::Infer(msg.clone()));
+            }
+        }
+    }
+}
+
+/// One seeded request: sample the neighborhood, gather features, run the
+/// model on the induced subgraph, and scatter only the seed rows back.
+fn execute_seeds_job(
+    shared: &Shared,
+    model_name: &str,
+    entry: &ModelEntry,
+    job: Job,
+    pulled: Instant,
+    batch_form: Duration,
+) {
+    let Payload::Seeds {
+        seeds,
+        fanouts,
+        sample_seed,
+        reply,
+    } = job.payload
+    else {
+        unreachable!("node job in seeds path");
+    };
+    let cfg = SampleConfig::new(fanouts, sample_seed);
+
+    // Sample phase: neighborhood expansion + reindex + feature gather.
+    let sample_start = Instant::now();
+    let prepared = {
+        let _sample_span = span!("serve/sample", "model={model_name} seeds={}", seeds.len());
+        prepare_seeds(&entry.graph, &seeds, &cfg)
+    };
+    let (sub, sub_gnn) = match prepared {
+        Ok(p) => p,
+        Err(err) => {
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            reply.send(Err(ServeError::Infer(err.to_string())));
+            return;
+        }
+    };
+    // The subgraph and its index maps live until the reply is built;
+    // account them so MEMORY answers show per-request sampling footprint.
+    let _sampling_charge = MemCharge::new(MemComponent::Sampling, sub.mem_bytes());
+    let gathered = gather_rows(&entry.features, sub.locals());
+    let sample = sample_start.elapsed();
+
+    // Schedule lookup: subgraphs of similar size share a tuned partition
+    // count via the shape-bucketed key; only bucket-cold requests pay the
+    // autotune probe.
+    let key = PlanKey::cpu_sampled(
+        entry.graph_id,
+        model_name,
+        shared.cfg.kernel_threads,
+        sub.num_vertices(),
+        sub.num_edges(),
+    );
+    let mut compile = Duration::ZERO;
+    let (plan, hit) = shared.plans.get_or_insert(&key, || {
+        let _compile_span = span!("serve/plan_compile", "model={model_name} sampled");
+        let t0 = Instant::now();
+        let partitions =
+            FeatgraphBackend::auto_partitions(sub_gnn.fwd(), entry.features.cols());
+        compile = t0.elapsed();
+        (CachedPlan::Sampled { partitions }, SAMPLED_SCHEDULE_COST)
+    });
+    let slot = if hit {
+        &shared.stats.plan_hits
+    } else {
+        &shared.stats.plan_misses
+    };
+    slot.fetch_add(1, Ordering::Relaxed);
+    let partitions = match &*plan {
+        CachedPlan::Sampled { partitions } => *partitions,
+        // Full-graph and sampled keys live in disjoint options namespaces.
+        CachedPlan::Full(_) => unreachable!("sampled plan key resolved to a full backend"),
+    };
+    let backend = FeatgraphBackend::cpu_with_partitions(shared.cfg.kernel_threads, partitions);
+
+    let seed_locals: Vec<usize> = sub.seed_locals().iter().map(|&l| l as usize).collect();
+    let exec_start = Instant::now();
+    let result = {
+        let _infer_span = span!(
+            "serve/infer",
+            "model={model_name} seeds={} sub_v={} sub_e={}",
+            seeds.len(),
+            sub.num_vertices(),
+            sub.num_edges()
+        );
+        let _mem = MemScope::enter(MemComponent::ServeBatch);
+        infer_batch(
+            entry.model.as_ref(),
+            &sub_gnn,
+            &gathered,
+            &backend,
+            &seed_locals,
+        )
+    };
+    let execute = exec_start.elapsed();
+    match result {
+        Ok(rows) => {
+            let results: Vec<InferResponse> = rows
+                .into_iter()
+                .map(|logits| InferResponse {
+                    class: argmax(&logits),
+                    logits,
+                })
+                .collect();
+            let total = job.accepted.elapsed();
+            let queue_wait = pulled.duration_since(job.accepted);
+            shared.stats.record_phase(Phase::QueueWait, queue_wait);
+            shared.stats.record_phase(Phase::BatchForm, batch_form);
+            shared.stats.record_phase(Phase::Sample, sample);
+            shared.stats.record_phase(Phase::PlanCompile, compile);
+            shared.stats.record_phase(Phase::Execute, execute);
+            shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+            shared.stats.latency.record(total);
+            let total_ms = total.as_secs_f64() * 1e3;
+            if shared.cfg.slow_ms.is_some_and(|t| total_ms >= t) {
+                shared.slow_log.push(SlowEntry {
+                    seq: 0,
+                    trace_id: job.trace.trace_id,
+                    sampled: job.trace.sampled,
+                    model: model_name.to_string(),
+                    node: seeds.first().copied().unwrap_or(0),
+                    total_ms,
+                    queue_ms: queue_wait.as_secs_f64() * 1e3,
+                    batch_ms: batch_form.as_secs_f64() * 1e3,
+                    sample_ms: sample.as_secs_f64() * 1e3,
+                    compile_ms: compile.as_secs_f64() * 1e3,
+                    execute_ms: execute.as_secs_f64() * 1e3,
+                });
+            }
+            reply.send(Ok(SeedsResponse {
+                results,
+                sub_vertices: sub.num_vertices(),
+                sub_edges: sub.num_edges(),
+            }));
+        }
+        Err(err) => {
+            shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+            reply.send(Err(ServeError::Infer(err.to_string())));
+        }
+    }
+}
+
+/// Index of the largest logit (ties break low, matching training's argmax).
+fn argmax(logits: &[f32]) -> usize {
+    logits
+        .iter()
+        .enumerate()
+        .max_by(|a, b| a.1.partial_cmp(b.1).unwrap_or(std::cmp::Ordering::Equal))
+        .map_or(0, |(i, _)| i)
+}
+
+/// The node a slow-log entry should name for a node job.
+fn nodes_first(job: &Job) -> usize {
+    match &job.payload {
+        Payload::Node { node, .. } => *node,
+        Payload::Seeds { seeds, .. } => seeds.first().copied().unwrap_or(0),
     }
 }

@@ -27,8 +27,9 @@
 //!   optionally **byte-bounded** with LRU eviction
 //!   ([`engine::ServeConfig::plan_cache_bytes`]).
 //! * [`stats`] — always-on p50/p95/p99 latency, **per-phase**
-//!   (queue-wait / batch-form / plan-compile / execute / serialize)
-//!   quantiles, queue-depth/batch-size distributions, event counters, and
+//!   (queue-wait / batch-form / sample / plan-compile / execute /
+//!   serialize) quantiles, queue-depth/batch-size distributions, event
+//!   counters, and
 //!   the slow-request log (`fg-telemetry` counters/gauges/histograms ride
 //!   along when the `telemetry` feature is on).
 //! * [`metrics`] — Prometheus-style text exposition behind the `METRICS`
@@ -63,7 +64,8 @@ pub mod stats;
 
 pub use batcher::{Batcher, BatcherConfig, PushError, QueueObserver};
 pub use engine::{
-    Engine, InferRequest, InferResponse, MemoryReport, ServeConfig, ServeError, Ticket,
+    Engine, InferRequest, InferResponse, InferSeedsRequest, MemoryReport, SeedsResponse,
+    SeedsTicket, ServeConfig, ServeError, Ticket, DEFAULT_SAMPLE_HOPS,
 };
 pub use plan_cache::{PlanCache, PlanKey};
 pub use server::{serve, ServerHandle};

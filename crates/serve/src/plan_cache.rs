@@ -1,32 +1,51 @@
-//! Compiled-plan cache: maps a serving workload key to a long-lived
-//! [`FeatgraphBackend`] whose internal plan table holds the compiled
-//! SpMM/SDDMM kernels for that (graph, model) pair.
+//! Compiled-plan cache: maps a serving workload key to a long-lived cached
+//! value — a [`FeatgraphBackend`](fg_gnn::FeatgraphBackend) whose internal
+//! plan table holds the compiled SpMM/SDDMM kernels for a (graph, model)
+//! pair, or (for sampled serving) the tuned schedule for a subgraph shape
+//! bucket. The cache is generic over the value so both live in one
+//! byte-bounded LRU.
 //!
 //! A `FeatgraphBackend` instance caches one compiled plan per
 //! `(op, feature-dim)` it executes, and those plans embed graph-specific
 //! partitioning — so one backend instance is only valid for one graph. The
-//! serving cache key is therefore `(graph id, model, options)`: the options
-//! string folds in everything that changes kernel selection (target,
-//! thread count — and through those, the Fds chosen by the autotuner).
-//! A cache hit means a batch executes entirely against already-compiled
-//! kernels; a miss pays compilation on first touch.
+//! full-graph cache key is therefore `(graph id, model, options)`: the
+//! options string folds in everything that changes kernel selection
+//! (target, thread count — and through those, the Fds chosen by the
+//! autotuner). Sampled-serving keys additionally fold the subgraph shape in
+//! as **power-of-two buckets** of `|V|`/`|E|` ([`PlanKey::cpu_sampled`]):
+//! every request samples a different subgraph, but same-sized ones share a
+//! schedule, so repeated seed queries hit instead of re-tuning per request.
 //!
-//! The cache is **byte-bounded**: each entry carries a cost (the backend's
-//! [`plan_mem_bytes`](FeatgraphBackend::plan_mem_bytes), reported by the
-//! engine after each batch via [`PlanCache::note_cost`] since plans compile
-//! lazily per feature dim), and when the summed cost exceeds the configured
-//! capacity the least-recently-used entries are evicted until it fits.
-//! `capacity == 0` means unbounded — the pre-bounded behavior. Eviction
-//! drops the cache's `Arc`; an in-flight batch still executing against an
-//! evicted backend keeps it alive until the batch finishes. Total cost is
-//! mirrored into the memory accountant's `PlanCache` component.
+//! Concurrent misses on one key are **single-flighted**: the first caller
+//! marks the key as building and compiles outside the lock; later callers
+//! wait on the condvar and receive the finished entry as a hit. Without
+//! this, a cold burst of N identical requests would compile N identical
+//! plans — N× the work, and (worse for the byte bound) N−1 of them
+//! uncounted, because cost lands per *key* and duplicate instances never
+//! get charged.
+//!
+//! The cache is **byte-bounded**: each entry carries a cost, charged at
+//! insert from the builder's estimate and refined by
+//! [`PlanCache::note_cost`] after each batch (backends compile plans lazily
+//! per feature dim, so their footprint grows after insert). When the summed
+//! cost exceeds the configured capacity the least-recently-used entries are
+//! evicted until it fits. `capacity == 0` means unbounded. Eviction drops
+//! the cache's `Arc`; an in-flight batch still executing against an evicted
+//! value keeps it alive until the batch finishes. Total cost is mirrored
+//! into the memory accountant's `PlanCache` component.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, HashSet};
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 
-use fg_gnn::FeatgraphBackend;
 use fg_telemetry::{counter_add, mem_charge, mem_credit, Counter, MemComponent};
+
+/// Round `n` up to its power-of-two bucket exponent: the smallest `b` with
+/// `n <= 2^b`. Used to coarsen subgraph dims so plan keys tolerate varying
+/// seed sets.
+pub fn shape_bucket(n: usize) -> u32 {
+    n.max(1).next_power_of_two().trailing_zeros()
+}
 
 /// Identity of a compiled-plan cache entry.
 #[derive(Debug, Clone, PartialEq, Eq, Hash)]
@@ -39,11 +58,12 @@ pub struct PlanKey {
     /// Kernel-selection options: target and thread count, e.g. `cpu,t=4`.
     /// Everything the autotuner's Fds choice depends on is a function of
     /// these plus the per-layer feature dim the backend keys on internally.
+    /// Sampled keys append bucketed subgraph dims, e.g. `sub,v=2^7,e=2^9`.
     pub options: String,
 }
 
 impl PlanKey {
-    /// Key for a CPU serving workload.
+    /// Key for a full-graph CPU serving workload.
     pub fn cpu(graph_id: u64, model: &str, threads: usize) -> Self {
         PlanKey {
             graph_id,
@@ -51,35 +71,95 @@ impl PlanKey {
             options: format!("cpu,t={threads}"),
         }
     }
+
+    /// Key for a sampled-subgraph CPU workload: `sub_vertices`/`sub_edges`
+    /// are rounded up to power-of-two buckets, so subgraphs of similar size
+    /// share one tuned schedule instead of compiling per request.
+    pub fn cpu_sampled(
+        graph_id: u64,
+        model: &str,
+        threads: usize,
+        sub_vertices: usize,
+        sub_edges: usize,
+    ) -> Self {
+        PlanKey {
+            graph_id,
+            model: model.to_string(),
+            options: format!(
+                "cpu,t={threads},sub,v=2^{},e=2^{}",
+                shape_bucket(sub_vertices),
+                shape_bucket(sub_edges)
+            ),
+        }
+    }
 }
 
-struct Entry {
-    backend: Arc<FeatgraphBackend>,
-    /// Last reported plan bytes; 0 until the first `note_cost`.
+struct Entry<V> {
+    value: Arc<V>,
+    /// Last reported cost in bytes (refined by `note_cost` as lazy plans
+    /// compile).
     cost: u64,
     /// Recency stamp (larger = more recently used).
     stamp: u64,
 }
 
-#[derive(Default)]
-struct Inner {
-    entries: HashMap<PlanKey, Entry>,
+struct Inner<V> {
+    entries: HashMap<PlanKey, Entry<V>>,
+    /// Keys with a compile in flight; concurrent misses wait on the condvar
+    /// instead of building duplicates.
+    building: HashSet<PlanKey>,
     /// Sum of entry costs (mirrored into the `PlanCache` mem component).
     total_bytes: u64,
     /// Monotone use counter backing the LRU stamps.
     tick: u64,
 }
 
+impl<V> Default for Inner<V> {
+    fn default() -> Self {
+        Inner {
+            entries: HashMap::new(),
+            building: HashSet::new(),
+            total_bytes: 0,
+            tick: 0,
+        }
+    }
+}
+
 /// See the [module docs](self).
-#[derive(Default)]
-pub struct PlanCache {
-    inner: Mutex<Inner>,
+pub struct PlanCache<V> {
+    inner: Mutex<Inner<V>>,
+    ready: Condvar,
     /// Byte bound; 0 = unbounded.
     capacity: u64,
     evictions: AtomicU64,
 }
 
-impl PlanCache {
+impl<V> Default for PlanCache<V> {
+    fn default() -> Self {
+        Self::bounded(0)
+    }
+}
+
+/// Removes the in-flight marker if the build panics, so waiters wake up
+/// and retry instead of deadlocking on a key nobody is building.
+struct BuildGuard<'a, V> {
+    cache: &'a PlanCache<V>,
+    key: &'a PlanKey,
+    armed: bool,
+}
+
+impl<V> Drop for BuildGuard<'_, V> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut inner = self.cache.inner.lock().unwrap();
+            inner.building.remove(self.key);
+            drop(inner);
+            self.cache.ready.notify_all();
+        }
+    }
+}
+
+impl<V> PlanCache<V> {
     /// An empty, unbounded cache.
     pub fn new() -> Self {
         Self::default()
@@ -90,43 +170,82 @@ impl PlanCache {
     pub fn bounded(capacity_bytes: u64) -> Self {
         PlanCache {
             inner: Mutex::new(Inner::default()),
+            ready: Condvar::new(),
             capacity: capacity_bytes,
             evictions: AtomicU64::new(0),
         }
     }
 
-    /// Fetch the backend for `key`, building (and retaining) it on first
-    /// use. Returns `(backend, hit)` where `hit` is false exactly when
-    /// `build` ran. Telemetry: bumps `serve_plan_hits` / `serve_plan_misses`.
+    /// Fetch the value for `key`, building (and retaining) it on first use.
+    /// `build` returns the value plus its initial byte cost, charged at
+    /// insert (refine later via [`note_cost`](Self::note_cost) for values
+    /// whose footprint grows lazily). Returns `(value, hit)` where `hit` is
+    /// false exactly when `build` ran *in this call* — concurrent callers
+    /// that waited for another thread's build count as hits. Telemetry:
+    /// bumps `serve_plan_hits` / `serve_plan_misses` accordingly.
     pub fn get_or_insert(
         &self,
         key: &PlanKey,
-        build: impl FnOnce() -> FeatgraphBackend,
-    ) -> (Arc<FeatgraphBackend>, bool) {
+        build: impl FnOnce() -> (V, u64),
+    ) -> (Arc<V>, bool) {
         let mut inner = self.inner.lock().unwrap();
+        loop {
+            if inner.entries.contains_key(key) {
+                inner.tick += 1;
+                let stamp = inner.tick;
+                let entry = inner.entries.get_mut(key).expect("entry present");
+                entry.stamp = stamp;
+                counter_add(Counter::ServePlanHits, 1);
+                return (Arc::clone(&entry.value), true);
+            }
+            if inner.building.contains(key) {
+                // Someone else is compiling this key; wait for the insert
+                // (or for the builder to fail) rather than duplicating the
+                // compile.
+                inner = self.ready.wait(inner).unwrap();
+                continue;
+            }
+            break;
+        }
+        inner.building.insert(key.clone());
+        drop(inner);
+        counter_add(Counter::ServePlanMisses, 1);
+        let guard = BuildGuard {
+            cache: self,
+            key,
+            armed: true,
+        };
+        // Compile OUTSIDE the lock: plan compilation can take milliseconds
+        // and must not serialize unrelated keys (or block hit lookups).
+        let (value, cost) = build();
+        let value = Arc::new(value);
+        let mut inner = self.inner.lock().unwrap();
+        inner.building.remove(key);
         inner.tick += 1;
         let stamp = inner.tick;
-        if let Some(entry) = inner.entries.get_mut(key) {
-            entry.stamp = stamp;
-            counter_add(Counter::ServePlanHits, 1);
-            return (Arc::clone(&entry.backend), true);
-        }
-        counter_add(Counter::ServePlanMisses, 1);
-        let backend = Arc::new(build());
         inner.entries.insert(
             key.clone(),
             Entry {
-                backend: Arc::clone(&backend),
-                cost: 0,
+                value: Arc::clone(&value),
+                cost,
                 stamp,
             },
         );
-        (backend, false)
+        mem_charge(MemComponent::PlanCache, cost);
+        inner.total_bytes += cost;
+        self.enforce(&mut inner);
+        drop(inner);
+        // Drop the guard's cleanup duty before notifying: the marker is
+        // already gone and the entry is in place.
+        let mut guard = guard;
+        guard.armed = false;
+        self.ready.notify_all();
+        (value, false)
     }
 
-    /// Report the current plan bytes of `key`'s backend (plans grow lazily
-    /// as new feature dims execute), then evict LRU entries while the cache
-    /// is over capacity. No-op for a key already evicted.
+    /// Report the current byte cost of `key`'s value (backends compile
+    /// plans lazily as new feature dims execute), then evict LRU entries
+    /// while the cache is over capacity. No-op for a key already evicted.
     pub fn note_cost(&self, key: &PlanKey, bytes: u64) {
         let mut inner = self.inner.lock().unwrap();
         let Some(entry) = inner.entries.get_mut(key) else {
@@ -146,7 +265,7 @@ impl PlanCache {
     /// Evict least-recently-used entries until `total_bytes <= capacity`.
     /// A single entry larger than the capacity is itself evicted, leaving
     /// the cache empty (the next batch recompiles).
-    fn enforce(&self, inner: &mut Inner) {
+    fn enforce(&self, inner: &mut Inner<V>) {
         if self.capacity == 0 {
             return;
         }
@@ -193,7 +312,7 @@ impl PlanCache {
     }
 }
 
-impl Drop for PlanCache {
+impl<V> Drop for PlanCache<V> {
     fn drop(&mut self) {
         // Balance the accountant for whatever is still cached.
         let inner = self.inner.get_mut().unwrap();
@@ -205,12 +324,18 @@ impl Drop for PlanCache {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use fg_gnn::FeatgraphBackend;
+    use std::sync::atomic::AtomicUsize;
+
+    fn backend() -> (FeatgraphBackend, u64) {
+        (FeatgraphBackend::cpu(1), 0)
+    }
 
     #[test]
     fn second_lookup_hits_and_reuses_instance() {
         let cache = PlanCache::new();
         let key = PlanKey::cpu(7, "gcn", 2);
-        let (b1, hit1) = cache.get_or_insert(&key, || FeatgraphBackend::cpu(2));
+        let (b1, hit1) = cache.get_or_insert(&key, backend);
         assert!(!hit1);
         let (b2, hit2) = cache.get_or_insert(&key, || panic!("must not rebuild"));
         assert!(hit2);
@@ -221,9 +346,9 @@ mod tests {
     #[test]
     fn distinct_keys_get_distinct_backends() {
         let cache = PlanCache::new();
-        let (_, h1) = cache.get_or_insert(&PlanKey::cpu(1, "gcn", 1), || FeatgraphBackend::cpu(1));
-        let (_, h2) = cache.get_or_insert(&PlanKey::cpu(1, "gat", 1), || FeatgraphBackend::cpu(1));
-        let (_, h3) = cache.get_or_insert(&PlanKey::cpu(2, "gcn", 1), || FeatgraphBackend::cpu(1));
+        let (_, h1) = cache.get_or_insert(&PlanKey::cpu(1, "gcn", 1), backend);
+        let (_, h2) = cache.get_or_insert(&PlanKey::cpu(1, "gat", 1), backend);
+        let (_, h3) = cache.get_or_insert(&PlanKey::cpu(2, "gcn", 1), backend);
         assert!(!h1 && !h2 && !h3);
         assert_eq!(cache.len(), 3);
     }
@@ -233,7 +358,7 @@ mod tests {
         let cache = PlanCache::new();
         for i in 0..8 {
             let key = PlanKey::cpu(i, "gcn", 1);
-            let _ = cache.get_or_insert(&key, || FeatgraphBackend::cpu(1));
+            let _ = cache.get_or_insert(&key, backend);
             cache.note_cost(&key, 1 << 30);
         }
         assert_eq!(cache.len(), 8);
@@ -246,7 +371,7 @@ mod tests {
         let cache = PlanCache::bounded(2500);
         for i in 0..10 {
             let key = PlanKey::cpu(i, "gcn", 1);
-            let _ = cache.get_or_insert(&key, || FeatgraphBackend::cpu(1));
+            let _ = cache.get_or_insert(&key, backend);
             cache.note_cost(&key, 1000);
             assert!(
                 cache.total_bytes() <= 2500,
@@ -261,7 +386,7 @@ mod tests {
             panic!("most recent key must survive")
         });
         assert!(hit);
-        let (_, hit) = cache.get_or_insert(&PlanKey::cpu(0, "gcn", 1), || FeatgraphBackend::cpu(1));
+        let (_, hit) = cache.get_or_insert(&PlanKey::cpu(0, "gcn", 1), backend);
         assert!(!hit, "oldest key was evicted");
     }
 
@@ -269,14 +394,14 @@ mod tests {
     fn touching_an_entry_protects_it_from_eviction() {
         let cache = PlanCache::bounded(2000);
         let hot = PlanKey::cpu(0, "hot", 1);
-        let _ = cache.get_or_insert(&hot, || FeatgraphBackend::cpu(1));
+        let _ = cache.get_or_insert(&hot, backend);
         cache.note_cost(&hot, 900);
         for i in 1..6 {
             // Re-touch the hot key before each insertion so it is never LRU.
             let (_, hit) = cache.get_or_insert(&hot, || panic!("hot key evicted"));
             assert!(hit);
             let key = PlanKey::cpu(i, "cold", 1);
-            let _ = cache.get_or_insert(&key, || FeatgraphBackend::cpu(1));
+            let _ = cache.get_or_insert(&key, backend);
             cache.note_cost(&key, 900);
         }
         let (_, hit) = cache.get_or_insert(&hot, || panic!("hot key evicted"));
@@ -288,7 +413,7 @@ mod tests {
     fn oversized_single_entry_evicts_to_empty() {
         let cache = PlanCache::bounded(100);
         let key = PlanKey::cpu(1, "big", 1);
-        let (backend, _) = cache.get_or_insert(&key, || FeatgraphBackend::cpu(1));
+        let (backend_arc, _) = cache.get_or_insert(&key, backend);
         cache.note_cost(&key, 1_000_000);
         assert_eq!(cache.len(), 0);
         assert_eq!(cache.total_bytes(), 0);
@@ -296,6 +421,127 @@ mod tests {
         // The in-flight handle is unaffected; a late note_cost is a no-op.
         cache.note_cost(&key, 2_000_000);
         assert_eq!(cache.total_bytes(), 0);
-        drop(backend);
+        drop(backend_arc);
+    }
+
+    #[test]
+    fn cost_is_charged_at_insert() {
+        // Regression: cost used to land only at the first post-execution
+        // note_cost, so a cold burst of inserts was invisible to the bound.
+        let cache: PlanCache<u32> = PlanCache::bounded(4096);
+        for i in 0..4 {
+            let _ = cache.get_or_insert(&PlanKey::cpu(i, "m", 1), || (i as u32, 2048));
+            assert!(
+                cache.total_bytes() <= 4096,
+                "insert {i} left the cache over bound: {}",
+                cache.total_bytes()
+            );
+        }
+        assert_eq!(cache.len(), 2, "2×2048 fits under 4096");
+        assert_eq!(cache.evictions(), 2);
+    }
+
+    #[test]
+    fn concurrent_misses_share_one_build() {
+        // Single-flight: 8 threads race one cold key; exactly one build
+        // runs, the rest wait and come back as hits on the same instance.
+        let cache: Arc<PlanCache<u64>> = Arc::new(PlanCache::bounded(4096));
+        let builds = Arc::new(AtomicUsize::new(0));
+        let key = PlanKey::cpu(1, "burst", 1);
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let cache = Arc::clone(&cache);
+                let builds = Arc::clone(&builds);
+                let key = key.clone();
+                std::thread::spawn(move || {
+                    cache.get_or_insert(&key, || {
+                        builds.fetch_add(1, Ordering::SeqCst);
+                        // Hold the "compile" long enough that the other
+                        // threads pile up behind the in-flight marker.
+                        std::thread::sleep(std::time::Duration::from_millis(30));
+                        (42u64, 512)
+                    })
+                })
+            })
+            .collect();
+        let results: Vec<(Arc<u64>, bool)> =
+            handles.into_iter().map(|h| h.join().unwrap()).collect();
+        assert_eq!(builds.load(Ordering::SeqCst), 1, "exactly one compile");
+        assert_eq!(results.iter().filter(|&&(_, hit)| !hit).count(), 1);
+        let first = &results[0].0;
+        for (v, _) in &results {
+            assert!(Arc::ptr_eq(first, v), "all callers share the instance");
+        }
+        assert_eq!(cache.total_bytes(), 512, "cost charged once");
+        assert_eq!(cache.len(), 1);
+    }
+
+    #[test]
+    fn concurrent_cold_burst_respects_byte_bound() {
+        // The 4 KiB eviction/accounting scenario: many threads, few keys,
+        // every entry costed at insert — the bound holds throughout.
+        let cache: Arc<PlanCache<u32>> = Arc::new(PlanCache::bounded(4096));
+        let handles: Vec<_> = (0..16)
+            .map(|t| {
+                let cache = Arc::clone(&cache);
+                std::thread::spawn(move || {
+                    for i in 0..8u64 {
+                        let key = PlanKey::cpu(i % 4, "churn", 1);
+                        let _ = cache.get_or_insert(&key, || {
+                            std::thread::sleep(std::time::Duration::from_millis(2));
+                            ((t + i) as u32, 1500)
+                        });
+                        assert!(
+                            cache.total_bytes() <= 4096,
+                            "over bound: {}",
+                            cache.total_bytes()
+                        );
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert!(cache.total_bytes() <= 4096);
+        assert!(cache.len() <= 2, "2×1500 fits under 4096, 3×1500 does not");
+    }
+
+    #[test]
+    fn panicked_build_releases_the_key_for_retry() {
+        let cache: Arc<PlanCache<u32>> = Arc::new(PlanCache::new());
+        let key = PlanKey::cpu(1, "flaky", 1);
+        let c2 = Arc::clone(&cache);
+        let k2 = key.clone();
+        let result = std::thread::spawn(move || {
+            c2.get_or_insert(&k2, || panic!("compile failed"));
+        })
+        .join();
+        assert!(result.is_err(), "builder panicked");
+        // The in-flight marker must be gone: a retry builds successfully
+        // instead of deadlocking behind a dead builder.
+        let (v, hit) = cache.get_or_insert(&key, || (7, 16));
+        assert!(!hit);
+        assert_eq!(*v, 7);
+    }
+
+    #[test]
+    fn sampled_keys_bucket_subgraph_dims() {
+        // Different subgraphs in the same power-of-two bucket share a key…
+        let a = PlanKey::cpu_sampled(1, "gcn", 2, 100, 900);
+        let b = PlanKey::cpu_sampled(1, "gcn", 2, 120, 700);
+        assert_eq!(a, b, "same bucket: {} vs {}", a.options, b.options);
+        // …and crossing a power of two changes it.
+        let c = PlanKey::cpu_sampled(1, "gcn", 2, 130, 900);
+        assert_ne!(a, c);
+        let d = PlanKey::cpu_sampled(1, "gcn", 2, 100, 1100);
+        assert_ne!(a, d);
+        // Sampled and full-graph keys never collide.
+        assert_ne!(a, PlanKey::cpu(1, "gcn", 2));
+        // Bucket math: exact powers stay put, zero is floored to 1.
+        assert_eq!(shape_bucket(1), 0);
+        assert_eq!(shape_bucket(0), 0);
+        assert_eq!(shape_bucket(64), 6);
+        assert_eq!(shape_bucket(65), 7);
     }
 }

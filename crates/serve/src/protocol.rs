@@ -4,6 +4,8 @@
 //!
 //! ```text
 //! INFER <model> <node> [id=<token>] [deadline_ms=<n>]
+//! INFER_SEEDS <model> <s0,s1,...> [fanout=<f0,f1,...>] [sample_seed=<n>]
+//!             [id=<token>] [deadline_ms=<n>]
 //! STATS
 //! METRICS
 //! MEMORY
@@ -18,6 +20,7 @@
 //! ```text
 //! OK <id> <class> <logit0> <logit1> ...
 //! ERR <id> <code> [detail ...]
+//! SEEDS <id> <n> <sub_v> <sub_e> (followed by n "SEED <node> <class> <logits...>" lines)
 //! STATS <key>=<value> ...
 //! <prometheus exposition, multi-line, terminated by "# EOF">
 //! MEMORY <n> (followed by n "MEM <key>=<value> ..." lines)
@@ -27,11 +30,19 @@
 //! ```
 //!
 //! `METRICS` is the only reply without a fixed line count: clients read
-//! until the OpenMetrics `# EOF` terminator line. `MEMORY` and `SLOWLOG`
-//! declare their line counts up front in the header. `MEMORY` reports the
-//! accounted per-component footprint (one `MEM component=...` line per
-//! component, then `MEM total ...`, `MEM plan_cache ...`, and on Linux
-//! `MEM rss ...` summary lines).
+//! until the OpenMetrics `# EOF` terminator line. `SEEDS`, `MEMORY`, and
+//! `SLOWLOG` declare their line counts up front in the header. `MEMORY`
+//! reports the accounted per-component footprint (one `MEM component=...`
+//! line per component, then `MEM total ...`, `MEM plan_cache ...`, and on
+//! Linux `MEM rss ...` summary lines).
+//!
+//! `INFER_SEEDS` answers its seed list by sampling a fanout-bounded
+//! neighborhood and running the model on the induced subgraph; `fanout`
+//! names per-hop in-neighbor caps (seed-side first) and defaults to full
+//! fanout over two hops, which reproduces full-graph logits bit-for-bit.
+//! One `SEED` line comes back per requested seed, in request order; the
+//! header carries the sampled subgraph's vertex/edge counts. A failed
+//! seeded request answers with a single ordinary `ERR` line.
 //!
 //! `<id>` is an opaque client token echoed back verbatim (`-` when the
 //! request carried none) — it is how `fgserve bench` proves that no
@@ -42,7 +53,7 @@
 
 use std::time::Duration;
 
-use crate::engine::{InferResponse, ServeError};
+use crate::engine::{InferResponse, SeedsResponse, ServeError};
 
 /// Placeholder ID echoed when the client supplied none.
 pub const NO_ID: &str = "-";
@@ -56,6 +67,22 @@ pub enum Request {
         model: String,
         /// Requested node.
         node: usize,
+        /// Client token echoed in the response.
+        id: Option<String>,
+        /// Per-request deadline override.
+        deadline_ms: Option<u64>,
+    },
+    /// `INFER_SEEDS <model> <s0,s1,...> [fanout=..] [sample_seed=..]
+    /// [id=..] [deadline_ms=..]`
+    InferSeeds {
+        /// Target model name.
+        model: String,
+        /// Requested seed vertices, in reply order.
+        seeds: Vec<usize>,
+        /// Per-hop fanout caps; `None` = full fanout, two hops.
+        fanouts: Option<Vec<usize>>,
+        /// Sampler RNG seed (defaults to 0).
+        sample_seed: u64,
         /// Client token echoed in the response.
         id: Option<String>,
         /// Per-request deadline override.
@@ -82,7 +109,9 @@ impl Request {
     /// The deadline as a `Duration`, if any.
     pub fn deadline(&self) -> Option<Duration> {
         match self {
-            Request::Infer { deadline_ms, .. } => deadline_ms.map(Duration::from_millis),
+            Request::Infer { deadline_ms, .. } | Request::InferSeeds { deadline_ms, .. } => {
+                deadline_ms.map(Duration::from_millis)
+            }
             _ => None,
         }
     }
@@ -137,8 +166,64 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 deadline_ms,
             })
         }
+        "INFER_SEEDS" => {
+            let model = parts
+                .next()
+                .ok_or("INFER_SEEDS needs: INFER_SEEDS <model> <s0,s1,...>")?
+                .to_string();
+            let seeds_tok = parts
+                .next()
+                .ok_or("INFER_SEEDS needs: INFER_SEEDS <model> <s0,s1,...>")?;
+            let seeds = parse_usize_list(seeds_tok).map_err(|t| format!("bad seed {t:?}"))?;
+            if seeds.is_empty() {
+                return Err("empty seed list".into());
+            }
+            let mut fanouts = None;
+            let mut sample_seed = 0;
+            let mut id = None;
+            let mut deadline_ms = None;
+            for opt in parts {
+                if let Some(tok) = opt.strip_prefix("fanout=") {
+                    let f = parse_usize_list(tok).map_err(|t| format!("bad fanout {t:?}"))?;
+                    if f.is_empty() {
+                        return Err("empty fanout=".into());
+                    }
+                    fanouts = Some(f);
+                } else if let Some(tok) = opt.strip_prefix("sample_seed=") {
+                    sample_seed = tok
+                        .parse()
+                        .map_err(|_| format!("bad sample_seed {tok:?}"))?;
+                } else if let Some(tok) = opt.strip_prefix("id=") {
+                    if tok.is_empty() {
+                        return Err("empty id=".into());
+                    }
+                    id = Some(tok.to_string());
+                } else if let Some(ms) = opt.strip_prefix("deadline_ms=") {
+                    deadline_ms =
+                        Some(ms.parse().map_err(|_| format!("bad deadline_ms {ms:?}"))?);
+                } else {
+                    return Err(format!("unknown option {opt:?}"));
+                }
+            }
+            Ok(Request::InferSeeds {
+                model,
+                seeds,
+                fanouts,
+                sample_seed,
+                id,
+                deadline_ms,
+            })
+        }
         other => Err(format!("unknown verb {other:?}")),
     }
+}
+
+/// Parse a comma-separated list of unsigned integers; the error is the
+/// offending token.
+fn parse_usize_list(tok: &str) -> Result<Vec<usize>, &str> {
+    tok.split(',')
+        .map(|t| t.parse::<usize>().map_err(|_| t))
+        .collect()
 }
 
 /// Render a successful inference reply.
@@ -149,6 +234,89 @@ pub fn format_ok(id: Option<&str>, resp: &InferResponse) -> String {
         line.push_str(&format!("{logit}"));
     }
     line
+}
+
+/// Render a successful seeded reply as its multi-line wire form: the
+/// `SEEDS` header (declared line count plus subgraph dims), then one
+/// `SEED <node> <class> <logits...>` line per requested seed, in request
+/// order. `seeds` is the request's seed list (the engine reply carries
+/// rows, not vertex ids).
+pub fn format_seeds_ok(id: Option<&str>, seeds: &[usize], resp: &SeedsResponse) -> Vec<String> {
+    debug_assert_eq!(seeds.len(), resp.results.len());
+    let mut lines = Vec::with_capacity(resp.results.len() + 1);
+    lines.push(format!(
+        "SEEDS {} {} {} {}",
+        id.unwrap_or(NO_ID),
+        resp.results.len(),
+        resp.sub_vertices,
+        resp.sub_edges,
+    ));
+    for (node, r) in seeds.iter().zip(&resp.results) {
+        let mut line = format!("SEED {node} {}", r.class);
+        for logit in &r.logits {
+            line.push(' ');
+            line.push_str(&format!("{logit}"));
+        }
+        lines.push(line);
+    }
+    lines
+}
+
+/// A parsed `SEEDS` reply header (client side).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SeedsHeader {
+    /// Echoed client token.
+    pub id: String,
+    /// Number of `SEED` lines that follow.
+    pub count: usize,
+    /// Vertices in the sampled subgraph.
+    pub sub_vertices: usize,
+    /// Edges in the sampled subgraph.
+    pub sub_edges: usize,
+}
+
+/// Parse a `SEEDS <id> <n> <sub_v> <sub_e>` header line (client side).
+pub fn parse_seeds_header(line: &str) -> Result<SeedsHeader, String> {
+    let mut parts = line.split_ascii_whitespace();
+    if parts.next() != Some("SEEDS") {
+        return Err(format!("not a SEEDS header: {line:?}"));
+    }
+    let id = parts.next().ok_or("SEEDS missing id")?.to_string();
+    let mut num = |what: &str| -> Result<usize, String> {
+        parts
+            .next()
+            .ok_or(format!("SEEDS missing {what}"))?
+            .parse()
+            .map_err(|_| format!("bad SEEDS {what}"))
+    };
+    Ok(SeedsHeader {
+        id,
+        count: num("count")?,
+        sub_vertices: num("sub_vertices")?,
+        sub_edges: num("sub_edges")?,
+    })
+}
+
+/// Parse one `SEED <node> <class> <logits...>` payload line (client side).
+pub fn parse_seed_line(line: &str) -> Result<(usize, InferResponse), String> {
+    let mut parts = line.split_ascii_whitespace();
+    if parts.next() != Some("SEED") {
+        return Err(format!("not a SEED line: {line:?}"));
+    }
+    let node: usize = parts
+        .next()
+        .ok_or("SEED missing node")?
+        .parse()
+        .map_err(|_| "bad SEED node")?;
+    let class: usize = parts
+        .next()
+        .ok_or("SEED missing class")?
+        .parse()
+        .map_err(|_| "bad SEED class")?;
+    let logits = parts
+        .map(|t| t.parse::<f32>().map_err(|_| format!("bad logit {t:?}")))
+        .collect::<Result<Vec<f32>, String>>()?;
+    Ok((node, InferResponse { class, logits }))
 }
 
 /// Render a typed serving error.
@@ -262,6 +430,85 @@ mod tests {
         assert!(parse_request("INFER gcn 1 deadline_ms=soon").is_err());
         assert!(parse_request("INFER gcn 1 frobnicate=1").is_err());
         assert!(parse_request("SLOWLOG many").is_err());
+    }
+
+    #[test]
+    fn parses_infer_seeds_lines() {
+        let req =
+            parse_request("INFER_SEEDS gat 3,1,4 fanout=10,5 sample_seed=7 id=c1 deadline_ms=90")
+                .unwrap();
+        assert_eq!(
+            req,
+            Request::InferSeeds {
+                model: "gat".into(),
+                seeds: vec![3, 1, 4],
+                fanouts: Some(vec![10, 5]),
+                sample_seed: 7,
+                id: Some("c1".into()),
+                deadline_ms: Some(90),
+            }
+        );
+        assert_eq!(req.deadline(), Some(Duration::from_millis(90)));
+        // Minimal form: defaults are full fanout (None) and sample_seed 0.
+        assert_eq!(
+            parse_request("INFER_SEEDS gcn 5").unwrap(),
+            Request::InferSeeds {
+                model: "gcn".into(),
+                seeds: vec![5],
+                fanouts: None,
+                sample_seed: 0,
+                id: None,
+                deadline_ms: None,
+            }
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_infer_seeds_lines() {
+        assert!(parse_request("INFER_SEEDS gcn").is_err());
+        assert!(parse_request("INFER_SEEDS gcn 1,x").is_err());
+        assert!(parse_request("INFER_SEEDS gcn 1,2 fanout=").is_err());
+        assert!(parse_request("INFER_SEEDS gcn 1 fanout=3,no").is_err());
+        assert!(parse_request("INFER_SEEDS gcn 1 sample_seed=soon").is_err());
+        assert!(parse_request("INFER_SEEDS gcn 1 frobnicate=1").is_err());
+    }
+
+    #[test]
+    fn seeds_reply_round_trips() {
+        let resp = SeedsResponse {
+            results: vec![
+                InferResponse {
+                    class: 1,
+                    logits: vec![0.5, 2.0],
+                },
+                InferResponse {
+                    class: 0,
+                    logits: vec![3.25, -1.0],
+                },
+            ],
+            sub_vertices: 17,
+            sub_edges: 40,
+        };
+        let lines = format_seeds_ok(Some("c2"), &[9, 4], &resp);
+        assert_eq!(lines.len(), 3);
+        let header = parse_seeds_header(&lines[0]).unwrap();
+        assert_eq!(
+            header,
+            SeedsHeader {
+                id: "c2".into(),
+                count: 2,
+                sub_vertices: 17,
+                sub_edges: 40,
+            }
+        );
+        let (node, first) = parse_seed_line(&lines[1]).unwrap();
+        assert_eq!(node, 9);
+        assert_eq!(first, resp.results[0]);
+        let (node, second) = parse_seed_line(&lines[2]).unwrap();
+        assert_eq!(node, 4);
+        assert_eq!(second, resp.results[1]);
+        assert!(parse_seeds_header("OK - 1").is_err());
+        assert!(parse_seed_line("SEED x 1").is_err());
     }
 
     #[test]

@@ -18,7 +18,7 @@ use std::time::Instant;
 
 use fg_telemetry::{span, TraceScope};
 
-use crate::engine::{Engine, InferRequest};
+use crate::engine::{Engine, InferRequest, InferSeedsRequest};
 use crate::protocol::{self, Request};
 
 /// A running server; dropping it does **not** stop the acceptor — call
@@ -206,6 +206,59 @@ fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> C
                     Err(err) => protocol::format_err(id.as_deref(), &err),
                 };
                 let written = write_line(&mut writer, &reply);
+                engine.record_serialize(ser_start.elapsed());
+                written
+            }
+            Ok(req @ Request::InferSeeds { .. }) => {
+                let deadline = req.deadline();
+                let Request::InferSeeds {
+                    model,
+                    seeds,
+                    fanouts,
+                    sample_seed,
+                    id,
+                    ..
+                } = req
+                else {
+                    unreachable!()
+                };
+                let trace = engine.mint_trace();
+                let _scope = TraceScope::enter(trace);
+                let _span = span!(
+                    "serve/request",
+                    "model={model} seeds={} trace={:#x}",
+                    seeds.len(),
+                    trace.trace_id
+                );
+                let result = engine
+                    .submit_seeds_traced(
+                        InferSeedsRequest {
+                            model,
+                            seeds: seeds.clone(),
+                            fanouts,
+                            sample_seed,
+                            deadline,
+                        },
+                        trace,
+                    )
+                    .and_then(|ticket| ticket.wait());
+                // Serialize phase: reply formatting plus the socket write.
+                let ser_start = Instant::now();
+                let out = match result {
+                    Ok(resp) => {
+                        // Declared-count multi-line reply, MEMORY-style.
+                        let mut out = String::new();
+                        for line in protocol::format_seeds_ok(id.as_deref(), &seeds, &resp) {
+                            out.push_str(&line);
+                            out.push('\n');
+                        }
+                        out
+                    }
+                    Err(err) => format!("{}\n", protocol::format_err(id.as_deref(), &err)),
+                };
+                let written = writer
+                    .write_all(out.as_bytes())
+                    .and_then(|_| writer.flush());
                 engine.record_serialize(ser_start.elapsed());
                 written
             }

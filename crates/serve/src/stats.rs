@@ -1,7 +1,8 @@
 //! Engine-local serving statistics: lock-free event counters, an exact
 //! (ring-buffered) latency recorder with p50/p95/p99 quantiles, always-on
-//! **per-phase** latency accounting (queue-wait / batch-form / plan-compile
-//! / execute / serialize), a queue-depth gauge, a batch-size distribution,
+//! **per-phase** latency accounting (queue-wait / batch-form / sample /
+//! plan-compile / execute / serialize), a queue-depth gauge, a batch-size
+//! distribution,
 //! and a bounded slow-request log.
 //!
 //! These are always on and engine-scoped, complementing the process-wide
@@ -130,6 +131,9 @@ pub enum Phase {
     /// Batch pulled → this request's model group started executing
     /// (deadline filtering, grouping, and earlier groups in the batch).
     BatchForm,
+    /// Neighbor sampling + feature gather for seeded requests (zero for
+    /// full-graph requests).
+    Sample,
     /// Compiling a backend on a plan-cache miss (zero on a hit).
     PlanCompile,
     /// The group's batched forward pass.
@@ -140,12 +144,13 @@ pub enum Phase {
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 5;
+    pub const COUNT: usize = 6;
 
     /// Every phase, in pipeline order.
     pub const ALL: [Phase; Phase::COUNT] = [
         Phase::QueueWait,
         Phase::BatchForm,
+        Phase::Sample,
         Phase::PlanCompile,
         Phase::Execute,
         Phase::Serialize,
@@ -156,6 +161,7 @@ impl Phase {
         match self {
             Phase::QueueWait => "queue_wait",
             Phase::BatchForm => "batch_form",
+            Phase::Sample => "sample",
             Phase::PlanCompile => "plan_compile",
             Phase::Execute => "execute",
             Phase::Serialize => "serialize",
@@ -183,6 +189,8 @@ pub struct SlowEntry {
     pub queue_ms: f64,
     /// Batch-formation phase, milliseconds.
     pub batch_ms: f64,
+    /// Sample phase, milliseconds (zero for full-graph requests).
+    pub sample_ms: f64,
     /// Plan-compile phase, milliseconds (zero on a plan-cache hit).
     pub compile_ms: f64,
     /// Execute phase, milliseconds.
@@ -194,7 +202,7 @@ impl SlowEntry {
     pub fn to_wire_line(&self) -> String {
         format!(
             "SLOW seq={} trace={:#x} sampled={} model={} node={} total_ms={:.3} \
-             queue_ms={:.3} batch_ms={:.3} compile_ms={:.3} execute_ms={:.3}",
+             queue_ms={:.3} batch_ms={:.3} sample_ms={:.3} compile_ms={:.3} execute_ms={:.3}",
             self.seq,
             self.trace_id,
             self.sampled,
@@ -203,6 +211,7 @@ impl SlowEntry {
             self.total_ms,
             self.queue_ms,
             self.batch_ms,
+            self.sample_ms,
             self.compile_ms,
             self.execute_ms,
         )
@@ -591,6 +600,7 @@ mod tests {
                 total_ms: 12.5,
                 queue_ms: 9.0,
                 batch_ms: 0.5,
+                sample_ms: 0.0,
                 compile_ms: 0.0,
                 execute_ms: 3.0,
             });

@@ -11,7 +11,7 @@ use std::time::Duration;
 use fg_gnn::data::SbmTask;
 use fg_gnn::models::build_model;
 use fg_gnn::FeatgraphBackend;
-use fg_serve::{serve, Engine, InferRequest, ServeConfig, ServeError};
+use fg_serve::{serve, Engine, InferRequest, InferSeedsRequest, ServeConfig, ServeError};
 
 fn make_task() -> SbmTask {
     SbmTask::generate(400, 3, 8, 2, 7)
@@ -503,6 +503,154 @@ fn memory_wire_command_reports_per_component_breakdown() {
         assert!(report.total_peak >= report.total_current);
     }
 
+    handle.shutdown();
+}
+
+#[test]
+fn seeded_requests_round_trip_and_match_full_graph_over_wire() {
+    let (engine, task) = make_engine(ServeConfig::default());
+    let expected = reference_logits(&task);
+    let handle = serve(engine, "127.0.0.1:0").expect("bind");
+    let (mut writer, mut reader) = wire_client(handle.addr());
+
+    // Full fanout (no fanout= option): seeded inference must reproduce the
+    // full-graph logits bit-for-bit, over the wire.
+    writeln!(writer, "INFER_SEEDS gcn 3,7,250 id=sd0").unwrap();
+    let mut header = String::new();
+    reader.read_line(&mut header).unwrap();
+    let header = fg_serve::protocol::parse_seeds_header(header.trim_end()).unwrap();
+    assert_eq!(header.id, "sd0");
+    assert_eq!(header.count, 3);
+    assert!(header.sub_vertices > 0 && header.sub_edges > 0);
+    for &seed in &[3usize, 7, 250] {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let (node, resp) = fg_serve::protocol::parse_seed_line(line.trim_end()).unwrap();
+        assert_eq!(node, seed, "SEED lines come back in request order");
+        assert_eq!(
+            resp.logits, expected[seed],
+            "full-fanout seeded logits diverged from full graph for seed {seed}"
+        );
+    }
+
+    // Capped fanout: still one line per seed, finite logits, smaller
+    // subgraph than the full-fanout one.
+    writeln!(writer, "INFER_SEEDS gcn 3,3 fanout=2,2 sample_seed=5 id=sd1").unwrap();
+    let mut capped = String::new();
+    reader.read_line(&mut capped).unwrap();
+    let capped = fg_serve::protocol::parse_seeds_header(capped.trim_end()).unwrap();
+    assert_eq!((capped.id.as_str(), capped.count), ("sd1", 2));
+    assert!(capped.sub_vertices < header.sub_vertices, "fanout cap must shrink the subgraph");
+    let mut rows = Vec::new();
+    for _ in 0..2 {
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        let (node, resp) = fg_serve::protocol::parse_seed_line(line.trim_end()).unwrap();
+        assert_eq!(node, 3);
+        assert!(resp.logits.iter().all(|v| v.is_finite()));
+        rows.push(resp);
+    }
+    assert_eq!(rows[0], rows[1], "duplicate seeds answer identically");
+
+    // Errors stay single-line ERR.
+    let reply = send_recv(&mut writer, &mut reader, "INFER_SEEDS nope 1 id=sd2");
+    assert!(reply.starts_with("ERR sd2 unknown-model"), "{reply}");
+    let reply = send_recv(&mut writer, &mut reader, "INFER_SEEDS gcn 999999 id=sd3");
+    assert!(reply.starts_with("ERR sd3 bad-request"), "{reply}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn repeated_seed_queries_hit_bucketed_plan_cache() {
+    let (engine, task) = make_engine(ServeConfig::default());
+    let vertices = task.graph.num_vertices();
+    // Different seed sets each round sample different subgraphs; the
+    // power-of-two shape buckets must still coalesce them onto a cached
+    // schedule instead of re-tuning per request.
+    for round in 0..12u64 {
+        let seeds: Vec<usize> = (0..4).map(|i| ((round * 37 + i * 101) as usize) % vertices).collect();
+        let resp = engine
+            .infer_seeds(InferSeedsRequest {
+                model: "gcn".into(),
+                seeds: seeds.clone(),
+                fanouts: Some(vec![4, 4]),
+                sample_seed: round,
+                deadline: None,
+            })
+            .unwrap_or_else(|e| panic!("round {round}: {e}"));
+        assert_eq!(resp.results.len(), seeds.len());
+    }
+    let stats = engine.stats();
+    assert!(
+        stats.plan_hits > 0,
+        "repeated seed queries must hit the bucketed plan cache (hits={} misses={})",
+        stats.plan_hits,
+        stats.plan_misses
+    );
+    assert!(
+        stats.plan_misses < 12,
+        "shape buckets must coalesce most rounds (misses={})",
+        stats.plan_misses
+    );
+    // The sample phase got one sample per request, and sampled requests
+    // complete like any other.
+    assert_eq!(stats.completed, 12);
+    assert_eq!(stats.phase(fg_serve::Phase::Sample).count, 12);
+    engine.shutdown();
+}
+
+#[test]
+fn timed_out_requests_record_queue_wait_phase_over_wire() {
+    // Satellite regression: requests dropped for expired deadlines during
+    // batch formation used to bypass per-phase attribution entirely — the
+    // timeout counter moved while queue_wait stayed flat, so dashboards
+    // showed timeouts with no latency evidence. The two series must move
+    // together.
+    let (engine, _task) = make_engine(ServeConfig {
+        workers: 1,
+        exec_delay: Duration::from_millis(30),
+        default_deadline: None,
+        ..ServeConfig::default()
+    });
+    let handle = serve(engine, "127.0.0.1:0").expect("bind");
+    let (mut writer, mut reader) = wire_client(handle.addr());
+
+    let scrape = |writer: &mut TcpStream, reader: &mut BufReader<TcpStream>| -> (f64, f64) {
+        writeln!(writer, "METRICS").unwrap();
+        let mut text = String::new();
+        let mut line = String::new();
+        loop {
+            line.clear();
+            assert_ne!(reader.read_line(&mut line).unwrap(), 0, "EOF before # EOF");
+            text.push_str(&line);
+            if line.trim_end() == "# EOF" {
+                break;
+            }
+        }
+        (
+            fg_serve::metrics::sample(&text, "fgserve_requests_timed_out_total").unwrap(),
+            fg_serve::metrics::sample(&text, "fgserve_phase_latency_ms_count{phase=\"queue_wait\"}")
+                .unwrap(),
+        )
+    };
+
+    let (timeouts0, queue0) = scrape(&mut writer, &mut reader);
+    for i in 0..3 {
+        let reply = send_recv(
+            &mut writer,
+            &mut reader,
+            &format!("INFER gcn 0 id=to{i} deadline_ms=1"),
+        );
+        assert!(reply.starts_with(&format!("ERR to{i} timeout")), "{reply}");
+    }
+    let (timeouts1, queue1) = scrape(&mut writer, &mut reader);
+    assert_eq!(timeouts1 - timeouts0, 3.0, "three requests timed out");
+    assert!(
+        queue1 - queue0 >= 3.0,
+        "every timed-out request must land a queue_wait sample: \
+         timeouts {timeouts0}->{timeouts1}, queue_wait count {queue0}->{queue1}"
+    );
     handle.shutdown();
 }
 

@@ -42,13 +42,15 @@ pub enum MemComponent {
     ServeBatch,
     /// Compiled-plan cache entries (partitioned CSR clones, edge orders).
     PlanCache,
+    /// Per-request sampled subgraphs (induced topology + index maps).
+    Sampling,
     /// Untagged allocations (no ambient scope).
     Scratch,
 }
 
 impl MemComponent {
     /// Number of components.
-    pub const COUNT: usize = 8;
+    pub const COUNT: usize = 9;
 
     /// Every component, in display order.
     pub const ALL: [MemComponent; MemComponent::COUNT] = [
@@ -59,6 +61,7 @@ impl MemComponent {
         MemComponent::CheckpointBuffers,
         MemComponent::ServeBatch,
         MemComponent::PlanCache,
+        MemComponent::Sampling,
         MemComponent::Scratch,
     ];
 
@@ -72,6 +75,7 @@ impl MemComponent {
             MemComponent::CheckpointBuffers => "checkpoint_buffers",
             MemComponent::ServeBatch => "serve_batch",
             MemComponent::PlanCache => "plan_cache",
+            MemComponent::Sampling => "sampling",
             MemComponent::Scratch => "scratch",
         }
     }
@@ -500,6 +504,7 @@ mod tests {
                 "checkpoint_buffers",
                 "serve_batch",
                 "plan_cache",
+                "sampling",
                 "scratch"
             ]
         );
