@@ -3,9 +3,11 @@
 //! ```text
 //! fgcheck [--seed N] [--cases K] [--shrink-budget N] [--verbose]
 //! fgcheck --sampler [--seed N] [--cases K]
+//! fgcheck --shard [--seed N] [--cases K]
 //! fgcheck --case '<descriptor>'
 //! fgcheck --seed 0 --cases 200            # the deterministic CI smoke sweep
 //! fgcheck --sampler --seed 0 --cases 200  # the sampler CI smoke sweep
+//! fgcheck --shard --seed 0 --cases 200    # the shard-parity CI smoke sweep
 //! ```
 //!
 //! Sweep mode generates `K` seeded cases, runs each across every applicable
@@ -13,15 +15,22 @@
 //! replayable `fgcheck --case '...'` one-liner per failure. Exit status is
 //! nonzero iff any case failed. `--sampler` sweeps the neighbor-sampler
 //! property family instead (determinism, reindex round-trip, fanout cap,
-//! full-fanout bit-identity).
+//! full-fanout bit-identity). `--shard` sweeps the sharded-inference
+//! family (shard-plan invariants, exactly-once halo exchange, bitwise
+//! parity with single-worker inference), shrinking failures by shard
+//! count first, then graph size.
 //!
 //! Replay mode (`--case`) re-runs one descriptor (as printed by a failing
 //! sweep) with per-executor detail; descriptors starting with `sampler;`
-//! route to the sampler family automatically.
+//! or `shard;` route to their families automatically.
 
 use std::process::ExitCode;
 
-use fg_check::{run_case, run_sampler_case, sampler_sweep, shrink, sweep, Case, SamplerCase};
+use fg_check::shard::SHARD_SHRINK_BUDGET;
+use fg_check::{
+    run_case, run_sampler_case, run_shard_case, sampler_sweep, shard_sweep, shrink, shrink_shard,
+    sweep, Case, SamplerCase, ShardCase,
+};
 
 struct Args {
     seed: u64,
@@ -29,6 +38,7 @@ struct Args {
     case: Option<String>,
     shrink_budget: usize,
     sampler: bool,
+    shard: bool,
     verbose: bool,
 }
 
@@ -39,6 +49,7 @@ fn parse_args() -> Args {
         case: None,
         shrink_budget: fg_check::runner::SHRINK_BUDGET,
         sampler: false,
+        shard: false,
         verbose: false,
     };
     let mut args = std::env::args().skip(1);
@@ -50,19 +61,25 @@ fn parse_args() -> Args {
             "--case" => out.case = Some(val()),
             "--shrink-budget" => out.shrink_budget = val().parse().expect("shrink budget"),
             "--sampler" => out.sampler = true,
+            "--shard" => out.shard = true,
             "--verbose" | "-v" => out.verbose = true,
             "--help" | "-h" => {
                 println!(
                     "fgcheck — differential kernel fuzzer\n\n\
                      usage: fgcheck [--seed N] [--cases K] [--shrink-budget N] [--verbose]\n\
                      \x20      fgcheck --sampler [--seed N] [--cases K]\n\
+                     \x20      fgcheck --shard [--seed N] [--cases K]\n\
                      \x20      fgcheck --case '<descriptor>'\n\n\
                      Runs every FeatGraph executor (optimized CPU/GPU templates and the\n\
                      ligra/gunrock/sparselib baselines) against the naive reference on\n\
                      seeded adversarial cases; shrinks and prints any divergence.\n\
                      --sampler sweeps the neighbor-sampler property family instead\n\
                      (determinism, reindex round-trip, fanout cap, full-fanout\n\
-                     bit-identity); sampler descriptors replay via --case too."
+                     bit-identity); sampler descriptors replay via --case too.\n\
+                     --shard sweeps the sharded-inference family: shard-plan\n\
+                     invariants, exactly-once halo exchange, and bitwise parity of\n\
+                     sharded vs single-worker inference across shard counts and\n\
+                     placement strategies; shard descriptors replay via --case too."
                 );
                 std::process::exit(0);
             }
@@ -122,9 +139,64 @@ fn sampler_main(seed: u64, cases: usize, verbose: bool) -> ExitCode {
     ExitCode::FAILURE
 }
 
+fn replay_shard(desc: &str) -> ExitCode {
+    let case: ShardCase = match desc.parse() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("replaying: {case}");
+    let reports = run_shard_case(&case);
+    if reports.is_empty() {
+        println!("PASS: all shard properties hold");
+        return ExitCode::SUCCESS;
+    }
+    for r in &reports {
+        println!("FAIL {r}");
+    }
+    let small = shrink_shard(&case, |c| !run_shard_case(c).is_empty(), SHARD_SHRINK_BUDGET);
+    if small != case {
+        println!("shrinks to: fgcheck --case '{small}'");
+    }
+    ExitCode::FAILURE
+}
+
+fn shard_main(seed: u64, cases: usize, verbose: bool) -> ExitCode {
+    println!("fgcheck: sweeping {cases} shard cases from seed {seed}");
+    let report = shard_sweep(seed, cases, |i, rep| {
+        if verbose && (i + 1) % 50 == 0 {
+            println!("  ... {}/{} cases, {} failures", i + 1, cases, rep.failures.len());
+        }
+    });
+    println!(
+        "swept {} shard cases: {} failure(s)",
+        report.total,
+        report.failures.len()
+    );
+    if report.failures.is_empty() {
+        println!("PASS");
+        return ExitCode::SUCCESS;
+    }
+    for (i, f) in report.failures.iter().enumerate() {
+        println!("--- failure {} -------------------------------------", i + 1);
+        println!("  original: {}", f.case);
+        println!("  shrunken: {}", f.shrunk);
+        for r in &f.reports {
+            println!("    {r}");
+        }
+        println!("  replay:   fgcheck --case '{}'", f.shrunk);
+    }
+    ExitCode::FAILURE
+}
+
 fn replay(desc: &str, shrink_budget: usize) -> ExitCode {
     if desc.starts_with("sampler") {
         return replay_sampler(desc);
+    }
+    if desc.starts_with("shard") {
+        return replay_shard(desc);
     }
     let case: Case = match desc.parse() {
         Ok(c) => c,
@@ -158,6 +230,10 @@ fn main() -> ExitCode {
 
     if args.sampler {
         return sampler_main(args.seed, args.cases, args.verbose);
+    }
+
+    if args.shard {
+        return shard_main(args.seed, args.cases, args.verbose);
     }
 
     println!(

@@ -27,11 +27,13 @@ pub mod loss;
 pub mod models;
 pub mod nn;
 pub mod sampled;
+pub mod sharded;
 pub mod tape;
 pub mod trainer;
 
 pub use backend::{FeatgraphBackend, GraphBackend, NaiveBackend};
 pub use ggraph::GnnGraph;
 pub use sampled::{gather_rows, infer_seeds, prepare_seeds};
+pub use sharded::{infer_sharded, ShardRun, ShardedGraph};
 pub use tape::{Tape, Var};
 pub use trainer::{infer_batch, InferError};

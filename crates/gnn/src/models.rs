@@ -18,9 +18,35 @@ pub trait Model: Send + Sync {
     /// Mutable access to every parameter, in a stable order.
     fn params(&mut self) -> Vec<&mut Param>;
 
-    /// Build the forward computation. Returns the logits node and the tape
-    /// vars of the parameters in the same order as [`Model::params`].
-    fn forward(&self, tape: &mut Tape<'_>, x: Var) -> (Var, Vec<Var>);
+    /// Number of message-passing layers. Sharded inference runs one halo
+    /// exchange between consecutive layers, so layer boundaries must be
+    /// the points where activations cross graph edges.
+    fn num_layers(&self) -> usize;
+
+    /// Build layer `layer`'s computation on top of activation `h`: the
+    /// layer's graph aggregation, dense transform, and (for every layer
+    /// but the last) its activation function. Returns the layer output and
+    /// the tape vars of the layer's parameters, in [`Model::params`] order
+    /// restricted to this layer. Each layer output is a pure row-wise +
+    /// aggregation function of `h`, which is what lets the sharded runner
+    /// exchange activations between layers without changing any value.
+    fn forward_layer(&self, tape: &mut Tape<'_>, h: Var, layer: usize) -> (Var, Vec<Var>);
+
+    /// Build the full forward computation. Returns the logits node and the
+    /// tape vars of the parameters in the same order as [`Model::params`].
+    /// The provided default folds [`Model::forward_layer`] over
+    /// [`Model::num_layers`]; layer composition therefore *is* the forward
+    /// pass, bitwise — not an approximation of it.
+    fn forward(&self, tape: &mut Tape<'_>, x: Var) -> (Var, Vec<Var>) {
+        let mut pvars = Vec::new();
+        let mut h = x;
+        for layer in 0..self.num_layers() {
+            let (next, mut p) = self.forward_layer(tape, h, layer);
+            pvars.append(&mut p);
+            h = next;
+        }
+        (h, pvars)
+    }
 }
 
 /// 2-layer graph convolutional network (Kipf & Welling): sum aggregation,
@@ -55,27 +81,25 @@ impl Model for Gcn {
         vec![&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2]
     }
 
-    fn forward(&self, tape: &mut Tape<'_>, x: Var) -> (Var, Vec<Var>) {
-        let w1 = tape.leaf(self.w1.value.clone());
-        let b1 = tape.leaf(self.b1.value.clone());
-        let w2 = tape.leaf(self.w2.value.clone());
-        let b2 = tape.leaf(self.b2.value.clone());
-        // layer 1: aggregate then transform (generalized SpMM is the hot op)
-        let h1 = {
-            let _span = span!("model/layer", "model=GCN layer=1");
-            let agg1 = tape.mean_spmm(x);
-            let lin1 = tape.matmul(agg1, w1);
-            let pre1 = tape.add_bias(lin1, b1);
-            tape.relu(pre1)
+    fn num_layers(&self) -> usize {
+        2
+    }
+
+    fn forward_layer(&self, tape: &mut Tape<'_>, h: Var, layer: usize) -> (Var, Vec<Var>) {
+        let (w, b) = match layer {
+            0 => (&self.w1, &self.b1),
+            1 => (&self.w2, &self.b2),
+            other => panic!("GCN has 2 layers, asked for layer {other}"),
         };
-        // layer 2
-        let logits = {
-            let _span = span!("model/layer", "model=GCN layer=2");
-            let agg2 = tape.mean_spmm(h1);
-            let lin2 = tape.matmul(agg2, w2);
-            tape.add_bias(lin2, b2)
-        };
-        (logits, vec![w1, b1, w2, b2])
+        let w = tape.leaf(w.value.clone());
+        let b = tape.leaf(b.value.clone());
+        // aggregate then transform (generalized SpMM is the hot op)
+        let _span = span!("model/layer", "model=GCN layer={}", layer + 1);
+        let agg = tape.mean_spmm(h);
+        let lin = tape.matmul(agg, w);
+        let pre = tape.add_bias(lin, b);
+        let out = if layer == 0 { tape.relu(pre) } else { pre };
+        (out, vec![w, b])
     }
 }
 
@@ -120,26 +144,29 @@ impl Model for GraphSage {
         ]
     }
 
-    fn forward(&self, tape: &mut Tape<'_>, x: Var) -> (Var, Vec<Var>) {
-        let ws1 = tape.leaf(self.ws1.value.clone());
-        let wn1 = tape.leaf(self.wn1.value.clone());
-        let b1 = tape.leaf(self.b1.value.clone());
-        let ws2 = tape.leaf(self.ws2.value.clone());
-        let wn2 = tape.leaf(self.wn2.value.clone());
-        let b2 = tape.leaf(self.b2.value.clone());
+    fn num_layers(&self) -> usize {
+        2
+    }
 
-        let layer = |tape: &mut Tape<'_>, idx: u32, h: Var, ws: Var, wn: Var, b: Var| {
-            let _span = span!("model/layer", "model=GraphSage layer={idx}");
+    fn forward_layer(&self, tape: &mut Tape<'_>, h: Var, layer: usize) -> (Var, Vec<Var>) {
+        let (ws, wn, b) = match layer {
+            0 => (&self.ws1, &self.wn1, &self.b1),
+            1 => (&self.ws2, &self.wn2, &self.b2),
+            other => panic!("GraphSage has 2 layers, asked for layer {other}"),
+        };
+        let ws = tape.leaf(ws.value.clone());
+        let wn = tape.leaf(wn.value.clone());
+        let b = tape.leaf(b.value.clone());
+        let pre = {
+            let _span = span!("model/layer", "model=GraphSage layer={}", layer + 1);
             let selfpart = tape.matmul(h, ws);
             let agg = tape.mean_spmm(h);
             let neighpart = tape.matmul(agg, wn);
             let sum = tape.add(selfpart, neighpart);
             tape.add_bias(sum, b)
         };
-        let pre1 = layer(tape, 1, x, ws1, wn1, b1);
-        let h1 = tape.relu(pre1);
-        let logits = layer(tape, 2, h1, ws2, wn2, b2);
-        (logits, vec![ws1, wn1, b1, ws2, wn2, b2])
+        let out = if layer == 0 { tape.relu(pre) } else { pre };
+        (out, vec![ws, wn, b])
     }
 }
 
@@ -205,14 +232,24 @@ impl Model for Gat {
             .collect()
     }
 
-    fn forward(&self, tape: &mut Tape<'_>, x: Var) -> (Var, Vec<Var>) {
-        let mut pvars = Vec::with_capacity(6 * self.heads);
-        let layer = |tape: &mut Tape<'_>,
-                         idx: u32,
-                         h: Var,
-                         heads: &[(Param, Param, Param)],
-                         pvars: &mut Vec<Var>| {
-            let _span = span!("model/layer", "model=GAT layer={idx} heads={}", heads.len());
+    fn num_layers(&self) -> usize {
+        2
+    }
+
+    fn forward_layer(&self, tape: &mut Tape<'_>, h: Var, layer: usize) -> (Var, Vec<Var>) {
+        let heads = match layer {
+            0 => &self.layer1,
+            1 => &self.layer2,
+            other => panic!("GAT has 2 layers, asked for layer {other}"),
+        };
+        let mut pvars = Vec::with_capacity(3 * heads.len());
+        let summed = {
+            let _span = span!(
+                "model/layer",
+                "model=GAT layer={} heads={}",
+                layer + 1,
+                heads.len()
+            );
             let mut acc: Option<Var> = None;
             for (w, al, ar) in heads {
                 let w = tape.leaf(w.value.clone());
@@ -237,10 +274,8 @@ impl Model for Gat {
                 summed
             }
         };
-        let pre1 = layer(tape, 1, x, &self.layer1, &mut pvars);
-        let h1 = tape.relu(pre1);
-        let logits = layer(tape, 2, h1, &self.layer2, &mut pvars);
-        (logits, pvars)
+        let out = if layer == 0 { tape.relu(summed) } else { summed };
+        (out, pvars)
     }
 }
 

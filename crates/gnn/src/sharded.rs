@@ -1,0 +1,361 @@
+//! Multi-worker sharded inference with halo exchange (fg-shard).
+//!
+//! [`infer_sharded`] is the shard-parallel counterpart of
+//! [`infer_batch`](crate::infer_batch): a [`ShardedGraph`] splits the
+//! graph's destinations across `S` shards (see [`fg_graph::shard`]), one
+//! scoped worker thread per shard runs the model layer by layer on its
+//! local slice, and between consecutive layers every worker gathers the
+//! remote source-vertex activations its local edges read — the **halo
+//! exchange** — through a plan computed once per `(graph, shards,
+//! strategy)`.
+//!
+//! The exchange protocol is deliberately simple and allocation-light:
+//! after layer `l` each worker publishes its full local activation matrix
+//! into a per-layer [`OnceLock`] slot, everyone meets at a [`Barrier`],
+//! and then each worker rebuilds its next input by overwriting halo rows
+//! from the owners' slots (owned rows are already correct in place).
+//! Because a shard's locals ascend in global ID and owned rows keep their
+//! full global in-edge lists, every float accumulates in exactly the
+//! ascending-source order the single-worker CPU kernels use — sharded
+//! results are **bitwise identical** to [`crate::infer_batch`] for every
+//! shard count and strategy, the contract `fgcheck --shard` sweeps.
+
+use std::sync::{Barrier, OnceLock};
+use std::time::Instant;
+
+use fg_graph::{Graph, ShardPlan, ShardStrategy, VId};
+use fg_telemetry::span;
+use fg_tensor::Dense2;
+
+use crate::backend::FeatgraphBackend;
+use crate::ggraph::GnnGraph;
+use crate::models::Model;
+use crate::sampled::gather_rows;
+use crate::tape::Tape;
+use crate::trainer::InferError;
+
+/// A graph prepared for shard-parallel inference: the [`ShardPlan`] plus
+/// one [`GnnGraph`] per shard-local graph (the tape needs the reverse
+/// orientation even for inference-only runs).
+#[derive(Debug, Clone)]
+pub struct ShardedGraph {
+    plan: ShardPlan,
+    shards: Vec<GnnGraph>,
+}
+
+impl ShardedGraph {
+    /// Shard `graph` `shards` ways (floored to 1) under `strategy` and
+    /// prepare every shard-local graph for tape execution.
+    pub fn build(graph: &Graph, shards: usize, strategy: ShardStrategy) -> Self {
+        let plan = ShardPlan::build(graph, shards, strategy);
+        let shards = plan
+            .shards()
+            .map(|s| GnnGraph::new(s.graph().clone()))
+            .collect();
+        Self { plan, shards }
+    }
+
+    /// The underlying shard/halo plan.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of shards (≥ 1; some may be empty).
+    pub fn num_shards(&self) -> usize {
+        self.plan.num_shards()
+    }
+
+    /// Shard `s`'s local graph, prepared for the tape.
+    pub fn shard_graph(&self, s: usize) -> &GnnGraph {
+        &self.shards[s]
+    }
+
+    /// Heap footprint of shard `s`'s slice: the plan's index structures
+    /// plus the tape-ready local graph (both copies are resident).
+    pub fn shard_mem_bytes(&self, s: usize) -> u64 {
+        self.plan.shard_mem_bytes(s) + self.shards[s].mem_bytes()
+    }
+
+    /// Total heap footprint: every shard's slice plus the global owner
+    /// map. Equals the sum of [`Self::shard_mem_bytes`] plus the owner
+    /// map — the identity the serve stress test asserts against the
+    /// memory accountant.
+    pub fn mem_bytes(&self) -> u64 {
+        let shards: u64 = (0..self.num_shards()).map(|s| self.shard_mem_bytes(s)).sum();
+        shards + (self.plan.num_vertices() * std::mem::size_of::<u32>()) as u64
+    }
+}
+
+/// Result of one sharded inference call: the requested logits rows plus
+/// the exchange telemetry the serve layer attributes to its `exchange`
+/// phase and `fgserve_shard_*` metrics.
+#[derive(Debug, Clone)]
+pub struct ShardRun {
+    /// One logits row per requested node, in request order. Bitwise equal
+    /// to [`crate::infer_batch`]'s rows for the same inputs.
+    pub results: Vec<Vec<f32>>,
+    /// Total bytes gathered from remote shards across all layers.
+    pub exchange_bytes: u64,
+    /// Per-shard bytes gathered from remote shards (sums to
+    /// `exchange_bytes`).
+    pub shard_exchange_bytes: Vec<u64>,
+    /// Per-shard wall time spent rebuilding halo rows after each barrier.
+    pub shard_exchange_ns: Vec<u64>,
+}
+
+impl ShardRun {
+    /// Slowest shard's exchange time — the critical-path cost the serve
+    /// layer records as the `exchange` phase.
+    pub fn exchange_ns_max(&self) -> u64 {
+        self.shard_exchange_ns.iter().copied().max().unwrap_or(0)
+    }
+}
+
+/// Run `model` over `sharded` with one worker thread per shard and a halo
+/// exchange between consecutive layers; return the logits rows of
+/// `nodes`.
+///
+/// `backends` must hold exactly one backend per shard — backends cache
+/// partition plans keyed by matrix shape, and two different shard-local
+/// graphs can share a shape, so they must not share a plan cache.
+///
+/// Deterministic CPU schedules make the output bitwise identical to
+/// [`crate::infer_batch`] on the full graph, for every shard count and
+/// both strategies.
+pub fn infer_sharded(
+    model: &dyn Model,
+    sharded: &ShardedGraph,
+    features: &Dense2<f32>,
+    backends: &[FeatgraphBackend],
+    nodes: &[usize],
+) -> Result<ShardRun, InferError> {
+    let plan = sharded.plan();
+    let vertices = plan.num_vertices();
+    let num_shards = plan.num_shards();
+    assert_eq!(
+        backends.len(),
+        num_shards,
+        "one backend per shard (plan caches must not be shared)"
+    );
+    if features.rows() != vertices {
+        return Err(InferError::FeatureRowsMismatch {
+            rows: features.rows(),
+            vertices,
+        });
+    }
+    if let Some(&node) = nodes.iter().find(|&&v| v >= vertices) {
+        return Err(InferError::NodeOutOfRange { node, vertices });
+    }
+    let layers = model.num_layers();
+    assert!(layers >= 1, "model must have at least one layer");
+
+    let _span = span!(
+        "gnn/infer_sharded",
+        "model={} shards={} layers={layers} nodes={}",
+        model.name(),
+        num_shards,
+        nodes.len()
+    );
+
+    // One activation slot per (exchange boundary, shard) and one barrier
+    // per boundary. Workers publish, meet, then gather halo rows.
+    let boundaries = layers - 1;
+    let slots: Vec<Vec<OnceLock<Dense2<f32>>>> = (0..boundaries)
+        .map(|_| (0..num_shards).map(|_| OnceLock::new()).collect())
+        .collect();
+    let barriers: Vec<Barrier> = (0..boundaries).map(|_| Barrier::new(num_shards)).collect();
+
+    let outs: Vec<(Dense2<f32>, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..num_shards)
+            .map(|s| {
+                let slots = &slots;
+                let barriers = &barriers;
+                let backend = &backends[s];
+                scope.spawn(move || {
+                    let shard = plan.shard(s);
+                    let gnn = sharded.shard_graph(s);
+                    let mut ex_bytes = 0u64;
+                    let mut ex_ns = 0u64;
+                    // Layer-0 input: local feature rows. No exchange —
+                    // features are globally visible.
+                    let mut h = gather_rows(features, shard.locals());
+                    for layer in 0..layers {
+                        let out = {
+                            let mut tape = Tape::for_inference(gnn, backend, None);
+                            let x = tape.leaf(h);
+                            let (o, _) = model.forward_layer(&mut tape, x, layer);
+                            tape.value(o).clone()
+                        };
+                        if layer == boundaries {
+                            return (out, ex_bytes, ex_ns);
+                        }
+                        // Publish the full local matrix, meet everyone,
+                        // then overwrite halo rows from their owners.
+                        // Owned rows are already correct in place.
+                        let cols = out.cols();
+                        slots[layer][s]
+                            .set(out)
+                            .unwrap_or_else(|_| panic!("slot {layer}/{s} published twice"));
+                        barriers[layer].wait();
+                        let t0 = Instant::now();
+                        let mut next = slots[layer][s].get().expect("own slot set").clone();
+                        for r in shard.remote_reads() {
+                            let src = slots[layer][r.owner as usize]
+                                .get()
+                                .expect("owner published before the barrier");
+                            next.row_mut(r.local as usize)
+                                .copy_from_slice(src.row(r.owner_local as usize));
+                            ex_bytes += (cols * std::mem::size_of::<f32>()) as u64;
+                        }
+                        ex_ns += t0.elapsed().as_nanos() as u64;
+                        h = next;
+                    }
+                    unreachable!("layer loop returns at the final layer")
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("shard worker panicked"))
+            .collect()
+    });
+
+    // Scatter-gather merge: each requested node's row lives in its
+    // owner's final activations at the owner-local index.
+    let results = nodes
+        .iter()
+        .map(|&v| {
+            let s = plan.owner_of(v as VId);
+            let li = plan
+                .shard(s)
+                .local_of(v as VId)
+                .expect("owner holds its vertex") as usize;
+            outs[s].0.row(li).to_vec()
+        })
+        .collect();
+    let shard_exchange_bytes: Vec<u64> = outs.iter().map(|o| o.1).collect();
+    let shard_exchange_ns: Vec<u64> = outs.iter().map(|o| o.2).collect();
+    Ok(ShardRun {
+        results,
+        exchange_bytes: shard_exchange_bytes.iter().sum(),
+        shard_exchange_bytes,
+        shard_exchange_ns,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::build_model;
+    use crate::trainer::infer_batch;
+    use fg_graph::generators;
+
+    fn pseudo_features(n: usize, d: usize, seed: u64) -> Dense2<f32> {
+        fn splitmix64(x: u64) -> u64 {
+            let mut z = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+        Dense2::from_fn(n, d, |r, c| {
+            let bits = splitmix64(seed ^ ((r as u64) << 20) ^ c as u64);
+            (bits as f64 / u64::MAX as f64 * 2.0 - 1.0) as f32
+        })
+    }
+
+    fn parity_case(model_name: &str, n: usize, deg: usize, seed: u64) {
+        let g = generators::uniform(n, deg, seed);
+        let d = 4;
+        let features = pseudo_features(n, d, seed ^ 0xfeed);
+        let model = build_model(model_name, d, 8, 3, seed ^ 0xbeef);
+        let full = GnnGraph::new(g.clone());
+        let single = FeatgraphBackend::cpu(1);
+        let nodes: Vec<usize> = (0..n).collect();
+        let want = infer_batch(model.as_ref(), &full, &features, &single, &nodes).unwrap();
+        for shards in [1, 2, 3, 4, 8] {
+            for strategy in ShardStrategy::ALL {
+                let sharded = ShardedGraph::build(&g, shards, strategy);
+                let backends: Vec<FeatgraphBackend> =
+                    (0..shards).map(|_| FeatgraphBackend::cpu(1)).collect();
+                let run =
+                    infer_sharded(model.as_ref(), &sharded, &features, &backends, &nodes).unwrap();
+                assert_eq!(
+                    run.results, want,
+                    "{model_name} n={n} shards={shards} strategy={strategy} diverged"
+                );
+                if shards > 1 && n > 8 {
+                    assert!(
+                        run.exchange_bytes > 0,
+                        "{shards}-shard run on a connected graph must exchange halos"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn gcn_matches_single_worker_bitwise() {
+        parity_case("gcn", 40, 4, 11);
+    }
+
+    #[test]
+    fn graphsage_matches_single_worker_bitwise() {
+        parity_case("graphsage", 33, 3, 12);
+    }
+
+    #[test]
+    fn gat_matches_single_worker_bitwise() {
+        parity_case("gat", 25, 3, 13);
+    }
+
+    #[test]
+    fn more_shards_than_vertices() {
+        // Empty shards run the layer loop on 0-row matrices and still hit
+        // every barrier.
+        parity_case("gcn", 3, 2, 14);
+    }
+
+    #[test]
+    fn isolated_vertices_and_empty_graph() {
+        let g = Graph::from_edges(6, &[]);
+        let features = pseudo_features(6, 4, 9);
+        let model = build_model("gcn", 4, 8, 3, 9);
+        let full = GnnGraph::new(g.clone());
+        let single = FeatgraphBackend::cpu(1);
+        let nodes: Vec<usize> = (0..6).collect();
+        let want = infer_batch(model.as_ref(), &full, &features, &single, &nodes).unwrap();
+        let sharded = ShardedGraph::build(&g, 4, ShardStrategy::Degree);
+        let backends: Vec<FeatgraphBackend> =
+            (0..4).map(|_| FeatgraphBackend::cpu(1)).collect();
+        let run = infer_sharded(model.as_ref(), &sharded, &features, &backends, &nodes).unwrap();
+        assert_eq!(run.results, want);
+        assert_eq!(run.exchange_bytes, 0, "no edges, no halo");
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let g = generators::uniform(10, 2, 3);
+        let sharded = ShardedGraph::build(&g, 2, ShardStrategy::Range);
+        let backends: Vec<FeatgraphBackend> =
+            (0..2).map(|_| FeatgraphBackend::cpu(1)).collect();
+        let model = build_model("gcn", 4, 8, 3, 1);
+        let short = pseudo_features(9, 4, 1);
+        assert!(matches!(
+            infer_sharded(model.as_ref(), &sharded, &short, &backends, &[0]),
+            Err(InferError::FeatureRowsMismatch { .. })
+        ));
+        let features = pseudo_features(10, 4, 1);
+        assert!(matches!(
+            infer_sharded(model.as_ref(), &sharded, &features, &backends, &[10]),
+            Err(InferError::NodeOutOfRange { .. })
+        ));
+    }
+
+    #[test]
+    fn mem_bytes_sums_per_shard_plus_owner_map() {
+        let g = generators::uniform(50, 4, 5);
+        let sharded = ShardedGraph::build(&g, 4, ShardStrategy::Range);
+        let per_shard: u64 = (0..4).map(|s| sharded.shard_mem_bytes(s)).sum();
+        assert_eq!(sharded.mem_bytes(), per_shard + 50 * 4);
+    }
+}

@@ -20,6 +20,9 @@
 //!   SDDMM template for locality over both source and destination features.
 //! * [`reorder`] — degree-based vertex split for GPU hybrid partitioning
 //!   (§III-C3).
+//! * [`shard`] — destination sharding with halo index plans: per-shard
+//!   local graphs plus a once-per-graph exchange plan, the substrate of
+//!   multi-worker sharded inference (`fg_gnn::infer_sharded`).
 //! * [`stats`] — degree/sparsity statistics (drives Table II and the cost
 //!   models).
 //! * [`io`] — edge-list and MatrixMarket loaders for user-supplied graphs.
@@ -33,6 +36,7 @@ pub mod hilbert;
 pub mod partition;
 pub mod reorder;
 pub mod sampling;
+pub mod shard;
 pub mod stats;
 
 pub use coo::Coo;
@@ -40,6 +44,7 @@ pub use csr::{Csr, CsrError};
 pub use datasets::{Dataset, DatasetSpec};
 pub use partition::PartitionedCsr;
 pub use sampling::{sample_subgraph, SampleConfig, SampleError, SampledSubgraph, FULL_FANOUT};
+pub use shard::{RemoteRead, Shard, ShardPlan, ShardStrategy};
 
 /// Vertex identifier. `u32` keeps the index arrays compact — the paper's
 /// largest graph (reddit, 233 K vertices / 114.8 M edges) fits comfortably.

@@ -38,6 +38,8 @@ struct Opts {
     queue: usize,
     workers: usize,
     kernel_threads: usize,
+    shards: usize,
+    shard_strategy: String,
     deadline_ms: u64,
     exec_delay_ms: u64,
     plan_cache_bytes: u64,
@@ -74,6 +76,8 @@ impl Default for Opts {
             queue: 1024,
             workers: 2,
             kernel_threads: 1,
+            shards: 1,
+            shard_strategy: "range".into(),
             deadline_ms: 500,
             exec_delay_ms: 0,
             plan_cache_bytes: 0,
@@ -100,7 +104,8 @@ const USAGE: &str = "usage:
   fgserve serve   [--addr HOST:PORT] [--model gcn|graphsage|gat|all] [--vertices N]
                   [--classes N] [--avg-deg N] [--noise N] [--hidden N] [--seed N]
                   [--batch N] [--delay-ms N] [--queue N] [--workers N]
-                  [--kernel-threads N] [--deadline-ms N] [--exec-delay-ms N]
+                  [--kernel-threads N] [--shards N] [--shard-strategy range|degree]
+                  [--deadline-ms N] [--exec-delay-ms N]
                   [--plan-cache-bytes N] [--mem-budget N]
                   [--trace-sample N] [--slow-ms N] [--trace FILE]
   fgserve bench   [--addr HOST:PORT] [--clients N] [--requests N] [--runs N]
@@ -116,6 +121,10 @@ bench without --addr benchmarks an embedded server on an ephemeral port.
   (a small head of hot vertices gets most of the traffic), with --fanout
   per-hop caps (full fanout when omitted) and a fresh sampler seed per
   request offset by --sample-seed.
+--shards N >= 2 splits every registered graph across N per-shard workers with
+  a halo exchange between layers (--shard-strategy picks the placement);
+  results stay bitwise identical to single-worker serving, and bench prints a
+  commutative reply digest so runs at different shard counts can be compared.
 --plan-cache-bytes N bounds the compiled-plan cache (LRU eviction; 0 = off).
 --mem-budget N sheds new requests with error over-memory-budget while the
   accounted footprint exceeds N bytes (0 = off; needs accounting compiled in).
@@ -154,6 +163,13 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
             "--queue" => o.queue = num(arg, &value(arg, &mut it)?)?,
             "--workers" => o.workers = num(arg, &value(arg, &mut it)?)?,
             "--kernel-threads" => o.kernel_threads = num(arg, &value(arg, &mut it)?)?,
+            "--shards" => o.shards = num(arg, &value(arg, &mut it)?)?,
+            "--shard-strategy" => {
+                let v = value(arg, &mut it)?;
+                v.parse::<fg_graph::ShardStrategy>()
+                    .map_err(|e| format!("{arg}: {e}"))?;
+                o.shard_strategy = v;
+            }
             "--deadline-ms" => o.deadline_ms = num(arg, &value(arg, &mut it)?)? as u64,
             "--exec-delay-ms" => o.exec_delay_ms = num(arg, &value(arg, &mut it)?)? as u64,
             "--plan-cache-bytes" => o.plan_cache_bytes = num(arg, &value(arg, &mut it)?)? as u64,
@@ -201,6 +217,11 @@ fn build_engine(o: &Opts) -> Arc<Engine> {
         queue_capacity: o.queue,
         workers: o.workers,
         kernel_threads: o.kernel_threads,
+        shards: o.shards,
+        shard_strategy: o
+            .shard_strategy
+            .parse()
+            .expect("strategy validated at flag parse"),
         default_deadline: (o.deadline_ms > 0).then(|| Duration::from_millis(o.deadline_ms)),
         exec_delay: Duration::from_millis(o.exec_delay_ms),
         trace_sample: o.trace_sample,
@@ -261,9 +282,14 @@ fn cmd_serve(o: &Opts) -> ExitCode {
         }
     };
     println!(
-        "fgserve: listening on {} models=[{}] trace_sample={} slow_ms={}",
+        "fgserve: listening on {} models=[{}] shards={} trace_sample={} slow_ms={}",
         handle.addr(),
         o.models.join(","),
+        if o.shards >= 2 {
+            format!("{}({})", o.shards, o.shard_strategy)
+        } else {
+            "off".into()
+        },
         o.trace_sample,
         o.slow_ms.map_or("off".into(), |t| format!("{t}")),
     );
@@ -284,6 +310,22 @@ struct RunTally {
     other_err: u64,
     mismatched: u64,
     lost: u64,
+    /// Order-independent digest over completed reply payloads: per-reply
+    /// FNV-1a folded with wrapping add, so the digest is identical no matter
+    /// how replies interleave across clients. Two bench runs with the same
+    /// workload against bitwise-identical servers print the same digest —
+    /// CI's shard-parity gate compares a 1-shard run against a 4-shard run.
+    digest: u64,
+}
+
+/// FNV-1a over one reply line.
+fn fnv1a(s: &str) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for b in s.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
 }
 
 /// Deterministic pseudo-random stream, distinct per (client, request, slot).
@@ -356,6 +398,10 @@ fn bench_client(
             }
             if let Ok(header) = protocol::parse_seeds_header(line.trim_end()) {
                 let mut payload_ok = header.id == id;
+                // Digest the SEED payload lines only: the header's
+                // subgraph-size fields legitimately differ between sharded
+                // and single-worker servers, the per-seed logits must not.
+                let mut request_digest = 0u64;
                 for _ in 0..header.count {
                     line.clear();
                     if reader.read_line(&mut line)? == 0 {
@@ -365,10 +411,13 @@ fn bench_client(
                     if protocol::parse_seed_line(line.trim_end()).is_err() {
                         payload_ok = false;
                     }
+                    request_digest =
+                        request_digest.wrapping_add(fnv1a(&format!("{id} {}", line.trim_end())));
                 }
                 let elapsed = t0.elapsed();
                 if payload_ok && header.count == mode.seeds_per_request {
                     tally.completed += 1;
+                    tally.digest = tally.digest.wrapping_add(request_digest);
                     latencies.push(elapsed);
                 } else {
                     tally.mismatched += 1;
@@ -403,6 +452,7 @@ fn bench_client(
         match protocol::parse_reply(line.trim_end()) {
             Ok(protocol::Reply::Ok { id: got, .. }) if got == id => {
                 tally.completed += 1;
+                tally.digest = tally.digest.wrapping_add(fnv1a(line.trim_end()));
                 latencies.push(elapsed);
             }
             Ok(protocol::Reply::Err { id: got, code }) if got == id => match code.as_str() {
@@ -479,6 +529,7 @@ fn phase_report(samples: &[metrics::Sample]) -> Vec<String> {
         "sample",
         "plan_compile",
         "execute",
+        "exchange",
         "serialize",
     ];
     let mut rows = Vec::new();
@@ -622,6 +673,7 @@ fn cmd_bench(o: &Opts) -> ExitCode {
                     tally.other_err += t.other_err;
                     tally.mismatched += t.mismatched;
                     tally.lost += t.lost;
+                    tally.digest = tally.digest.wrapping_add(t.digest);
                     for d in lat {
                         recorder.record(d);
                     }
@@ -653,6 +705,7 @@ fn cmd_bench(o: &Opts) -> ExitCode {
             "  wall {wall:.3} s   throughput {:.1} req/s",
             tally.completed as f64 / wall
         );
+        println!("  reply digest {:#018x}", tally.digest);
         println!(
             "  latency ms  p50 {:.2}  p95 {:.2}  p99 {:.2}  mean {:.2}  max {:.2}",
             lat.p50_ms, lat.p95_ms, lat.p99_ms, lat.mean_ms, lat.max_ms

@@ -36,11 +36,11 @@ use std::time::{Duration, Instant};
 
 use fg_gnn::models::Model;
 use fg_gnn::sampled::{gather_rows, prepare_seeds};
-use fg_gnn::{infer_batch, FeatgraphBackend, GnnGraph};
-use fg_graph::{SampleConfig, FULL_FANOUT};
+use fg_gnn::{infer_batch, infer_sharded, FeatgraphBackend, GnnGraph, ShardRun, ShardedGraph};
+use fg_graph::{SampleConfig, ShardStrategy, VId, FULL_FANOUT};
 use fg_telemetry::{
-    counter_add, emit_span, span, timestamp_ns, Counter, MemCharge, MemComponent, MemScope,
-    TraceContext, TraceSampler, TraceScope,
+    counter_add, emit_span, histogram_record, span, timestamp_ns, Counter, Histogram, MemCharge,
+    MemComponent, MemScope, TraceContext, TraceSampler, TraceScope,
 };
 use fg_tensor::Dense2;
 
@@ -74,6 +74,14 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Kernel threads per compiled backend.
     pub kernel_threads: usize,
+    /// Shard workers per registered graph: `>= 2` splits every registered
+    /// graph's destinations across this many per-shard worker threads with
+    /// a halo exchange between layers ([`fg_gnn::infer_sharded`]); `0` or
+    /// `1` serves single-worker. Sharded CPU inference is bitwise
+    /// identical to single-worker inference.
+    pub shards: usize,
+    /// How destinations are placed on shards when `shards >= 2`.
+    pub shard_strategy: ShardStrategy,
     /// Default per-request deadline when the request carries none;
     /// `None` disables timeouts.
     pub default_deadline: Option<Duration>,
@@ -108,6 +116,8 @@ impl Default for ServeConfig {
             queue_capacity: 1024,
             workers: 2,
             kernel_threads: 1,
+            shards: 1,
+            shard_strategy: ShardStrategy::Range,
             default_deadline: Some(Duration::from_millis(500)),
             exec_delay: Duration::ZERO,
             trace_sample: 0,
@@ -308,6 +318,10 @@ impl SeedsTicket {
 enum CachedPlan {
     Full(FeatgraphBackend),
     Sampled { partitions: usize },
+    /// One backend per shard. Backends cache compiled plans keyed by matrix
+    /// shape, and two shard-local graphs can share a shape — each shard must
+    /// own its backend or plan lookups would cross shards.
+    Sharded(Vec<FeatgraphBackend>),
 }
 
 /// One servable model: the graph it runs on, its input features, and the
@@ -317,10 +331,203 @@ pub struct ModelEntry {
     graph: GnnGraph,
     features: Dense2<f32>,
     model: Box<dyn Model>,
+    /// Shard slices + halo-exchange plan, built once at registration when
+    /// the engine is configured with `shards >= 2`.
+    sharded: Option<ShardedEntry>,
     /// Accounting guard for the `Vec`-backed graph topology (the tensor
     /// accountant only sees aligned buffers); credited when the entry drops
     /// — replacement, unregistration, or engine shutdown alike.
     _graph_charge: MemCharge,
+}
+
+/// Per-model shard state: the sliced graph plus monotone per-shard traffic
+/// counters (rows routed to each shard's owned partition, bytes each shard
+/// gathered from remote shards during halo exchange).
+struct ShardedEntry {
+    graph: ShardedGraph,
+    rows_routed: Vec<AtomicU64>,
+    exchange_bytes: Vec<AtomicU64>,
+    /// Accounting guard for shard topology + exchange plans.
+    _charge: MemCharge,
+}
+
+impl ShardedEntry {
+    fn build(graph: &GnnGraph, shards: usize, strategy: ShardStrategy) -> Self {
+        let sharded = ShardedGraph::build(graph.fwd(), shards, strategy);
+        let n = sharded.num_shards();
+        for s in 0..n {
+            histogram_record(Histogram::ShardEdges, sharded.plan().shard(s).num_edges() as u64);
+        }
+        let charge = MemCharge::new(MemComponent::ShardPlan, sharded.mem_bytes());
+        ShardedEntry {
+            graph: sharded,
+            rows_routed: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            exchange_bytes: (0..n).map(|_| AtomicU64::new(0)).collect(),
+            _charge: charge,
+        }
+    }
+
+    /// Fold one sharded forward pass into the per-shard counters and the
+    /// seed-routing histogram.
+    fn record_run(&self, nodes: &[usize], run: &ShardRun) {
+        let plan = self.graph.plan();
+        let mut counts = vec![0u64; plan.num_shards()];
+        for &node in nodes {
+            counts[plan.owner_of(node as VId)] += 1;
+        }
+        for (s, &routed) in counts.iter().enumerate() {
+            if routed > 0 {
+                self.rows_routed[s].fetch_add(routed, Ordering::Relaxed);
+                histogram_record(Histogram::ShardSeeds, routed);
+            }
+            let bytes = run.shard_exchange_bytes[s];
+            if bytes > 0 {
+                self.exchange_bytes[s].fetch_add(bytes, Ordering::Relaxed);
+            }
+        }
+    }
+
+    /// Summed local-vertex and local-edge counts over the shards owning at
+    /// least one of `nodes` — the sharded analogue of a sampled request's
+    /// subgraph size.
+    fn touched_sizes(&self, nodes: &[usize]) -> (usize, usize) {
+        let plan = self.graph.plan();
+        let mut touched = vec![false; plan.num_shards()];
+        for &node in nodes {
+            touched[plan.owner_of(node as VId)] = true;
+        }
+        let mut vertices = 0;
+        let mut edges = 0;
+        for (s, hit) in touched.iter().enumerate() {
+            if *hit {
+                let shard = plan.shard(s);
+                vertices += shard.locals().len();
+                edges += shard.num_edges();
+            }
+        }
+        (vertices, edges)
+    }
+}
+
+/// One line of the `SHARDS` wire report: topology and traffic figures for a
+/// single shard of a single registered model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShardLine {
+    /// Registered model name.
+    pub model: String,
+    /// Shard index, `0..shards`.
+    pub shard: usize,
+    /// Placement strategy name (`range` / `degree`).
+    pub strategy: String,
+    /// Destination vertices this shard owns.
+    pub owned: u64,
+    /// Owned plus halo vertices (rows the shard materializes).
+    pub locals: u64,
+    /// Halo vertices read from remote shards between layers.
+    pub halo: u64,
+    /// Edges in the shard-local graph.
+    pub edges: u64,
+    /// Answered rows routed to this shard's owned partition (monotone).
+    pub rows_routed: u64,
+    /// Bytes this shard gathered from remote shards during halo exchange
+    /// (monotone).
+    pub exchange_bytes: u64,
+    /// Accounted bytes for the shard's topology and exchange plan.
+    pub mem_bytes: u64,
+}
+
+impl ShardLine {
+    /// Render as one `key=value` wire line (inverse of
+    /// [`parse_wire`](Self::parse_wire)).
+    pub fn to_wire(&self) -> String {
+        format!(
+            "model={} shard={} strategy={} owned={} locals={} halo={} edges={} rows_routed={} \
+             exchange_bytes={} mem_bytes={}",
+            self.model,
+            self.shard,
+            self.strategy,
+            self.owned,
+            self.locals,
+            self.halo,
+            self.edges,
+            self.rows_routed,
+            self.exchange_bytes,
+            self.mem_bytes
+        )
+    }
+
+    /// Parse a line produced by [`to_wire`](Self::to_wire).
+    pub fn parse_wire(line: &str) -> Result<ShardLine, String> {
+        let mut model = None;
+        let mut strategy = None;
+        let mut fields = [None::<u64>; 8];
+        const KEYS: [&str; 8] = [
+            "shard",
+            "owned",
+            "locals",
+            "halo",
+            "edges",
+            "rows_routed",
+            "exchange_bytes",
+            "mem_bytes",
+        ];
+        for token in line.split_whitespace() {
+            let (key, value) = token
+                .split_once('=')
+                .ok_or_else(|| format!("malformed token {token:?}"))?;
+            match key {
+                "model" => model = Some(value.to_string()),
+                "strategy" => strategy = Some(value.to_string()),
+                _ => {
+                    let slot = KEYS
+                        .iter()
+                        .position(|k| *k == key)
+                        .ok_or_else(|| format!("unknown key {key:?}"))?;
+                    fields[slot] = Some(
+                        value
+                            .parse::<u64>()
+                            .map_err(|_| format!("bad value for {key}: {value:?}"))?,
+                    );
+                }
+            }
+        }
+        let take = |slot: usize| fields[slot].ok_or_else(|| format!("missing {}", KEYS[slot]));
+        Ok(ShardLine {
+            model: model.ok_or("missing model")?,
+            shard: take(0)? as usize,
+            strategy: strategy.ok_or("missing strategy")?,
+            owned: take(1)?,
+            locals: take(2)?,
+            halo: take(3)?,
+            edges: take(4)?,
+            rows_routed: take(5)?,
+            exchange_bytes: take(6)?,
+            mem_bytes: take(7)?,
+        })
+    }
+}
+
+/// Snapshot of per-shard topology and traffic across all registered models,
+/// rendered by the `SHARDS` wire verb and the `fgserve_shard_*` metric
+/// series. Empty when the engine serves single-worker.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ShardsReport {
+    /// Configured shard count (`0` when serving single-worker).
+    pub shards: usize,
+    /// One entry per shard per registered model, models sorted by name.
+    pub lines: Vec<ShardLine>,
+}
+
+impl ShardsReport {
+    /// One wire line per shard per model (see [`ShardLine::to_wire`]).
+    pub fn to_wire_lines(&self) -> Vec<String> {
+        self.lines.iter().map(ShardLine::to_wire).collect()
+    }
+
+    /// Total bytes moved by halo exchange across all models and shards.
+    pub fn total_exchange_bytes(&self) -> u64 {
+        self.lines.iter().map(|l| l.exchange_bytes).sum()
+    }
 }
 
 struct Shared {
@@ -390,11 +597,15 @@ impl Engine {
     ) -> u64 {
         let graph_id = self.shared.next_graph_id.fetch_add(1, Ordering::Relaxed);
         let graph_charge = MemCharge::new(MemComponent::GraphTopology, graph.mem_bytes());
+        let sharded = (self.shared.cfg.shards >= 2).then(|| {
+            ShardedEntry::build(&graph, self.shared.cfg.shards, self.shared.cfg.shard_strategy)
+        });
         let entry = Arc::new(ModelEntry {
             graph_id,
             graph,
             features,
             model,
+            sharded,
             _graph_charge: graph_charge,
         });
         let replaced = self
@@ -625,7 +836,47 @@ impl Engine {
     /// enabled) the process-wide `fg-telemetry` registry, terminated by
     /// `# EOF`.
     pub fn metrics_text(&self) -> String {
-        crate::metrics::render(&self.stats(), &self.memory_report())
+        crate::metrics::render(&self.stats(), &self.memory_report(), &self.shards_report())
+    }
+
+    /// Point-in-time per-shard topology and traffic breakdown backing the
+    /// `SHARDS` wire command and the `fgserve_shard_*` metric series. Empty
+    /// (zero shards, no lines) when the engine serves single-worker.
+    pub fn shards_report(&self) -> ShardsReport {
+        let models = self.shared.models.read().unwrap();
+        let mut names: Vec<&String> = models.keys().collect();
+        names.sort();
+        let mut report = ShardsReport {
+            shards: if self.shared.cfg.shards >= 2 {
+                self.shared.cfg.shards
+            } else {
+                0
+            },
+            lines: Vec::new(),
+        };
+        for name in names {
+            let entry = &models[name];
+            let Some(sharded) = entry.sharded.as_ref() else {
+                continue;
+            };
+            let plan = sharded.graph.plan();
+            for s in 0..sharded.graph.num_shards() {
+                let shard = plan.shard(s);
+                report.lines.push(ShardLine {
+                    model: name.clone(),
+                    shard: s,
+                    strategy: plan.strategy().name().to_string(),
+                    owned: shard.owned().len() as u64,
+                    locals: shard.locals().len() as u64,
+                    halo: shard.halo().len() as u64,
+                    edges: shard.num_edges() as u64,
+                    rows_routed: sharded.rows_routed[s].load(Ordering::Relaxed),
+                    exchange_bytes: sharded.exchange_bytes[s].load(Ordering::Relaxed),
+                    mem_bytes: sharded.graph.shard_mem_bytes(s),
+                });
+            }
+        }
+        report
     }
 
     /// Compiled-plan cache entries currently held.
@@ -850,28 +1101,6 @@ fn execute_node_group(
     pulled: Instant,
     batch_form: Duration,
 ) {
-    let key = PlanKey::cpu(entry.graph_id, model_name, shared.cfg.kernel_threads);
-    let mut compile = Duration::ZERO;
-    let (plan, hit) = shared.plans.get_or_insert(&key, || {
-        let _compile_span = span!("serve/plan_compile", "model={model_name}");
-        let t0 = Instant::now();
-        let backend = FeatgraphBackend::cpu(shared.cfg.kernel_threads);
-        compile = t0.elapsed();
-        // Plans compile lazily per feature dim; the real cost lands via
-        // note_cost after each batch.
-        (CachedPlan::Full(backend), 0)
-    });
-    let slot = if hit {
-        &shared.stats.plan_hits
-    } else {
-        &shared.stats.plan_misses
-    };
-    slot.fetch_add(1, Ordering::Relaxed);
-    let CachedPlan::Full(backend) = &*plan else {
-        // Full-graph and sampled keys live in disjoint options namespaces.
-        unreachable!("full-graph plan key resolved to a sampled schedule");
-    };
-
     let nodes: Vec<usize> = group
         .iter()
         .map(|j| match j.payload {
@@ -879,23 +1108,51 @@ fn execute_node_group(
             Payload::Seeds { .. } => unreachable!("seeds job in node group"),
         })
         .collect();
-    let exec_start = Instant::now();
-    let result = {
-        let _infer_span = span!("serve/infer", "model={model_name} nodes={}", nodes.len());
-        // Attribute the batch's tape/scratch allocations to the serve path.
-        let _mem = MemScope::enter(MemComponent::ServeBatch);
-        infer_batch(
-            entry.model.as_ref(),
-            &entry.graph,
-            &entry.features,
-            backend,
-            &nodes,
-        )
+    let mut compile = Duration::ZERO;
+    let (result, execute, exchange) = if let Some(sharded) = entry.sharded.as_ref() {
+        run_sharded_rows(shared, model_name, entry, sharded, &nodes, &mut compile)
+    } else {
+        let key = PlanKey::cpu(entry.graph_id, model_name, shared.cfg.kernel_threads);
+        let (plan, hit) = shared.plans.get_or_insert(&key, || {
+            let _compile_span = span!("serve/plan_compile", "model={model_name}");
+            let t0 = Instant::now();
+            let backend = FeatgraphBackend::cpu(shared.cfg.kernel_threads);
+            compile = t0.elapsed();
+            // Plans compile lazily per feature dim; the real cost lands via
+            // note_cost after each batch.
+            (CachedPlan::Full(backend), 0)
+        });
+        let slot = if hit {
+            &shared.stats.plan_hits
+        } else {
+            &shared.stats.plan_misses
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+        let CachedPlan::Full(backend) = &*plan else {
+            // Full-graph, sampled, and sharded keys live in disjoint options
+            // namespaces.
+            unreachable!("full-graph plan key resolved to a non-full plan");
+        };
+
+        let exec_start = Instant::now();
+        let result = {
+            let _infer_span = span!("serve/infer", "model={model_name} nodes={}", nodes.len());
+            // Attribute the batch's tape/scratch allocations to the serve path.
+            let _mem = MemScope::enter(MemComponent::ServeBatch);
+            infer_batch(
+                entry.model.as_ref(),
+                &entry.graph,
+                &entry.features,
+                backend,
+                &nodes,
+            )
+        };
+        let execute = exec_start.elapsed();
+        // Plans compile lazily per feature dim, so re-report the backend's
+        // plan bytes after every batch; this also drives LRU eviction.
+        shared.plans.note_cost(&key, backend.plan_mem_bytes());
+        (result, execute, Duration::ZERO)
     };
-    let execute = exec_start.elapsed();
-    // Plans compile lazily per feature dim, so re-report the backend's
-    // plan bytes after every batch; this also drives LRU eviction.
-    shared.plans.note_cost(&key, backend.plan_mem_bytes());
     match result {
         Ok(rows) => {
             for (job, logits) in group.into_iter().zip(rows) {
@@ -910,6 +1167,7 @@ fn execute_node_group(
                 shared.stats.record_phase(Phase::BatchForm, batch_form);
                 shared.stats.record_phase(Phase::PlanCompile, compile);
                 shared.stats.record_phase(Phase::Execute, execute);
+                shared.stats.record_phase(Phase::Exchange, exchange);
                 shared.stats.completed.fetch_add(1, Ordering::Relaxed);
                 shared.stats.latency.record(total);
                 let total_ms = total.as_secs_f64() * 1e3;
@@ -925,7 +1183,7 @@ fn execute_node_group(
                         batch_ms: batch_form.as_secs_f64() * 1e3,
                         sample_ms: 0.0,
                         compile_ms: compile.as_secs_f64() * 1e3,
-                        execute_ms: execute.as_secs_f64() * 1e3,
+                        execute_ms: (execute + exchange).as_secs_f64() * 1e3,
                     });
                 }
                 match job.payload {
@@ -943,6 +1201,88 @@ fn execute_node_group(
                 job.fail(ServeError::Infer(msg.clone()));
             }
         }
+    }
+}
+
+/// Scatter-gather coordination for one sharded forward pass: fetch (or
+/// build) the per-shard backend set, run [`infer_sharded`] across the shard
+/// workers, and fold the run into the entry's per-shard counters. Returns
+/// the row results plus the execute time split into compute
+/// (wall − exchange) and halo-exchange components so the two phases stay
+/// additive in latency attribution.
+fn run_sharded_rows(
+    shared: &Shared,
+    model_name: &str,
+    entry: &ModelEntry,
+    sharded: &ShardedEntry,
+    nodes: &[usize],
+    compile: &mut Duration,
+) -> (
+    Result<Vec<Vec<f32>>, fg_gnn::InferError>,
+    Duration,
+    Duration,
+) {
+    let num_shards = sharded.graph.num_shards();
+    let key = PlanKey::cpu_sharded(
+        entry.graph_id,
+        model_name,
+        shared.cfg.kernel_threads,
+        num_shards,
+        sharded.graph.plan().strategy(),
+    );
+    let (plan, hit) = shared.plans.get_or_insert(&key, || {
+        let _compile_span = span!("serve/plan_compile", "model={model_name} shards={num_shards}");
+        let t0 = Instant::now();
+        let backends: Vec<FeatgraphBackend> = (0..num_shards)
+            .map(|_| FeatgraphBackend::cpu(shared.cfg.kernel_threads))
+            .collect();
+        *compile = t0.elapsed();
+        // Plans compile lazily per feature dim; the real cost lands via
+        // note_cost after each batch.
+        (CachedPlan::Sharded(backends), 0)
+    });
+    let slot = if hit {
+        &shared.stats.plan_hits
+    } else {
+        &shared.stats.plan_misses
+    };
+    slot.fetch_add(1, Ordering::Relaxed);
+    let CachedPlan::Sharded(backends) = &*plan else {
+        // Full-graph, sampled, and sharded keys live in disjoint options
+        // namespaces.
+        unreachable!("sharded plan key resolved to a non-sharded plan");
+    };
+
+    let exec_start = Instant::now();
+    let run = {
+        let _infer_span = span!(
+            "serve/infer",
+            "model={model_name} nodes={} shards={num_shards}",
+            nodes.len()
+        );
+        // Attribute the batch's tape/scratch allocations to the serve path.
+        let _mem = MemScope::enter(MemComponent::ServeBatch);
+        infer_sharded(
+            entry.model.as_ref(),
+            &sharded.graph,
+            &entry.features,
+            backends,
+            nodes,
+        )
+    };
+    let execute = exec_start.elapsed();
+    shared
+        .plans
+        .note_cost(&key, backends.iter().map(|b| b.plan_mem_bytes()).sum());
+    match run {
+        Ok(run) => {
+            // The slowest shard's exchange wait bounds the pass's exchange
+            // cost; subtracting it keeps Execute + Exchange additive.
+            let exchange = Duration::from_nanos(run.exchange_ns_max());
+            sharded.record_run(nodes, &run);
+            (Ok(run.results), execute.saturating_sub(exchange), exchange)
+        }
+        Err(err) => (Err(err), execute, Duration::ZERO),
     }
 }
 
@@ -965,6 +1305,67 @@ fn execute_seeds_job(
     else {
         unreachable!("node job in seeds path");
     };
+
+    // Sharded routing: under full fanout every vertex keeps all of its
+    // in-edges, so answering seeds from their owner shards is bitwise
+    // identical to the single-worker path. Capped fanouts stay on the
+    // sampled path — the sampler's RNG keying makes capped results depend
+    // on which vertices share a request, which shard-splitting would change.
+    if let Some(sharded) = entry.sharded.as_ref() {
+        if fanouts.iter().all(|&f| f == FULL_FANOUT) {
+            let mut compile = Duration::ZERO;
+            let (result, execute, exchange) =
+                run_sharded_rows(shared, model_name, entry, sharded, &seeds, &mut compile);
+            match result {
+                Ok(rows) => {
+                    let results: Vec<InferResponse> = rows
+                        .into_iter()
+                        .map(|logits| InferResponse {
+                            class: argmax(&logits),
+                            logits,
+                        })
+                        .collect();
+                    let (sub_vertices, sub_edges) = sharded.touched_sizes(&seeds);
+                    let total = job.accepted.elapsed();
+                    let queue_wait = pulled.duration_since(job.accepted);
+                    shared.stats.record_phase(Phase::QueueWait, queue_wait);
+                    shared.stats.record_phase(Phase::BatchForm, batch_form);
+                    shared.stats.record_phase(Phase::PlanCompile, compile);
+                    shared.stats.record_phase(Phase::Execute, execute);
+                    shared.stats.record_phase(Phase::Exchange, exchange);
+                    shared.stats.completed.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.latency.record(total);
+                    let total_ms = total.as_secs_f64() * 1e3;
+                    if shared.cfg.slow_ms.is_some_and(|t| total_ms >= t) {
+                        shared.slow_log.push(SlowEntry {
+                            seq: 0,
+                            trace_id: job.trace.trace_id,
+                            sampled: job.trace.sampled,
+                            model: model_name.to_string(),
+                            node: seeds.first().copied().unwrap_or(0),
+                            total_ms,
+                            queue_ms: queue_wait.as_secs_f64() * 1e3,
+                            batch_ms: batch_form.as_secs_f64() * 1e3,
+                            sample_ms: 0.0,
+                            compile_ms: compile.as_secs_f64() * 1e3,
+                            execute_ms: (execute + exchange).as_secs_f64() * 1e3,
+                        });
+                    }
+                    reply.send(Ok(SeedsResponse {
+                        results,
+                        sub_vertices,
+                        sub_edges,
+                    }));
+                }
+                Err(err) => {
+                    shared.stats.failed.fetch_add(1, Ordering::Relaxed);
+                    reply.send(Err(ServeError::Infer(err.to_string())));
+                }
+            }
+            return;
+        }
+    }
+
     let cfg = SampleConfig::new(fanouts, sample_seed);
 
     // Sample phase: neighborhood expansion + reindex + feature gather.
@@ -1014,8 +1415,9 @@ fn execute_seeds_job(
     slot.fetch_add(1, Ordering::Relaxed);
     let partitions = match &*plan {
         CachedPlan::Sampled { partitions } => *partitions,
-        // Full-graph and sampled keys live in disjoint options namespaces.
-        CachedPlan::Full(_) => unreachable!("sampled plan key resolved to a full backend"),
+        // Full-graph, sampled, and sharded keys live in disjoint options
+        // namespaces.
+        _ => unreachable!("sampled plan key resolved to a non-sampled plan"),
     };
     let backend = FeatgraphBackend::cpu_with_partitions(shared.cfg.kernel_threads, partitions);
 

@@ -28,8 +28,8 @@
 //!   ([`engine::ServeConfig::plan_cache_bytes`]).
 //! * [`stats`] — always-on p50/p95/p99 latency, **per-phase**
 //!   (queue-wait / batch-form / sample / plan-compile / execute /
-//!   serialize) quantiles, queue-depth/batch-size distributions, event
-//!   counters, and
+//!   exchange / serialize) quantiles, queue-depth/batch-size
+//!   distributions, event counters, and
 //!   the slow-request log (`fg-telemetry` counters/gauges/histograms ride
 //!   along when the `telemetry` feature is on).
 //! * [`metrics`] — Prometheus-style text exposition behind the `METRICS`
@@ -65,7 +65,7 @@ pub mod stats;
 pub use batcher::{Batcher, BatcherConfig, PushError, QueueObserver};
 pub use engine::{
     Engine, InferRequest, InferResponse, InferSeedsRequest, MemoryReport, SeedsResponse,
-    SeedsTicket, ServeConfig, ServeError, Ticket, DEFAULT_SAMPLE_HOPS,
+    SeedsTicket, ServeConfig, ServeError, ShardLine, ShardsReport, Ticket, DEFAULT_SAMPLE_HOPS,
 };
 pub use plan_cache::{PlanCache, PlanKey};
 pub use server::{serve, ServerHandle};

@@ -16,7 +16,7 @@
 //! doubles as the framing sentinel on the line-oriented wire protocol:
 //! clients read until they see it.
 
-use crate::engine::MemoryReport;
+use crate::engine::{MemoryReport, ShardsReport};
 use crate::stats::{LatencySnapshot, Phase, StatsSnapshot};
 
 /// One parsed sample: series identity (`name{labels}` exactly as exposed)
@@ -48,8 +48,9 @@ fn write_summary(out: &mut String, name: &str, labels: &str, snap: &LatencySnaps
 
 /// Render the full exposition for one engine snapshot. `mem` carries the
 /// live gauges the snapshot doesn't: the accounted-memory breakdown and the
-/// plan-cache occupancy.
-pub fn render(stats: &StatsSnapshot, mem: &MemoryReport) -> String {
+/// plan-cache occupancy. `shards` adds the per-shard `fgserve_shard_*`
+/// series (none emitted when the engine serves single-worker).
+pub fn render(stats: &StatsSnapshot, mem: &MemoryReport, shards: &ShardsReport) -> String {
     use std::fmt::Write;
     let mut out = String::with_capacity(4096);
     for (name, value) in [
@@ -105,6 +106,37 @@ pub fn render(stats: &StatsSnapshot, mem: &MemoryReport) -> String {
         ] {
             let _ = writeln!(out, "# TYPE {name} gauge");
             let _ = writeln!(out, "{name} {value}");
+        }
+    }
+
+    if !shards.lines.is_empty() {
+        // Aggregate first (unlabeled — what smoke checks scrape), then the
+        // per-model-per-shard breakdown.
+        let _ = writeln!(out, "# TYPE fgserve_shard_exchange_bytes counter");
+        let _ = writeln!(
+            out,
+            "fgserve_shard_exchange_bytes_total {}",
+            shards.total_exchange_bytes()
+        );
+        let _ = writeln!(out, "# TYPE fgserve_shards gauge");
+        let _ = writeln!(out, "fgserve_shards {}", shards.shards);
+        let _ = writeln!(out, "# TYPE fgserve_shard_rows_routed counter");
+        let _ = writeln!(out, "# TYPE fgserve_shard_owned_vertices gauge");
+        let _ = writeln!(out, "# TYPE fgserve_shard_halo_vertices gauge");
+        let _ = writeln!(out, "# TYPE fgserve_shard_edges gauge");
+        let _ = writeln!(out, "# TYPE fgserve_shard_mem_bytes gauge");
+        for line in &shards.lines {
+            let labels = format!("model=\"{}\",shard=\"{}\"", line.model, line.shard);
+            for (name, value) in [
+                ("fgserve_shard_exchange_bytes_total", line.exchange_bytes),
+                ("fgserve_shard_rows_routed_total", line.rows_routed),
+                ("fgserve_shard_owned_vertices", line.owned),
+                ("fgserve_shard_halo_vertices", line.halo),
+                ("fgserve_shard_edges", line.edges),
+                ("fgserve_shard_mem_bytes", line.mem_bytes),
+            ] {
+                let _ = writeln!(out, "{name}{{{labels}}} {value}");
+            }
         }
     }
 
@@ -209,9 +241,11 @@ mod tests {
     #[test]
     fn empty_engine_exposition_parses_and_has_always_on_series() {
         let stats = ServeStats::default();
-        let text = render(&stats.snapshot(), &mem_with_entries(0));
+        let text = render(&stats.snapshot(), &mem_with_entries(0), &ShardsReport::default());
         let samples = parse_exposition(&text).expect("parseable");
         assert!(text.ends_with("# EOF\n"));
+        // Single-worker engines expose no shard series at all.
+        assert!(!text.contains("fgserve_shard"), "{text}");
         let count = |name: &str| {
             samples
                 .iter()
@@ -242,7 +276,7 @@ mod tests {
         for _ in 0..10 {
             stats.record_phase(Phase::Execute, Duration::from_millis(8));
         }
-        let text = render(&stats.snapshot(), &mem_with_entries(3));
+        let text = render(&stats.snapshot(), &mem_with_entries(3), &ShardsReport::default());
         assert_eq!(
             sample(
                 &text,
@@ -255,6 +289,67 @@ mod tests {
             Some(10.0)
         );
         assert_eq!(sample(&text, "fgserve_plan_cache_entries"), Some(3.0));
+    }
+
+    #[test]
+    fn sharded_engine_exposes_per_shard_and_aggregate_series() {
+        use crate::engine::ShardLine;
+        let stats = ServeStats::default();
+        let shards = ShardsReport {
+            shards: 2,
+            lines: vec![
+                ShardLine {
+                    model: "gcn".into(),
+                    shard: 0,
+                    strategy: "range".into(),
+                    owned: 8,
+                    locals: 11,
+                    halo: 3,
+                    edges: 40,
+                    rows_routed: 5,
+                    exchange_bytes: 96,
+                    mem_bytes: 2048,
+                },
+                ShardLine {
+                    model: "gcn".into(),
+                    shard: 1,
+                    strategy: "range".into(),
+                    owned: 8,
+                    locals: 12,
+                    halo: 4,
+                    edges: 44,
+                    rows_routed: 7,
+                    exchange_bytes: 128,
+                    mem_bytes: 2304,
+                },
+            ],
+        };
+        let text = render(&stats.snapshot(), &mem_with_entries(0), &shards);
+        assert_eq!(
+            sample(&text, "fgserve_shard_exchange_bytes_total"),
+            Some(224.0),
+            "aggregate sums both shards"
+        );
+        assert_eq!(sample(&text, "fgserve_shards"), Some(2.0));
+        assert_eq!(
+            sample(
+                &text,
+                "fgserve_shard_exchange_bytes_total{model=\"gcn\",shard=\"1\"}"
+            ),
+            Some(128.0)
+        );
+        assert_eq!(
+            sample(
+                &text,
+                "fgserve_shard_rows_routed_total{model=\"gcn\",shard=\"0\"}"
+            ),
+            Some(5.0)
+        );
+        assert_eq!(
+            sample(&text, "fgserve_shard_halo_vertices{model=\"gcn\",shard=\"1\"}"),
+            Some(4.0)
+        );
+        parse_exposition(&text).expect("sharded exposition still parses");
     }
 
     #[test]

@@ -92,6 +92,24 @@ impl PlanKey {
             ),
         }
     }
+
+    /// Key for a sharded CPU workload: one entry holds the whole shard
+    /// fleet's backends (one per shard, each caching plans for its local
+    /// graph), so shard count and placement strategy are part of the
+    /// identity — re-sharding must never reuse another topology's plans.
+    pub fn cpu_sharded(
+        graph_id: u64,
+        model: &str,
+        threads: usize,
+        shards: usize,
+        strategy: fg_graph::ShardStrategy,
+    ) -> Self {
+        PlanKey {
+            graph_id,
+            model: model.to_string(),
+            options: format!("cpu,t={threads},shard,n={shards},s={strategy}"),
+        }
+    }
 }
 
 struct Entry<V> {
@@ -543,5 +561,19 @@ mod tests {
         assert_eq!(shape_bucket(0), 0);
         assert_eq!(shape_bucket(64), 6);
         assert_eq!(shape_bucket(65), 7);
+    }
+
+    #[test]
+    fn sharded_keys_fold_count_and_strategy() {
+        use fg_graph::ShardStrategy;
+        let a = PlanKey::cpu_sharded(1, "gcn", 2, 4, ShardStrategy::Range);
+        assert_eq!(a.options, "cpu,t=2,shard,n=4,s=range");
+        // Shard count and strategy are identity: changing either must
+        // miss (the backends are partitioned per shard-local graph).
+        assert_ne!(a, PlanKey::cpu_sharded(1, "gcn", 2, 2, ShardStrategy::Range));
+        assert_ne!(a, PlanKey::cpu_sharded(1, "gcn", 2, 4, ShardStrategy::Degree));
+        // And sharded keys never collide with full-graph or sampled keys.
+        assert_ne!(a, PlanKey::cpu(1, "gcn", 2));
+        assert_ne!(a, PlanKey::cpu_sampled(1, "gcn", 2, 4, 4));
     }
 }

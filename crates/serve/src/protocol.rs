@@ -9,6 +9,7 @@
 //! STATS
 //! METRICS
 //! MEMORY
+//! SHARDS
 //! SLOWLOG [<n>]
 //! PING
 //! SHUTDOWN
@@ -24,17 +25,21 @@
 //! STATS <key>=<value> ...
 //! <prometheus exposition, multi-line, terminated by "# EOF">
 //! MEMORY <n> (followed by n "MEM <key>=<value> ..." lines)
+//! SHARDS <n> (followed by n "SHARD <key>=<value> ..." lines)
 //! SLOWLOG <n> (followed by n "SLOW <key>=<value> ..." lines)
 //! PONG
 //! BYE
 //! ```
 //!
 //! `METRICS` is the only reply without a fixed line count: clients read
-//! until the OpenMetrics `# EOF` terminator line. `SEEDS`, `MEMORY`, and
-//! `SLOWLOG` declare their line counts up front in the header. `MEMORY`
-//! reports the accounted per-component footprint (one `MEM component=...`
-//! line per component, then `MEM total ...`, `MEM plan_cache ...`, and on
-//! Linux `MEM rss ...` summary lines).
+//! until the OpenMetrics `# EOF` terminator line. `SEEDS`, `MEMORY`,
+//! `SHARDS`, and `SLOWLOG` declare their line counts up front in the
+//! header. `MEMORY` reports the accounted per-component footprint (one
+//! `MEM component=...` line per component, then `MEM total ...`,
+//! `MEM plan_cache ...`, and on Linux `MEM rss ...` summary lines).
+//! `SHARDS` reports one line per shard per registered model (owned/halo
+//! vertex counts, edges, routed rows, exchange bytes) and answers
+//! `SHARDS 0` on a single-worker server.
 //!
 //! `INFER_SEEDS` answers its seed list by sampling a fanout-bounded
 //! neighborhood and running the model on the induced subgraph; `fanout`
@@ -94,6 +99,8 @@ pub enum Request {
     Metrics,
     /// `MEMORY` — per-component accounted-footprint breakdown.
     Memory,
+    /// `SHARDS` — per-shard topology and traffic breakdown.
+    Shards,
     /// `SLOWLOG [<n>]` — newest `n` slow-request entries (all when omitted).
     SlowLog {
         /// Maximum entries to return.
@@ -127,6 +134,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
         "STATS" => Ok(Request::Stats),
         "METRICS" => Ok(Request::Metrics),
         "MEMORY" => Ok(Request::Memory),
+        "SHARDS" => Ok(Request::Shards),
         "SLOWLOG" => {
             let limit = match parts.next() {
                 None => None,
@@ -409,6 +417,7 @@ mod tests {
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
         assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
         assert_eq!(parse_request("MEMORY").unwrap(), Request::Memory);
+        assert_eq!(parse_request("SHARDS").unwrap(), Request::Shards);
         assert_eq!(
             parse_request("SLOWLOG").unwrap(),
             Request::SlowLog { limit: None }

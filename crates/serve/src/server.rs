@@ -160,6 +160,19 @@ fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> C
                     .write_all(out.as_bytes())
                     .and_then(|_| writer.flush())
             }
+            Ok(Request::Shards) => {
+                let _span = span!("serve/request", "verb=SHARDS");
+                let lines = engine.shards_report().to_wire_lines();
+                let mut out = format!("SHARDS {}\n", lines.len());
+                for line in &lines {
+                    out.push_str("SHARD ");
+                    out.push_str(line);
+                    out.push('\n');
+                }
+                writer
+                    .write_all(out.as_bytes())
+                    .and_then(|_| writer.flush())
+            }
             Ok(Request::SlowLog { limit }) => {
                 let entries = engine.slow_requests(limit);
                 let mut out = format!("SLOWLOG {}\n", entries.len());

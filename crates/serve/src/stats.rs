@@ -136,15 +136,21 @@ pub enum Phase {
     Sample,
     /// Compiling a backend on a plan-cache miss (zero on a hit).
     PlanCompile,
-    /// The group's batched forward pass.
+    /// The group's batched forward pass. On sharded engines the exchange
+    /// critical path is carved out into [`Phase::Exchange`] so the two
+    /// stay additive.
     Execute,
+    /// Halo-exchange critical path of a sharded forward pass: the slowest
+    /// shard's time rebuilding halo rows between layers (zero on
+    /// single-shard engines).
+    Exchange,
     /// Formatting and writing the reply line (front-end only).
     Serialize,
 }
 
 impl Phase {
     /// Number of phases.
-    pub const COUNT: usize = 6;
+    pub const COUNT: usize = 7;
 
     /// Every phase, in pipeline order.
     pub const ALL: [Phase; Phase::COUNT] = [
@@ -153,6 +159,7 @@ impl Phase {
         Phase::Sample,
         Phase::PlanCompile,
         Phase::Execute,
+        Phase::Exchange,
         Phase::Serialize,
     ];
 
@@ -164,6 +171,7 @@ impl Phase {
             Phase::Sample => "sample",
             Phase::PlanCompile => "plan_compile",
             Phase::Execute => "execute",
+            Phase::Exchange => "exchange",
             Phase::Serialize => "serialize",
         }
     }

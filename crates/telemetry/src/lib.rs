@@ -226,13 +226,22 @@ pub enum Histogram {
     SddmmChunkEdges,
     /// Requests coalesced into each executed serving batch.
     ServeBatchSize,
+    /// Local edges per shard, sampled once when a sharded model entry is
+    /// built — the static load-imbalance signal (max/mean via
+    /// [`HistogramSummary::imbalance`]).
+    ShardEdges,
+    /// Seeds routed to each shard per sharded request (one sample per
+    /// shard the coordinator touched) — the dynamic routing-skew signal.
+    ShardSeeds,
 }
 
 impl Histogram {
-    pub const ALL: [Histogram; 3] = [
+    pub const ALL: [Histogram; 5] = [
         Histogram::SpmmPartitionEdges,
         Histogram::SddmmChunkEdges,
         Histogram::ServeBatchSize,
+        Histogram::ShardEdges,
+        Histogram::ShardSeeds,
     ];
 
     pub fn name(self) -> &'static str {
@@ -240,6 +249,8 @@ impl Histogram {
             Histogram::SpmmPartitionEdges => "spmm_partition_edges",
             Histogram::SddmmChunkEdges => "sddmm_chunk_edges",
             Histogram::ServeBatchSize => "serve_batch_size",
+            Histogram::ShardEdges => "shard_edges",
+            Histogram::ShardSeeds => "shard_seeds",
         }
     }
 }

@@ -44,13 +44,16 @@ pub enum MemComponent {
     PlanCache,
     /// Per-request sampled subgraphs (induced topology + index maps).
     Sampling,
+    /// Shard topology: per-shard local graphs, halo/exchange index plans,
+    /// and the global owner map held by sharded model entries.
+    ShardPlan,
     /// Untagged allocations (no ambient scope).
     Scratch,
 }
 
 impl MemComponent {
     /// Number of components.
-    pub const COUNT: usize = 9;
+    pub const COUNT: usize = 10;
 
     /// Every component, in display order.
     pub const ALL: [MemComponent; MemComponent::COUNT] = [
@@ -62,6 +65,7 @@ impl MemComponent {
         MemComponent::ServeBatch,
         MemComponent::PlanCache,
         MemComponent::Sampling,
+        MemComponent::ShardPlan,
         MemComponent::Scratch,
     ];
 
@@ -76,6 +80,7 @@ impl MemComponent {
             MemComponent::ServeBatch => "serve_batch",
             MemComponent::PlanCache => "plan_cache",
             MemComponent::Sampling => "sampling",
+            MemComponent::ShardPlan => "shard_plan",
             MemComponent::Scratch => "scratch",
         }
     }
@@ -505,6 +510,7 @@ mod tests {
                 "serve_batch",
                 "plan_cache",
                 "sampling",
+                "shard_plan",
                 "scratch"
             ]
         );
