@@ -1115,6 +1115,237 @@ fn serve_bench(args: &Args, rep: &mut Report) {
         println!("{}", stats.attribution_line());
     }
     engine.shutdown();
+    wire_bench(args, rep);
+    dtype_rows(args, rep);
+}
+
+/// Wire-protocol comparison: the same feature-heavy `INFER_SEEDS` workload
+/// (client-supplied feature rows, so every scalar crosses the wire) is
+/// served over the text protocol (ASCII round-trip, re-parsed per line)
+/// and the binary frame protocol (little-endian payloads, zero-copy
+/// tensor reads) against one live loopback server per protocol.
+fn wire_bench(args: &Args, rep: &mut Report) {
+    use fg_serve::{frame, protocol, serve, Engine, ServeConfig};
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpStream;
+    use std::sync::Arc;
+    use std::time::Instant;
+
+    const CLIENTS: usize = 4;
+    const SEEDS: usize = 32;
+    let n = (30_000 / args.cfg.scale).max(500);
+    let per_client = (8_000 / args.cfg.scale).max(40);
+    // classes=4 + noise_dims=252: 256 feature columns per seed row, so the
+    // wire payload (32 seeds x 256 floats = 8192 scalars per request)
+    // dominates protocol cost rather than the forward pass (fanout 1,1
+    // keeps sampled subgraphs tiny for the same reason).
+    let task = SbmTask::generate(n, 4, 8, 252, 33);
+    let d = task.in_dim();
+    let vertices = task.graph.num_vertices();
+    println!(
+        "\n--- wire: {CLIENTS} clients x {per_client} INFER_SEEDS requests \
+         ({SEEDS} seeds x {d} feat cols each), text vs binary protocol ---"
+    );
+    fn feat(c: usize, i: usize, r: usize, k: usize) -> f32 {
+        ((c * 131 + i * 31 + r * 17 + k * 7) % 251) as f32 * 0.008 - 1.0
+    }
+    let mut walls = [0.0f64; 2];
+    for (pi, proto) in ["text", "binary"].into_iter().enumerate() {
+        // Fresh engine per protocol so plan-cache warmth is identical.
+        // Eager dispatch (tiny batch window) so the engine's coalescing
+        // delay does not mask the protocol cost under comparison.
+        let engine = Arc::new(Engine::new(ServeConfig {
+            kernel_threads: args.threads,
+            default_deadline: None,
+            max_batch: CLIENTS,
+            max_delay: std::time::Duration::from_micros(100),
+            ..ServeConfig::default()
+        }));
+        let model = build_model("gcn", d, 32, task.num_classes, 1);
+        engine.register_model("gcn", model, task.graph.clone(), task.features.clone());
+        let server = serve(engine, "127.0.0.1:0").expect("bind loopback");
+        let addr = server.addr();
+        let binary = proto == "binary";
+        let t0 = Instant::now();
+        let handles: Vec<_> = (0..CLIENTS)
+            .map(|c| {
+                std::thread::spawn(move || -> (u64, Vec<f64>) {
+                    let stream = TcpStream::connect(addr).expect("connect");
+                    stream.set_nodelay(true).unwrap();
+                    let mut writer = stream.try_clone().unwrap();
+                    let mut reader = BufReader::new(stream);
+                    let mut ok = 0u64;
+                    let mut lat = Vec::with_capacity(per_client);
+                    let mut line = String::new();
+                    for i in 0..per_client {
+                        let id = format!("c{c}-r{i}");
+                        let seeds: Vec<usize> = (0..SEEDS)
+                            .map(|j| (c * 997 + i * 131 + j * 31) % vertices)
+                            .collect();
+                        let sample_seed = (c * 1_000_003 + i) as u64;
+                        let t = Instant::now();
+                        if binary {
+                            let feats =
+                                fg_tensor::Dense2::from_fn(SEEDS, d, |r, k| feat(c, i, r, k));
+                            let req = protocol::Request::InferSeeds {
+                                model: "gcn".into(),
+                                seeds,
+                                fanouts: Some(vec![1, 1]),
+                                sample_seed,
+                                feats: Some(feats),
+                                id: Some(id.clone()),
+                                deadline_ms: None,
+                            };
+                            frame::write_frame(&mut writer, &frame::encode_request(&req))
+                                .expect("write frame");
+                            let f = frame::read_frame(&mut reader, false).expect("read frame");
+                            if let Ok(frame::WireReply::Seeds { id: got, .. }) =
+                                frame::decode_reply(&f)
+                            {
+                                if got == id {
+                                    ok += 1;
+                                }
+                            }
+                        } else {
+                            let seeds_s = seeds
+                                .iter()
+                                .map(ToString::to_string)
+                                .collect::<Vec<_>>()
+                                .join(",");
+                            let rows: Vec<String> = (0..SEEDS)
+                                .map(|r| {
+                                    (0..d)
+                                        .map(|k| feat(c, i, r, k).to_string())
+                                        .collect::<Vec<_>>()
+                                        .join(",")
+                                })
+                                .collect();
+                            writeln!(
+                                writer,
+                                "INFER_SEEDS gcn {seeds_s} fanout=1,1 feats={} \
+                                 sample_seed={sample_seed} id={id}",
+                                rows.join(";")
+                            )
+                            .expect("write line");
+                            line.clear();
+                            reader.read_line(&mut line).expect("read header");
+                            if let Ok(h) = protocol::parse_seeds_header(line.trim_end()) {
+                                let mut good = h.id == id;
+                                for _ in 0..h.count {
+                                    line.clear();
+                                    if reader.read_line(&mut line).expect("read seed") == 0 {
+                                        good = false;
+                                        break;
+                                    }
+                                }
+                                if good {
+                                    ok += 1;
+                                }
+                            }
+                        }
+                        lat.push(t.elapsed().as_secs_f64());
+                    }
+                    (ok, lat)
+                })
+            })
+            .collect();
+        let mut ok = 0u64;
+        let mut lat = Vec::new();
+        for h in handles {
+            let (o, l) = h.join().expect("wire client");
+            ok += o;
+            lat.extend(l);
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        walls[pi] = wall;
+        server.shutdown();
+        assert_eq!(
+            ok,
+            (CLIENTS * per_client) as u64,
+            "{proto} protocol dropped requests"
+        );
+        let samples = Samples::from_secs(lat.clone());
+        lat.sort_by(f64::total_cmp);
+        let q = |p: f64| lat[((p * lat.len() as f64).ceil() as usize).clamp(1, lat.len()) - 1];
+        println!(
+            "{proto:<10} {:>7} req  {:>9.1} req/s   p50 {:>10}  p99 {:>10}",
+            lat.len(),
+            lat.len() as f64 / wall,
+            fmt_secs(Some(q(0.50))),
+            fmt_secs(Some(q(0.99))),
+        );
+        rep.push(format!("serve/wire/{proto}/request_latency"), "s", &samples);
+        rep.push_single(format!("serve/wire/{proto}/wall"), "s", wall);
+    }
+    println!(
+        "binary vs text: {:.2}x request throughput",
+        walls[0] / walls[1]
+    );
+}
+
+/// Half-precision feature-storage rows: the GCN aggregation SpMM on the
+/// same graph/width as the serving path, with vertex features stored as
+/// f32 (`run`) vs f16/bf16 (`run_typed` — half load, f32 accumulate).
+/// Reported next to the serve rows because `--feature-dtype` is a serving
+/// knob: these rows isolate its kernel-level cost/benefit.
+fn dtype_rows(args: &Args, rep: &mut Report) {
+    use featgraph::cpu::spmm::{CpuSpmm, CpuSpmmOptions};
+    use featgraph::{Fds, GraphTensors, Reducer, Udf};
+    use fg_tensor::half::quantize;
+    use fg_tensor::{Bf16, F16};
+
+    let graph = load(Dataset::Reddit, args.cfg.scale);
+    let n = graph.num_vertices();
+    let d = 128usize;
+    let x = fg_bench::runner::features(n, d);
+    let udf = Udf::copy_src(d);
+    let opts = CpuSpmmOptions::with_threads(1, args.threads);
+    let k = CpuSpmm::compile(&graph, &udf, Reducer::Sum, &Fds::default(), &opts)
+        .expect("compile spmm");
+    println!(
+        "\n--- dtype: GCN aggregation SpMM, d={d}, reddit 1/{} ({n} vertices), \
+         f32 vs half feature storage ---",
+        args.cfg.scale
+    );
+    let x16: fg_tensor::Dense2<F16> = quantize(&x);
+    let xb16: fg_tensor::Dense2<Bf16> = quantize(&x);
+    let mut out = fg_tensor::Dense2::zeros(n, d);
+    let inputs = GraphTensors {
+        vertex: &x,
+        vertex_dst: None,
+        edge: None,
+        params: &[],
+    };
+    let f32s = time_samples(args.cfg.runs, || {
+        k.run(&inputs, &mut out).expect("f32 run");
+        std::hint::black_box(&out);
+    });
+    let f16s = time_samples(args.cfg.runs, || {
+        k.run_typed(&x16, None, &mut out).expect("f16 run");
+        std::hint::black_box(&out);
+    });
+    let bf16s = time_samples(args.cfg.runs, || {
+        k.run_typed(&xb16, None, &mut out).expect("bf16 run");
+        std::hint::black_box(&out);
+    });
+    println!(
+        "{:<8}{:>12}{:>14}{:>14}",
+        "dtype", "median s", "vs f32", "feature MiB"
+    );
+    let mib = |bytes: usize| bytes as f64 / (1024.0 * 1024.0);
+    for (name, s, bytes) in [
+        ("f32", &f32s, n * d * 4),
+        ("f16", &f16s, n * d * 2),
+        ("bf16", &bf16s, n * d * 2),
+    ] {
+        println!(
+            "{name:<8}{:>12.4}{:>13.2}x{:>13.1}",
+            s.median(),
+            f32s.median() / s.median(),
+            mib(bytes),
+        );
+        rep.push(format!("serve/dtype/{name}/spmm"), "s", s);
+    }
 }
 
 /// Sampled-vs-full serving scenario: the same power-law (head-heavy) seed
@@ -1173,6 +1404,7 @@ fn sample_bench(args: &Args, rep: &mut Report) {
                 seeds: probes.clone(),
                 fanouts: None, // full fanout, DEFAULT_SAMPLE_HOPS hops
                 sample_seed: 0,
+                feats: None,
                 deadline: None,
             })
             .expect("parity infer_seeds");
@@ -1211,6 +1443,7 @@ fn sample_bench(args: &Args, rep: &mut Report) {
                                         seeds: vec![node],
                                         fanouts: Some(FANOUTS.to_vec()),
                                         sample_seed: (c * per_client + i) as u64,
+                                        feats: None,
                                         deadline: None,
                                     })
                                     .expect("sampled infer");

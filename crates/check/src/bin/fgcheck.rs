@@ -4,10 +4,12 @@
 //! fgcheck [--seed N] [--cases K] [--shrink-budget N] [--verbose]
 //! fgcheck --sampler [--seed N] [--cases K]
 //! fgcheck --shard [--seed N] [--cases K]
+//! fgcheck --dtype f16|bf16|mixed [--seed N] [--cases K]
 //! fgcheck --case '<descriptor>'
 //! fgcheck --seed 0 --cases 200            # the deterministic CI smoke sweep
 //! fgcheck --sampler --seed 0 --cases 200  # the sampler CI smoke sweep
 //! fgcheck --shard --seed 0 --cases 200    # the shard-parity CI smoke sweep
+//! fgcheck --dtype f16 --seed 0 --cases 200  # the half-precision CI smoke sweep
 //! ```
 //!
 //! Sweep mode generates `K` seeded cases, runs each across every applicable
@@ -20,17 +22,23 @@
 //! parity with single-worker inference), shrinking failures by shard
 //! count first, then graph size.
 //!
+//! `--dtype` sweeps the half-precision storage family: the typed kernel
+//! paths on f16/bf16-quantized features must track the full-precision
+//! kernel on the dequantized values within a widened tolerance, and
+//! `run_typed::<f32>` must stay bitwise identical to `run`.
+//!
 //! Replay mode (`--case`) re-runs one descriptor (as printed by a failing
-//! sweep) with per-executor detail; descriptors starting with `sampler;`
-//! or `shard;` route to their families automatically.
+//! sweep) with per-executor detail; descriptors starting with `sampler;`,
+//! `shard;`, or `dtype;` route to their families automatically.
 
 use std::process::ExitCode;
 
 use fg_check::shard::SHARD_SHRINK_BUDGET;
 use fg_check::{
-    run_case, run_sampler_case, run_shard_case, sampler_sweep, shard_sweep, shrink, shrink_shard,
-    sweep, Case, SamplerCase, ShardCase,
+    dtype_sweep, run_case, run_dtype_case, run_sampler_case, run_shard_case, sampler_sweep,
+    shard_sweep, shrink, shrink_shard, sweep, Case, DtypeCase, SamplerCase, ShardCase,
 };
+use fg_tensor::FeatureDtype;
 
 struct Args {
     seed: u64,
@@ -39,6 +47,7 @@ struct Args {
     shrink_budget: usize,
     sampler: bool,
     shard: bool,
+    dtype: Option<Option<FeatureDtype>>,
     verbose: bool,
 }
 
@@ -50,6 +59,7 @@ fn parse_args() -> Args {
         shrink_budget: fg_check::runner::SHRINK_BUDGET,
         sampler: false,
         shard: false,
+        dtype: None,
         verbose: false,
     };
     let mut args = std::env::args().skip(1);
@@ -62,6 +72,15 @@ fn parse_args() -> Args {
             "--shrink-budget" => out.shrink_budget = val().parse().expect("shrink budget"),
             "--sampler" => out.sampler = true,
             "--shard" => out.shard = true,
+            "--dtype" => {
+                out.dtype = Some(match val().as_str() {
+                    "mixed" | "all" => None,
+                    d => Some(d.parse().unwrap_or_else(|e: String| {
+                        eprintln!("{e}");
+                        std::process::exit(2);
+                    })),
+                })
+            }
             "--verbose" | "-v" => out.verbose = true,
             "--help" | "-h" => {
                 println!(
@@ -69,6 +88,7 @@ fn parse_args() -> Args {
                      usage: fgcheck [--seed N] [--cases K] [--shrink-budget N] [--verbose]\n\
                      \x20      fgcheck --sampler [--seed N] [--cases K]\n\
                      \x20      fgcheck --shard [--seed N] [--cases K]\n\
+                     \x20      fgcheck --dtype f16|bf16|mixed [--seed N] [--cases K]\n\
                      \x20      fgcheck --case '<descriptor>'\n\n\
                      Runs every FeatGraph executor (optimized CPU/GPU templates and the\n\
                      ligra/gunrock/sparselib baselines) against the naive reference on\n\
@@ -79,7 +99,12 @@ fn parse_args() -> Args {
                      --shard sweeps the sharded-inference family: shard-plan\n\
                      invariants, exactly-once halo exchange, and bitwise parity of\n\
                      sharded vs single-worker inference across shard counts and\n\
-                     placement strategies; shard descriptors replay via --case too."
+                     placement strategies; shard descriptors replay via --case too.\n\
+                     --dtype sweeps half-precision feature storage: typed kernels on\n\
+                     f16/bf16-quantized features must track the f32 kernel on the\n\
+                     dequantized values within a widened tolerance, and the f32 typed\n\
+                     path must stay bitwise identical to the untyped one; dtype\n\
+                     descriptors replay via --case too."
                 );
                 std::process::exit(0);
             }
@@ -191,12 +216,63 @@ fn shard_main(seed: u64, cases: usize, verbose: bool) -> ExitCode {
     ExitCode::FAILURE
 }
 
+fn replay_dtype(desc: &str) -> ExitCode {
+    let case: DtypeCase = match desc.parse() {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{e}");
+            return ExitCode::from(2);
+        }
+    };
+    println!("replaying: {case}");
+    let reports = run_dtype_case(&case);
+    if reports.is_empty() {
+        println!("PASS: all dtype properties hold");
+        return ExitCode::SUCCESS;
+    }
+    for r in &reports {
+        println!("FAIL {r}");
+    }
+    ExitCode::FAILURE
+}
+
+fn dtype_main(seed: u64, cases: usize, force: Option<FeatureDtype>, verbose: bool) -> ExitCode {
+    let which = force.map_or("mixed f16/bf16", |d| d.name());
+    println!("fgcheck: sweeping {cases} {which} storage cases from seed {seed}");
+    let report = dtype_sweep(seed, cases, force, |i, rep| {
+        if verbose && (i + 1) % 50 == 0 {
+            println!("  ... {}/{} cases, {} failures", i + 1, cases, rep.failures.len());
+        }
+    });
+    println!(
+        "swept {} dtype cases: {} failure(s)",
+        report.total,
+        report.failures.len()
+    );
+    if report.failures.is_empty() {
+        println!("PASS");
+        return ExitCode::SUCCESS;
+    }
+    for (i, f) in report.failures.iter().enumerate() {
+        println!("--- failure {} -------------------------------------", i + 1);
+        println!("  case: {}", f.case);
+        for r in &f.reports {
+            println!("    {r}");
+        }
+        println!("  replay: fgcheck --case '{}'", f.case);
+    }
+    ExitCode::FAILURE
+}
+
 fn replay(desc: &str, shrink_budget: usize) -> ExitCode {
     if desc.starts_with("sampler") {
         return replay_sampler(desc);
     }
     if desc.starts_with("shard") {
         return replay_shard(desc);
+    }
+    if desc.starts_with("dtype") {
+        return replay_dtype(desc);
     }
     let case: Case = match desc.parse() {
         Ok(c) => c,
@@ -234,6 +310,10 @@ fn main() -> ExitCode {
 
     if args.shard {
         return shard_main(args.seed, args.cases, args.verbose);
+    }
+
+    if let Some(force) = args.dtype {
+        return dtype_main(args.seed, args.cases, force, args.verbose);
     }
 
     println!(

@@ -45,6 +45,7 @@
 //! size.
 
 pub mod case;
+pub mod dtype;
 pub mod exec;
 pub mod runner;
 pub mod sampler;
@@ -53,6 +54,7 @@ pub mod shrink;
 pub mod tolerance;
 
 pub use case::{Case, ExecPlan, GraphSpec, KernelKind, UdfKind};
+pub use dtype::{dtype_sweep, gen_dtype_case, run_dtype_case, DtypeCase, DtypeSweep};
 pub use exec::{run_case, ExecFailure};
 pub use runner::{gen_case, sweep, Failure, Sweep};
 pub use sampler::{run_sampler_case, sampler_sweep, SamplerCase, SamplerSweep};

@@ -4,8 +4,9 @@ use fg_graph::hilbert::EdgeOrder;
 use fg_graph::Graph;
 use fg_ir::interp::{eval_udf, EdgeCtx};
 use fg_ir::{Fds, KernelPattern, Udf};
+use fg_tensor::half::WIDEN_CHUNK;
 use fg_tensor::tile::{ColTile, ColTiles};
-use fg_tensor::Dense2;
+use fg_tensor::{Dense2, FeatElem};
 use fg_telemetry::{counter_add, histogram_record, span, Counter, Histogram};
 use rayon::prelude::*;
 
@@ -117,20 +118,91 @@ impl CpuSddmm {
             self.fds.feature_tiles.max(1)
         );
         match self.pattern {
-            KernelPattern::Dot => self.run_dot(inputs, out),
-            KernelPattern::MultiHeadDot { d } => self.run_multi_head(inputs, out, d),
+            KernelPattern::Dot => self.run_dot_t(inputs.vertex, inputs.dst_tensor(), out),
+            KernelPattern::MultiHeadDot { d } => {
+                self.run_multi_head_t(inputs.vertex, inputs.dst_tensor(), out, d)
+            }
             _ => self.run_generic(inputs, out),
+        }
+        Ok(RunStats::default())
+    }
+
+    /// Execute the kernel reading vertex features from half-precision (or
+    /// any [`FeatElem`]) storage; partial dots accumulate in `f32`. The
+    /// fused dot patterns get true typed inner loops; other parameterless
+    /// patterns widen once and run the interpreter. With `E = f32` this is
+    /// bitwise identical to [`run`](Self::run).
+    pub fn run_typed<E: FeatElem>(
+        &self,
+        vertex: &Dense2<E>,
+        edge: Option<&Dense2<f32>>,
+        out: &mut Dense2<f32>,
+    ) -> Result<RunStats, KernelError> {
+        let needs_src = self.udf.src_len > 0 && self.udf.body.reads_src();
+        let needs_dst = self.udf.dst_len > 0 && self.udf.body.reads_dst();
+        if needs_src || needs_dst {
+            let want_cols = if needs_src { self.udf.src_len } else { self.udf.dst_len };
+            if vertex.rows() != self.num_vertices || vertex.cols() < want_cols {
+                return Err(KernelError::Shape {
+                    what: "vertex".into(),
+                    expected: (self.num_vertices, want_cols),
+                    got: vertex.shape(),
+                });
+            }
+        }
+        if self.udf.edge_len > 0 && self.udf.body.reads_edge() {
+            let Some(e) = edge else {
+                return Err(KernelError::MissingInput { what: "edge" });
+            };
+            if e.rows() != self.num_edges || e.cols() < self.udf.edge_len {
+                return Err(KernelError::Shape {
+                    what: "edge".into(),
+                    expected: (self.num_edges, self.udf.edge_len),
+                    got: e.shape(),
+                });
+            }
+        }
+        if !self.udf.params.is_empty() {
+            return Err(KernelError::ParamCount {
+                expected: self.udf.params.len(),
+                got: 0,
+            });
+        }
+        if out.shape() != (self.num_edges, self.udf.out_len) {
+            return Err(KernelError::Shape {
+                what: "out".into(),
+                expected: (self.num_edges, self.udf.out_len),
+                got: out.shape(),
+            });
+        }
+        let _run_span = span!(
+            "sddmm/run_typed",
+            "pattern={:?} dtype={} edges={}",
+            self.pattern,
+            E::DTYPE,
+            self.num_edges
+        );
+        match self.pattern {
+            KernelPattern::Dot => self.run_dot_t(vertex, vertex, out),
+            KernelPattern::MultiHeadDot { d } => self.run_multi_head_t(vertex, vertex, out, d),
+            _ => {
+                let wide = fg_tensor::half::dequantize(vertex);
+                let inputs = match edge {
+                    Some(e) => GraphTensors::with_edge(&wide, e),
+                    None => GraphTensors::vertex_only(&wide),
+                };
+                self.run_generic(&inputs, out);
+            }
         }
         Ok(RunStats::default())
     }
 
     /// Fused dot-product attention with the reduce axis tiled per the FDS:
     /// each k-tile traverses the edges once, accumulating partial dots —
-    /// the edge-wise analogue of Fig. 6b.
-    fn run_dot(&self, inputs: &GraphTensors<'_, f32>, out: &mut Dense2<f32>) {
+    /// the edge-wise analogue of Fig. 6b. Generic over feature storage:
+    /// operands widen per element, partials accumulate in `f32`.
+    fn run_dot_t<E: FeatElem>(&self, x: &Dense2<E>, xd: &Dense2<E>, out: &mut Dense2<f32>) {
         let d = self.udf.red_len();
-        let x = inputs.vertex;
-        let xd = inputs.dst_tensor();
         let visits = &self.order.visits;
         let chunk = visits.len().div_ceil(self.pool.current_num_threads().max(1) * 4).max(1);
         let ktiles: Vec<ColTile> = ColTiles::new(d, self.fds.feature_tiles).collect();
@@ -143,14 +215,18 @@ impl CpuSddmm {
             counter_add(Counter::EdgesProcessed, visits.len() as u64);
             // Per edge and k-tile pass: read a src and a dst slice, combine
             // into the edge's scalar output.
-            counter_add(Counter::BytesMoved, (visits.len() * (2 * kt.len() + 1) * 4) as u64);
+            let elem = std::mem::size_of::<E>();
+            counter_add(
+                Counter::BytesMoved,
+                (visits.len() * (2 * kt.len() * elem + 4)) as u64,
+            );
             self.pool.install(|| {
                 visits.par_chunks(chunk).for_each(|edges| {
                     histogram_record(Histogram::SddmmChunkEdges, edges.len() as u64);
                     for &(src, dst, eid) in edges {
                         let a = &x.row(src as usize)[kt.range()];
                         let b = &xd.row(dst as usize)[kt.range()];
-                        let partial: f32 = a.iter().zip(b).map(|(&p, &q)| p * q).sum();
+                        let partial = dot_t(a, b);
                         // Safety: each eid appears exactly once per k-tile
                         // pass, and chunks are disjoint.
                         unsafe {
@@ -163,16 +239,25 @@ impl CpuSddmm {
     }
 
     /// Fused multi-head dot product: `out[eid][h] = Σ_k src[h·d+k]·dst[h·d+k]`.
-    fn run_multi_head(&self, inputs: &GraphTensors<'_, f32>, out: &mut Dense2<f32>, d: usize) {
+    /// Generic over feature storage like [`run_dot_t`](Self::run_dot_t).
+    fn run_multi_head_t<E: FeatElem>(
+        &self,
+        x: &Dense2<E>,
+        xd: &Dense2<E>,
+        out: &mut Dense2<f32>,
+        d: usize,
+    ) {
         let h = self.udf.out_len;
-        let x = inputs.vertex;
-        let xd = inputs.dst_tensor();
         let visits = &self.order.visits;
         let chunk = visits.len().div_ceil(self.pool.current_num_threads().max(1) * 4).max(1);
 
         let _span = span!("sddmm/multi_head", "heads={h} d={d}");
         counter_add(Counter::EdgesProcessed, visits.len() as u64);
-        counter_add(Counter::BytesMoved, (visits.len() * (2 * h * d + h) * 4) as u64);
+        let elem = std::mem::size_of::<E>();
+        counter_add(
+            Counter::BytesMoved,
+            (visits.len() * (2 * h * d * elem + h * 4)) as u64,
+        );
         let writer = SharedRows::new(out.as_mut_slice(), h);
         self.pool.install(|| {
             visits.par_chunks(chunk).for_each(|edges| {
@@ -185,7 +270,7 @@ impl CpuSddmm {
                     for (head, o) in orow.iter_mut().enumerate() {
                         let a = &srow[head * d..(head + 1) * d];
                         let b = &drow[head * d..(head + 1) * d];
-                        *o = a.iter().zip(b).map(|(&p, &q)| p * q).sum();
+                        *o = dot_t(a, b);
                     }
                 }
             });
@@ -230,6 +315,33 @@ impl CpuSddmm {
             });
         });
     }
+}
+
+/// Dot product over typed storage. `f32` operands dot in place via
+/// [`FeatElem::as_f32`] — the exact pre-existing expression, bit for bit.
+/// Half operands stage through stack buffers via [`FeatElem::widen`]
+/// (8-wide F16C decode or an auto-vectorizable loop) so the decode never
+/// sits inside the multiply-accumulate loop.
+#[inline(always)]
+fn dot_t<E: FeatElem>(a: &[E], b: &[E]) -> f32 {
+    if let (Some(a), Some(b)) = (E::as_f32(a), E::as_f32(b)) {
+        return a.iter().zip(b).map(|(&p, &q)| p * q).sum();
+    }
+    if !E::STAGED_WIDEN {
+        // Trivial decode (bf16: one shift): dot in place, vectorized.
+        return a.iter().zip(b).map(|(&p, &q)| p.load() * q.load()).sum();
+    }
+    let mut ba = [0.0f32; WIDEN_CHUNK];
+    let mut bb = [0.0f32; WIDEN_CHUNK];
+    let mut acc = 0.0f32;
+    for (ac, bc) in a.chunks(WIDEN_CHUNK).zip(b.chunks(WIDEN_CHUNK)) {
+        let af = &mut ba[..ac.len()];
+        E::widen(ac, af);
+        let bf = &mut bb[..bc.len()];
+        E::widen(bc, bf);
+        acc += af.iter().zip(bf.iter()).map(|(&p, &q)| p * q).sum::<f32>();
+    }
+    acc
 }
 
 #[cfg(test)]
@@ -333,6 +445,70 @@ mod tests {
                 threads: 2,
             },
         );
+    }
+
+    #[test]
+    fn run_typed_f32_is_bitwise_identical_to_run() {
+        let g = generators::uniform(130, 5, 19);
+        let x = features(130, 24);
+        let inputs = GraphTensors::vertex_only(&x);
+        for udf in [Udf::dot(24), Udf::multi_head_dot(3, 8)] {
+            for traversal in [Traversal::Canonical, Traversal::Hilbert] {
+                let k = CpuSddmm::compile(
+                    &g,
+                    &udf,
+                    &Fds::cpu_tiled(2),
+                    &CpuSddmmOptions { traversal, threads: 3 },
+                )
+                .unwrap();
+                let mut legacy = Dense2::zeros(g.num_edges(), udf.out_len);
+                k.run(&inputs, &mut legacy).unwrap();
+                let mut typed = Dense2::zeros(g.num_edges(), udf.out_len);
+                k.run_typed::<f32>(&x, None, &mut typed).unwrap();
+                assert_eq!(
+                    legacy.as_slice(),
+                    typed.as_slice(),
+                    "f32 run_typed diverged bitwise ({:?}, {traversal:?})",
+                    k.pattern()
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_typed_half_tracks_dequantized_reference() {
+        use fg_tensor::half::{dequantize, quantize};
+        use fg_tensor::{Bf16, F16};
+        let g = generators::uniform(110, 4, 23);
+        let x = features(110, 16);
+        fn check_half<E: FeatElem>(g: &Graph, x: &Dense2<f32>, udf: &Udf) {
+            let k = CpuSddmm::compile(
+                g,
+                udf,
+                &Fds::cpu_tiled(2),
+                &CpuSddmmOptions {
+                    traversal: Traversal::Hilbert,
+                    threads: 2,
+                },
+            )
+            .unwrap();
+            let xh: Dense2<E> = quantize(x);
+            let mut got = Dense2::zeros(g.num_edges(), udf.out_len);
+            k.run_typed(&xh, None, &mut got).unwrap();
+            let wide = dequantize(&xh);
+            let mut want = Dense2::zeros(g.num_edges(), udf.out_len);
+            k.run(&GraphTensors::vertex_only(&wide), &mut want).unwrap();
+            assert!(
+                got.approx_eq(&want, 1e-6),
+                "{} path drifted from dequantized reference: max diff {}",
+                E::DTYPE,
+                got.max_abs_diff(&want)
+            );
+        }
+        for udf in [Udf::dot(16), Udf::multi_head_dot(2, 8)] {
+            check_half::<F16>(&g, &x, &udf);
+            check_half::<Bf16>(&g, &x, &udf);
+        }
     }
 
     #[test]

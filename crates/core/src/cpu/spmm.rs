@@ -4,8 +4,9 @@ use fg_graph::{Graph, PartitionedCsr};
 use fg_ir::interp::{eval_udf, EdgeCtx};
 use fg_ir::pattern::ElemOp;
 use fg_ir::{Fds, KernelPattern, Reducer, Udf};
+use fg_tensor::half::WIDEN_CHUNK;
 use fg_tensor::tile::{ColTile, ColTiles};
-use fg_tensor::Dense2;
+use fg_tensor::{Dense2, FeatElem};
 use fg_telemetry::{counter_add, histogram_record, span, Counter, Histogram};
 use rayon::prelude::*;
 
@@ -181,13 +182,132 @@ impl CpuSpmm {
         Ok(RunStats::default())
     }
 
+    /// Execute the kernel reading vertex features from half-precision (or
+    /// any [`FeatElem`]) storage, accumulating in `f32`. Supports the
+    /// element-wise message patterns directly — loads widen per element in
+    /// the inner loop, so half storage halves the bytes the kernel streams.
+    /// Other parameterless patterns fall back to a one-off `f32`
+    /// materialization; UDFs that declare parameter matrices are rejected
+    /// (pass them through [`run`](Self::run) instead).
+    ///
+    /// With `E = f32` this is the exact code path of [`run`](Self::run):
+    /// the conversions monomorphize to the identity, so results stay
+    /// bitwise identical to the full-precision kernel.
+    pub fn run_typed<E: FeatElem>(
+        &self,
+        vertex: &Dense2<E>,
+        edge: Option<&Dense2<f32>>,
+        out: &mut Dense2<f32>,
+    ) -> Result<RunStats, KernelError> {
+        let needs_src = self.udf.src_len > 0 && self.udf.body.reads_src();
+        let needs_dst = self.udf.dst_len > 0 && self.udf.body.reads_dst();
+        if needs_src || needs_dst {
+            let want_cols = if needs_src { self.udf.src_len } else { self.udf.dst_len };
+            if vertex.rows() != self.num_vertices || vertex.cols() < want_cols {
+                return Err(KernelError::Shape {
+                    what: "vertex".into(),
+                    expected: (self.num_vertices, want_cols),
+                    got: vertex.shape(),
+                });
+            }
+        }
+        if self.udf.edge_len > 0 && self.udf.body.reads_edge() {
+            let Some(e) = edge else {
+                return Err(KernelError::MissingInput { what: "edge" });
+            };
+            if e.rows() != self.num_edges || e.cols() < self.udf.edge_len {
+                return Err(KernelError::Shape {
+                    what: "edge".into(),
+                    expected: (self.num_edges, self.udf.edge_len),
+                    got: e.shape(),
+                });
+            }
+        }
+        if !self.udf.params.is_empty() {
+            return Err(KernelError::ParamCount {
+                expected: self.udf.params.len(),
+                got: 0,
+            });
+        }
+        if out.shape() != (self.num_vertices, self.udf.out_len) {
+            return Err(KernelError::Shape {
+                what: "out".into(),
+                expected: (self.num_vertices, self.udf.out_len),
+                got: out.shape(),
+            });
+        }
+        let _run_span = span!(
+            "spmm/run_typed",
+            "pattern={:?} dtype={} d={}",
+            self.pattern,
+            E::DTYPE,
+            self.udf.out_len
+        );
+        counter_add(Counter::Partitions, self.parts.num_partitions() as u64);
+        counter_add(Counter::FeatureTiles, self.fds.feature_tiles.max(1) as u64);
+        out.fill(self.agg.identity());
+
+        match self.pattern {
+            KernelPattern::CopySrc => self.run_elementwise_t(vertex, vertex, edge, out, MsgKind::CopySrc),
+            KernelPattern::CopyEdge => self.run_elementwise_t(vertex, vertex, edge, out, MsgKind::CopyEdge),
+            KernelPattern::SrcOpEdge(op) => {
+                self.run_elementwise_t(vertex, vertex, edge, out, MsgKind::SrcOpEdge(op))
+            }
+            KernelPattern::SrcOpDst(op) => {
+                self.run_elementwise_t(vertex, vertex, edge, out, MsgKind::SrcOpDst(op))
+            }
+            KernelPattern::SrcMulEdgeScalar => {
+                self.run_elementwise_t(vertex, vertex, edge, out, MsgKind::SrcMulEdgeScalar)
+            }
+            // Patterns without a typed inner loop: widen once and let the
+            // interpreter run on the f32 copy (parameterless UDFs only,
+            // enforced above).
+            _ => {
+                let wide = fg_tensor::half::dequantize(vertex);
+                let inputs = match edge {
+                    Some(e) => GraphTensors::with_edge(&wide, e),
+                    None => GraphTensors::vertex_only(&wide),
+                };
+                self.run_generic(&inputs, out);
+            }
+        }
+
+        let agg = self.agg;
+        let degrees = &self.degrees;
+        let cols = out.cols();
+        self.pool.install(|| {
+            out.as_mut_slice()
+                .par_chunks_mut(cols)
+                .enumerate()
+                .for_each(|(v, row)| {
+                    let deg = degrees[v] as usize;
+                    for o in row {
+                        *o = agg.finalize(*o, deg);
+                    }
+                });
+        });
+        Ok(RunStats::default())
+    }
+
     /// Fused element-wise message kernels (copy/add/mul/sub of per-edge
     /// operands) under graph partitioning + feature tiling.
     fn run_elementwise(&self, inputs: &GraphTensors<'_, f32>, out: &mut Dense2<f32>, kind: MsgKind) {
+        self.run_elementwise_t(inputs.vertex, inputs.dst_tensor(), inputs.edge, out, kind);
+    }
+
+    /// The element-wise inner loops, generic over the vertex-feature storage
+    /// type: loads widen to `f32` ([`FeatElem::load`]), accumulation stays
+    /// `f32`. `E = f32` monomorphizes to the identity load — the historical
+    /// full-precision kernel, op for op.
+    fn run_elementwise_t<E: FeatElem>(
+        &self,
+        x: &Dense2<E>,
+        xd: &Dense2<E>,
+        xe: Option<&Dense2<f32>>,
+        out: &mut Dense2<f32>,
+        kind: MsgKind,
+    ) {
         let d = self.udf.out_len;
-        let x = inputs.vertex;
-        let xd = inputs.dst_tensor();
-        let xe = inputs.edge;
         let agg = self.agg;
         let band_rows = band_rows(self.num_vertices, self.pool.current_num_threads());
 
@@ -198,13 +318,14 @@ impl CpuSpmm {
                 let _span = span!("spmm/partition", "tile={ti} part={pi} edges={}", eids.len());
                 counter_add(Counter::EdgesProcessed, eids.len() as u64);
                 histogram_record(Histogram::SpmmPartitionEdges, eids.len() as u64);
-                // Estimate: one source-row read + one output combine per
-                // edge, tile-width f32 elements each — except the
-                // scalar-weight kernel, whose edge operand is one f32, not a
-                // tile-width row.
+                // Estimate: one source-row read (at the storage width) +
+                // one output combine (f32) per edge, tile-width elements
+                // each — except the scalar-weight kernel, whose edge
+                // operand is one f32, not a tile-width row.
+                let elem = std::mem::size_of::<E>();
                 let per_edge_bytes = match kind {
-                    MsgKind::SrcMulEdgeScalar => tile.len() * 2 * 4 + 4,
-                    _ => tile.len() * 2 * 4,
+                    MsgKind::SrcMulEdgeScalar => tile.len() * (elem + 4) + 4,
+                    _ => tile.len() * (elem + 4),
                 };
                 counter_add(Counter::BytesMoved, (eids.len() * per_edge_bytes) as u64);
                 let ne = self.parts.nonempty(pi);
@@ -410,8 +531,52 @@ enum MsgKind {
     SrcMulEdgeScalar,
 }
 
+// The combine helpers are generic over feature storage: operands widen to
+// `f32` per element ([`FeatElem::load`], the identity for `f32`), and the
+// accumulator is always `f32`.
+
 #[inline(always)]
-fn combine_scaled(agg: Reducer, out: &mut [f32], src: &[f32], w: f32) {
+fn combine_scaled<E: FeatElem>(agg: Reducer, out: &mut [f32], src: &[E], w: f32) {
+    if let Some(src) = E::as_f32(src) {
+        return combine_scaled_f32(agg, out, src, w);
+    }
+    if !E::STAGED_WIDEN {
+        // Trivial decode (bf16: one shift): combine in place, vectorized.
+        match agg {
+            Reducer::Sum | Reducer::Mean => {
+                for (o, &v) in out.iter_mut().zip(src) {
+                    *o += v.load() * w;
+                }
+            }
+            Reducer::Max => {
+                for (o, &v) in out.iter_mut().zip(src) {
+                    let m = v.load() * w;
+                    if m > *o {
+                        *o = m;
+                    }
+                }
+            }
+            Reducer::Min => {
+                for (o, &v) in out.iter_mut().zip(src) {
+                    let m = v.load() * w;
+                    if m < *o {
+                        *o = m;
+                    }
+                }
+            }
+        }
+        return;
+    }
+    let mut buf = [0.0f32; WIDEN_CHUNK];
+    for (oc, sc) in out.chunks_mut(WIDEN_CHUNK).zip(src.chunks(WIDEN_CHUNK)) {
+        let b = &mut buf[..sc.len()];
+        E::widen(sc, b);
+        combine_scaled_f32(agg, oc, b, w);
+    }
+}
+
+#[inline(always)]
+fn combine_scaled_f32(agg: Reducer, out: &mut [f32], src: &[f32], w: f32) {
     match agg {
         Reducer::Sum | Reducer::Mean => {
             for (o, &v) in out.iter_mut().zip(src) {
@@ -437,8 +602,53 @@ fn combine_scaled(agg: Reducer, out: &mut [f32], src: &[f32], w: f32) {
     }
 }
 
+/// Combine one message row into the output. Half-storage rows stage
+/// through a stack buffer via [`FeatElem::widen`] (8-wide F16C decode or
+/// an auto-vectorizable loop); `f32` rows combine in place via
+/// [`FeatElem::as_f32`], so the full-precision instantiation is the
+/// pre-existing loop, bit for bit.
 #[inline(always)]
-fn combine_rows(agg: Reducer, out: &mut [f32], msg: &[f32]) {
+fn combine_rows<E: FeatElem>(agg: Reducer, out: &mut [f32], msg: &[E]) {
+    if let Some(msg) = E::as_f32(msg) {
+        return combine_rows_f32(agg, out, msg);
+    }
+    if !E::STAGED_WIDEN {
+        // Trivial decode (bf16: one shift): combine in place, vectorized.
+        match agg {
+            Reducer::Sum | Reducer::Mean => {
+                for (o, &m) in out.iter_mut().zip(msg) {
+                    *o += m.load();
+                }
+            }
+            Reducer::Max => {
+                for (o, &m) in out.iter_mut().zip(msg) {
+                    let m = m.load();
+                    if m > *o {
+                        *o = m;
+                    }
+                }
+            }
+            Reducer::Min => {
+                for (o, &m) in out.iter_mut().zip(msg) {
+                    let m = m.load();
+                    if m < *o {
+                        *o = m;
+                    }
+                }
+            }
+        }
+        return;
+    }
+    let mut buf = [0.0f32; WIDEN_CHUNK];
+    for (oc, mc) in out.chunks_mut(WIDEN_CHUNK).zip(msg.chunks(WIDEN_CHUNK)) {
+        let b = &mut buf[..mc.len()];
+        E::widen(mc, b);
+        combine_rows_f32(agg, oc, b);
+    }
+}
+
+#[inline(always)]
+fn combine_rows_f32(agg: Reducer, out: &mut [f32], msg: &[f32]) {
     match agg {
         Reducer::Sum | Reducer::Mean => {
             for (o, &m) in out.iter_mut().zip(msg) {
@@ -463,7 +673,79 @@ fn combine_rows(agg: Reducer, out: &mut [f32], msg: &[f32]) {
 }
 
 #[inline(always)]
-fn combine_rows2(agg: Reducer, op: ElemOp, out: &mut [f32], a: &[f32], b: &[f32]) {
+fn combine_rows2<A: FeatElem, B: FeatElem>(
+    agg: Reducer,
+    op: ElemOp,
+    out: &mut [f32],
+    a: &[A],
+    b: &[B],
+) {
+    if let (Some(a), Some(b)) = (A::as_f32(a), B::as_f32(b)) {
+        return combine_rows2_f32(agg, op, out, a, b);
+    }
+    if !A::STAGED_WIDEN && !B::STAGED_WIDEN {
+        // Trivial decodes only: combine in place, vectorized.
+        macro_rules! go {
+            ($apply:expr) => {
+                match agg {
+                    Reducer::Sum | Reducer::Mean => {
+                        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                            *o += $apply(x.load(), y.load());
+                        }
+                    }
+                    Reducer::Max => {
+                        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                            let m = $apply(x.load(), y.load());
+                            if m > *o {
+                                *o = m;
+                            }
+                        }
+                    }
+                    Reducer::Min => {
+                        for ((o, &x), &y) in out.iter_mut().zip(a).zip(b) {
+                            let m = $apply(x.load(), y.load());
+                            if m < *o {
+                                *o = m;
+                            }
+                        }
+                    }
+                }
+            };
+        }
+        match op {
+            ElemOp::Add => go!(|x: f32, y: f32| x + y),
+            ElemOp::Mul => go!(|x: f32, y: f32| x * y),
+            ElemOp::Sub => go!(|x: f32, y: f32| x - y),
+        }
+        return;
+    }
+    let mut ba = [0.0f32; WIDEN_CHUNK];
+    let mut bb = [0.0f32; WIDEN_CHUNK];
+    for ((oc, ac), bc) in out
+        .chunks_mut(WIDEN_CHUNK)
+        .zip(a.chunks(WIDEN_CHUNK))
+        .zip(b.chunks(WIDEN_CHUNK))
+    {
+        let af: &[f32] = match A::as_f32(ac) {
+            Some(s) => s,
+            None => {
+                A::widen(ac, &mut ba[..ac.len()]);
+                &ba[..ac.len()]
+            }
+        };
+        let bf: &[f32] = match B::as_f32(bc) {
+            Some(s) => s,
+            None => {
+                B::widen(bc, &mut bb[..bc.len()]);
+                &bb[..bc.len()]
+            }
+        };
+        combine_rows2_f32(agg, op, oc, af, bf);
+    }
+}
+
+#[inline(always)]
+fn combine_rows2_f32(agg: Reducer, op: ElemOp, out: &mut [f32], a: &[f32], b: &[f32]) {
     macro_rules! go {
         ($apply:expr) => {
             match agg {
@@ -705,6 +987,122 @@ mod tests {
         assert!(matches!(
             CpuSpmm::compile(&g, &udf, Reducer::Sum, &Fds::default(), &opts),
             Err(KernelError::BadSchedule(_))
+        ));
+    }
+
+    #[test]
+    fn run_typed_f32_is_bitwise_identical_to_run() {
+        let g = generators::uniform(160, 5, 11);
+        let x = features(160, 24);
+        let xe = features(g.num_edges(), 24);
+        for (udf, edge) in [
+            (Udf::copy_src(24), None),
+            (Udf::src_add_dst(24), None),
+            (Udf::src_mul_edge(24), Some(&xe)),
+            (Udf::copy_edge(24), Some(&xe)),
+        ] {
+            for agg in [Reducer::Sum, Reducer::Max, Reducer::Mean] {
+                let k = CpuSpmm::compile(
+                    &g,
+                    &udf,
+                    agg,
+                    &Fds::cpu_tiled(3),
+                    &CpuSpmmOptions::with_threads(4, 2),
+                )
+                .unwrap();
+                let inputs = GraphTensors {
+                    vertex: &x,
+                    vertex_dst: None,
+                    edge,
+                    params: &[],
+                };
+                let mut legacy = Dense2::zeros(160, 24);
+                k.run(&inputs, &mut legacy).unwrap();
+                let mut typed = Dense2::zeros(160, 24);
+                k.run_typed::<f32>(&x, edge, &mut typed).unwrap();
+                assert_eq!(
+                    legacy.as_slice(),
+                    typed.as_slice(),
+                    "f32 run_typed diverged bitwise (udf out_len {}, agg {agg:?})",
+                    udf.out_len
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn run_typed_half_tracks_reference_within_tolerance() {
+        use fg_tensor::half::quantize;
+        use fg_tensor::{Bf16, F16};
+        let g = generators::uniform(140, 5, 17);
+        let x = features(140, 16);
+        let xe = features(g.num_edges(), 16);
+        fn check_half<E: FeatElem>(
+            g: &Graph,
+            x: &Dense2<f32>,
+            xe: &Dense2<f32>,
+            udf: &Udf,
+            edge: bool,
+            tol: f64,
+        ) {
+            let k = CpuSpmm::compile(
+                g,
+                udf,
+                Reducer::Sum,
+                &Fds::cpu_tiled(2),
+                &CpuSpmmOptions::with_threads(3, 2),
+            )
+            .unwrap();
+            let xh: Dense2<E> = quantize(x);
+            let edge = edge.then_some(xe);
+            let mut got = Dense2::zeros(g.num_vertices(), udf.out_len);
+            k.run_typed(&xh, edge, &mut got).unwrap();
+            // Reference: run the full-precision kernel on the dequantized
+            // features — the half path should only differ by f32 rounding in
+            // a different association order (none for these kernels).
+            let wide = fg_tensor::half::dequantize(&xh);
+            let inputs = GraphTensors {
+                vertex: &wide,
+                vertex_dst: None,
+                edge,
+                params: &[],
+            };
+            let mut want = Dense2::zeros(g.num_vertices(), udf.out_len);
+            k.run(&inputs, &mut want).unwrap();
+            assert!(
+                got.approx_eq(&want, tol),
+                "{} path drifted from dequantized reference: max diff {}",
+                E::DTYPE,
+                got.max_abs_diff(&want)
+            );
+        }
+        for (udf, edge) in [
+            (Udf::copy_src(16), false),
+            (Udf::src_add_dst(16), false),
+            (Udf::src_mul_edge(16), true),
+        ] {
+            check_half::<F16>(&g, &x, &xe, &udf, edge, 1e-6);
+            check_half::<Bf16>(&g, &x, &xe, &udf, edge, 1e-6);
+        }
+    }
+
+    #[test]
+    fn run_typed_rejects_param_udfs() {
+        let g = generators::uniform(30, 3, 1);
+        let udf = Udf::mlp(8, 4);
+        let k = CpuSpmm::compile(
+            &g,
+            &udf,
+            Reducer::Sum,
+            &Fds::default(),
+            &CpuSpmmOptions::single_thread(1),
+        )
+        .unwrap();
+        let x = features(30, 8);
+        let mut out = Dense2::zeros(30, 4);
+        assert!(matches!(
+            k.run_typed::<f32>(&x, None, &mut out),
+            Err(KernelError::ParamCount { .. })
         ));
     }
 

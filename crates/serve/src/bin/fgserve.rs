@@ -22,7 +22,20 @@ use std::time::{Duration, Instant};
 use fg_gnn::data::SbmTask;
 use fg_gnn::models::build_model;
 use fg_serve::stats::LatencyRecorder;
-use fg_serve::{metrics, protocol, Engine, ServeConfig};
+use fg_serve::{frame, metrics, protocol, Engine, ServeConfig};
+use fg_tensor::{Dense2, FeatureDtype};
+
+/// Which wire protocol bench clients speak.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WireProto {
+    /// Line-oriented text for every client.
+    Text,
+    /// Length-prefixed binary frames for every client.
+    Binary,
+    /// Even-numbered clients binary, odd text — exercises per-connection
+    /// negotiation on one server.
+    Mixed,
+}
 
 struct Opts {
     addr: Option<String>,
@@ -50,6 +63,11 @@ struct Opts {
     seeds_per_request: usize,
     fanout: Option<String>,
     sample_seed: u64,
+    feat_cols: usize,
+    protocol: WireProto,
+    feature_dtype: FeatureDtype,
+    conn_handlers: usize,
+    max_conns: usize,
     expect_no_shed: bool,
     expect_shed: bool,
     expect_plan_hits: bool,
@@ -88,6 +106,11 @@ impl Default for Opts {
             seeds_per_request: 0,
             fanout: None,
             sample_seed: 0,
+            feat_cols: 0,
+            protocol: WireProto::Text,
+            feature_dtype: FeatureDtype::F32,
+            conn_handlers: 0,
+            max_conns: 256,
             expect_no_shed: false,
             expect_shed: false,
             expect_plan_hits: false,
@@ -107,20 +130,34 @@ const USAGE: &str = "usage:
                   [--kernel-threads N] [--shards N] [--shard-strategy range|degree]
                   [--deadline-ms N] [--exec-delay-ms N]
                   [--plan-cache-bytes N] [--mem-budget N]
+                  [--feature-dtype f32|f16|bf16] [--conn-handlers N] [--max-conns N]
                   [--trace-sample N] [--slow-ms N] [--trace FILE]
   fgserve bench   [--addr HOST:PORT] [--clients N] [--requests N] [--runs N]
                   [--model NAME] [dataset/engine knobs as above when embedded]
                   [--seeds-per-request N] [--fanout F0,F1] [--sample-seed N]
+                  [--feat-cols N] [--protocol text|binary|mixed]
                   [--expect-no-shed] [--expect-shed] [--expect-plan-hits]
                   [--expect-mem-shed]
   fgserve metrics --addr HOST:PORT [--require SERIES]...
 
+Both subcommands accept [--feature-dtype f32|f16|bf16] (half-precision
+feature storage, f32 accumulate), [--conn-handlers N] (connection handler
+pool; 0 = one per core, capped at 16), and [--max-conns N] (admission
+limit on concurrent connections; 0 = unlimited) when they build a server.
+
 bench without --addr benchmarks an embedded server on an ephemeral port.
+--protocol picks the wire protocol the bench clients speak: text (default),
+  binary (length-prefixed frames), or mixed (even clients binary, odd text,
+  against one server — exercises per-connection negotiation). Reply digests
+  are protocol-independent: binary and text runs over the same workload
+  print the same digest.
 --seeds-per-request N > 0 switches the bench clients to INFER_SEEDS: each
   request carries N seeds drawn from a power-law popularity distribution
   (a small head of hot vertices gets most of the traffic), with --fanout
   per-hop caps (full fanout when omitted) and a fresh sampler seed per
-  request offset by --sample-seed.
+  request offset by --sample-seed. --feat-cols C > 0 additionally attaches
+  C client-supplied feature scalars per seed (the feature-heavy workload
+  where text-protocol ASCII parsing dominates).
 --shards N >= 2 splits every registered graph across N per-shard workers with
   a halo exchange between layers (--shard-strategy picks the placement);
   results stay bitwise identical to single-worker serving, and bench prints a
@@ -186,6 +223,21 @@ fn parse_opts(args: &[String]) -> Result<Opts, String> {
                 o.fanout = Some(v);
             }
             "--sample-seed" => o.sample_seed = num(arg, &value(arg, &mut it)?)? as u64,
+            "--feat-cols" => o.feat_cols = num(arg, &value(arg, &mut it)?)?,
+            "--protocol" => {
+                o.protocol = match value(arg, &mut it)?.as_str() {
+                    "text" => WireProto::Text,
+                    "binary" => WireProto::Binary,
+                    "mixed" => WireProto::Mixed,
+                    other => return Err(format!("{arg}: expected text|binary|mixed, got {other}")),
+                };
+            }
+            "--feature-dtype" => {
+                let v = value(arg, &mut it)?;
+                o.feature_dtype = v.parse().map_err(|e| format!("{arg}: {e}"))?;
+            }
+            "--conn-handlers" => o.conn_handlers = num(arg, &value(arg, &mut it)?)?,
+            "--max-conns" => o.max_conns = num(arg, &value(arg, &mut it)?)?,
             "--expect-no-shed" => o.expect_no_shed = true,
             "--expect-shed" => o.expect_shed = true,
             "--expect-plan-hits" => o.expect_plan_hits = true,
@@ -228,6 +280,9 @@ fn build_engine(o: &Opts) -> Arc<Engine> {
         slow_ms: o.slow_ms,
         plan_cache_bytes: o.plan_cache_bytes,
         mem_budget: o.mem_budget,
+        feature_dtype: o.feature_dtype,
+        conn_handlers: o.conn_handlers,
+        max_conns: o.max_conns,
     }));
     for name in &o.models {
         // Attribute the dataset build: graph + feature tensors land in the
@@ -355,6 +410,134 @@ struct SeedsMode {
     seeds_per_request: usize,
     fanout: Option<String>,
     sample_seed: u64,
+    /// Feature columns per client-supplied seed row; `0` = no feature
+    /// payload. This is the feature-heavy workload where the per-scalar
+    /// ASCII parse dominates the text protocol.
+    feat_cols: usize,
+}
+
+/// Deterministic feature scalar in [-1, 1), identical on both protocols
+/// (the text side prints the shortest roundtripping decimal).
+fn feat_value(client: usize, i: usize, row: usize, col: usize) -> f32 {
+    let h = bench_hash(client, i, 1_000_000 + row * 4096 + col);
+    (h as f64 / u64::MAX as f64 * 2.0 - 1.0) as f32
+}
+
+/// Client-supplied feature rows for one request.
+fn feat_rows(client: usize, i: usize, rows: usize, cols: usize) -> Dense2<f32> {
+    Dense2::from_fn(rows, cols, |r, c| feat_value(client, i, r, c))
+}
+
+/// Binary-protocol bench client: same workload and tallies as the text
+/// client, one frame per request. Reply payloads are digested through
+/// their canonical text rendering so binary and text runs over the same
+/// workload print identical digests.
+fn bench_client_binary(
+    addr: &str,
+    model: &str,
+    client: usize,
+    n: usize,
+    vertices: usize,
+    seeds_mode: Option<SeedsMode>,
+) -> std::io::Result<(RunTally, Vec<Duration>)> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_nodelay(true)?;
+    let mut writer = stream.try_clone()?;
+    let mut reader = BufReader::new(stream);
+    let mut tally = RunTally::default();
+    let mut latencies = Vec::with_capacity(n);
+    let tally_err = |code: &str, tally: &mut RunTally| match code {
+        "overloaded" => tally.shed += 1,
+        "over-memory-budget" => tally.mem_shed += 1,
+        "timeout" => tally.timed_out += 1,
+        _ => tally.other_err += 1,
+    };
+    for i in 0..n {
+        let id = format!("c{client}-r{i}");
+        let t0 = Instant::now();
+        let req = if let Some(mode) = &seeds_mode {
+            let seeds: Vec<usize> = (0..mode.seeds_per_request)
+                .map(|j| popular_vertex(client, i, j, vertices))
+                .collect();
+            let fanouts = mode.fanout.as_deref().map(|f| {
+                f.split(',')
+                    .map(|t| t.parse().expect("fanout validated at flag parse"))
+                    .collect()
+            });
+            let feats = (mode.feat_cols > 0)
+                .then(|| feat_rows(client, i, seeds.len(), mode.feat_cols));
+            protocol::Request::InferSeeds {
+                model: model.to_string(),
+                seeds,
+                fanouts,
+                sample_seed: mode.sample_seed.wrapping_add(bench_hash(client, i, 99)),
+                feats,
+                id: Some(id.clone()),
+                deadline_ms: None,
+            }
+        } else {
+            let node = (client
+                .wrapping_mul(2654435761)
+                .wrapping_add(i.wrapping_mul(40503)))
+                % vertices;
+            protocol::Request::Infer {
+                model: model.to_string(),
+                node,
+                id: Some(id.clone()),
+                deadline_ms: None,
+            }
+        };
+        frame::write_frame(&mut writer, &frame::encode_request(&req))?;
+        let reply_frame = match frame::read_frame(&mut reader, false) {
+            Ok(f) => f,
+            Err(frame::FrameError::Io(_)) => {
+                tally.lost += (n - i) as u64;
+                break;
+            }
+            Err(_) => {
+                tally.mismatched += 1;
+                continue;
+            }
+        };
+        let elapsed = t0.elapsed();
+        match frame::decode_reply(&reply_frame) {
+            Ok(frame::WireReply::Ok { id: got, resp }) if got == id => {
+                tally.completed += 1;
+                tally.digest = tally
+                    .digest
+                    .wrapping_add(fnv1a(&protocol::format_ok(Some(&id), &resp)));
+                latencies.push(elapsed);
+            }
+            Ok(frame::WireReply::Seeds {
+                id: got,
+                seeds,
+                resp,
+            }) if got == id => {
+                let expect = seeds_mode.as_ref().map_or(0, |m| m.seeds_per_request);
+                if resp.results.len() == expect {
+                    tally.completed += 1;
+                    // Digest the SEED payload lines only, exactly like the
+                    // text client: header subgraph sizes legitimately vary.
+                    let mut request_digest = 0u64;
+                    for line in protocol::format_seeds_ok(Some(&id), &seeds, &resp)
+                        .iter()
+                        .skip(1)
+                    {
+                        request_digest = request_digest.wrapping_add(fnv1a(&format!("{id} {line}")));
+                    }
+                    tally.digest = tally.digest.wrapping_add(request_digest);
+                    latencies.push(elapsed);
+                } else {
+                    tally.mismatched += 1;
+                }
+            }
+            Ok(frame::WireReply::Err { id: got, code, .. }) if got == id => {
+                tally_err(&code, &mut tally);
+            }
+            _ => tally.mismatched += 1,
+        }
+    }
+    Ok((tally, latencies))
 }
 
 fn bench_client(
@@ -383,12 +566,28 @@ fn bench_client(
                 .fanout
                 .as_deref()
                 .map_or(String::new(), |f| format!(" fanout={f}"));
+            // Feature-heavy workload: every scalar crosses the wire as
+            // ASCII and is re-parsed server-side — the baseline the binary
+            // protocol removes.
+            let feats = if mode.feat_cols > 0 {
+                let rows: Vec<String> = (0..mode.seeds_per_request)
+                    .map(|r| {
+                        (0..mode.feat_cols)
+                            .map(|c| feat_value(client, i, r, c).to_string())
+                            .collect::<Vec<_>>()
+                            .join(",")
+                    })
+                    .collect();
+                format!(" feats={}", rows.join(";"))
+            } else {
+                String::new()
+            };
             // Fresh sampler seed per request: every request samples a
             // different subgraph, exercising the shape-bucketed plan keys.
             let sample_seed = mode.sample_seed.wrapping_add(bench_hash(client, i, 99));
             writeln!(
                 writer,
-                "INFER_SEEDS {model} {}{fanout} sample_seed={sample_seed} id={id}",
+                "INFER_SEEDS {model} {}{fanout}{feats} sample_seed={sample_seed} id={id}",
                 seeds.join(",")
             )?;
             line.clear();
@@ -650,7 +849,9 @@ fn cmd_bench(o: &Opts) -> ExitCode {
             seeds_per_request: o.seeds_per_request,
             fanout: o.fanout.clone(),
             sample_seed: o.sample_seed,
+            feat_cols: o.feat_cols,
         });
+        let protocol = o.protocol;
         let handles: Vec<_> = (0..o.clients.max(1))
             .map(|c| {
                 let addr = addr.clone();
@@ -658,7 +859,20 @@ fn cmd_bench(o: &Opts) -> ExitCode {
                 let n = per_client + usize::from(c < remainder);
                 let vertices = o.vertices;
                 let seeds_mode = seeds_mode.clone();
-                std::thread::spawn(move || bench_client(&addr, &model, c, n, vertices, seeds_mode))
+                let binary = match protocol {
+                    WireProto::Text => false,
+                    WireProto::Binary => true,
+                    // Mixed: even-numbered clients speak binary, odd text —
+                    // both protocols active on the same server at once.
+                    WireProto::Mixed => c % 2 == 0,
+                };
+                std::thread::spawn(move || {
+                    if binary {
+                        bench_client_binary(&addr, &model, c, n, vertices, seeds_mode)
+                    } else {
+                        bench_client(&addr, &model, c, n, vertices, seeds_mode)
+                    }
+                })
             })
             .collect();
         let mut tally = RunTally::default();

@@ -35,19 +35,19 @@ use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
 use fg_gnn::models::Model;
-use fg_gnn::sampled::{gather_rows, prepare_seeds};
+use fg_gnn::sampled::prepare_seeds;
 use fg_gnn::{infer_batch, infer_sharded, FeatgraphBackend, GnnGraph, ShardRun, ShardedGraph};
 use fg_graph::{SampleConfig, ShardStrategy, VId, FULL_FANOUT};
 use fg_telemetry::{
     counter_add, emit_span, histogram_record, span, timestamp_ns, Counter, Histogram, MemCharge,
     MemComponent, MemScope, TraceContext, TraceSampler, TraceScope,
 };
-use fg_tensor::Dense2;
+use fg_tensor::{Dense2, FeatureDtype, FeatureTensor};
 
 use crate::batcher::{Batcher, BatcherConfig, PushError};
 use crate::oneshot::Oneshot;
 use crate::plan_cache::{PlanCache, PlanKey};
-use crate::stats::{Phase, ServeStats, SlowEntry, SlowLog, StatsSnapshot};
+use crate::stats::{ConnSnapshot, ConnStats, Phase, ServeStats, SlowEntry, SlowLog, StatsSnapshot};
 
 /// Slow-request log retention (newest entries win).
 const SLOW_LOG_CAPACITY: usize = 128;
@@ -106,6 +106,20 @@ pub struct ServeConfig {
     /// `fg-telemetry/enabled` feature); with accounting compiled out the
     /// tracked total reads 0 and the gate never trips.
     pub mem_budget: u64,
+    /// Storage precision for registered feature matrices: `F32` keeps the
+    /// rows verbatim (results stay bitwise identical to an engine without
+    /// this knob); `F16`/`Bf16` quantize at registration, halving feature
+    /// bytes — kernels still accumulate in f32, widening on load.
+    pub feature_dtype: FeatureDtype,
+    /// Connection-handler threads in the TCP front-end's fixed pool
+    /// (`0` = auto-size from available parallelism). The embedded engine
+    /// ignores this; `fg-serve`'s readiness-polled acceptor consumes it.
+    pub conn_handlers: usize,
+    /// Concurrent-connection admission bound for the TCP front-end: accepts
+    /// beyond this are shed immediately (counted in
+    /// `fgserve_conn_admission_shed_total`) instead of queueing behind the
+    /// handler pool. `0` = unlimited.
+    pub max_conns: usize,
 }
 
 impl Default for ServeConfig {
@@ -124,6 +138,9 @@ impl Default for ServeConfig {
             slow_ms: None,
             plan_cache_bytes: 0,
             mem_budget: 0,
+            feature_dtype: FeatureDtype::F32,
+            conn_handlers: 0,
+            max_conns: 256,
         }
     }
 }
@@ -218,6 +235,12 @@ pub struct InferSeedsRequest {
     /// RNG seed for the neighbor sampler (same value + same seeds = same
     /// subgraph).
     pub sample_seed: u64,
+    /// Client-supplied feature rows overriding the registered features for
+    /// the seed vertices only — one row per seed, in seed order, with the
+    /// model's registered feature width. The request runs on the sampled
+    /// path (neighbor rows still come from the registered matrix), with the
+    /// seeds' gathered rows replaced by these before the forward pass.
+    pub feats: Option<Dense2<f32>>,
     /// Per-request deadline; falls back to
     /// [`ServeConfig::default_deadline`] when `None`.
     pub deadline: Option<Duration>,
@@ -244,6 +267,7 @@ enum Payload {
         seeds: Vec<usize>,
         fanouts: Vec<usize>,
         sample_seed: u64,
+        feats: Option<Dense2<f32>>,
         reply: Arc<Oneshot<Result<SeedsResponse, ServeError>>>,
     },
 }
@@ -329,7 +353,7 @@ enum CachedPlan {
 pub struct ModelEntry {
     graph_id: u64,
     graph: GnnGraph,
-    features: Dense2<f32>,
+    features: FeatureTensor,
     model: Box<dyn Model>,
     /// Shard slices + halo-exchange plan, built once at registration when
     /// the engine is configured with `shards >= 2`.
@@ -536,6 +560,7 @@ struct Shared {
     batcher: Batcher<Job>,
     plans: PlanCache<CachedPlan>,
     stats: Arc<ServeStats>,
+    conn: Arc<ConnStats>,
     sampler: TraceSampler,
     slow_log: SlowLog,
     next_graph_id: AtomicU64,
@@ -568,6 +593,7 @@ impl Engine {
             models: RwLock::new(HashMap::new()),
             plans: PlanCache::bounded(plan_cache_bytes),
             stats,
+            conn: Arc::new(ConnStats::default()),
             next_graph_id: AtomicU64::new(0),
         });
         let handles = (0..workers)
@@ -600,6 +626,9 @@ impl Engine {
         let sharded = (self.shared.cfg.shards >= 2).then(|| {
             ShardedEntry::build(&graph, self.shared.cfg.shards, self.shared.cfg.shard_strategy)
         });
+        // Quantize at registration per the configured storage dtype; F32
+        // keeps the caller's buffer untouched (no copy, no rounding).
+        let features = FeatureTensor::from_f32(self.shared.cfg.feature_dtype, features);
         let entry = Arc::new(ModelEntry {
             graph_id,
             graph,
@@ -757,6 +786,27 @@ impl Engine {
             Some(f) => f,
             None => vec![FULL_FANOUT; DEFAULT_SAMPLE_HOPS],
         };
+        if let Some(feats) = &req.feats {
+            if feats.rows() != req.seeds.len() {
+                return Err(ServeError::BadRequest(format!(
+                    "feats has {} rows for {} seeds",
+                    feats.rows(),
+                    req.seeds.len()
+                )));
+            }
+            if feats.cols() != entry.features.cols() {
+                return Err(ServeError::BadRequest(format!(
+                    "feats width {} does not match model feature width {}",
+                    feats.cols(),
+                    entry.features.cols()
+                )));
+            }
+            if let Some(bad) = feats.as_slice().iter().find(|v| !v.is_finite()) {
+                return Err(ServeError::BadRequest(format!(
+                    "non-finite feature value {bad}"
+                )));
+            }
+        }
         let now = Instant::now();
         let deadline = req
             .deadline
@@ -769,6 +819,7 @@ impl Engine {
                 seeds: req.seeds,
                 fanouts,
                 sample_seed: req.sample_seed,
+                feats: req.feats,
                 reply: Arc::clone(&reply),
             },
             accepted: now,
@@ -836,7 +887,35 @@ impl Engine {
     /// enabled) the process-wide `fg-telemetry` registry, terminated by
     /// `# EOF`.
     pub fn metrics_text(&self) -> String {
-        crate::metrics::render(&self.stats(), &self.memory_report(), &self.shards_report())
+        crate::metrics::render(
+            &self.stats(),
+            &self.memory_report(),
+            &self.shards_report(),
+            &self.conn_stats().snapshot(),
+        )
+    }
+
+    /// Connection counters for the TCP front-end. The engine owns the
+    /// struct (so `METRICS` can render it from any front-end, including
+    /// none); the acceptor and handler pool increment it.
+    pub fn conn_stats(&self) -> Arc<ConnStats> {
+        Arc::clone(&self.shared.conn)
+    }
+
+    /// Storage dtype the engine quantizes registered features to.
+    pub fn feature_dtype(&self) -> FeatureDtype {
+        self.shared.cfg.feature_dtype
+    }
+
+    /// The configuration this engine was started with.
+    pub fn config(&self) -> &ServeConfig {
+        &self.shared.cfg
+    }
+
+    /// Point-in-time connection-counter snapshot (all zeros when no TCP
+    /// front-end is attached).
+    pub fn conn_snapshot(&self) -> ConnSnapshot {
+        self.shared.conn.snapshot()
     }
 
     /// Point-in-time per-shard topology and traffic breakdown backing the
@@ -1112,7 +1191,8 @@ fn execute_node_group(
     let (result, execute, exchange) = if let Some(sharded) = entry.sharded.as_ref() {
         run_sharded_rows(shared, model_name, entry, sharded, &nodes, &mut compile)
     } else {
-        let key = PlanKey::cpu(entry.graph_id, model_name, shared.cfg.kernel_threads);
+        let key = PlanKey::cpu(entry.graph_id, model_name, shared.cfg.kernel_threads)
+            .with_dtype(entry.features.dtype());
         let (plan, hit) = shared.plans.get_or_insert(&key, || {
             let _compile_span = span!("serve/plan_compile", "model={model_name}");
             let t0 = Instant::now();
@@ -1139,13 +1219,18 @@ fn execute_node_group(
             let _infer_span = span!("serve/infer", "model={model_name} nodes={}", nodes.len());
             // Attribute the batch's tape/scratch allocations to the serve path.
             let _mem = MemScope::enter(MemComponent::ServeBatch);
-            infer_batch(
-                entry.model.as_ref(),
-                &entry.graph,
-                &entry.features,
-                backend,
-                &nodes,
-            )
+            // F32 storage borrows the registered buffer directly; half
+            // storage widens once per batch group (the materialized copy is
+            // scratch, charged to the serve batch).
+            let widened;
+            let features: &Dense2<f32> = match entry.features.as_f32() {
+                Some(f) => f,
+                None => {
+                    widened = entry.features.to_f32();
+                    &widened
+                }
+            };
+            infer_batch(entry.model.as_ref(), &entry.graph, features, backend, &nodes)
         };
         let execute = exec_start.elapsed();
         // Plans compile lazily per feature dim, so re-report the backend's
@@ -1229,7 +1314,8 @@ fn run_sharded_rows(
         shared.cfg.kernel_threads,
         num_shards,
         sharded.graph.plan().strategy(),
-    );
+    )
+    .with_dtype(entry.features.dtype());
     let (plan, hit) = shared.plans.get_or_insert(&key, || {
         let _compile_span = span!("serve/plan_compile", "model={model_name} shards={num_shards}");
         let t0 = Instant::now();
@@ -1262,13 +1348,15 @@ fn run_sharded_rows(
         );
         // Attribute the batch's tape/scratch allocations to the serve path.
         let _mem = MemScope::enter(MemComponent::ServeBatch);
-        infer_sharded(
-            entry.model.as_ref(),
-            &sharded.graph,
-            &entry.features,
-            backends,
-            nodes,
-        )
+        let widened;
+        let features: &Dense2<f32> = match entry.features.as_f32() {
+            Some(f) => f,
+            None => {
+                widened = entry.features.to_f32();
+                &widened
+            }
+        };
+        infer_sharded(entry.model.as_ref(), &sharded.graph, features, backends, nodes)
     };
     let execute = exec_start.elapsed();
     shared
@@ -1300,6 +1388,7 @@ fn execute_seeds_job(
         seeds,
         fanouts,
         sample_seed,
+        feats,
         reply,
     } = job.payload
     else {
@@ -1311,8 +1400,11 @@ fn execute_seeds_job(
     // identical to the single-worker path. Capped fanouts stay on the
     // sampled path — the sampler's RNG keying makes capped results depend
     // on which vertices share a request, which shard-splitting would change.
+    // Requests carrying their own seed features also stay on the sampled
+    // path: the override rewrites gathered rows, which the sharded pass
+    // (reading the registered matrix in place) cannot do.
     if let Some(sharded) = entry.sharded.as_ref() {
-        if fanouts.iter().all(|&f| f == FULL_FANOUT) {
+        if feats.is_none() && fanouts.iter().all(|&f| f == FULL_FANOUT) {
             let mut compile = Duration::ZERO;
             let (result, execute, exchange) =
                 run_sharded_rows(shared, model_name, entry, sharded, &seeds, &mut compile);
@@ -1385,7 +1477,16 @@ fn execute_seeds_job(
     // The subgraph and its index maps live until the reply is built;
     // account them so MEMORY answers show per-request sampling footprint.
     let _sampling_charge = MemCharge::new(MemComponent::Sampling, sub.mem_bytes());
-    let gathered = gather_rows(&entry.features, sub.locals());
+    // Gather widens half-precision storage to f32 in the same pass that
+    // materializes the subgraph's rows — no second conversion sweep.
+    let mut gathered = entry.features.gather_rows_f32(sub.locals());
+    if let Some(feats) = &feats {
+        // Client-supplied rows replace the registered features for the
+        // seeds only; sampled neighbors keep the stored rows.
+        for (i, &local) in sub.seed_locals().iter().enumerate() {
+            gathered.row_mut(local as usize).copy_from_slice(feats.row(i));
+        }
+    }
     let sample = sample_start.elapsed();
 
     // Schedule lookup: subgraphs of similar size share a tuned partition
@@ -1397,7 +1498,8 @@ fn execute_seeds_job(
         shared.cfg.kernel_threads,
         sub.num_vertices(),
         sub.num_edges(),
-    );
+    )
+    .with_dtype(entry.features.dtype());
     let mut compile = Duration::ZERO;
     let (plan, hit) = shared.plans.get_or_insert(&key, || {
         let _compile_span = span!("serve/plan_compile", "model={model_name} sampled");

@@ -55,9 +55,12 @@
 
 pub mod batcher;
 pub mod engine;
+pub mod frame;
 pub mod metrics;
 pub mod oneshot;
 pub mod plan_cache;
+#[cfg(target_os = "linux")]
+pub mod poll;
 pub mod protocol;
 pub mod server;
 pub mod stats;
@@ -69,4 +72,4 @@ pub use engine::{
 };
 pub use plan_cache::{PlanCache, PlanKey};
 pub use server::{serve, ServerHandle};
-pub use stats::{LatencySnapshot, Phase, SlowEntry, StatsSnapshot};
+pub use stats::{ConnSnapshot, ConnStats, LatencySnapshot, Phase, SlowEntry, StatsSnapshot};

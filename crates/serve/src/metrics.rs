@@ -17,7 +17,7 @@
 //! clients read until they see it.
 
 use crate::engine::{MemoryReport, ShardsReport};
-use crate::stats::{LatencySnapshot, Phase, StatsSnapshot};
+use crate::stats::{ConnSnapshot, LatencySnapshot, Phase, StatsSnapshot};
 
 /// One parsed sample: series identity (`name{labels}` exactly as exposed)
 /// and its value.
@@ -49,8 +49,16 @@ fn write_summary(out: &mut String, name: &str, labels: &str, snap: &LatencySnaps
 /// Render the full exposition for one engine snapshot. `mem` carries the
 /// live gauges the snapshot doesn't: the accounted-memory breakdown and the
 /// plan-cache occupancy. `shards` adds the per-shard `fgserve_shard_*`
-/// series (none emitted when the engine serves single-worker).
-pub fn render(stats: &StatsSnapshot, mem: &MemoryReport, shards: &ShardsReport) -> String {
+/// series (none emitted when the engine serves single-worker). `conn`
+/// carries the TCP front-end's connection counters — all-zero for embedded
+/// engines with no listener, so the series still exist and scrapes can
+/// `--require` them unconditionally.
+pub fn render(
+    stats: &StatsSnapshot,
+    mem: &MemoryReport,
+    shards: &ShardsReport,
+    conn: &ConnSnapshot,
+) -> String {
     use std::fmt::Write;
     let mut out = String::with_capacity(4096);
     for (name, value) in [
@@ -138,6 +146,37 @@ pub fn render(stats: &StatsSnapshot, mem: &MemoryReport, shards: &ShardsReport) 
                 let _ = writeln!(out, "{name}{{{labels}}} {value}");
             }
         }
+    }
+
+    for (name, value) in [
+        ("fgserve_conn_accepted_total", conn.accepted),
+        ("fgserve_conn_closed_total", conn.closed),
+        ("fgserve_conn_bad_frames_total", conn.bad_frames),
+        ("fgserve_conn_bad_lines_total", conn.bad_lines),
+    ] {
+        let _ = writeln!(out, "# TYPE {} counter", name.trim_end_matches("_total"));
+        let _ = writeln!(out, "{name} {value}");
+    }
+    let _ = writeln!(out, "# TYPE fgserve_conn_admission_shed counter");
+    let _ = writeln!(
+        out,
+        "fgserve_conn_admission_shed_total{{reason=\"max-conns\"}} {}",
+        conn.admission_shed
+    );
+    let _ = writeln!(out, "# TYPE fgserve_conn_protocol counter");
+    for (proto, value) in [("binary", conn.binary_conns), ("text", conn.text_conns)] {
+        let _ = writeln!(
+            out,
+            "fgserve_conn_protocol_total{{protocol=\"{proto}\"}} {value}"
+        );
+    }
+    for (name, value) in [
+        ("fgserve_conn_active", conn.active),
+        ("fgserve_conn_dispatch_depth", conn.dispatch_depth),
+        ("fgserve_conn_dispatch_depth_max", conn.dispatch_depth_max),
+    ] {
+        let _ = writeln!(out, "# TYPE {name} gauge");
+        let _ = writeln!(out, "{name} {value}");
     }
 
     let _ = writeln!(out, "# TYPE fgserve_request_latency_ms summary");
@@ -241,7 +280,7 @@ mod tests {
     #[test]
     fn empty_engine_exposition_parses_and_has_always_on_series() {
         let stats = ServeStats::default();
-        let text = render(&stats.snapshot(), &mem_with_entries(0), &ShardsReport::default());
+        let text = render(&stats.snapshot(), &mem_with_entries(0), &ShardsReport::default(), &ConnSnapshot::default());
         let samples = parse_exposition(&text).expect("parseable");
         assert!(text.ends_with("# EOF\n"));
         // Single-worker engines expose no shard series at all.
@@ -276,7 +315,7 @@ mod tests {
         for _ in 0..10 {
             stats.record_phase(Phase::Execute, Duration::from_millis(8));
         }
-        let text = render(&stats.snapshot(), &mem_with_entries(3), &ShardsReport::default());
+        let text = render(&stats.snapshot(), &mem_with_entries(3), &ShardsReport::default(), &ConnSnapshot::default());
         assert_eq!(
             sample(
                 &text,
@@ -324,7 +363,7 @@ mod tests {
                 },
             ],
         };
-        let text = render(&stats.snapshot(), &mem_with_entries(0), &shards);
+        let text = render(&stats.snapshot(), &mem_with_entries(0), &shards, &ConnSnapshot::default());
         assert_eq!(
             sample(&text, "fgserve_shard_exchange_bytes_total"),
             Some(224.0),

@@ -110,6 +110,18 @@ impl PlanKey {
             options: format!("cpu,t={threads},shard,n={shards},s={strategy}"),
         }
     }
+
+    /// Append the feature storage dtype to the options namespace. `F32`
+    /// leaves the key untouched, so engines serving f32 keep the exact keys
+    /// they had before the dtype knob existed — cache state and hit/miss
+    /// accounting stay bitwise comparable.
+    pub fn with_dtype(mut self, dtype: fg_tensor::FeatureDtype) -> Self {
+        if dtype != fg_tensor::FeatureDtype::F32 {
+            self.options.push_str(",dtype=");
+            self.options.push_str(dtype.name());
+        }
+        self
+    }
 }
 
 struct Entry<V> {

@@ -1,0 +1,202 @@
+//! Minimal `epoll` readiness shim for the nonblocking acceptor.
+//!
+//! The workspace takes no external crates, so this binds the three epoll
+//! syscalls (plus `close`) directly from the C library that `std` already
+//! links — no `libc` crate, no raw `syscall()` numbers. Linux-only; the
+//! server falls back to blocking accept + thread-per-connection elsewhere
+//! (`fg-serve` gates this module behind `cfg(target_os = "linux")`).
+//!
+//! The shim intentionally exposes only what the acceptor needs:
+//! level-triggered interest for the listener, `EPOLLONESHOT` interest for
+//! connections (an event parks the fd until the handler re-arms it, so a
+//! connection is serviced by exactly one handler at a time), and a
+//! timeout-bounded [`Poller::wait`].
+
+use std::io;
+use std::os::fd::RawFd;
+
+const EPOLL_CLOEXEC: i32 = 0o2000000;
+const EPOLL_CTL_ADD: i32 = 1;
+const EPOLL_CTL_DEL: i32 = 2;
+const EPOLL_CTL_MOD: i32 = 3;
+
+const EPOLLIN: u32 = 0x001;
+const EPOLLERR: u32 = 0x008;
+const EPOLLHUP: u32 = 0x010;
+const EPOLLRDHUP: u32 = 0x2000;
+const EPOLLONESHOT: u32 = 1 << 30;
+
+/// Kernel event record. x86-64 packs this struct (no padding between the
+/// mask and the data word); other architectures use natural alignment.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+struct EpollEvent {
+    events: u32,
+    data: u64,
+}
+
+extern "C" {
+    fn epoll_create1(flags: i32) -> i32;
+    fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+    fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    fn close(fd: i32) -> i32;
+}
+
+/// One readiness notification from [`Poller::wait`].
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// Caller-chosen token registered with the fd.
+    pub token: u64,
+    /// Data is readable (or the peer half-closed — reads will see EOF).
+    pub readable: bool,
+    /// Error/hangup condition; the fd should be serviced (the read path
+    /// surfaces the actual error) and closed.
+    pub hangup: bool,
+}
+
+/// Thin RAII wrapper over an epoll instance.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: RawFd,
+}
+
+// The epoll fd is just an fd; ctl/wait are thread-safe per the kernel API.
+unsafe impl Send for Poller {}
+unsafe impl Sync for Poller {}
+
+impl Poller {
+    /// Create an epoll instance (close-on-exec).
+    pub fn new() -> io::Result<Self> {
+        let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+        if epfd < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(Poller { epfd })
+    }
+
+    fn interest(oneshot: bool) -> u32 {
+        let base = EPOLLIN | EPOLLRDHUP;
+        if oneshot {
+            base | EPOLLONESHOT
+        } else {
+            base
+        }
+    }
+
+    fn ctl(&self, op: i32, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+        let mut ev = EpollEvent {
+            events,
+            data: token,
+        };
+        let rc = unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) };
+        if rc < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        Ok(())
+    }
+
+    /// Register `fd` for read readiness under `token`. With `oneshot`, the
+    /// fd goes quiet after its first event until [`rearm`](Self::rearm).
+    pub fn add(&self, fd: RawFd, token: u64, oneshot: bool) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_ADD, fd, Self::interest(oneshot), token)
+    }
+
+    /// Re-enable a oneshot registration after servicing its event.
+    pub fn rearm(&self, fd: RawFd, token: u64) -> io::Result<()> {
+        self.ctl(EPOLL_CTL_MOD, fd, Self::interest(true), token)
+    }
+
+    /// Drop a registration. Errors are ignored — the fd may already be
+    /// closed, which deregisters implicitly.
+    pub fn delete(&self, fd: RawFd) {
+        let _ = self.ctl(EPOLL_CTL_DEL, fd, 0, 0);
+    }
+
+    /// Wait up to `timeout_ms` (`-1` = forever) and append ready events to
+    /// `out`. Returns the number of events delivered; `EINTR` counts as
+    /// zero events rather than an error.
+    pub fn wait(&self, out: &mut Vec<Event>, timeout_ms: i32) -> io::Result<usize> {
+        let mut raw = [EpollEvent { events: 0, data: 0 }; 64];
+        let rc = unsafe { epoll_wait(self.epfd, raw.as_mut_ptr(), raw.len() as i32, timeout_ms) };
+        if rc < 0 {
+            let err = io::Error::last_os_error();
+            if err.kind() == io::ErrorKind::Interrupted {
+                return Ok(0);
+            }
+            return Err(err);
+        }
+        for ev in raw.iter().take(rc as usize) {
+            // Copy out of the (possibly packed) struct before using.
+            let events = ev.events;
+            let token = ev.data;
+            out.push(Event {
+                token,
+                readable: events & (EPOLLIN | EPOLLRDHUP) != 0,
+                hangup: events & (EPOLLERR | EPOLLHUP) != 0,
+            });
+        }
+        Ok(rc as usize)
+    }
+}
+
+impl Drop for Poller {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.epfd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::net::{TcpListener, TcpStream};
+    use std::os::fd::AsRawFd;
+
+    #[test]
+    fn listener_readiness_fires_on_connect() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let poller = Poller::new().unwrap();
+        poller.add(listener.as_raw_fd(), 7, false).unwrap();
+
+        let mut events = Vec::new();
+        poller.wait(&mut events, 0).unwrap();
+        assert!(events.is_empty(), "no pending connection yet");
+
+        let _client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let n = poller.wait(&mut events, 2000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 7);
+        assert!(events[0].readable);
+    }
+
+    #[test]
+    fn oneshot_parks_until_rearmed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let mut client = TcpStream::connect(listener.local_addr().unwrap()).unwrap();
+        let (server_side, _) = listener.accept().unwrap();
+
+        let poller = Poller::new().unwrap();
+        poller.add(server_side.as_raw_fd(), 42, true).unwrap();
+
+        client.write_all(b"x").unwrap();
+        let mut events = Vec::new();
+        let n = poller.wait(&mut events, 2000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 42);
+
+        // Unread data remains, but the oneshot registration is spent.
+        events.clear();
+        let n = poller.wait(&mut events, 100).unwrap();
+        assert_eq!(n, 0, "oneshot must not refire before rearm");
+
+        poller.rearm(server_side.as_raw_fd(), 42).unwrap();
+        let n = poller.wait(&mut events, 2000).unwrap();
+        assert_eq!(n, 1);
+        assert_eq!(events[0].token, 42);
+
+        poller.delete(server_side.as_raw_fd());
+    }
+}

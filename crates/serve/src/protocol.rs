@@ -5,7 +5,7 @@
 //! ```text
 //! INFER <model> <node> [id=<token>] [deadline_ms=<n>]
 //! INFER_SEEDS <model> <s0,s1,...> [fanout=<f0,f1,...>] [sample_seed=<n>]
-//!             [id=<token>] [deadline_ms=<n>]
+//!             [feats=<r0v0,r0v1;r1v0,r1v1;...>] [id=<token>] [deadline_ms=<n>]
 //! STATS
 //! METRICS
 //! MEMORY
@@ -49,6 +49,13 @@
 //! header carries the sampled subgraph's vertex/edge counts. A failed
 //! seeded request answers with a single ordinary `ERR` line.
 //!
+//! `feats=` carries client-supplied feature rows for the seed vertices
+//! (rows `;`-separated, values `,`-separated, one row per seed in seed
+//! order); the engine substitutes them for the stored feature rows before
+//! inference. Non-finite values are rejected with `bad-request`. This is
+//! the feature-heavy workload the binary protocol ([`crate::frame`])
+//! exists for — ASCII float parsing here is the measured baseline.
+//!
 //! `<id>` is an opaque client token echoed back verbatim (`-` when the
 //! request carried none) — it is how `fgserve bench` proves that no
 //! response was lost, duplicated, or crossed between requests. Error codes
@@ -58,13 +65,15 @@
 
 use std::time::Duration;
 
+use fg_tensor::Dense2;
+
 use crate::engine::{InferResponse, SeedsResponse, ServeError};
 
 /// Placeholder ID echoed when the client supplied none.
 pub const NO_ID: &str = "-";
 
 /// A parsed client line.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Request {
     /// `INFER <model> <node> [id=..] [deadline_ms=..]`
     Infer {
@@ -88,6 +97,9 @@ pub enum Request {
         fanouts: Option<Vec<usize>>,
         /// Sampler RNG seed (defaults to 0).
         sample_seed: u64,
+        /// Client-supplied feature rows (one per seed, in seed order)
+        /// substituted for the stored rows; `None` = stored features.
+        feats: Option<Dense2<f32>>,
         /// Client token echoed in the response.
         id: Option<String>,
         /// Per-request deadline override.
@@ -188,6 +200,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
             }
             let mut fanouts = None;
             let mut sample_seed = 0;
+            let mut feats = None;
             let mut id = None;
             let mut deadline_ms = None;
             for opt in parts {
@@ -197,6 +210,8 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                         return Err("empty fanout=".into());
                     }
                     fanouts = Some(f);
+                } else if let Some(tok) = opt.strip_prefix("feats=") {
+                    feats = Some(parse_feats(tok)?);
                 } else if let Some(tok) = opt.strip_prefix("sample_seed=") {
                     sample_seed = tok
                         .parse()
@@ -218,6 +233,7 @@ pub fn parse_request(line: &str) -> Result<Request, String> {
                 seeds,
                 fanouts,
                 sample_seed,
+                feats,
                 id,
                 deadline_ms,
             })
@@ -232,6 +248,41 @@ fn parse_usize_list(tok: &str) -> Result<Vec<usize>, &str> {
     tok.split(',')
         .map(|t| t.parse::<usize>().map_err(|_| t))
         .collect()
+}
+
+/// Parse a `feats=` payload: rows separated by `;`, values by `,`. Every
+/// row must have the same width; `nan`/`inf` tokens are rejected here so
+/// a malformed payload never reaches the engine.
+fn parse_feats(tok: &str) -> Result<Dense2<f32>, String> {
+    let mut rows: Vec<Vec<f32>> = Vec::new();
+    for row_tok in tok.split(';') {
+        if row_tok.is_empty() {
+            return Err("empty feats row".into());
+        }
+        let row = row_tok
+            .split(',')
+            .map(|t| match t.parse::<f32>() {
+                Ok(v) if v.is_finite() => Ok(v),
+                Ok(_) => Err(format!("non-finite feat {t:?}")),
+                Err(_) => Err(format!("bad feat {t:?}")),
+            })
+            .collect::<Result<Vec<f32>, String>>()?;
+        if let Some(first) = rows.first() {
+            if row.len() != first.len() {
+                return Err(format!(
+                    "ragged feats: row 0 has {} values, row {} has {}",
+                    first.len(),
+                    rows.len(),
+                    row.len()
+                ));
+            }
+        }
+        rows.push(row);
+    }
+    let cols = rows[0].len();
+    let n = rows.len();
+    Dense2::from_vec(n, cols, rows.into_iter().flatten().collect())
+        .map_err(|e| format!("bad feats shape: {e}"))
 }
 
 /// Render a successful inference reply.
@@ -453,6 +504,7 @@ mod tests {
                 seeds: vec![3, 1, 4],
                 fanouts: Some(vec![10, 5]),
                 sample_seed: 7,
+                feats: None,
                 id: Some("c1".into()),
                 deadline_ms: Some(90),
             }
@@ -466,10 +518,38 @@ mod tests {
                 seeds: vec![5],
                 fanouts: None,
                 sample_seed: 0,
+                feats: None,
                 id: None,
                 deadline_ms: None,
             }
         );
+    }
+
+    #[test]
+    fn parses_feats_payload() {
+        let req = parse_request("INFER_SEEDS gcn 3,1 feats=0.5,-1.25;2,3 id=c9").unwrap();
+        match req {
+            Request::InferSeeds { feats: Some(f), .. } => {
+                assert_eq!(f.shape(), (2, 2));
+                assert_eq!(f.as_slice(), &[0.5, -1.25, 2.0, 3.0]);
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn rejects_malformed_feats_payloads() {
+        // ragged rows
+        assert!(parse_request("INFER_SEEDS gcn 1,2 feats=1,2;3").is_err());
+        // empty row / empty payload
+        assert!(parse_request("INFER_SEEDS gcn 1 feats=").is_err());
+        assert!(parse_request("INFER_SEEDS gcn 1,2 feats=1,2;;3,4").is_err());
+        // unparsable scalar
+        assert!(parse_request("INFER_SEEDS gcn 1 feats=1,x").is_err());
+        // non-finite scalars never reach the engine
+        assert!(parse_request("INFER_SEEDS gcn 1 feats=nan,1").is_err());
+        assert!(parse_request("INFER_SEEDS gcn 1 feats=inf").is_err());
+        assert!(parse_request("INFER_SEEDS gcn 1 feats=-inf,0").is_err());
     }
 
     #[test]

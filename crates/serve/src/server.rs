@@ -1,25 +1,51 @@
-//! Blocking TCP front-end over `std::net`: one acceptor thread, one thread
-//! per connection, one reply per request line (in order; `METRICS`,
-//! `MEMORY`, and `SLOWLOG` replies span multiple lines with explicit
-//! terminators/counts, everything else is a single line).
+//! TCP front-end: a readiness-polled acceptor multiplexing every
+//! connection over one epoll instance, serviced by a **fixed pool** of
+//! connection handlers — no thread-per-connection.
 //!
-//! The server owns an `Arc<Engine>`; `SHUTDOWN` (or
-//! [`ServerHandle::shutdown`]) stops the acceptor, drains the engine, and
-//! answers `BYE`. Connection threads are detached — in-flight requests
-//! still get replies because engine shutdown drains the queue before
-//! joining its workers.
+//! On Linux the acceptor thread owns a [`crate::poll::Poller`]: the
+//! listener is registered level-triggered, every accepted connection
+//! `EPOLLONESHOT` — a readiness event removes the connection from the
+//! shared map and queues its token for the handler pool, and the oneshot
+//! registration guarantees no second handler can pick the same connection
+//! up until the first one re-arms it. Handlers drain the socket with
+//! nonblocking reads, process every *complete* message in the buffer
+//! (blocking writes for replies), then re-insert the connection and re-arm.
+//! Admission control happens at accept: beyond
+//! [`crate::engine::ServeConfig::max_conns`] live connections, new accepts
+//! are shed immediately (counted, connection closed) instead of piling
+//! onto the handler pool. Off Linux the same per-connection state machine
+//! runs on a blocking thread-per-connection fallback.
+//!
+//! Both wire protocols share the front-end. A connection's first bytes
+//! pick its mode: the [`crate::frame::MAGIC`] prefix selects the binary
+//! frame protocol for the connection's lifetime, anything else is parsed
+//! as text lines ([`crate::protocol`]). Replies always use the requesting
+//! connection's protocol. Malformed input — unparsable text line,
+//! undecodable frame payload — produces a typed error reply and the
+//! connection stays usable; only unrecoverable framing damage (wrong
+//! magic mid-stream, oversized declared length) closes it.
 
-use std::io::{BufRead, BufReader, Write};
+use std::collections::HashMap;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
 
 use fg_telemetry::{span, TraceScope};
 
 use crate::engine::{Engine, InferRequest, InferSeedsRequest};
+use crate::frame::{self, Frame, FrameError, WireReply, HEADER_LEN, MAGIC, MAX_PAYLOAD};
 use crate::protocol::{self, Request};
+use crate::stats::ConnStats;
+
+/// Read chunk size for the handler drain loop.
+const READ_CHUNK: usize = 64 * 1024;
+
+/// Hard cap on buffered-but-unconsumed bytes per connection: one maximal
+/// frame plus its header, with headroom for a pipelined follow-up header.
+const MAX_BUFFER: usize = MAX_PAYLOAD as usize + 2 * HEADER_LEN;
 
 /// A running server; dropping it does **not** stop the acceptor — call
 /// [`shutdown`](Self::shutdown) or [`join`](Self::join).
@@ -60,7 +86,7 @@ impl ServerHandle {
 }
 
 /// Ask the acceptor to exit: set the flag, then poke the listener with a
-/// throwaway connection so the blocking `accept` wakes up.
+/// throwaway connection so the blocking `accept`/`epoll_wait` wakes up.
 fn request_stop(stop: &AtomicBool, addr: SocketAddr) {
     stop.store(true, Ordering::SeqCst);
     let _ = TcpStream::connect(addr);
@@ -77,7 +103,7 @@ pub fn serve<A: ToSocketAddrs>(engine: Arc<Engine>, addr: A) -> std::io::Result<
         let stop = Arc::clone(&stop);
         std::thread::Builder::new()
             .name("fgserve-acceptor".into())
-            .spawn(move || accept_loop(listener, engine, stop))
+            .spawn(move || run_front_end(listener, engine, stop))
             .expect("spawn acceptor")
     };
     Ok(ServerHandle {
@@ -88,200 +114,789 @@ pub fn serve<A: ToSocketAddrs>(engine: Arc<Engine>, addr: A) -> std::io::Result<
     })
 }
 
-fn accept_loop(listener: TcpListener, engine: Arc<Engine>, stop: Arc<AtomicBool>) {
-    let addr = listener.local_addr().expect("listener addr");
-    for conn in listener.incoming() {
-        if stop.load(Ordering::SeqCst) {
-            break;
-        }
-        let Ok(stream) = conn else { continue };
-        // Request/reply lines are tiny; Nagle + delayed ACK would add tens
-        // of milliseconds per round trip.
-        let _ = stream.set_nodelay(true);
-        let engine = Arc::clone(&engine);
-        let stop = Arc::clone(&stop);
-        let _ = std::thread::Builder::new()
-            .name("fgserve-conn".into())
-            .spawn(move || {
-                if handle_connection(stream, &engine, &stop) == ConnOutcome::ShutdownRequested {
-                    request_stop(&stop, addr);
+/// Handler-pool size: configured value, or one handler per available core
+/// (bounded) when the config says auto.
+fn handler_pool_size(configured: usize) -> usize {
+    if configured > 0 {
+        return configured;
+    }
+    std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(4)
+        .clamp(2, 16)
+}
+
+// ---- per-connection state machine --------------------------------------
+
+/// Wire mode, fixed by the connection's first bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Proto {
+    /// Not enough bytes seen yet to sniff.
+    Unknown,
+    /// Line-oriented text protocol.
+    Text,
+    /// Length-prefixed binary frame protocol.
+    Binary,
+}
+
+/// One live connection: its socket, negotiated protocol, and any bytes
+/// read but not yet forming a complete message.
+struct ConnState {
+    stream: TcpStream,
+    proto: Proto,
+    buf: Vec<u8>,
+}
+
+/// What servicing decided about the connection's future.
+#[derive(Debug, PartialEq, Eq)]
+enum ConnAction {
+    /// Keep the connection; wait for more input.
+    Keep,
+    /// Close it (EOF, IO error, or unrecoverable framing damage).
+    Close,
+    /// Client asked the whole server to shut down.
+    Shutdown,
+}
+
+/// Drain readable bytes without blocking, process every complete message,
+/// and say what to do with the connection. Shared by the epoll handlers
+/// and the fallback threads (which call it after a blocking read instead
+/// of the nonblocking drain).
+fn service_conn(engine: &Engine, conn: &mut ConnState, conn_stats: &ConnStats) -> ConnAction {
+    let mut saw_eof = false;
+    if conn.stream.set_nonblocking(true).is_err() {
+        return ConnAction::Close;
+    }
+    let mut chunk = [0u8; READ_CHUNK];
+    loop {
+        match conn.stream.read(&mut chunk) {
+            Ok(0) => {
+                saw_eof = true;
+                break;
+            }
+            Ok(n) => {
+                conn.buf.extend_from_slice(&chunk[..n]);
+                if conn.buf.len() > MAX_BUFFER {
+                    // A message this large can never become valid; drop the
+                    // connection rather than buffering unboundedly.
+                    let _ = conn.stream.set_nonblocking(false);
+                    return ConnAction::Close;
                 }
-            });
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+            Err(_) => {
+                saw_eof = true;
+                break;
+            }
+        }
+    }
+    if conn.stream.set_nonblocking(false).is_err() {
+        return ConnAction::Close;
+    }
+    match process_buffer(engine, conn, conn_stats) {
+        ConnAction::Keep if saw_eof => ConnAction::Close,
+        other => other,
     }
 }
 
-#[derive(PartialEq)]
-enum ConnOutcome {
-    Closed,
-    ShutdownRequested,
+/// Consume every complete message currently buffered. Partial trailing
+/// input stays in `conn.buf` for the next readiness event.
+fn process_buffer(engine: &Engine, conn: &mut ConnState, conn_stats: &ConnStats) -> ConnAction {
+    loop {
+        if conn.proto == Proto::Unknown {
+            if conn.buf.len() >= MAGIC.len() {
+                if conn.buf[..MAGIC.len()] == MAGIC {
+                    conn.proto = Proto::Binary;
+                    conn_stats.binary_conns.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    conn.proto = Proto::Text;
+                    conn_stats.text_conns.fetch_add(1, Ordering::Relaxed);
+                }
+            } else if conn.buf.contains(&b'\n') {
+                // A complete line shorter than the magic is necessarily
+                // text.
+                conn.proto = Proto::Text;
+                conn_stats.text_conns.fetch_add(1, Ordering::Relaxed);
+            } else {
+                return ConnAction::Keep;
+            }
+        }
+        let action = match conn.proto {
+            Proto::Text => match next_line(&mut conn.buf) {
+                None => return ConnAction::Keep,
+                Some(line) => handle_text_line(engine, &line, &mut conn.stream, conn_stats),
+            },
+            Proto::Binary => match next_frame(&mut conn.buf) {
+                FrameStep::Incomplete => return ConnAction::Keep,
+                FrameStep::Frame(frame) => {
+                    handle_frame(engine, frame, &mut conn.stream, conn_stats)
+                }
+                FrameStep::Broken(err) => {
+                    // Framing is unrecoverable: answer once, then close.
+                    conn_stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+                    let reply = WireReply::Err {
+                        id: "-".into(),
+                        code: "bad-frame".into(),
+                        detail: err.to_string(),
+                    };
+                    let _ = frame::write_frame(&mut conn.stream, &frame::encode_reply(&reply));
+                    ConnAction::Close
+                }
+            },
+            Proto::Unknown => unreachable!("sniffed above"),
+        };
+        if action != ConnAction::Keep {
+            return action;
+        }
+    }
 }
+
+/// Split one `\n`-terminated line off the front of `buf` (CR stripped).
+fn next_line(buf: &mut Vec<u8>) -> Option<String> {
+    let pos = buf.iter().position(|&b| b == b'\n')?;
+    let rest = buf.split_off(pos + 1);
+    let mut line = std::mem::replace(buf, rest);
+    line.pop(); // the \n
+    if line.last() == Some(&b'\r') {
+        line.pop();
+    }
+    Some(String::from_utf8_lossy(&line).into_owned())
+}
+
+/// One step of binary frame extraction from a byte buffer.
+enum FrameStep {
+    /// Header or payload not fully buffered yet.
+    Incomplete,
+    /// A complete frame, consumed from the buffer.
+    Frame(Frame),
+    /// Framing damage — the stream cannot be resynchronized.
+    Broken(FrameError),
+}
+
+/// Pop one complete frame off the front of `buf`, validating the header.
+fn next_frame(buf: &mut Vec<u8>) -> FrameStep {
+    if buf.len() < HEADER_LEN {
+        return FrameStep::Incomplete;
+    }
+    if buf[..4] != MAGIC {
+        return FrameStep::Broken(FrameError::BadMagic([buf[0], buf[1], buf[2], buf[3]]));
+    }
+    if buf[5] != 0 || buf[6] != 0 || buf[7] != 0 {
+        return FrameStep::Broken(FrameError::Malformed(
+            "non-zero reserved header bytes".into(),
+        ));
+    }
+    let len = u32::from_le_bytes([buf[8], buf[9], buf[10], buf[11]]);
+    if len > MAX_PAYLOAD {
+        return FrameStep::Broken(FrameError::Oversized(len));
+    }
+    let total = HEADER_LEN + len as usize;
+    if buf.len() < total {
+        return FrameStep::Incomplete;
+    }
+    let ty = buf[4];
+    let rest = buf.split_off(total);
+    let mut frame_bytes = std::mem::replace(buf, rest);
+    frame_bytes.drain(..HEADER_LEN);
+    FrameStep::Frame(Frame {
+        ty,
+        payload: frame_bytes,
+    })
+}
+
+// ---- request dispatch ---------------------------------------------------
 
 fn write_line(writer: &mut TcpStream, line: &str) -> std::io::Result<()> {
     writeln!(writer, "{line}")?;
     writer.flush()
 }
 
-fn handle_connection(stream: TcpStream, engine: &Engine, stop: &AtomicBool) -> ConnOutcome {
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return ConnOutcome::Closed,
-    };
-    let reader = BufReader::new(stream);
-    for line in reader.lines() {
-        let Ok(line) = line else { break };
-        if line.trim().is_empty() {
-            continue;
+/// Multi-line declared-count body shared by MEMORY/SHARDS (text bytes are
+/// identical on both protocols).
+fn counted_body(header: &str, tag: &str, lines: &[String]) -> String {
+    let mut out = format!("{header} {}\n", lines.len());
+    for line in lines {
+        out.push_str(tag);
+        out.push(' ');
+        out.push_str(line);
+        out.push('\n');
+    }
+    out
+}
+
+fn slowlog_body(engine: &Engine, limit: Option<usize>) -> String {
+    let entries = engine.slow_requests(limit);
+    let mut out = format!("SLOWLOG {}\n", entries.len());
+    for entry in &entries {
+        out.push_str(&entry.to_wire_line());
+        out.push('\n');
+    }
+    out
+}
+
+/// Serve one parsed text line, writing the reply in text form.
+fn handle_text_line(
+    engine: &Engine,
+    line: &str,
+    writer: &mut TcpStream,
+    conn_stats: &ConnStats,
+) -> ConnAction {
+    if line.trim().is_empty() {
+        return ConnAction::Keep;
+    }
+    let written = match protocol::parse_request(line) {
+        Err(msg) => {
+            conn_stats.bad_lines.fetch_add(1, Ordering::Relaxed);
+            write_line(writer, &protocol::format_bad_request(&msg))
         }
-        let written = match protocol::parse_request(&line) {
-            Err(msg) => write_line(&mut writer, &protocol::format_bad_request(&msg)),
-            Ok(Request::Ping) => write_line(&mut writer, "PONG"),
-            Ok(Request::Stats) => {
-                let _span = span!("serve/request", "verb=STATS");
-                write_line(&mut writer, &format!("STATS {}", engine.stats().to_wire_line()))
-            }
-            Ok(Request::Metrics) => {
-                // Multi-line reply; the exposition already ends with the
-                // "# EOF" terminator line clients read up to.
-                let text = engine.metrics_text();
-                writer
-                    .write_all(text.as_bytes())
-                    .and_then(|_| writer.flush())
-            }
-            Ok(Request::Memory) => {
-                let _span = span!("serve/request", "verb=MEMORY");
-                let lines = engine.memory_report().to_wire_lines();
-                let mut out = format!("MEMORY {}\n", lines.len());
-                for line in &lines {
-                    out.push_str("MEM ");
-                    out.push_str(line);
-                    out.push('\n');
-                }
-                writer
-                    .write_all(out.as_bytes())
-                    .and_then(|_| writer.flush())
-            }
-            Ok(Request::Shards) => {
-                let _span = span!("serve/request", "verb=SHARDS");
-                let lines = engine.shards_report().to_wire_lines();
-                let mut out = format!("SHARDS {}\n", lines.len());
-                for line in &lines {
-                    out.push_str("SHARD ");
-                    out.push_str(line);
-                    out.push('\n');
-                }
-                writer
-                    .write_all(out.as_bytes())
-                    .and_then(|_| writer.flush())
-            }
-            Ok(Request::SlowLog { limit }) => {
-                let entries = engine.slow_requests(limit);
-                let mut out = format!("SLOWLOG {}\n", entries.len());
-                for entry in &entries {
-                    out.push_str(&entry.to_wire_line());
-                    out.push('\n');
-                }
-                writer
-                    .write_all(out.as_bytes())
-                    .and_then(|_| writer.flush())
-            }
-            Ok(Request::Shutdown) => {
-                let _ = writeln!(writer, "BYE");
-                return ConnOutcome::ShutdownRequested;
-            }
-            Ok(req @ Request::Infer { .. }) => {
-                let deadline = req.deadline();
-                let Request::Infer { model, node, id, .. } = req else {
-                    unreachable!()
-                };
-                // Mint the trace before submitting so this front-end span
-                // and every engine/kernel span below it share one trace id.
-                let trace = engine.mint_trace();
-                let _scope = TraceScope::enter(trace);
-                let _span = span!(
-                    "serve/request",
-                    "model={model} node={node} trace={:#x}",
-                    trace.trace_id
-                );
-                let result = engine
-                    .submit_traced(
-                        InferRequest {
-                            model,
-                            node,
-                            deadline,
-                        },
-                        trace,
-                    )
-                    .and_then(|ticket| ticket.wait());
-                // Serialize phase: reply formatting plus the socket write.
-                let ser_start = Instant::now();
-                let reply = match result {
-                    Ok(resp) => protocol::format_ok(id.as_deref(), &resp),
-                    Err(err) => protocol::format_err(id.as_deref(), &err),
-                };
-                let written = write_line(&mut writer, &reply);
-                engine.record_serialize(ser_start.elapsed());
-                written
-            }
-            Ok(req @ Request::InferSeeds { .. }) => {
-                let deadline = req.deadline();
-                let Request::InferSeeds {
-                    model,
-                    seeds,
-                    fanouts,
-                    sample_seed,
-                    id,
-                    ..
-                } = req
-                else {
-                    unreachable!()
-                };
-                let trace = engine.mint_trace();
-                let _scope = TraceScope::enter(trace);
-                let _span = span!(
-                    "serve/request",
-                    "model={model} seeds={} trace={:#x}",
-                    seeds.len(),
-                    trace.trace_id
-                );
-                let result = engine
-                    .submit_seeds_traced(
-                        InferSeedsRequest {
-                            model,
-                            seeds: seeds.clone(),
-                            fanouts,
-                            sample_seed,
-                            deadline,
-                        },
-                        trace,
-                    )
-                    .and_then(|ticket| ticket.wait());
-                // Serialize phase: reply formatting plus the socket write.
-                let ser_start = Instant::now();
-                let out = match result {
-                    Ok(resp) => {
-                        // Declared-count multi-line reply, MEMORY-style.
-                        let mut out = String::new();
-                        for line in protocol::format_seeds_ok(id.as_deref(), &seeds, &resp) {
-                            out.push_str(&line);
-                            out.push('\n');
-                        }
-                        out
+        Ok(Request::Shutdown) => {
+            let _ = write_line(writer, "BYE");
+            return ConnAction::Shutdown;
+        }
+        Ok(Request::Ping) => write_line(writer, "PONG"),
+        Ok(Request::Stats) => {
+            let _span = span!("serve/request", "verb=STATS");
+            write_line(writer, &format!("STATS {}", engine.stats().to_wire_line()))
+        }
+        Ok(Request::Metrics) => {
+            // Multi-line reply; the exposition already ends with the
+            // "# EOF" terminator line clients read up to.
+            let text = engine.metrics_text();
+            writer.write_all(text.as_bytes()).and_then(|_| writer.flush())
+        }
+        Ok(Request::Memory) => {
+            let _span = span!("serve/request", "verb=MEMORY");
+            let body = counted_body("MEMORY", "MEM", &engine.memory_report().to_wire_lines());
+            writer.write_all(body.as_bytes()).and_then(|_| writer.flush())
+        }
+        Ok(Request::Shards) => {
+            let _span = span!("serve/request", "verb=SHARDS");
+            let body = counted_body("SHARDS", "SHARD", &engine.shards_report().to_wire_lines());
+            writer.write_all(body.as_bytes()).and_then(|_| writer.flush())
+        }
+        Ok(Request::SlowLog { limit }) => {
+            let body = slowlog_body(engine, limit);
+            writer.write_all(body.as_bytes()).and_then(|_| writer.flush())
+        }
+        Ok(req @ Request::Infer { .. }) => {
+            let deadline = req.deadline();
+            let Request::Infer { model, node, id, .. } = req else {
+                unreachable!()
+            };
+            // Mint the trace before submitting so this front-end span
+            // and every engine/kernel span below it share one trace id.
+            let trace = engine.mint_trace();
+            let _scope = TraceScope::enter(trace);
+            let _span = span!(
+                "serve/request",
+                "model={model} node={node} trace={:#x}",
+                trace.trace_id
+            );
+            let result = engine
+                .submit_traced(
+                    InferRequest {
+                        model,
+                        node,
+                        deadline,
+                    },
+                    trace,
+                )
+                .and_then(|ticket| ticket.wait());
+            // Serialize phase: reply formatting plus the socket write.
+            let ser_start = Instant::now();
+            let reply = match result {
+                Ok(resp) => protocol::format_ok(id.as_deref(), &resp),
+                Err(err) => protocol::format_err(id.as_deref(), &err),
+            };
+            let written = write_line(writer, &reply);
+            engine.record_serialize(ser_start.elapsed());
+            written
+        }
+        Ok(req @ Request::InferSeeds { .. }) => {
+            let deadline = req.deadline();
+            let Request::InferSeeds {
+                model,
+                seeds,
+                fanouts,
+                sample_seed,
+                feats,
+                id,
+                ..
+            } = req
+            else {
+                unreachable!()
+            };
+            let trace = engine.mint_trace();
+            let _scope = TraceScope::enter(trace);
+            let _span = span!(
+                "serve/request",
+                "model={model} seeds={} trace={:#x}",
+                seeds.len(),
+                trace.trace_id
+            );
+            let result = engine
+                .submit_seeds_traced(
+                    InferSeedsRequest {
+                        model,
+                        seeds: seeds.clone(),
+                        fanouts,
+                        sample_seed,
+                        feats,
+                        deadline,
+                    },
+                    trace,
+                )
+                .and_then(|ticket| ticket.wait());
+            // Serialize phase: reply formatting plus the socket write.
+            let ser_start = Instant::now();
+            let out = match result {
+                Ok(resp) => {
+                    // Declared-count multi-line reply, MEMORY-style.
+                    let mut out = String::new();
+                    for line in protocol::format_seeds_ok(id.as_deref(), &seeds, &resp) {
+                        out.push_str(&line);
+                        out.push('\n');
                     }
-                    Err(err) => format!("{}\n", protocol::format_err(id.as_deref(), &err)),
-                };
-                let written = writer
-                    .write_all(out.as_bytes())
-                    .and_then(|_| writer.flush());
-                engine.record_serialize(ser_start.elapsed());
-                written
+                    out
+                }
+                Err(err) => format!("{}\n", protocol::format_err(id.as_deref(), &err)),
+            };
+            let written = writer.write_all(out.as_bytes()).and_then(|_| writer.flush());
+            engine.record_serialize(ser_start.elapsed());
+            written
+        }
+    };
+    if written.is_err() {
+        ConnAction::Close
+    } else {
+        ConnAction::Keep
+    }
+}
+
+/// Serve one binary frame, writing the reply as a frame.
+fn handle_frame(
+    engine: &Engine,
+    frame: Frame,
+    writer: &mut TcpStream,
+    conn_stats: &ConnStats,
+) -> ConnAction {
+    let req = match frame::decode_request(&frame) {
+        Ok(req) => req,
+        Err(err) => {
+            // Structurally bad payload inside an intact frame: typed error,
+            // connection stays alive.
+            conn_stats.bad_frames.fetch_add(1, Ordering::Relaxed);
+            let reply = WireReply::Err {
+                id: "-".into(),
+                code: "bad-request".into(),
+                detail: err.to_string(),
+            };
+            return write_reply(writer, &reply, ConnAction::Keep);
+        }
+    };
+    let (reply, action) = match req {
+        Request::Shutdown => (WireReply::Bye, ConnAction::Shutdown),
+        Request::Ping => (WireReply::Pong, ConnAction::Keep),
+        Request::Stats => {
+            let _span = span!("serve/request", "verb=STATS");
+            (
+                WireReply::Text(format!("STATS {}\n", engine.stats().to_wire_line())),
+                ConnAction::Keep,
+            )
+        }
+        Request::Metrics => (WireReply::Text(engine.metrics_text()), ConnAction::Keep),
+        Request::Memory => {
+            let _span = span!("serve/request", "verb=MEMORY");
+            (
+                WireReply::Text(counted_body(
+                    "MEMORY",
+                    "MEM",
+                    &engine.memory_report().to_wire_lines(),
+                )),
+                ConnAction::Keep,
+            )
+        }
+        Request::Shards => {
+            let _span = span!("serve/request", "verb=SHARDS");
+            (
+                WireReply::Text(counted_body(
+                    "SHARDS",
+                    "SHARD",
+                    &engine.shards_report().to_wire_lines(),
+                )),
+                ConnAction::Keep,
+            )
+        }
+        Request::SlowLog { limit } => (
+            WireReply::Text(slowlog_body(engine, limit)),
+            ConnAction::Keep,
+        ),
+        Request::Infer {
+            model,
+            node,
+            id,
+            deadline_ms,
+        } => {
+            let deadline = deadline_ms.map(std::time::Duration::from_millis);
+            let trace = engine.mint_trace();
+            let _scope = TraceScope::enter(trace);
+            let _span = span!(
+                "serve/request",
+                "model={model} node={node} trace={:#x}",
+                trace.trace_id
+            );
+            let result = engine
+                .submit_traced(
+                    InferRequest {
+                        model,
+                        node,
+                        deadline,
+                    },
+                    trace,
+                )
+                .and_then(|ticket| ticket.wait());
+            let id = id.unwrap_or_else(|| "-".into());
+            let reply = match result {
+                Ok(resp) => WireReply::Ok { id, resp },
+                Err(err) => WireReply::Err {
+                    id,
+                    code: err.code().into(),
+                    detail: err.to_string(),
+                },
+            };
+            (reply, ConnAction::Keep)
+        }
+        Request::InferSeeds {
+            model,
+            seeds,
+            fanouts,
+            sample_seed,
+            feats,
+            id,
+            deadline_ms,
+        } => {
+            let deadline = deadline_ms.map(std::time::Duration::from_millis);
+            let trace = engine.mint_trace();
+            let _scope = TraceScope::enter(trace);
+            let _span = span!(
+                "serve/request",
+                "model={model} seeds={} trace={:#x}",
+                seeds.len(),
+                trace.trace_id
+            );
+            let result = engine
+                .submit_seeds_traced(
+                    InferSeedsRequest {
+                        model,
+                        seeds: seeds.clone(),
+                        fanouts,
+                        sample_seed,
+                        feats,
+                        deadline,
+                    },
+                    trace,
+                )
+                .and_then(|ticket| ticket.wait());
+            let id = id.unwrap_or_else(|| "-".into());
+            let reply = match result {
+                Ok(resp) => WireReply::Seeds { id, seeds, resp },
+                Err(err) => WireReply::Err {
+                    id,
+                    code: err.code().into(),
+                    detail: err.to_string(),
+                },
+            };
+            (reply, ConnAction::Keep)
+        }
+    };
+    // Serialize phase: frame encode plus the socket write.
+    let ser_start = Instant::now();
+    let action = write_reply(writer, &reply, action);
+    engine.record_serialize(ser_start.elapsed());
+    action
+}
+
+fn write_reply(writer: &mut TcpStream, reply: &WireReply, on_ok: ConnAction) -> ConnAction {
+    match frame::write_frame(writer, &frame::encode_reply(reply)) {
+        Ok(()) => on_ok,
+        Err(_) => ConnAction::Close,
+    }
+}
+
+// ---- Linux: epoll acceptor + fixed handler pool -------------------------
+
+#[cfg(target_os = "linux")]
+mod epoll_front {
+    use super::*;
+    use crate::poll::Poller;
+    use std::collections::VecDeque;
+    use std::os::fd::AsRawFd;
+
+    /// Token 0 is the listener; connections start at 1.
+    const LISTENER_TOKEN: u64 = 0;
+
+    struct FrontEnd {
+        poller: Poller,
+        conns: Mutex<HashMap<u64, ConnState>>,
+        queue: Mutex<VecDeque<u64>>,
+        queue_cv: Condvar,
+        stop: Arc<AtomicBool>,
+        engine: Arc<Engine>,
+        conn_stats: Arc<ConnStats>,
+        addr: SocketAddr,
+    }
+
+    pub(super) fn run(listener: TcpListener, engine: Arc<Engine>, stop: Arc<AtomicBool>) {
+        let addr = listener.local_addr().expect("listener addr");
+        let poller = match Poller::new() {
+            Ok(p) => p,
+            Err(e) => {
+                eprintln!("fgserve: epoll unavailable ({e}); falling back to blocking accept");
+                return super::fallback_front::run(listener, engine, stop);
             }
         };
-        if written.is_err() {
-            break;
+        listener
+            .set_nonblocking(true)
+            .expect("nonblocking listener");
+        poller
+            .add(listener.as_raw_fd(), LISTENER_TOKEN, false)
+            .expect("register listener");
+        let conn_stats = engine.conn_stats();
+        let fe = Arc::new(FrontEnd {
+            poller,
+            conns: Mutex::new(HashMap::new()),
+            queue: Mutex::new(VecDeque::new()),
+            queue_cv: Condvar::new(),
+            stop,
+            engine,
+            conn_stats,
+            addr,
+        });
+        let handlers = handler_pool_size(fe.engine.config().conn_handlers);
+        let mut pool = Vec::with_capacity(handlers);
+        for i in 0..handlers {
+            let fe = Arc::clone(&fe);
+            pool.push(
+                std::thread::Builder::new()
+                    .name(format!("fgserve-handler-{i}"))
+                    .spawn(move || handler_loop(&fe))
+                    .expect("spawn handler"),
+            );
         }
-        if stop.load(Ordering::SeqCst) {
-            break;
+
+        let mut next_token: u64 = 1;
+        let mut events = Vec::with_capacity(64);
+        while !fe.stop.load(Ordering::SeqCst) {
+            events.clear();
+            // Bounded wait so a stop requested between events is noticed
+            // even if the poke connection raced ahead of the flag store.
+            if fe.poller.wait(&mut events, 250).is_err() {
+                break;
+            }
+            for ev in &events {
+                if ev.token == LISTENER_TOKEN {
+                    accept_ready(&fe, &listener, &mut next_token);
+                } else {
+                    // Oneshot registration: this token cannot fire again
+                    // until a handler re-arms it, so each queue entry maps
+                    // to exactly one service pass.
+                    let depth = {
+                        let mut q = fe.queue.lock().unwrap();
+                        q.push_back(ev.token);
+                        q.len()
+                    };
+                    fe.conn_stats.on_dispatch_depth(depth);
+                    fe.queue_cv.notify_one();
+                }
+            }
+        }
+        // Drain: wake every handler so they observe stop and exit.
+        fe.queue_cv.notify_all();
+        for h in pool {
+            let _ = h.join();
         }
     }
-    ConnOutcome::Closed
+
+    fn accept_ready(fe: &Arc<FrontEnd>, listener: &TcpListener, next_token: &mut u64) {
+        loop {
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    if fe.stop.load(Ordering::SeqCst) {
+                        return;
+                    }
+                    let max = fe.engine.config().max_conns;
+                    if max > 0 && fe.conn_stats.active.load(Ordering::Relaxed) >= max as u64 {
+                        // Admission shed: close before the handler pool ever
+                        // sees the connection.
+                        fe.conn_stats
+                            .admission_shed
+                            .fetch_add(1, Ordering::Relaxed);
+                        drop(stream);
+                        continue;
+                    }
+                    // Request/reply messages are small; Nagle + delayed ACK
+                    // would add tens of milliseconds per round trip.
+                    let _ = stream.set_nodelay(true);
+                    let token = *next_token;
+                    *next_token += 1;
+                    let fd = stream.as_raw_fd();
+                    fe.conn_stats.accepted.fetch_add(1, Ordering::Relaxed);
+                    fe.conn_stats.active.fetch_add(1, Ordering::Relaxed);
+                    fe.conns.lock().unwrap().insert(
+                        token,
+                        ConnState {
+                            stream,
+                            proto: Proto::Unknown,
+                            buf: Vec::new(),
+                        },
+                    );
+                    if fe.poller.add(fd, token, true).is_err() {
+                        close_conn(fe, token);
+                    }
+                }
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                Err(_) => return,
+            }
+        }
+    }
+
+    fn close_conn(fe: &Arc<FrontEnd>, token: u64) {
+        if let Some(conn) = fe.conns.lock().unwrap().remove(&token) {
+            fe.poller.delete(conn.stream.as_raw_fd());
+        }
+        fe.conn_stats.active.fetch_sub(1, Ordering::Relaxed);
+        fe.conn_stats.closed.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn handler_loop(fe: &Arc<FrontEnd>) {
+        loop {
+            let token = {
+                let mut q = fe.queue.lock().unwrap();
+                loop {
+                    if let Some(t) = q.pop_front() {
+                        fe.conn_stats
+                            .dispatch_depth
+                            .store(q.len() as u64, Ordering::Relaxed);
+                        break Some(t);
+                    }
+                    if fe.stop.load(Ordering::SeqCst) {
+                        break None;
+                    }
+                    q = fe.queue_cv.wait(q).unwrap();
+                }
+            };
+            let Some(token) = token else { return };
+            // Take ownership: the oneshot registration is spent, so no other
+            // handler can race for this connection.
+            let Some(mut conn) = fe.conns.lock().unwrap().remove(&token) else {
+                continue;
+            };
+            match service_conn(&fe.engine, &mut conn, &fe.conn_stats) {
+                ConnAction::Keep => {
+                    let fd = conn.stream.as_raw_fd();
+                    // Re-insert before re-arming: once the registration is
+                    // live again an event may fire immediately, and the
+                    // dispatching handler must find the connection in the
+                    // map.
+                    fe.conns.lock().unwrap().insert(token, conn);
+                    if fe.poller.rearm(fd, token).is_err() {
+                        close_conn(fe, token);
+                    }
+                }
+                ConnAction::Close => {
+                    fe.poller.delete(conn.stream.as_raw_fd());
+                    drop(conn);
+                    fe.conn_stats.active.fetch_sub(1, Ordering::Relaxed);
+                    fe.conn_stats.closed.fetch_add(1, Ordering::Relaxed);
+                }
+                ConnAction::Shutdown => {
+                    fe.poller.delete(conn.stream.as_raw_fd());
+                    drop(conn);
+                    fe.conn_stats.active.fetch_sub(1, Ordering::Relaxed);
+                    fe.conn_stats.closed.fetch_add(1, Ordering::Relaxed);
+                    request_stop(&fe.stop, fe.addr);
+                    fe.queue_cv.notify_all();
+                }
+            }
+        }
+    }
+}
+
+// ---- fallback: blocking accept, thread-per-connection -------------------
+
+mod fallback_front {
+    use super::*;
+
+    pub(super) fn run(listener: TcpListener, engine: Arc<Engine>, stop: Arc<AtomicBool>) {
+        let addr = listener.local_addr().expect("listener addr");
+        // The epoll path may hand over a nonblocking listener.
+        let _ = listener.set_nonblocking(false);
+        let conn_stats = engine.conn_stats();
+        for conn in listener.incoming() {
+            if stop.load(Ordering::SeqCst) {
+                break;
+            }
+            let Ok(stream) = conn else { continue };
+            let max = engine.config().max_conns;
+            if max > 0 && conn_stats.active.load(Ordering::Relaxed) >= max as u64 {
+                conn_stats.admission_shed.fetch_add(1, Ordering::Relaxed);
+                drop(stream);
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            conn_stats.accepted.fetch_add(1, Ordering::Relaxed);
+            conn_stats.active.fetch_add(1, Ordering::Relaxed);
+            let engine = Arc::clone(&engine);
+            let stop = Arc::clone(&stop);
+            let conn_stats = Arc::clone(&conn_stats);
+            let _ = std::thread::Builder::new()
+                .name("fgserve-conn".into())
+                .spawn(move || {
+                    let mut conn = ConnState {
+                        stream,
+                        proto: Proto::Unknown,
+                        buf: Vec::new(),
+                    };
+                    let mut chunk = [0u8; READ_CHUNK];
+                    let outcome = loop {
+                        match conn.stream.read(&mut chunk) {
+                            Ok(0) => break ConnAction::Close,
+                            Ok(n) => {
+                                conn.buf.extend_from_slice(&chunk[..n]);
+                                if conn.buf.len() > MAX_BUFFER {
+                                    break ConnAction::Close;
+                                }
+                            }
+                            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => continue,
+                            Err(_) => break ConnAction::Close,
+                        }
+                        match process_buffer(&engine, &mut conn, &conn_stats) {
+                            ConnAction::Keep => {}
+                            other => break other,
+                        }
+                        if stop.load(Ordering::SeqCst) {
+                            break ConnAction::Close;
+                        }
+                    };
+                    conn_stats.active.fetch_sub(1, Ordering::Relaxed);
+                    conn_stats.closed.fetch_add(1, Ordering::Relaxed);
+                    if outcome == ConnAction::Shutdown {
+                        request_stop(&stop, addr);
+                    }
+                });
+        }
+    }
+}
+
+fn run_front_end(listener: TcpListener, engine: Arc<Engine>, stop: Arc<AtomicBool>) {
+    #[cfg(target_os = "linux")]
+    {
+        epoll_front::run(listener, engine, stop)
+    }
+    #[cfg(not(target_os = "linux"))]
+    {
+        fallback_front::run(listener, engine, stop)
+    }
 }

@@ -576,6 +576,7 @@ fn repeated_seed_queries_hit_bucketed_plan_cache() {
                 seeds: seeds.clone(),
                 fanouts: Some(vec![4, 4]),
                 sample_seed: round,
+                feats: None,
                 deadline: None,
             })
             .unwrap_or_else(|e| panic!("round {round}: {e}"));

@@ -89,6 +89,7 @@ fn sharded_inference_is_bitwise_identical_to_single_worker() {
                     seeds: seeds.clone(),
                     fanouts: None,
                     sample_seed: 0,
+                    feats: None,
                     deadline: None,
                 })
                 .expect("sharded seeds");
@@ -125,6 +126,7 @@ fn capped_fanout_seeds_fall_back_to_sampled_path_on_sharded_engine() {
                     seeds: seeds.clone(),
                     fanouts: Some(vec![3, 3]),
                     sample_seed: round,
+                    feats: None,
                     deadline: None,
                 })
                 .expect("capped seeds")
@@ -220,6 +222,7 @@ fn coordinator_routes_seeds_to_owner_shards() {
             seeds: vec![starts[0], starts[0] + 1, starts[0] + 2],
             fanouts: None,
             sample_seed: 0,
+            feats: None,
             deadline: None,
         })
         .expect("one-shard seeds");
@@ -233,6 +236,7 @@ fn coordinator_routes_seeds_to_owner_shards() {
             seeds: starts.clone(),
             fanouts: None,
             sample_seed: 0,
+            feats: None,
             deadline: None,
         })
         .expect("spread seeds");
@@ -301,6 +305,7 @@ fn stress_16_threads_mixed_traffic_on_4_shard_server() {
                                 seeds: seeds.clone(),
                                 fanouts: None,
                                 sample_seed: i as u64,
+                                feats: None,
                                 deadline: None,
                             })
                             .expect("seeds under load");

@@ -15,7 +15,7 @@ pub struct Dense2<S> {
     data: AlignedVec<S>,
 }
 
-impl<S: Scalar> Clone for Dense2<S> {
+impl<S: Copy + Default> Clone for Dense2<S> {
     fn clone(&self) -> Self {
         Self {
             rows: self.rows,
@@ -25,7 +25,7 @@ impl<S: Scalar> Clone for Dense2<S> {
     }
 }
 
-impl<S: Scalar> std::fmt::Debug for Dense2<S> {
+impl<S> std::fmt::Debug for Dense2<S> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Dense2")
             .field("rows", &self.rows)
@@ -34,7 +34,15 @@ impl<S: Scalar> std::fmt::Debug for Dense2<S> {
     }
 }
 
-impl<S: Scalar> Dense2<S> {
+impl<S: Copy + Default + PartialEq> PartialEq for Dense2<S> {
+    fn eq(&self, other: &Self) -> bool {
+        self.shape() == other.shape() && self.as_slice() == other.as_slice()
+    }
+}
+
+// Structural methods need only `Copy + Default` (what `AlignedVec` requires),
+// so half-precision storage scalars work without implementing arithmetic.
+impl<S: Copy + Default> Dense2<S> {
     /// All-zeros matrix of the given shape.
     pub fn zeros(rows: usize, cols: usize) -> Self {
         Self {
@@ -205,6 +213,10 @@ impl<S: Scalar> Dense2<S> {
             .collect()
     }
 
+}
+
+// Numeric comparisons widen through `f64`, so they stay `Scalar`-bound.
+impl<S: Scalar> Dense2<S> {
     /// Maximum absolute element-wise difference to another matrix.
     pub fn max_abs_diff(&self, other: &Self) -> f64 {
         assert_eq!(self.shape(), other.shape(), "max_abs_diff shape mismatch");

@@ -20,6 +20,7 @@
 pub mod aligned;
 pub mod dense;
 pub mod error;
+pub mod half;
 pub mod ops;
 pub mod scalar;
 pub mod tile;
@@ -27,4 +28,5 @@ pub mod tile;
 pub use aligned::AlignedVec;
 pub use dense::{Dense2, Dense3};
 pub use error::{ShapeError, TensorResult};
+pub use half::{Bf16, FeatElem, FeatureDtype, FeatureTensor, F16};
 pub use scalar::Scalar;
